@@ -1,0 +1,182 @@
+//! Cayley graphs of finite Abelian groups.
+//!
+//! The Cayley graph of `(A, S)` with `S = −S`, `0 ∉ S` has vertex set `A`
+//! and an edge `a ~ a + s` for every `s ∈ S`. These graphs are
+//! vertex-transitive, which the paper exploits twice: the Section 4 torus
+//! is the Cayley graph of the even-coordinate-sum subgroup of `Z_{2k}²`,
+//! and Theorem 15 bounds the diameter of ε-distance-uniform Cayley graphs
+//! of Abelian groups.
+
+use bncg_graph::{Graph, V};
+
+use crate::group::{AbelianGroup, GroupElem};
+
+/// Builds the Cayley graph of `group` with respect to the symmetric
+/// generating set `s` (as a simple undirected graph).
+///
+/// # Panics
+/// Panics if `s` is not symmetric, contains the identity, or the group
+/// order exceeds `u32` vertex capacity.
+pub fn cayley_graph(group: &AbelianGroup, s: &[GroupElem]) -> Graph {
+    assert!(
+        group.is_symmetric_generating_set(s),
+        "Cayley construction requires S = -S and 0 not in S"
+    );
+    let n = group.order();
+    assert!(n <= u32::MAX as u64, "group too large for u32 vertices");
+    let mut g = Graph::new(n as usize);
+    for a in group.elements() {
+        let ia = group.index_of(&a) as V;
+        for gen in s {
+            let b = group.add(&a, gen);
+            let ib = group.index_of(&b) as V;
+            if ia != ib {
+                g.add_edge(ia, ib);
+            }
+        }
+    }
+    g
+}
+
+/// Convenience: the circulant `C_n(S)` as a Cayley graph of `Z_n`
+/// (symmetrizes the given shift set).
+pub fn circulant_cayley(n: u64, shifts: &[u64]) -> Graph {
+    let group = AbelianGroup::cyclic(n);
+    let gens: Vec<GroupElem> = shifts.iter().map(|&s| vec![s % n]).collect();
+    let s = group.symmetrize(&gens);
+    cayley_graph(&group, &s)
+}
+
+/// The hypercube `Q_d` as the Cayley graph of `Z_2^d` with standard basis
+/// generators — a stock distance-uniformity test subject.
+pub fn hypercube_cayley(d: usize) -> Graph {
+    let group = AbelianGroup::boolean(d);
+    let gens: Vec<GroupElem> = (0..d)
+        .map(|i| {
+            let mut e = group.zero();
+            e[i] = 1;
+            e
+        })
+        .collect();
+    cayley_graph(&group, &gens)
+}
+
+/// Dense circulant `C_n(1..=s)`: diameter `⌈(n/2)/s⌉`; with `s ≥ 3n/8` it
+/// is `ε`-distance-uniform with `ε < 1/4` (most vertices at distance 1),
+/// making it a non-vacuous Theorem 15 subject.
+pub fn dense_circulant(n: u64, s: u64) -> Graph {
+    assert!(s >= 1 && 2 * s < n, "need 1 <= s < n/2");
+    let shifts: Vec<u64> = (1..=s).collect();
+    circulant_cayley(n, &shifts)
+}
+
+/// The complete multipartite graph `K_{t×m}` (`t` parts of size `m`) as
+/// the Cayley graph of `Z_t × Z_m` with generating set
+/// `{(a, b) : a ≠ 0}` — vertices are adjacent iff they differ in the
+/// first coordinate. Distance 1 to all but your own part, so it is
+/// `(m/n)`-distance-uniform: the canonical small-ε Theorem 15 subject.
+pub fn complete_multipartite_cayley(t: u64, m: u64) -> Graph {
+    assert!(t >= 2 && m >= 1);
+    let group = AbelianGroup::product(&[t, m]);
+    let mut gens: Vec<GroupElem> = Vec::new();
+    for a in 1..t {
+        for b in 0..m {
+            gens.push(vec![a, b]);
+        }
+    }
+    assert!(group.is_symmetric_generating_set(&gens));
+    cayley_graph(&group, &gens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+    use bncg_graph::properties::{has_uniform_distance_profile, is_regular};
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn cycle_as_cayley_graph() {
+        let g = circulant_cayley(9, &[1]);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(g.m(), 9);
+        assert_eq!(dm.diameter(), Some(4));
+    }
+
+    #[test]
+    fn hypercube_cayley_matches_direct_construction() {
+        let a = hypercube_cayley(4);
+        let b = classic::hypercube(4);
+        // Same vertex labels up to bit order: compare metric invariants.
+        assert_eq!(a.m(), b.m());
+        let da = DistanceMatrix::build(&a.to_csr());
+        let db = DistanceMatrix::build(&b.to_csr());
+        assert_eq!(da.diameter(), db.diameter());
+        assert_eq!(da.total_distance(), db.total_distance());
+    }
+
+    #[test]
+    fn cayley_graphs_are_vertex_transitive_in_profile() {
+        let g = circulant_cayley(20, &[2, 5]);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert!(is_regular(&g));
+        if dm.is_connected() {
+            assert!(has_uniform_distance_profile(&dm));
+        }
+    }
+
+    #[test]
+    fn product_group_cayley_is_torus() {
+        // Z_4 x Z_5 with unit generators = 4x5 discrete torus.
+        let group = AbelianGroup::product(&[4, 5]);
+        let gens = group.symmetrize(&[vec![1, 0], vec![0, 1]]);
+        let g = cayley_graph(&group, &gens);
+        let t = classic::torus_grid(5, 4);
+        assert_eq!(g.n(), t.n());
+        assert_eq!(g.m(), t.m());
+        let dg = DistanceMatrix::build(&g.to_csr());
+        let dt = DistanceMatrix::build(&t.to_csr());
+        assert_eq!(dg.diameter(), dt.diameter());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires S = -S")]
+    fn asymmetric_generating_set_panics() {
+        let group = AbelianGroup::cyclic(7);
+        let _ = cayley_graph(&group, &[vec![1]]);
+    }
+
+    #[test]
+    fn dense_circulant_is_highly_uniform() {
+        let g = dense_circulant(64, 26);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(2));
+        // Each vertex sees 52 of 63 others at distance 1: eps = 12/64.
+        let spheres = dm.sphere_sizes(0);
+        assert_eq!(spheres[1], 52);
+        assert_eq!(spheres[2], 11);
+    }
+
+    #[test]
+    fn complete_multipartite_cayley_shape() {
+        let g = complete_multipartite_cayley(4, 3);
+        assert_eq!(g.n(), 12);
+        // K_{4x3}: each vertex adjacent to 9 others.
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.m(), 12 * 9 / 2);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(2));
+        // Non-adjacent pairs are exactly the same-part pairs.
+        let spheres = dm.sphere_sizes(0);
+        assert_eq!(spheres[2], 2);
+    }
+
+    #[test]
+    fn involution_generators_give_simple_graph() {
+        // In Z_2^d, generators are involutions: a + s = a - s; the graph
+        // must stay simple (no multi-edges).
+        let g = hypercube_cayley(3);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 12);
+    }
+}

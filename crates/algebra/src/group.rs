@@ -1,0 +1,195 @@
+//! Finite Abelian groups as explicit products `Z_{m₁} × … × Z_{m_d}`.
+//!
+//! By the fundamental theorem of finite Abelian groups every such group is
+//! a product of cyclic groups, so this representation is fully general.
+//! Elements are stored as mixed-radix digit vectors and also admit a dense
+//! `0..order` index, which is what the Cayley-graph builder and sumset
+//! machinery use as vertex ids.
+
+/// A finite Abelian group `Z_{m₁} × … × Z_{m_d}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbelianGroup {
+    moduli: Vec<u64>,
+    order: u64,
+}
+
+/// An element of an [`AbelianGroup`], as a digit vector (`elem[i] < m_i`).
+pub type GroupElem = Vec<u64>;
+
+impl AbelianGroup {
+    /// Product of cyclic groups with the given moduli (each `≥ 1`).
+    ///
+    /// # Panics
+    /// Panics on an empty modulus list, a zero modulus, or an order that
+    /// overflows `u64`.
+    pub fn product(moduli: &[u64]) -> Self {
+        assert!(!moduli.is_empty(), "group needs at least one factor");
+        let mut order: u64 = 1;
+        for &m in moduli {
+            assert!(m >= 1, "moduli must be positive");
+            order = order.checked_mul(m).expect("group order overflow");
+        }
+        AbelianGroup {
+            moduli: moduli.to_vec(),
+            order,
+        }
+    }
+
+    /// The cyclic group `Z_m`.
+    pub fn cyclic(m: u64) -> Self {
+        Self::product(&[m])
+    }
+
+    /// `Z_2^d` (the hypercube group).
+    pub fn boolean(d: usize) -> Self {
+        Self::product(&vec![2; d])
+    }
+
+    /// Number of elements.
+    pub fn order(&self) -> u64 {
+        self.order
+    }
+
+    /// The moduli vector.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Number of cyclic factors.
+    pub fn rank(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// The identity element.
+    pub fn zero(&self) -> GroupElem {
+        vec![0; self.moduli.len()]
+    }
+
+    /// Component-wise addition modulo the moduli.
+    pub fn add(&self, a: &GroupElem, b: &GroupElem) -> GroupElem {
+        debug_assert_eq!(a.len(), self.moduli.len());
+        debug_assert_eq!(b.len(), self.moduli.len());
+        a.iter()
+            .zip(b)
+            .zip(&self.moduli)
+            .map(|((&x, &y), &m)| (x + y) % m)
+            .collect()
+    }
+
+    /// Inverse (component-wise negation).
+    pub fn neg(&self, a: &GroupElem) -> GroupElem {
+        a.iter()
+            .zip(&self.moduli)
+            .map(|(&x, &m)| (m - x % m) % m)
+            .collect()
+    }
+
+    /// Dense index of an element in `0..order` (mixed-radix evaluation).
+    pub fn index_of(&self, a: &GroupElem) -> u64 {
+        debug_assert_eq!(a.len(), self.moduli.len());
+        let mut idx = 0u64;
+        for (&digit, &m) in a.iter().zip(&self.moduli) {
+            debug_assert!(digit < m);
+            idx = idx * m + digit;
+        }
+        idx
+    }
+
+    /// Element with the given dense index.
+    pub fn elem_at(&self, mut idx: u64) -> GroupElem {
+        assert!(idx < self.order, "index out of range");
+        let mut digits = vec![0u64; self.moduli.len()];
+        for i in (0..self.moduli.len()).rev() {
+            digits[i] = idx % self.moduli[i];
+            idx /= self.moduli[i];
+        }
+        digits
+    }
+
+    /// Iterator over all elements in dense-index order.
+    pub fn elements(&self) -> impl Iterator<Item = GroupElem> + '_ {
+        (0..self.order).map(move |i| self.elem_at(i))
+    }
+
+    /// Whether `s` is symmetric (`S = −S`) and excludes the identity — the
+    /// requirements on a Cayley generating set in the paper.
+    pub fn is_symmetric_generating_set(&self, s: &[GroupElem]) -> bool {
+        use std::collections::HashSet;
+        let set: HashSet<u64> = s.iter().map(|e| self.index_of(e)).collect();
+        if set.contains(&self.index_of(&self.zero())) {
+            return false;
+        }
+        s.iter().all(|e| set.contains(&self.index_of(&self.neg(e))))
+    }
+
+    /// Closes `s` under negation (and drops the identity): convenience for
+    /// building symmetric generating sets.
+    pub fn symmetrize(&self, s: &[GroupElem]) -> Vec<GroupElem> {
+        use std::collections::BTreeSet;
+        let mut out: BTreeSet<GroupElem> = BTreeSet::new();
+        let zero = self.zero();
+        for e in s {
+            if *e != zero {
+                out.insert(e.clone());
+                out.insert(self.neg(e));
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_arithmetic() {
+        let g = AbelianGroup::cyclic(7);
+        assert_eq!(g.order(), 7);
+        assert_eq!(g.add(&vec![5], &vec![4]), vec![2]);
+        assert_eq!(g.neg(&vec![3]), vec![4]);
+        assert_eq!(g.neg(&vec![0]), vec![0]);
+    }
+
+    #[test]
+    fn product_index_roundtrip() {
+        let g = AbelianGroup::product(&[3, 4, 5]);
+        assert_eq!(g.order(), 60);
+        for i in 0..60 {
+            assert_eq!(g.index_of(&g.elem_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn elements_enumerates_all() {
+        let g = AbelianGroup::product(&[2, 3]);
+        let all: Vec<GroupElem> = g.elements().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn symmetrize_builds_valid_generating_sets() {
+        let g = AbelianGroup::cyclic(10);
+        let s = g.symmetrize(&[vec![1], vec![3], vec![0]]);
+        assert_eq!(s.len(), 4); // {1, 3, 7, 9}; zero dropped
+        assert!(g.is_symmetric_generating_set(&s));
+        assert!(!g.is_symmetric_generating_set(&[vec![1]]));
+        assert!(!g.is_symmetric_generating_set(&[vec![0]]));
+        // In Z_2^d every element is its own inverse.
+        let b = AbelianGroup::boolean(3);
+        assert!(b.is_symmetric_generating_set(&[vec![1, 0, 0], vec![0, 1, 0]]));
+    }
+
+    #[test]
+    fn group_addition_is_commutative_and_associative() {
+        let g = AbelianGroup::product(&[4, 6]);
+        let a = vec![3, 5];
+        let b = vec![2, 4];
+        let c = vec![1, 1];
+        assert_eq!(g.add(&a, &b), g.add(&b, &a));
+        assert_eq!(g.add(&g.add(&a, &b), &c), g.add(&a, &g.add(&b, &c)));
+        assert_eq!(g.add(&a, &g.neg(&a)), g.zero());
+    }
+}

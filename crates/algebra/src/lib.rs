@@ -1,0 +1,32 @@
+//! Algebraic substrate for the basic network creation games reproduction.
+//!
+//! Section 5 of the paper connects sum equilibria to *distance-uniform*
+//! graphs, and proves the distance-uniformity conjecture for **Cayley graphs
+//! of Abelian groups** (Theorem 15) via a consequence of the Plünnecke
+//! inequalities on iterated sumsets. Theorem 13 additionally needs a prime
+//! `x = O(lg² n)` such that no multiple of `x` lands in a given short
+//! interval. This crate supplies those ingredients from scratch:
+//!
+//! * [`group`] — finite Abelian groups as products `Z_{m₁} × … × Z_{m_d}`,
+//!   with subsets-as-generating-sets utilities;
+//! * [`cayley`] — Cayley graph construction over such groups (the paper's
+//!   torus of Section 4 is one of these; see `bncg-constructions`);
+//! * [`sumset`] — iterated sumsets `iS` and the Plünnecke-consequence
+//!   checker `|qS| ≤ |pS|^{q/p}`;
+//! * [`primes`] — sieve, prime-counting helpers, and the Theorem-13 "safe
+//!   power" selector;
+//! * [`projective`] — finite projective planes `PG(2, q)` (the object
+//!   behind the Albers et al. diameter-2 non-tree sum equilibria that the
+//!   paper cites when motivating its diameter-3 lower bound).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cayley;
+pub mod group;
+pub mod primes;
+pub mod projective;
+pub mod sumset;
+
+pub use cayley::cayley_graph;
+pub use group::{AbelianGroup, GroupElem};

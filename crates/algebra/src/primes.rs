@@ -1,0 +1,143 @@
+//! Prime sieve and the Theorem-13 "safe power" selector.
+//!
+//! The distance-uniform half of Theorem 13 needs an integer `x = O(lg² n)`
+//! such that **no multiple of `x` falls in a given interval** `[i, j]` with
+//! `j − i = O(lg n)`: the paper argues by the prime number theorem that a
+//! prime `x ≤ c·lg² n` avoiding the interval always exists. The selector
+//! here finds the smallest such prime explicitly.
+
+/// Sieve of Eratosthenes: all primes `≤ limit`.
+pub fn primes_up_to(limit: usize) -> Vec<u64> {
+    if limit < 2 {
+        return Vec::new();
+    }
+    let mut is_prime = vec![true; limit + 1];
+    is_prime[0] = false;
+    is_prime[1] = false;
+    let mut p = 2usize;
+    while p * p <= limit {
+        if is_prime[p] {
+            let mut q = p * p;
+            while q <= limit {
+                is_prime[q] = false;
+                q += p;
+            }
+        }
+        p += 1;
+    }
+    (2..=limit).filter(|&i| is_prime[i]).map(|i| i as u64).collect()
+}
+
+/// Trial-division primality test (adequate for the ≤ 10⁶ range used here).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Whether some positive multiple of `x` lies in `[lo, hi]`.
+pub fn multiple_in_interval(x: u64, lo: u64, hi: u64) -> bool {
+    debug_assert!(lo <= hi);
+    if x == 0 {
+        return false;
+    }
+    // Smallest multiple >= lo.
+    let k = lo.div_ceil(x);
+    let k = k.max(1);
+    k * x <= hi
+}
+
+/// The smallest prime `x` such that no multiple of `x` lies in `[lo, hi]`,
+/// searching up to `limit`. Returns `None` if no such prime `≤ limit`
+/// exists.
+///
+/// Theorem 13 guarantees success with `limit = O(lg² n)` whenever
+/// `hi − lo = O(lg n)` and `hi < n`; the E9 experiment verifies that bound
+/// empirically.
+pub fn safe_prime_power(lo: u64, hi: u64, limit: u64) -> Option<u64> {
+    assert!(lo <= hi, "empty interval");
+    primes_up_to(limit as usize)
+        .into_iter()
+        .find(|&p| !multiple_in_interval(p, lo, hi))
+}
+
+/// `⌈lg n⌉` for `n ≥ 1` (binary logarithm, as used throughout the paper).
+pub fn ceil_lg(n: u64) -> u32 {
+    assert!(n >= 1);
+    64 - (n - 1).leading_zeros()
+}
+
+/// `lg n` as a float (`log₂`).
+pub fn lg(n: u64) -> f64 {
+    (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sieve_matches_trial_division() {
+        let sieved = primes_up_to(200);
+        let trial: Vec<u64> = (0..=200u64).filter(|&n| is_prime(n)).collect();
+        assert_eq!(sieved, trial);
+        assert_eq!(sieved.len(), 46);
+    }
+
+    #[test]
+    fn multiple_in_interval_edge_cases() {
+        assert!(multiple_in_interval(5, 10, 10)); // 10 = 2*5
+        assert!(!multiple_in_interval(7, 8, 13)); // 7, 14 both outside
+        assert!(multiple_in_interval(7, 8, 14));
+        assert!(multiple_in_interval(3, 1, 100));
+        // Multiples must be positive: interval [0,0] shouldn't count 0*x.
+        assert!(!multiple_in_interval(9, 0, 8));
+    }
+
+    #[test]
+    fn safe_prime_avoids_interval() {
+        // Interval [100, 110]: 2,3,5,7 all have multiples there; 13 has 104;
+        // 11 has 110; 17 has 102; 19 has 1... 19*5=95, 19*6=114 -> safe!
+        let p = safe_prime_power(100, 110, 1000).unwrap();
+        assert!(!multiple_in_interval(p, 100, 110));
+        assert_eq!(p, 19);
+    }
+
+    #[test]
+    fn safe_prime_exists_within_lg_squared_bound() {
+        // The Theorem 13 regime: interval length O(lg n) located below n.
+        for n in [64u64, 256, 1024, 4096, 65536] {
+            let l = ceil_lg(n) as u64;
+            let lo = n / 2;
+            let hi = lo + 4 * l; // interval of length O(lg n)
+            let limit = 16 * l * l; // c * lg^2 n with c = 16
+            let p = safe_prime_power(lo, hi, limit);
+            assert!(
+                p.is_some(),
+                "no safe prime <= {limit} for interval [{lo},{hi}] (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn ceil_lg_values() {
+        assert_eq!(ceil_lg(1), 0);
+        assert_eq!(ceil_lg(2), 1);
+        assert_eq!(ceil_lg(3), 2);
+        assert_eq!(ceil_lg(4), 2);
+        assert_eq!(ceil_lg(5), 3);
+        assert_eq!(ceil_lg(1024), 10);
+        assert_eq!(ceil_lg(1025), 11);
+    }
+}

@@ -1,0 +1,169 @@
+//! Finite projective planes `PG(2, q)` for prime `q`.
+//!
+//! The paper's diameter-3 lower bound (Theorem 5) is motivated by the fact
+//! that all previously known sum equilibria had diameter 2 — notably the
+//! cyclic equilibria of Albers et al. arising from finite projective
+//! planes. This module provides the plane itself (points, lines, incidence)
+//! plus two derived graphs the experiments probe:
+//!
+//! * the bipartite **incidence graph** (girth 6, diameter 3);
+//! * the **polarity graph** `ER_q` (Erdős–Rényi orthogonality graph):
+//!   vertices are points, `x ~ y` iff `x · y = 0 (mod q)` — a classical
+//!   dense diameter-2 graph.
+
+use bncg_graph::{Graph, V};
+
+/// A point or line of `PG(2, q)`: a nonzero homogeneous triple over
+/// `GF(q)`, normalized so the first nonzero coordinate is 1.
+pub type HomTriple = [u64; 3];
+
+/// The projective plane `PG(2, q)` over a prime field.
+#[derive(Debug, Clone)]
+pub struct ProjectivePlane {
+    q: u64,
+    points: Vec<HomTriple>,
+}
+
+impl ProjectivePlane {
+    /// Constructs `PG(2, q)`.
+    ///
+    /// # Panics
+    /// Panics if `q` is not prime (the plane needs a field; prime powers
+    /// would need `GF(p^k)` arithmetic, which this reproduction does not
+    /// require).
+    pub fn new(q: u64) -> Self {
+        assert!(crate::primes::is_prime(q), "PG(2,q) requires prime q here");
+        let mut points = Vec::with_capacity((q * q + q + 1) as usize);
+        // Normal forms: (1, a, b), (0, 1, b), (0, 0, 1).
+        for a in 0..q {
+            for b in 0..q {
+                points.push([1, a, b]);
+            }
+        }
+        for b in 0..q {
+            points.push([0, 1, b]);
+        }
+        points.push([0, 0, 1]);
+        ProjectivePlane { q, points }
+    }
+
+    /// Field order.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of points (= number of lines) `q² + q + 1`.
+    pub fn size(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The normalized point/line representatives.
+    pub fn points(&self) -> &[HomTriple] {
+        &self.points
+    }
+
+    /// Whether point `p` is incident to line `l` (`p · l ≡ 0 mod q`).
+    pub fn incident(&self, p: &HomTriple, l: &HomTriple) -> bool {
+        (p[0] * l[0] + p[1] * l[1] + p[2] * l[2]).is_multiple_of(self.q)
+    }
+
+    /// Index of a normalized triple within [`Self::points`].
+    pub fn index_of(&self, t: &HomTriple) -> Option<usize> {
+        self.points.iter().position(|p| p == t)
+    }
+
+    /// The bipartite point–line incidence (Levi) graph: vertices
+    /// `0..size` are points, `size..2·size` are lines.
+    pub fn incidence_graph(&self) -> Graph {
+        let s = self.size();
+        let mut g = Graph::new(2 * s);
+        for (ip, p) in self.points.iter().enumerate() {
+            for (il, l) in self.points.iter().enumerate() {
+                if self.incident(p, l) {
+                    g.add_edge(ip as V, (s + il) as V);
+                }
+            }
+        }
+        g
+    }
+
+    /// The polarity (orthogonality) graph `ER_q`: vertices are points,
+    /// `x ~ y` (for `x ≠ y`) iff `x · y ≡ 0`. Self-orthogonal points simply
+    /// have degree `q` instead of `q + 1`.
+    pub fn polarity_graph(&self) -> Graph {
+        let s = self.size();
+        let mut g = Graph::new(s);
+        for i in 0..s {
+            for j in (i + 1)..s {
+                if self.incident(&self.points[i], &self.points[j]) {
+                    g.add_edge(i as V, j as V);
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::girth::girth;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn fano_plane_has_seven_points() {
+        let pg = ProjectivePlane::new(2);
+        assert_eq!(pg.size(), 7);
+        // Every line contains q+1 = 3 points.
+        for l in pg.points() {
+            let on_line = pg.points().iter().filter(|p| pg.incident(p, l)).count();
+            assert_eq!(on_line, 3);
+        }
+    }
+
+    #[test]
+    fn any_two_points_lie_on_exactly_one_line() {
+        let pg = ProjectivePlane::new(3);
+        let pts = pg.points();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let common = pts
+                    .iter()
+                    .filter(|l| pg.incident(&pts[i], l) && pg.incident(&pts[j], l))
+                    .count();
+                assert_eq!(common, 1, "points {i},{j} must span one line");
+            }
+        }
+    }
+
+    #[test]
+    fn incidence_graph_is_girth_six_diameter_three() {
+        let pg = ProjectivePlane::new(2);
+        let g = pg.incidence_graph();
+        assert_eq!(g.n(), 14); // Heawood graph
+        assert_eq!(g.m(), 21);
+        assert_eq!(girth(&g), Some(6));
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(3));
+    }
+
+    #[test]
+    fn polarity_graph_has_diameter_two() {
+        for q in [2u64, 3, 5] {
+            let pg = ProjectivePlane::new(q);
+            let g = pg.polarity_graph();
+            let dm = DistanceMatrix::build(&g.to_csr());
+            assert_eq!(
+                dm.diameter(),
+                Some(2),
+                "ER_{q} should have diameter 2"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime")]
+    fn composite_order_rejected() {
+        let _ = ProjectivePlane::new(4);
+    }
+}

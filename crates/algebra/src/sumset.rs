@@ -1,0 +1,143 @@
+//! Iterated sumsets `iS = {s₁ + … + s_i : s_j ∈ S}` and the
+//! Plünnecke-inequality consequence used in Theorem 15.
+//!
+//! In a Cayley graph of `(A, S)`, `iS` is exactly the set of endpoints of
+//! walks of length `i` from the identity. Theorem 15's proof rests on the
+//! sumset growth bound `|qS| ≤ |pS|^{q/p}` for `q > p` (a known consequence
+//! of the Plünnecke inequalities); [`plunnecke_consequence_holds`] checks it
+//! directly, and the experiments audit it across generated families.
+
+use std::collections::HashSet;
+
+use crate::group::{AbelianGroup, GroupElem};
+
+/// Computes `iS` for `i = 0..=max_i` as dense-index sets.
+/// `0S = {0}` by convention.
+pub fn iterated_sumsets(
+    group: &AbelianGroup,
+    s: &[GroupElem],
+    max_i: usize,
+) -> Vec<HashSet<u64>> {
+    let mut out: Vec<HashSet<u64>> = Vec::with_capacity(max_i + 1);
+    let mut current: HashSet<u64> = HashSet::new();
+    current.insert(group.index_of(&group.zero()));
+    out.push(current.clone());
+    let s_elems: Vec<GroupElem> = s.to_vec();
+    for _ in 1..=max_i {
+        let mut next: HashSet<u64> = HashSet::with_capacity(current.len() * s_elems.len());
+        for &idx in &current {
+            let a = group.elem_at(idx);
+            for gen in &s_elems {
+                next.insert(group.index_of(&group.add(&a, gen)));
+            }
+        }
+        out.push(next.clone());
+        current = next;
+    }
+    out
+}
+
+/// Growth sequence `|iS|` for `i = 0..=max_i`.
+pub fn sumset_growth(group: &AbelianGroup, s: &[GroupElem], max_i: usize) -> Vec<usize> {
+    iterated_sumsets(group, s, max_i)
+        .iter()
+        .map(HashSet::len)
+        .collect()
+}
+
+/// Checks the Plünnecke consequence `|qS| ≤ |pS|^{q/p}` for all pairs
+/// `0 < p < q ≤ max_i`. Returns the first violating pair, if any.
+pub fn plunnecke_consequence_holds(
+    group: &AbelianGroup,
+    s: &[GroupElem],
+    max_i: usize,
+) -> Result<(), (usize, usize)> {
+    let growth = sumset_growth(group, s, max_i);
+    for p in 1..=max_i {
+        for q in (p + 1)..=max_i {
+            let lhs = growth[q] as f64;
+            let rhs = (growth[p] as f64).powf(q as f64 / p as f64);
+            // Tiny epsilon for floating comparison; the quantities are
+            // integers vs real powers.
+            if lhs > rhs * (1.0 + 1e-9) {
+                return Err((p, q));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The smallest `r` such that `|rS| ≥ (1−ε)·|A|` — the "covering radius"
+/// the Theorem 15 proof extracts from ε-distance-uniformity. Returns `None`
+/// if no `r ≤ max_i` suffices.
+pub fn covering_radius(
+    group: &AbelianGroup,
+    s: &[GroupElem],
+    eps: f64,
+    max_i: usize,
+) -> Option<usize> {
+    let target = ((1.0 - eps) * group.order() as f64).ceil() as usize;
+    sumset_growth(group, s, max_i)
+        .iter()
+        .position(|&size| size >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_group_sumsets_grow_linearly() {
+        // iS is the set of sums of *exactly* i generators, i.e. endpoints
+        // of walks of length i: on Z_11 with S = {±1} this is the parity
+        // class {-i, -i+2, …, i}, of size i+1 (mod wraparound).
+        let g = AbelianGroup::cyclic(11);
+        let s = g.symmetrize(&[vec![1]]);
+        let growth = sumset_growth(&g, &s, 6);
+        assert_eq!(growth, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn boolean_group_sumsets_are_hamming_balls_of_fixed_parity() {
+        let g = AbelianGroup::boolean(4);
+        let gens: Vec<GroupElem> = (0..4)
+            .map(|i| {
+                let mut e = g.zero();
+                e[i] = 1;
+                e
+            })
+            .collect();
+        let sets = iterated_sumsets(&g, &gens, 4);
+        // iS = words of weight <= i with weight == i (mod 2).
+        // i=1: weight 1 -> 4 elements; i=2: weights 0,2 -> 1+6=7;
+        // i=3: weights 1,3 -> 4+4=8; i=4: weights 0,2,4 -> 1+6+1=8.
+        assert_eq!(sets[1].len(), 4);
+        assert_eq!(sets[2].len(), 7);
+        assert_eq!(sets[3].len(), 8);
+        assert_eq!(sets[4].len(), 8);
+    }
+
+    #[test]
+    fn plunnecke_consequence_on_small_groups() {
+        let g = AbelianGroup::cyclic(30);
+        let s = g.symmetrize(&[vec![1], vec![7]]);
+        assert_eq!(plunnecke_consequence_holds(&g, &s, 8), Ok(()));
+        let h = AbelianGroup::product(&[6, 8]);
+        let sh = h.symmetrize(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
+        assert_eq!(plunnecke_consequence_holds(&h, &sh, 6), Ok(()));
+    }
+
+    #[test]
+    fn covering_radius_matches_walk_counting() {
+        // On Z_21 with S = {±1}, |rS| = min(r + 1, 21) (odd modulus, so
+        // the step-2 progression eventually covers every residue).
+        let g = AbelianGroup::cyclic(21);
+        let s = g.symmetrize(&[vec![1]]);
+        // Full cover (eps = 0) needs |rS| = 21 -> r = 20.
+        assert_eq!(covering_radius(&g, &s, 0.0, 25), Some(20));
+        // eps = 0.2: need |rS| >= ceil(0.8*21) = 17 -> r = 16.
+        assert_eq!(covering_radius(&g, &s, 0.2, 25), Some(16));
+        // Unreachable target within max_i.
+        assert_eq!(covering_radius(&g, &s, 0.0, 15), None);
+    }
+}

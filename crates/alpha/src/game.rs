@@ -1,0 +1,159 @@
+//! The α-game's network state: a graph with per-edge ownership.
+//!
+//! In the unilateral model of Fabrikant et al., every edge is *bought* by
+//! exactly one endpoint, who pays `α` for it; both endpoints may use it.
+//! Strategies are the sets of edges each player buys.
+
+use std::collections::HashMap;
+
+use bncg_graph::adjacency::Edge;
+use bncg_graph::{DistanceMatrix, Graph, V};
+
+/// A network together with the owner of every edge.
+#[derive(Debug, Clone)]
+pub struct OwnedNetwork {
+    graph: Graph,
+    owner: HashMap<Edge, V>,
+}
+
+impl OwnedNetwork {
+    /// Wraps a graph, assigning every edge to its smaller endpoint (the
+    /// canonical ownership when provenance is unknown; ownership only
+    /// shifts creation cost between endpoints, not the social cost).
+    pub fn from_graph(g: &Graph) -> Self {
+        let owner = g.edge_vec().into_iter().map(|e| (e, e.u)).collect();
+        OwnedNetwork {
+            graph: g.clone(),
+            owner,
+        }
+    }
+
+    /// Wraps a graph with an explicit ownership assignment.
+    ///
+    /// # Panics
+    /// Panics if `owners` misses an edge or names a non-endpoint.
+    pub fn with_owners(g: &Graph, owners: &[(Edge, V)]) -> Self {
+        let mut owner = HashMap::with_capacity(g.m());
+        for &(e, v) in owners {
+            assert!(v == e.u || v == e.v, "owner must be an endpoint");
+            owner.insert(e, v);
+        }
+        for e in g.edge_vec() {
+            assert!(owner.contains_key(&e), "edge {e:?} has no owner");
+        }
+        OwnedNetwork {
+            graph: g.clone(),
+            owner,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Owner of edge `uv`, if the edge exists.
+    pub fn owner_of(&self, u: V, v: V) -> Option<V> {
+        self.owner.get(&Edge::new(u, v)).copied()
+    }
+
+    /// Edges bought by `v`.
+    pub fn bought_by(&self, v: V) -> Vec<Edge> {
+        let mut out: Vec<Edge> = self
+            .owner
+            .iter()
+            .filter(|&(_, &o)| o == v)
+            .map(|(&e, _)| e)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of edges bought by `v`.
+    pub fn bought_count(&self, v: V) -> usize {
+        self.owner.values().filter(|&&o| o == v).count()
+    }
+
+    /// The player cost `α·(bought by v) + Σ_x d(v, x)`; `f64::INFINITY`
+    /// when `v` cannot reach everyone.
+    pub fn player_cost(&self, dm: &DistanceMatrix, v: V, alpha: f64) -> f64 {
+        match dm.sum_from(v) {
+            None => f64::INFINITY,
+            Some(s) => alpha * self.bought_count(v) as f64 + s as f64,
+        }
+    }
+
+    /// Buys edge `uv` for player `owner` (must be an endpoint; the edge
+    /// must not exist). Returns `false` if the edge already existed.
+    pub fn buy_edge(&mut self, u: V, v: V, owner: V) -> bool {
+        assert!(owner == u || owner == v);
+        if self.graph.add_edge(u, v) {
+            self.owner.insert(Edge::new(u, v), owner);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sells (removes) edge `uv` if owned by `seller`. Returns `false` if
+    /// the edge doesn't exist or belongs to the other endpoint.
+    pub fn sell_edge(&mut self, u: V, v: V, seller: V) -> bool {
+        let e = Edge::new(u, v);
+        if self.owner.get(&e) == Some(&seller) {
+            self.graph.remove_edge(u, v);
+            self.owner.remove(&e);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn default_ownership_assigns_smaller_endpoint() {
+        let net = OwnedNetwork::from_graph(&classic::star(5));
+        // Star center is 0, so the center owns everything.
+        assert_eq!(net.bought_count(0), 4);
+        for v in 1..5 {
+            assert_eq!(net.bought_count(v), 0);
+        }
+        assert_eq!(net.owner_of(0, 3), Some(0));
+        assert_eq!(net.owner_of(1, 3), None);
+    }
+
+    #[test]
+    fn player_cost_combines_creation_and_usage() {
+        let net = OwnedNetwork::from_graph(&classic::star(5));
+        let dm = DistanceMatrix::build(&net.graph().to_csr());
+        // center: 4 edges * alpha + 4 distance.
+        assert_eq!(net.player_cost(&dm, 0, 3.0), 12.0 + 4.0);
+        // leaf: no edges bought, usage 1 + 3*2.
+        assert_eq!(net.player_cost(&dm, 1, 3.0), 7.0);
+    }
+
+    #[test]
+    fn buy_and_sell_respect_ownership() {
+        let mut net = OwnedNetwork::from_graph(&classic::path(4));
+        assert!(net.buy_edge(0, 3, 0));
+        assert!(!net.buy_edge(0, 3, 3), "edge already exists");
+        assert_eq!(net.owner_of(0, 3), Some(0));
+        assert!(!net.sell_edge(0, 3, 3), "only the owner can sell");
+        assert!(net.sell_edge(0, 3, 0));
+        assert_eq!(net.graph().m(), 3);
+    }
+
+    #[test]
+    fn disconnected_player_cost_is_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let net = OwnedNetwork::from_graph(&g);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert!(net.player_cost(&dm, 0, 1.0).is_infinite());
+    }
+
+    use bncg_graph::Graph;
+}

@@ -1,0 +1,38 @@
+//! The classical **α-parameterized network creation game** of Fabrikant,
+//! Luthra, Maneva, Papadimitriou and Shenker (PODC 2003) — the baseline the
+//! basic (parameter-free) game is measured against.
+//!
+//! In the α-game, each vertex *buys* incident edges at price `α` each and
+//! pays its usage cost on top: `cost(v) = α · (edges bought by v) +
+//! Σ_x d(v, x)`. The **social cost** is `α·m + Σ_{u,v} d(u, v)` and the
+//! **price of anarchy** (PoA) is the worst equilibrium's social cost over
+//! the optimum's.
+//!
+//! The SPAA'10 paper's pitch is that swap equilibria *subsume* the
+//! α-game's equilibria for **every** α simultaneously:
+//!
+//! * any Nash equilibrium of the α-game (where an agent may re-wire any
+//!   subset of its bought edges) is in particular stable under single
+//!   swaps, so diameter bounds proved for swap equilibria transfer;
+//! * the PoA of the α-game is within a constant factor of the maximum
+//!   equilibrium diameter ([Demaine et al., PODC'07]), which this crate
+//!   makes executable ([`poa`]);
+//! * recognizing a Nash equilibrium of the α-game is NP-hard, whereas
+//!   swap equilibria are polynomial — the E13 experiment contrasts the
+//!   costs directly.
+//!
+//! The crate implements the game with an explicit edge-ownership model
+//! ([`game`]), exact optimum social costs in the classical regimes
+//! ([`social`]), single-deviation Nash checks ([`nash`]), and the
+//! PoA/diameter transfer ([`poa`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod game;
+pub mod nash;
+pub mod poa;
+pub mod social;
+
+pub use game::OwnedNetwork;
+pub use social::{optimal_social_cost, social_cost};

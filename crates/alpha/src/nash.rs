@@ -1,0 +1,217 @@
+//! Deviation checks for the α-game.
+//!
+//! Full Nash equilibrium in the α-game lets a player rewire an *arbitrary
+//! subset* of its bought edges — recognizing it is NP-hard (Fabrikant et
+//! al.), which is one of the paper's motivations for the basic game. We
+//! therefore implement the tractable single-deviation ladder:
+//!
+//! * **drop** — sell one bought edge;
+//! * **buy** — buy one new edge;
+//! * **swap** — sell one bought edge and buy another (the α-game analogue
+//!   of the basic game's move).
+//!
+//! A network stable under all three is a *1-deviation equilibrium*; every
+//! true Nash equilibrium is one. Hence diameter facts proved for
+//! swap-stable graphs apply to α-game Nash equilibria for **every** α —
+//! the transfer the paper emphasizes.
+
+use bncg_graph::{DistanceMatrix, V};
+
+use crate::game::OwnedNetwork;
+
+/// A single-player deviation in the α-game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Deviation {
+    /// Sell the bought edge to `w`.
+    Drop {
+        /// Acting player.
+        v: V,
+        /// The neighbor whose edge is sold.
+        w: V,
+    },
+    /// Buy a new edge to `w`.
+    Buy {
+        /// Acting player.
+        v: V,
+        /// The new neighbor.
+        w: V,
+    },
+    /// Sell the bought edge to `w` and buy one to `w2`.
+    Swap {
+        /// Acting player.
+        v: V,
+        /// The neighbor whose edge is sold.
+        w: V,
+        /// The new neighbor.
+        w2: V,
+    },
+}
+
+/// A deviation together with the player's cost before and after.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDeviation {
+    /// The move.
+    pub deviation: Deviation,
+    /// Player cost before.
+    pub before: f64,
+    /// Player cost after.
+    pub after: f64,
+}
+
+/// Finds a strictly improving single deviation (drop, buy, or swap) for
+/// any player, or `None` if the network is 1-deviation stable at `alpha`.
+pub fn find_improving_deviation(net: &OwnedNetwork, alpha: f64) -> Option<ScoredDeviation> {
+    let g = net.graph();
+    let n = g.n();
+    let dm = DistanceMatrix::build(&g.to_csr());
+    let mut scratch = net.clone();
+    for v in 0..n as V {
+        let before = net.player_cost(&dm, v, alpha);
+        // Drops and swaps of bought edges.
+        for e in net.bought_by(v) {
+            let w = e.other(v);
+            // Drop.
+            scratch.sell_edge(v, w, v);
+            let dm2 = DistanceMatrix::build(&scratch.graph().to_csr());
+            let after = scratch.player_cost(&dm2, v, alpha);
+            if after < before - 1e-9 {
+                return Some(ScoredDeviation {
+                    deviation: Deviation::Drop { v, w },
+                    before,
+                    after,
+                });
+            }
+            // Swaps: re-buy toward every non-neighbor.
+            for w2 in 0..n as V {
+                if w2 == v || scratch.graph().has_edge(v, w2) {
+                    continue;
+                }
+                scratch.buy_edge(v, w2, v);
+                let dm3 = DistanceMatrix::build(&scratch.graph().to_csr());
+                let after = scratch.player_cost(&dm3, v, alpha);
+                scratch.sell_edge(v, w2, v);
+                if after < before - 1e-9 {
+                    return Some(ScoredDeviation {
+                        deviation: Deviation::Swap { v, w, w2 },
+                        before,
+                        after,
+                    });
+                }
+            }
+            scratch.buy_edge(v, w, v);
+        }
+        // Pure buys.
+        for w in 0..n as V {
+            if w == v || g.has_edge(v, w) {
+                continue;
+            }
+            // Buying only helps usage: new usage = sum min(d(v,x), 1+d(w,x)).
+            let new_usage = dm
+                .sum_from_with_insertion(v, w)
+                .map_or(f64::INFINITY, |s| s as f64);
+            let after = alpha * (net.bought_count(v) + 1) as f64 + new_usage;
+            if after < before - 1e-9 {
+                return Some(ScoredDeviation {
+                    deviation: Deviation::Buy { v, w },
+                    before,
+                    after,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Whether the network is stable under all single deviations at `alpha`.
+pub fn is_single_deviation_stable(net: &OwnedNetwork, alpha: f64) -> bool {
+    find_improving_deviation(net, alpha).is_none()
+}
+
+/// Greedy improvement dynamics: repeatedly applies the first improving
+/// deviation until stability or `max_steps`. Returns the final network and
+/// the number of deviations applied.
+pub fn greedy_dynamics(
+    net: &OwnedNetwork,
+    alpha: f64,
+    max_steps: usize,
+) -> (OwnedNetwork, usize) {
+    let mut current = net.clone();
+    for step in 0..max_steps {
+        match find_improving_deviation(&current, alpha) {
+            None => return (current, step),
+            Some(s) => {
+                match s.deviation {
+                    Deviation::Drop { v, w } => {
+                        current.sell_edge(v, w, v);
+                    }
+                    Deviation::Buy { v, w } => {
+                        current.buy_edge(v, w, v);
+                    }
+                    Deviation::Swap { v, w, w2 } => {
+                        current.sell_edge(v, w, v);
+                        current.buy_edge(v, w2, v);
+                    }
+                };
+            }
+        }
+    }
+    (current, max_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn star_is_stable_for_large_alpha() {
+        // For alpha > 1 the star (center-owned) is the textbook Nash
+        // equilibrium of the alpha-game.
+        let net = OwnedNetwork::from_graph(&classic::star(8));
+        for alpha in [1.5, 2.0, 5.0, 50.0] {
+            assert!(
+                is_single_deviation_stable(&net, alpha),
+                "star unstable at alpha={alpha}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_leaves_buy_shortcuts_for_small_alpha() {
+        // For alpha < 1, a leaf buying an edge to another leaf gains
+        // 1 - alpha > 0.
+        let net = OwnedNetwork::from_graph(&classic::star(8));
+        let dev = find_improving_deviation(&net, 0.5).expect("should deviate");
+        assert!(matches!(dev.deviation, Deviation::Buy { .. }));
+    }
+
+    #[test]
+    fn clique_is_stable_for_small_alpha() {
+        let net = OwnedNetwork::from_graph(&classic::complete(6));
+        assert!(is_single_deviation_stable(&net, 0.5));
+        // And unstable for large alpha: owners drop redundant edges.
+        let dev = find_improving_deviation(&net, 10.0).expect("should drop");
+        assert!(matches!(dev.deviation, Deviation::Drop { .. }));
+    }
+
+    #[test]
+    fn greedy_dynamics_reaches_stability_on_path() {
+        let net = OwnedNetwork::from_graph(&classic::path(7));
+        let (stable, steps) = greedy_dynamics(&net, 1.5, 100);
+        assert!(steps < 100, "dynamics must converge");
+        assert!(is_single_deviation_stable(&stable, 1.5));
+        assert!(bncg_graph::components::is_connected(stable.graph()));
+    }
+
+    #[test]
+    fn nash_implies_swap_stability_transfer() {
+        // The paper's transfer: a 1-deviation-stable network is in
+        // particular stable under usage-cost-improving swaps *of its own
+        // owned edges*; check the star both ways.
+        use bncg_core::equilibrium::SumGame;
+        let star = classic::star(8);
+        let net = OwnedNetwork::from_graph(&star);
+        assert!(is_single_deviation_stable(&net, 3.0));
+        assert!(SumGame::is_equilibrium(&star));
+    }
+}

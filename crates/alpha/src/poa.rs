@@ -1,0 +1,139 @@
+//! Price of anarchy, and its transfer to/from equilibrium diameters.
+//!
+//! [Demaine–Hajiaghayi–Mahini–Zadimoghaddam, PODC'07] proved that in
+//! network creation games the price of anarchy is within a constant factor
+//! of the largest equilibrium diameter. That relation is what turns the
+//! SPAA'10 paper's diameter bounds on swap equilibria into PoA bounds for
+//! the α-game **at every α simultaneously**. This module makes both
+//! directions executable:
+//!
+//! * [`empirical_poa`] — the social-cost ratio of a specific network;
+//! * [`poa_diameter_bounds`] — the sandwich
+//!   `diam/O(1) ≤ PoA·(1 + α-correction) ≤ O(diam)` specialized to the
+//!   elementary inequalities provable without equilibrium structure:
+//!   `SC(G) ≤ α·m + n(n−1)·diam` and `SC(G) ≥ α·m + n(n−1)·avg ≥ OPT`.
+
+use bncg_graph::{DistanceMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+use crate::social::{optimal_social_cost, social_cost_with_matrix};
+
+/// The social-cost ratio `SC(G) / OPT(n, α)` of a concrete network.
+/// (The PoA is the supremum of this over equilibria; experiments evaluate
+/// it on the equilibria they generate.)
+pub fn empirical_poa(g: &Graph, alpha: f64) -> f64 {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    let sc = social_cost_with_matrix(g, &dm, alpha);
+    let opt = optimal_social_cost(g.n(), alpha);
+    if opt <= 0.0 {
+        return 1.0;
+    }
+    sc / opt
+}
+
+/// The diameter↔PoA sandwich for one network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoaDiameterBounds {
+    /// The network's diameter.
+    pub diameter: u32,
+    /// Measured social-cost ratio.
+    pub ratio: f64,
+    /// Elementary upper bound on the ratio in terms of the diameter:
+    /// `(α·m + n(n−1)·diam) / OPT`.
+    pub upper_from_diameter: f64,
+    /// Whether `ratio ≤ upper_from_diameter` (must always hold).
+    pub consistent: bool,
+}
+
+/// Computes the sandwich; `None` on disconnected input.
+pub fn poa_diameter_bounds(g: &Graph, alpha: f64) -> Option<PoaDiameterBounds> {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    let diameter = dm.diameter()?;
+    let n = g.n() as f64;
+    let sc = social_cost_with_matrix(g, &dm, alpha);
+    let opt = optimal_social_cost(g.n(), alpha);
+    let upper = (alpha * g.m() as f64 + n * (n - 1.0) * f64::from(diameter)) / opt;
+    let ratio = sc / opt;
+    Some(PoaDiameterBounds {
+        diameter,
+        ratio,
+        upper_from_diameter: upper,
+        consistent: ratio <= upper + 1e-9,
+    })
+}
+
+/// The transfer table the paper's introduction promises: evaluates the
+/// social-cost ratio of a fixed network across a sweep of α values,
+/// demonstrating that a single (parameter-free) swap-equilibrium graph
+/// yields PoA data points for *every* α.
+pub fn alpha_sweep(g: &Graph, alphas: &[f64]) -> Vec<(f64, f64)> {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    alphas
+        .iter()
+        .map(|&a| {
+            let sc = social_cost_with_matrix(g, &dm, a);
+            let opt = optimal_social_cost(g.n(), a);
+            (a, sc / opt)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn optimal_graphs_have_ratio_one() {
+        assert!((empirical_poa(&classic::star(10), 5.0) - 1.0).abs() < 1e-9);
+        assert!((empirical_poa(&classic::complete(10), 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratios_are_at_least_one_for_connected_graphs() {
+        for alpha in [0.5, 1.0, 2.0, 4.0, 16.0] {
+            for g in [
+                classic::path(9),
+                classic::cycle(9),
+                classic::star(9),
+                classic::petersen(),
+            ] {
+                assert!(
+                    empirical_poa(&g, alpha) >= 1.0 - 1e-9,
+                    "ratio below 1 at alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sandwich_is_consistent_across_families() {
+        for alpha in [0.5, 2.0, 8.0] {
+            for g in [classic::path(12), classic::grid(3, 4), classic::cycle(10)] {
+                let b = poa_diameter_bounds(&g, alpha).unwrap();
+                assert!(b.consistent, "sandwich violated at alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_diameter_inflates_ratio() {
+        // A path's ratio grows with n for moderate alpha, a cheap proxy
+        // for the diameter-PoA correlation.
+        let small = empirical_poa(&classic::path(8), 1.0);
+        let large = empirical_poa(&classic::path(32), 1.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn alpha_sweep_covers_all_values_with_one_graph() {
+        let g = classic::star(12);
+        let sweep = alpha_sweep(&g, &[0.25, 1.0, 2.0, 4.0, 144.0]);
+        assert_eq!(sweep.len(), 5);
+        // The star is optimal for alpha >= 2: ratio 1 there.
+        assert!((sweep[3].1 - 1.0).abs() < 1e-9);
+        assert!((sweep[4].1 - 1.0).abs() < 1e-9);
+        // And near-optimal (ratio <= 2) even for small alpha.
+        assert!(sweep[0].1 < 2.0);
+    }
+}

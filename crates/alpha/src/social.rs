@@ -1,0 +1,128 @@
+//! Social cost and the social optimum of the α-game.
+//!
+//! `SC(G) = α·m + Σ_{ordered u,v} d(u, v)`. The classical fact (Fabrikant
+//! et al.): the optimum is the **complete graph** for `α ≤ 2` and the
+//! **star** for `α ≥ 2` (they tie at `α = 2`): adding an edge saves at
+//! most 2 per ordered vertex pair it shortcuts, so below price 2 every
+//! shortcut pays for itself and above it none does once distance ≤ 2.
+
+use bncg_graph::{DistanceMatrix, Graph};
+
+/// Social cost `α·m + Σ d(u,v)` (ordered pairs); `f64::INFINITY` when
+/// disconnected.
+pub fn social_cost(g: &Graph, alpha: f64) -> f64 {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    social_cost_with_matrix(g, &dm, alpha)
+}
+
+/// [`social_cost`] reusing a precomputed distance matrix.
+pub fn social_cost_with_matrix(g: &Graph, dm: &DistanceMatrix, alpha: f64) -> f64 {
+    match dm.total_distance() {
+        None => f64::INFINITY,
+        Some(t) => alpha * g.m() as f64 + t as f64,
+    }
+}
+
+/// Social cost of the star on `n` vertices.
+pub fn star_social_cost(n: usize, alpha: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let n = n as f64;
+    // m = n-1; distances: 2(n-1) center pairs at 1 + (n-1)(n-2) leaf pairs at 2.
+    alpha * (n - 1.0) + 2.0 * (n - 1.0) + 2.0 * (n - 1.0) * (n - 2.0)
+}
+
+/// Social cost of the complete graph on `n` vertices.
+pub fn clique_social_cost(n: usize, alpha: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let n = n as f64;
+    alpha * n * (n - 1.0) / 2.0 + n * (n - 1.0)
+}
+
+/// The optimum social cost over all connected graphs on `n` vertices:
+/// `min(star, clique)` — exact for every `α ≥ 0` by the classical
+/// argument reproduced in the module docs.
+pub fn optimal_social_cost(n: usize, alpha: f64) -> f64 {
+    star_social_cost(n, alpha).min(clique_social_cost(n, alpha))
+}
+
+/// Which graph attains the optimum at this `α` (ties → star).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimum {
+    /// The star is optimal (α ≥ 2).
+    Star,
+    /// The clique is optimal (α ≤ 2).
+    Clique,
+}
+
+/// The optimal topology for the given `α`.
+pub fn optimal_topology(alpha: f64) -> Optimum {
+    if alpha < 2.0 {
+        Optimum::Clique
+    } else {
+        Optimum::Star
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn closed_forms_match_direct_computation() {
+        for n in [3usize, 5, 9] {
+            for alpha in [0.5, 1.0, 2.0, 5.0] {
+                assert_eq!(
+                    social_cost(&classic::star(n), alpha),
+                    star_social_cost(n, alpha),
+                    "star n={n} alpha={alpha}"
+                );
+                assert_eq!(
+                    social_cost(&classic::complete(n), alpha),
+                    clique_social_cost(n, alpha),
+                    "clique n={n} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_crosses_at_alpha_two() {
+        let n = 10;
+        assert!(clique_social_cost(n, 1.0) < star_social_cost(n, 1.0));
+        assert!(star_social_cost(n, 3.0) < clique_social_cost(n, 3.0));
+        assert!((clique_social_cost(n, 2.0) - star_social_cost(n, 2.0)).abs() < 1e-9);
+        assert_eq!(optimal_topology(1.9), Optimum::Clique);
+        assert_eq!(optimal_topology(2.0), Optimum::Star);
+    }
+
+    #[test]
+    fn optimum_beats_sample_graphs_exhaustively_small() {
+        // For n = 5, check min(star, clique) really beats a spread of
+        // connected graphs across α values.
+        use bncg_graph::generators::random::random_connected;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        for alpha in [0.3, 1.0, 2.0, 4.0, 10.0] {
+            let opt = optimal_social_cost(5, alpha);
+            for extra in 0..6 {
+                let g = random_connected(&mut rng, 5, extra);
+                assert!(
+                    social_cost(&g, alpha) >= opt - 1e-9,
+                    "random graph beat OPT at alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_social_cost_is_infinite() {
+        let g = bncg_graph::Graph::new(4);
+        assert!(social_cost(&g, 1.0).is_infinite());
+    }
+}

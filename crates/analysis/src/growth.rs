@@ -1,0 +1,124 @@
+//! Sphere and ball growth profiles — the raw material of Theorem 9.
+//!
+//! `S_k(u)` is the number of vertices at distance exactly `k` from `u`;
+//! `B_k(u)` the number within distance `k`; and `B_k = min_u B_k(u)`.
+//! Theorem 9's inequality (1) drives `B_k` up by a factor `k/(20 lg n)`
+//! every time `k` quadruples, which is what caps sum-equilibrium diameters
+//! at `2^O(√lg n)`. The profiles here feed both the E4 audit (via
+//! `bncg_core::lemmas::theorem9_ball_growth`) and exploratory plots.
+
+use bncg_graph::{DistanceMatrix, V};
+use serde::{Deserialize, Serialize};
+
+/// Ball-growth profile of a graph: for each radius `k`,
+/// `min_u B_k(u)`, `max_u B_k(u)`, and the mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrowthProfile {
+    /// `min_u B_k(u)` indexed by `k` (index 0 = 1, the vertex itself).
+    pub min_ball: Vec<usize>,
+    /// `max_u B_k(u)` indexed by `k`.
+    pub max_ball: Vec<usize>,
+    /// Mean ball size indexed by `k`.
+    pub mean_ball: Vec<f64>,
+}
+
+impl GrowthProfile {
+    /// Computes the profile (up to the diameter). Returns `None` on
+    /// disconnected input.
+    pub fn compute(dm: &DistanceMatrix) -> Option<GrowthProfile> {
+        let n = dm.n();
+        if n == 0 || !dm.is_connected() {
+            return None;
+        }
+        let diameter = dm.diameter()? as usize;
+        let mut min_ball = vec![usize::MAX; diameter + 1];
+        let mut max_ball = vec![0usize; diameter + 1];
+        let mut sum_ball = vec![0u64; diameter + 1];
+        for u in 0..n as V {
+            let spheres = dm.sphere_sizes(u);
+            let mut acc = 0usize;
+            for k in 0..=diameter {
+                acc += spheres.get(k).copied().unwrap_or(0);
+                min_ball[k] = min_ball[k].min(acc);
+                max_ball[k] = max_ball[k].max(acc);
+                sum_ball[k] += acc as u64;
+            }
+        }
+        Some(GrowthProfile {
+            min_ball,
+            max_ball,
+            mean_ball: sum_ball.iter().map(|&s| s as f64 / n as f64).collect(),
+        })
+    }
+
+    /// The radius at which the minimum ball first exceeds `n/2` — twice
+    /// this value bounds the diameter (the closing step of Theorem 9).
+    pub fn half_coverage_radius(&self, n: usize) -> Option<usize> {
+        self.min_ball.iter().position(|&b| 2 * b > n)
+    }
+}
+
+/// Evaluates the Theorem 9 inequality for a geometric ladder of radii
+/// `k, 4k, 16k, …` starting at `k0`, returning each check.
+pub fn ball_growth_ladder(
+    dm: &DistanceMatrix,
+    k0: u32,
+) -> Vec<bncg_core::lemmas::BallGrowthCheck> {
+    let mut out = Vec::new();
+    let diam = match dm.diameter() {
+        Some(d) => d,
+        None => return out,
+    };
+    let mut k = k0.max(1);
+    while 4 * k <= diam.max(4) {
+        out.push(bncg_core::lemmas::theorem9_ball_growth(dm, k));
+        k *= 4;
+    }
+    if out.is_empty() {
+        out.push(bncg_core::lemmas::theorem9_ball_growth(dm, k0.max(1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn path_growth_is_linear_at_the_end() {
+        let dm = DistanceMatrix::build(&classic::path(11).to_csr());
+        let p = GrowthProfile::compute(&dm).unwrap();
+        // Endpoint ball grows by 1 per radius: min_ball[k] = k+1.
+        for (k, &b) in p.min_ball.iter().enumerate() {
+            assert_eq!(b, k + 1);
+        }
+        assert_eq!(p.max_ball[1], 3); // interior vertex
+        assert_eq!(p.half_coverage_radius(11), Some(5));
+    }
+
+    #[test]
+    fn expander_like_growth_on_hypercube() {
+        let dm = DistanceMatrix::build(&classic::hypercube(6).to_csr());
+        let p = GrowthProfile::compute(&dm).unwrap();
+        assert_eq!(p.min_ball[0], 1);
+        assert_eq!(p.min_ball[1], 7);
+        assert_eq!(p.min_ball[6], 64);
+        assert_eq!(p.half_coverage_radius(64), Some(3));
+    }
+
+    #[test]
+    fn ladder_runs_and_holds_on_dense_graphs() {
+        let dm = DistanceMatrix::build(&classic::complete(12).to_csr());
+        let checks = ball_growth_ladder(&dm, 1);
+        assert!(!checks.is_empty());
+        assert!(checks.iter().all(|c| c.holds()));
+    }
+
+    #[test]
+    fn profile_none_on_disconnected() {
+        let dm = DistanceMatrix::build(&bncg_graph::Graph::new(4).to_csr());
+        assert!(GrowthProfile::compute(&dm).is_none());
+    }
+}

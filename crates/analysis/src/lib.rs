@@ -1,0 +1,31 @@
+//! Structural analysis toolkit for equilibrium graphs.
+//!
+//! Section 5 of the paper ties the diameter of sum equilibria to
+//! **distance uniformity**: a graph is `ε`-distance-uniform when some
+//! radius `r` has every vertex seeing at least `(1−ε)n` vertices at
+//! distance exactly `r` (and `ε`-distance-*almost*-uniform when `r` or
+//! `r+1` together suffice). Theorem 13 shows sum equilibria induce
+//! almost-uniform power graphs; Conjecture 14 asks whether almost-uniform
+//! graphs have logarithmic diameter; Theorem 15 proves it for Cayley
+//! graphs of Abelian groups.
+//!
+//! This crate measures all of those quantities on arbitrary graphs:
+//!
+//! * [`uniformity`] — best `(r, ε)` for both uniformity notions;
+//! * [`skew`] — the skew-triple counts driving Theorem 13's proof;
+//! * [`theorem13`] — the power-graph uniformization pipeline itself;
+//! * [`growth`] — sphere/ball growth profiles (Theorem 9's `B_k` data);
+//! * [`smallworld`] — clustering/path-length summaries for the dynamics
+//!   experiments (the paper's "emergence of a small-world phenomenon").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concentration;
+pub mod growth;
+pub mod skew;
+pub mod smallworld;
+pub mod theorem13;
+pub mod uniformity;
+
+pub use uniformity::{almost_uniformity, uniformity, UniformityMeasure};

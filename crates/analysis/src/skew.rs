@@ -1,0 +1,113 @@
+//! Skew triples — the counting device of Theorem 13.
+//!
+//! A triple `(a, b, c)` is **skew** when `d(a, c) > p·lg n + d(a, b)`:
+//! vertex `c` is much farther from `a` than `b` is. The first claim of
+//! Theorem 13 shows a sum equilibrium cannot have a constant fraction of
+//! skew triples (otherwise a well-chosen swap would improve); the counts
+//! here let experiments audit exactly that.
+
+use bncg_graph::{DistanceMatrix, V};
+
+/// Number of ordered skew triples `(a, b, c)` (all distinct) for threshold
+/// parameter `p`: `d(a,c) > p·lg n + d(a,b)`.
+///
+/// Computed from per-vertex distance histograms in `O(n · diam²)`.
+pub fn count_skew_triples(dm: &DistanceMatrix, p: f64) -> u64 {
+    let n = dm.n();
+    if n < 3 {
+        return 0;
+    }
+    let threshold = p * (n as f64).log2();
+    let mut total = 0u64;
+    for a in 0..n as V {
+        let hist = dm.sphere_sizes(a);
+        // For each pair of distances (db, dc) with dc > threshold + db,
+        // count hist[db] * hist[dc] choices of (b, c). b and c are always
+        // distinct because their distances from a differ; neither can be a
+        // because distances are >= 1.
+        for (db, &cb) in hist.iter().enumerate().skip(1) {
+            if cb == 0 {
+                continue;
+            }
+            for (dc, &cc) in hist.iter().enumerate().skip(1) {
+                if (dc as f64) > threshold + db as f64 {
+                    total += cb as u64 * cc as u64;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Fraction of ordered triples that are skew (denominator
+/// `n(n−1)(n−2)`, the paper's normalization).
+pub fn skew_fraction(dm: &DistanceMatrix, p: f64) -> f64 {
+    let n = dm.n() as u64;
+    if n < 3 {
+        return 0.0;
+    }
+    count_skew_triples(dm, p) as f64 / (n * (n - 1) * (n - 2)) as f64
+}
+
+/// The paper's first claim in Theorem 13, instantiated: with `p ≥ 4/α`,
+/// less than an `α` fraction of triples is skew *in a sum equilibrium*.
+/// Returns `(fraction, α, holds)` for auditing.
+pub fn theorem13_claim1(dm: &DistanceMatrix, alpha: f64) -> (f64, f64, bool) {
+    let p = 4.0 / alpha;
+    let f = skew_fraction(dm, p);
+    (f, alpha, f < alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn low_diameter_graphs_have_no_skew_triples() {
+        // Diameter 2 with p*lg n >= 2 means no (a,b,c) can satisfy the gap.
+        let dm = DistanceMatrix::build(&classic::star(16).to_csr());
+        assert_eq!(count_skew_triples(&dm, 1.0), 0);
+        let dk = DistanceMatrix::build(&classic::complete(8).to_csr());
+        assert_eq!(count_skew_triples(&dk, 0.5), 0);
+    }
+
+    #[test]
+    fn long_paths_have_many_skew_triples() {
+        let dm = DistanceMatrix::build(&classic::path(64).to_csr());
+        let f = skew_fraction(&dm, 1.0);
+        assert!(f > 0.05, "paths should be heavily skewed, got {f}");
+    }
+
+    #[test]
+    fn skew_count_matches_brute_force_on_small_graph() {
+        let g = classic::path(9);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let p = 0.5;
+        let threshold = p * (9f64).log2();
+        let mut brute = 0u64;
+        for a in 0..9u32 {
+            for b in 0..9u32 {
+                for c in 0..9u32 {
+                    if a == b || a == c || b == c {
+                        continue;
+                    }
+                    if f64::from(dm.get(a, c)) > threshold + f64::from(dm.get(a, b)) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count_skew_triples(&dm, p), brute);
+    }
+
+    #[test]
+    fn skew_fraction_decreases_in_p() {
+        let dm = DistanceMatrix::build(&classic::cycle(40).to_csr());
+        let f1 = skew_fraction(&dm, 0.5);
+        let f2 = skew_fraction(&dm, 1.0);
+        let f3 = skew_fraction(&dm, 2.0);
+        assert!(f1 >= f2 && f2 >= f3);
+    }
+}

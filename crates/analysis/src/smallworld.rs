@@ -1,0 +1,138 @@
+//! Small-world statistics.
+//!
+//! The paper motivates the diameter question as "suggesting the emergence
+//! of a small-world phenomenon" in equilibrium networks. The E13
+//! experiment quantifies that: swap dynamics started from high-diameter
+//! graphs end in low-diameter, low-average-distance equilibria. This
+//! module bundles the summary statistics those tables report.
+
+use bncg_graph::{properties, DistanceMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for one network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmallWorldStats {
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Diameter.
+    pub diameter: u32,
+    /// Radius.
+    pub radius: u32,
+    /// Mean distance over ordered pairs.
+    pub mean_distance: f64,
+    /// Average local clustering coefficient.
+    pub clustering: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Degree assortativity (Pearson correlation of endpoint degrees);
+    /// `None` when degenerate (e.g. regular graphs have zero variance).
+    pub assortativity: Option<f64>,
+}
+
+impl SmallWorldStats {
+    /// Computes the statistics; `None` on disconnected input.
+    pub fn compute(g: &Graph) -> Option<SmallWorldStats> {
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let n = g.n();
+        if n < 2 {
+            return None;
+        }
+        Some(SmallWorldStats {
+            n,
+            m: g.m(),
+            diameter: dm.diameter()?,
+            radius: dm.radius()?,
+            mean_distance: dm.total_distance()? as f64 / (n as f64 * (n as f64 - 1.0)),
+            clustering: properties::clustering_coefficient(g),
+            max_degree: properties::max_degree(g),
+            assortativity: degree_assortativity(g),
+        })
+    }
+}
+
+/// Degree assortativity: the Pearson correlation of the degrees at the
+/// two ends of an edge, over both orientations of every edge. Star-like
+/// equilibria are strongly *dis*assortative (hubs attach to leaves),
+/// which is how the E13 tables quantify the hub-and-spoke structure swap
+/// dynamics produce.
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    if g.m() == 0 {
+        return None;
+    }
+    let mut sum_x = 0.0f64;
+    let mut sum_xx = 0.0f64;
+    let mut sum_xy = 0.0f64;
+    let count = (2 * g.m()) as f64;
+    for e in g.edge_vec() {
+        let du = g.degree(e.u) as f64;
+        let dv = g.degree(e.v) as f64;
+        // Both orientations: (du,dv) and (dv,du).
+        sum_x += du + dv;
+        sum_xx += du * du + dv * dv;
+        sum_xy += 2.0 * du * dv;
+    }
+    let mean = sum_x / count;
+    let var = sum_xx / count - mean * mean;
+    if var.abs() < 1e-12 {
+        return None; // regular graph: undefined correlation
+    }
+    let cov = sum_xy / count - mean * mean;
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn star_statistics() {
+        let s = SmallWorldStats::compute(&classic::star(10)).unwrap();
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.radius, 1);
+        assert_eq!(s.max_degree, 9);
+        // mean distance: 2*9*1 + 9*8*2 over 90 = (18+144)/90 = 1.8.
+        assert!((s.mean_distance - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lattice_vs_smallworld_contrast() {
+        // The classic Watts-Strogatz contrast: a ring lattice has high
+        // clustering and high diameter; injecting shortcuts drops the
+        // diameter while clustering decays more slowly.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let lattice = bncg_graph::generators::random::watts_strogatz(&mut rng, 60, 6, 0.0);
+        let rewired = bncg_graph::generators::random::watts_strogatz(&mut rng, 60, 6, 0.3);
+        let a = SmallWorldStats::compute(&lattice).unwrap();
+        if let Some(b) = SmallWorldStats::compute(&rewired) {
+            assert!(a.clustering > 0.5);
+            assert!(b.mean_distance < a.mean_distance);
+        }
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        assert!(SmallWorldStats::compute(&Graph::new(5)).is_none());
+        assert!(SmallWorldStats::compute(&Graph::new(1)).is_none());
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // Stars are maximally disassortative (r = -1).
+        let star = degree_assortativity(&classic::star(10)).unwrap();
+        assert!((star + 1.0).abs() < 1e-9, "star should give -1, got {star}");
+        // Regular graphs have undefined (zero-variance) assortativity.
+        assert!(degree_assortativity(&classic::cycle(8)).is_none());
+        assert!(degree_assortativity(&classic::complete(5)).is_none());
+        // A graph of two hubs joined to each other and to leaves is still
+        // disassortative but less extreme than the star.
+        let ds = degree_assortativity(&classic::double_star(3, 3)).unwrap();
+        assert!(ds < 0.0 && ds > -1.0);
+    }
+
+    use bncg_graph::Graph;
+}

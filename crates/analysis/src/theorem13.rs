@@ -1,0 +1,136 @@
+//! The Theorem 13 pipeline: from a (candidate) sum equilibrium to a
+//! distance-(almost-)uniform power graph.
+//!
+//! Theorem 13 argues that in a sum equilibrium with diameter
+//! `d > 2 lg n`, the distances from every vertex to the "middle" of the
+//! graph concentrate in an interval `D ± 2p·lg n`; taking the power
+//! `x = 2p·lg n + 1` coalesces that interval to two values (`r`, `r+1`),
+//! yielding an `ε`-distance-**almost**-uniform graph of diameter
+//! `Θ(εd / lg n)`. Choosing the power as a prime with no multiple in the
+//! interval (possible with `x = O(lg² n)` by the prime number theorem —
+//! see `bncg_algebra::primes::safe_prime_power`) yields full uniformity at
+//! diameter `Θ(εd / lg² n)`.
+//!
+//! The functions here run that construction on *any* graph and report the
+//! measured uniformity/diameter trade-off, so experiments can chart how
+//! power graphs uniformize both genuine equilibria and contrast families.
+
+use bncg_graph::ops::power_from_matrix;
+use bncg_graph::{DistanceMatrix, Graph};
+use serde::{Deserialize, Serialize};
+
+use crate::uniformity::{almost_uniformity, uniformity};
+
+/// One row of the uniformization trade-off table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerRow {
+    /// The power `x` applied.
+    pub x: u32,
+    /// Diameter of `G^x`.
+    pub diameter: u32,
+    /// Best exact-uniformity `ε` of `G^x`.
+    pub eps_uniform: f64,
+    /// Best almost-uniformity `ε` of `G^x`.
+    pub eps_almost: f64,
+    /// Radius attaining the best almost-uniformity.
+    pub r_almost: u32,
+}
+
+/// Computes the uniformization table for each requested power.
+///
+/// Returns `None` for disconnected graphs.
+pub fn power_uniformity_curve(g: &Graph, powers: &[u32]) -> Option<Vec<PowerRow>> {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    if !dm.is_connected() || g.n() < 2 {
+        return None;
+    }
+    let mut rows = Vec::with_capacity(powers.len());
+    for &x in powers {
+        let gx = power_from_matrix(&dm, x);
+        let dmx = DistanceMatrix::build(&gx.to_csr());
+        let u = uniformity(&dmx)?;
+        let au = almost_uniformity(&dmx)?;
+        rows.push(PowerRow {
+            x,
+            diameter: dmx.diameter()?,
+            eps_uniform: u.epsilon,
+            eps_almost: au.epsilon,
+            r_almost: au.r,
+        });
+    }
+    Some(rows)
+}
+
+/// The paper's concrete choice of power for the almost-uniform half of
+/// Theorem 13: `x = 2p·lg n + 1` (rounded), with `p` the skew-triple
+/// threshold parameter.
+pub fn theorem13_power(n: usize, p: f64) -> u32 {
+    (2.0 * p * (n as f64).log2() + 1.0).round().max(1.0) as u32
+}
+
+/// Runs the Theorem 13 construction end to end: applies the prescribed
+/// power and reports `(x, row)` for the almost-uniform graph.
+pub fn theorem13_uniformize(g: &Graph, p: f64) -> Option<(u32, PowerRow)> {
+    let x = theorem13_power(g.n(), p);
+    let rows = power_uniformity_curve(g, &[x])?;
+    Some((x, rows[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn power_curve_shrinks_diameter_monotonically() {
+        let g = classic::cycle(48);
+        let rows = power_uniformity_curve(&g, &[1, 2, 3, 4, 6, 8]).unwrap();
+        for w in rows.windows(2) {
+            assert!(w[1].diameter <= w[0].diameter);
+        }
+        assert_eq!(rows[0].diameter, 24);
+        // d_{G^x} = ceil(d/x).
+        assert_eq!(rows[3].diameter, 6);
+    }
+
+    #[test]
+    fn high_power_yields_perfect_uniformity() {
+        // G^diam is complete: every vertex sees n-1 at distance 1.
+        let g = classic::path(10);
+        let rows = power_uniformity_curve(&g, &[9]).unwrap();
+        assert_eq!(rows[0].diameter, 1);
+        assert!((rows[0].eps_uniform - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn almost_uniformity_dominates_exact() {
+        let g = classic::cycle(30);
+        for row in power_uniformity_curve(&g, &[1, 2, 3]).unwrap() {
+            assert!(row.eps_almost <= row.eps_uniform + 1e-12);
+        }
+    }
+
+    #[test]
+    fn theorem13_power_grows_logarithmically() {
+        assert!(theorem13_power(16, 1.0) >= 9); // 2*4+1
+        assert!(theorem13_power(1 << 10, 1.0) >= 21);
+        assert_eq!(theorem13_power(2, 0.0), 1);
+    }
+
+    #[test]
+    fn uniformize_pipeline_runs_on_torus() {
+        // The rotated torus is distance-rich; the pipeline must return a
+        // strictly smaller-diameter, more uniform graph.
+        let g = bncg_graph::generators::classic::torus_grid(8, 8);
+        let base = DistanceMatrix::build(&g.to_csr());
+        let (x, row) = theorem13_uniformize(&g, 0.25).unwrap();
+        assert!(x >= 2);
+        assert!(row.diameter <= base.diameter().unwrap());
+    }
+
+    #[test]
+    fn disconnected_input_returns_none() {
+        let g = bncg_graph::Graph::new(4);
+        assert!(power_uniformity_curve(&g, &[1]).is_none());
+    }
+}

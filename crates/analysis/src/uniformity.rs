@@ -1,0 +1,153 @@
+//! ε-distance-uniformity measurement (Section 5 definitions).
+//!
+//! For every radius `r` we compute `min_v S_r(v)` (resp.
+//! `min_v S_r(v) + S_{r+1}(v)`); the best achievable `ε` for that notion
+//! is `1 − min_v(...)/ (n−1)`… the paper normalizes by `n`; we follow the
+//! paper and normalize by `n` (a vertex never counts itself, so `ε = 0` is
+//! attainable only in the limit — the measures below are still exactly the
+//! paper's quantities).
+
+use bncg_graph::{DistanceMatrix, V};
+use serde::{Deserialize, Serialize};
+
+/// The best (smallest-ε) uniformity achievable, and at which radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformityMeasure {
+    /// The optimal radius `r`.
+    pub r: u32,
+    /// The smallest `ε` such that the graph is `ε`-distance-(almost-)
+    /// uniform at radius `r`.
+    pub epsilon: f64,
+    /// The worst vertex's count of vertices in the radius window.
+    pub min_count: usize,
+    /// Number of vertices.
+    pub n: usize,
+}
+
+/// Best `ε`-distance-uniformity over all radii: for each `r`, every vertex
+/// must see `≥ (1−ε)n` vertices at distance *exactly* `r`.
+///
+/// Returns `None` for graphs with < 2 vertices or disconnected graphs.
+pub fn uniformity(dm: &DistanceMatrix) -> Option<UniformityMeasure> {
+    best_window_uniformity(dm, 1)
+}
+
+/// Best `ε`-distance-**almost**-uniformity: distances `r` or `r + 1`.
+pub fn almost_uniformity(dm: &DistanceMatrix) -> Option<UniformityMeasure> {
+    best_window_uniformity(dm, 2)
+}
+
+fn best_window_uniformity(dm: &DistanceMatrix, window: usize) -> Option<UniformityMeasure> {
+    let n = dm.n();
+    if n < 2 || !dm.is_connected() {
+        return None;
+    }
+    let diameter = dm.diameter()? as usize;
+    // per-radius minimum over vertices of the windowed sphere count.
+    let mut min_counts = vec![usize::MAX; diameter + 1];
+    for v in 0..n as V {
+        let spheres = dm.sphere_sizes(v);
+        #[allow(clippy::needless_range_loop)] // r doubles as a distance value
+        for r in 1..=diameter {
+            let mut count = 0;
+            for w in 0..window {
+                if let Some(&c) = spheres.get(r + w) {
+                    count += c;
+                }
+            }
+            min_counts[r] = min_counts[r].min(count);
+        }
+    }
+    let (best_r, &best_count) = min_counts
+        .iter()
+        .enumerate()
+        .skip(1)
+        .max_by_key(|(_, &c)| c)?;
+    Some(UniformityMeasure {
+        r: best_r as u32,
+        epsilon: 1.0 - best_count as f64 / n as f64,
+        min_count: best_count,
+        n,
+    })
+}
+
+/// The Theorem 15 diameter bound `O(lg n / lg(1/ε))`: returns the
+/// *normalized* ratio `diameter · lg(1/ε) / lg n`, which the theorem says
+/// is `O(1)` for ε-distance-uniform Cayley graphs of Abelian groups
+/// (meaningful when `0 < ε < 1/4`).
+pub fn theorem15_ratio(diameter: u32, epsilon: f64, n: usize) -> Option<f64> {
+    if !(epsilon > 0.0 && epsilon < 0.25) || n < 2 {
+        return None;
+    }
+    Some(f64::from(diameter) * (1.0 / epsilon).log2() / (n as f64).log2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn complete_graph_is_perfectly_uniform() {
+        let dm = DistanceMatrix::build(&classic::complete(10).to_csr());
+        let u = uniformity(&dm).unwrap();
+        assert_eq!(u.r, 1);
+        assert_eq!(u.min_count, 9);
+        assert!((u.epsilon - 0.1).abs() < 1e-9); // only the self is missing
+    }
+
+    #[test]
+    fn cycle_uniformity_is_weak() {
+        // On C_n every vertex sees exactly 2 vertices per distance: the
+        // best single radius covers only 2 of n-1 others.
+        let dm = DistanceMatrix::build(&classic::cycle(12).to_csr());
+        let u = uniformity(&dm).unwrap();
+        assert_eq!(u.min_count, 2);
+        let au = almost_uniformity(&dm).unwrap();
+        assert_eq!(au.min_count, 4);
+    }
+
+    #[test]
+    fn hypercube_concentrates_at_middle_distance() {
+        // Q_8: distances are binomially distributed; the modal layer is
+        // C(8,4) = 70 of 255 others.
+        let dm = DistanceMatrix::build(&classic::hypercube(8).to_csr());
+        let u = uniformity(&dm).unwrap();
+        assert_eq!(u.r, 4);
+        assert_eq!(u.min_count, 70);
+        let au = almost_uniformity(&dm).unwrap();
+        // window {3,4} or {4,5}: 56+70 = 126.
+        assert_eq!(au.min_count, 126);
+        assert!(au.epsilon < u.epsilon);
+    }
+
+    #[test]
+    fn star_center_limits_uniformity() {
+        // Star: leaves see n-2 vertices at distance 2, but the center sees
+        // everything at distance 1 — min over vertices forces mediocre eps.
+        let dm = DistanceMatrix::build(&classic::star(20).to_csr());
+        let u = uniformity(&dm).unwrap();
+        // At r=2 the center sees 0; at r=1 leaves see 1. Best is r=1 with
+        // count 1? No: r=2 min count = 0 (center), r=1 min count = 1
+        // (leaf). Best = 1.
+        assert_eq!(u.min_count, 1);
+    }
+
+    #[test]
+    fn disconnected_or_trivial_graphs_yield_none() {
+        let dm = DistanceMatrix::build(&bncg_graph::Graph::new(3).to_csr());
+        assert!(uniformity(&dm).is_none());
+        let one = DistanceMatrix::build(&bncg_graph::Graph::new(1).to_csr());
+        assert!(uniformity(&one).is_none());
+    }
+
+    #[test]
+    fn theorem15_ratio_sanity() {
+        assert!(theorem15_ratio(4, 0.1, 256).is_some());
+        assert!(theorem15_ratio(4, 0.3, 256).is_none()); // eps >= 1/4
+        assert!(theorem15_ratio(4, 0.0, 256).is_none());
+        let r = theorem15_ratio(8, 0.0625, 256).unwrap();
+        assert!((r - 8.0 * 4.0 / 8.0).abs() < 1e-9);
+    }
+}

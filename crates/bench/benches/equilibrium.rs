@@ -1,0 +1,101 @@
+//! Equilibrium-checker benchmarks: the polynomial-time detection claim of
+//! the paper, measured (fast scan vs brute-force reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_core::best_response::best_response_csr;
+use bncg_core::equilibrium::{MaxGame, SumGame};
+use bncg_core::objective::SumObjective;
+use bncg_core::stability::{is_deletion_critical, is_insertion_stable};
+use bncg_core::verify::reference_is_sum_equilibrium;
+use bncg_graph::generators::random::random_connected;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn graphs(n: usize) -> bncg_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    random_connected(&mut rng, n, n / 2)
+}
+
+fn bench_sum_check(c: &mut Criterion) {
+    // Witness search on random (non-equilibrium) graphs short-circuits at
+    // the first improving swap; the full audit runs on stars, which ARE
+    // equilibria, so every (edge, agent, candidate) triple is examined.
+    let mut group = c.benchmark_group("equilibrium/sum_witness_search");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = graphs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(SumGame::find_improving_swap(g)));
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("equilibrium/sum_full_audit_star");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let g = bncg_graph::generators::classic::star(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                assert!(SumGame::is_equilibrium(g));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    // The repaired Figure 3 is an equilibrium, so neither path can
+    // short-circuit: this is the honest fast-vs-brute comparison.
+    let mut group = c.benchmark_group("equilibrium/fast_vs_reference");
+    group.sample_size(10);
+    let g = bncg_constructions::fig3::repaired_fig3();
+    group.bench_function("fast_repaired_fig3", |b| {
+        b.iter(|| {
+            assert!(SumGame::is_equilibrium(&g));
+        });
+    });
+    group.bench_function("reference_repaired_fig3", |b| {
+        b.iter(|| {
+            assert!(reference_is_sum_equilibrium(&g));
+        });
+    });
+    group.finish();
+}
+
+fn bench_max_and_stability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium/max_and_stability");
+    group.sample_size(10);
+    let torus = bncg_constructions::torus::rotated_torus(5);
+    group.bench_function("max_check_torus_k5", |b| {
+        b.iter(|| black_box(MaxGame::is_equilibrium(&torus)));
+    });
+    group.bench_function("deletion_critical_torus_k5", |b| {
+        b.iter(|| black_box(is_deletion_critical(&torus)));
+    });
+    group.bench_function("insertion_stable_torus_k5", |b| {
+        b.iter(|| black_box(is_insertion_stable(&torus)));
+    });
+    group.finish();
+}
+
+fn bench_best_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equilibrium/best_response");
+    for &n in &[64usize, 256] {
+        let g = graphs(n);
+        let csr = g.to_csr();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(best_response_csr::<SumObjective>(&g, &csr, 0)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sum_check,
+    bench_fast_vs_reference,
+    bench_max_and_stability,
+    bench_best_response
+);
+criterion_main!(benches);

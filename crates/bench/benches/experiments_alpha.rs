@@ -1,0 +1,75 @@
+//! Benchmarks regenerating **E12** — the α-game baseline: social cost,
+//! PoA sweeps, and single-deviation stability checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_alpha::game::OwnedNetwork;
+use bncg_alpha::nash::{find_improving_deviation, is_single_deviation_stable};
+use bncg_alpha::poa::{alpha_sweep, poa_diameter_bounds};
+use bncg_alpha::social::social_cost;
+use bncg_constructions::fig3::repaired_fig3;
+use bncg_graph::generators::classic;
+
+fn e12_social_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/social_cost");
+    for &n in &[64usize, 256] {
+        let g = classic::star(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(social_cost(g, 2.0)));
+        });
+    }
+    group.finish();
+}
+
+fn e12_alpha_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/alpha_sweep");
+    let g = repaired_fig3();
+    let alphas = [0.25, 0.5, 1.0, 2.0, 4.0, 16.0, 256.0, 4096.0];
+    group.bench_function("repaired_fig3_8alphas", |b| {
+        b.iter(|| black_box(alpha_sweep(&g, &alphas)));
+    });
+    let torus = bncg_constructions::torus::rotated_torus(4);
+    group.bench_function("torus_k4_8alphas", |b| {
+        b.iter(|| black_box(alpha_sweep(&torus, &alphas)));
+    });
+    group.finish();
+}
+
+fn e12_poa_sandwich(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/poa_sandwich");
+    let g = bncg_constructions::torus::rotated_torus(4);
+    group.bench_function("torus_k4", |b| {
+        b.iter(|| {
+            let bounds = poa_diameter_bounds(&g, 2.0).unwrap();
+            assert!(bounds.consistent);
+            black_box(bounds)
+        });
+    });
+    group.finish();
+}
+
+fn e12_deviation_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12/deviation_checks");
+    group.sample_size(10);
+    let star = OwnedNetwork::from_graph(&classic::star(12));
+    group.bench_function("star12_stable_alpha3", |b| {
+        b.iter(|| {
+            assert!(is_single_deviation_stable(&star, 3.0));
+        });
+    });
+    let path = OwnedNetwork::from_graph(&classic::path(12));
+    group.bench_function("path12_find_deviation_alpha1", |b| {
+        b.iter(|| black_box(find_improving_deviation(&path, 1.0)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e12_social_cost,
+    e12_alpha_sweep,
+    e12_poa_sandwich,
+    e12_deviation_checks
+);
+criterion_main!(benches);

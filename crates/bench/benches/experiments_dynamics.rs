@@ -1,0 +1,100 @@
+//! Benchmarks regenerating **E13** — swap dynamics: convergence across
+//! schedules and objectives, and the cost of one dynamics round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_core::objective::{MaxObjective, SumObjective};
+use bncg_dynamics::batch::{run_batch, BatchConfig, StartFamily};
+use bncg_dynamics::engine::{DynamicsConfig, Response, Schedule};
+use bncg_dynamics::SwapDynamics;
+use bncg_graph::generators::random::random_connected;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn e13_single_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13/single_run");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(13);
+                let start = random_connected(&mut rng, n, n / 4);
+                let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+                black_box(engine.run(&start, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e13_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13/schedules");
+    group.sample_size(10);
+    for (name, schedule, response) in [
+        ("round_robin_best", Schedule::RoundRobin, Response::Best),
+        (
+            "random_first_improving",
+            Schedule::RandomPermutation,
+            Response::FirstImproving,
+        ),
+        ("greedy_global", Schedule::GreedyGlobal, Response::Best),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(14);
+                let start = random_connected(&mut rng, 48, 12);
+                let config = DynamicsConfig {
+                    schedule,
+                    response,
+                    ..DynamicsConfig::default()
+                };
+                let engine = SwapDynamics::<SumObjective>::new(config);
+                black_box(engine.run(&start, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e13_max_objective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13/max_objective");
+    group.sample_size(10);
+    group.bench_function("n64", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(15);
+            let start = random_connected(&mut rng, 64, 16);
+            let engine = SwapDynamics::<MaxObjective>::new(DynamicsConfig::default());
+            black_box(engine.run(&start, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn e13_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13/batch");
+    group.sample_size(10);
+    group.bench_function("n32_8runs_parallel", |b| {
+        b.iter(|| {
+            let summary = run_batch::<SumObjective>(BatchConfig {
+                n: 32,
+                start: StartFamily::RandomTree,
+                runs: 8,
+                base_seed: 16,
+                dynamics: DynamicsConfig::default(),
+            });
+            assert_eq!(summary.converged, 8);
+            black_box(summary)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e13_single_run,
+    e13_schedules,
+    e13_max_objective,
+    e13_batch
+);
+criterion_main!(benches);

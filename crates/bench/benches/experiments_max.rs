@@ -1,0 +1,106 @@
+//! Benchmarks regenerating the **max-version** experiments:
+//! E2 (Theorem 4 census), E6 (Theorem 12 torus), E7 (multidimensional
+//! generalization + k-insertion stability), E8 (Lemma 2 spread audits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_constructions::torus::{multi_torus, rotated_torus};
+use bncg_core::lemmas::local_diameter_spread;
+use bncg_core::stability::{
+    deletion_critical_violation, insertion_violation_at, min_insertions_to_shrink_ecc,
+};
+use bncg_dynamics::census::tree_census;
+use bncg_graph::DistanceMatrix;
+
+fn e2_max_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2/max_tree_census");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let census = tree_census(n);
+                assert!(census.theorem4_holds());
+                black_box(census)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e6_torus_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/torus_verification");
+    group.sample_size(10);
+    for &k in &[4usize, 8, 12] {
+        let g = rotated_torus(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &g, |b, g| {
+            b.iter(|| {
+                let dm = DistanceMatrix::build(&g.to_csr());
+                let dc = deletion_critical_violation(g).is_none();
+                let ins = insertion_violation_at(&dm, g, 0).is_none();
+                assert!(dc && ins);
+                black_box(dm.diameter())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e6_torus_diameter_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/torus_diameter_scaling");
+    group.sample_size(10);
+    for &k in &[8usize, 16, 32] {
+        let g = rotated_torus(k);
+        let csr = g.to_csr();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &csr, |b, csr| {
+            b.iter(|| {
+                let d = bncg_graph::distance::diameter_ifub(csr).unwrap();
+                assert_eq!(d as usize, k);
+                black_box(d)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e7_multidim_stability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7/k_insertion_stability");
+    group.sample_size(10);
+    for &(d, k) in &[(2usize, 4usize), (3, 3), (4, 2)] {
+        let g = multi_torus(d, k);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_k{k}")),
+            &dm,
+            |b, dm| {
+                b.iter(|| black_box(min_insertions_to_shrink_ecc(dm, 0, d + 1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn e8_spread_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8/spread_audit");
+    group.sample_size(10);
+    let g = rotated_torus(10);
+    group.bench_function("torus_k10", |b| {
+        b.iter(|| {
+            let dm = DistanceMatrix::build(&g.to_csr());
+            let spread = local_diameter_spread(&dm).unwrap();
+            assert!(spread <= 1);
+            black_box(spread)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e2_max_census,
+    e6_torus_verification,
+    e6_torus_diameter_scaling,
+    e7_multidim_stability,
+    e8_spread_audit
+);
+criterion_main!(benches);

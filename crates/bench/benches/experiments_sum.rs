@@ -1,0 +1,101 @@
+//! Benchmarks regenerating the **sum-version** experiments:
+//! E1 (Theorem 1 tree census), E3 (Theorem 5 audits), E4 (Theorem 9
+//! dynamics + ball growth), E5 (Corollary 11 audits).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_analysis::growth::ball_growth_ladder;
+use bncg_constructions::fig3::{fig3_graph, repaired_fig3};
+use bncg_core::equilibrium::SumGame;
+use bncg_core::lemmas::corollary11_audit;
+use bncg_core::objective::SumObjective;
+use bncg_dynamics::census::tree_census;
+use bncg_dynamics::{DynamicsConfig, SwapDynamics};
+use bncg_graph::generators::random::random_connected;
+use bncg_graph::DistanceMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn e1_tree_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/tree_census");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let census = tree_census(n);
+                assert!(census.theorem1_holds());
+                black_box(census)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e3_fig3_audits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3/fig3");
+    let printed = fig3_graph();
+    let repaired = repaired_fig3();
+    group.bench_function("printed_audit", |b| {
+        b.iter(|| black_box(SumGame::find_improving_swap(&printed)));
+    });
+    group.bench_function("repaired_audit", |b| {
+        b.iter(|| black_box(SumGame::is_equilibrium(&repaired)));
+    });
+    group.finish();
+}
+
+fn e4_dynamics_to_equilibrium(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/dynamics_to_equilibrium");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let start = random_connected(&mut rng, n, n / 4);
+                let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+                black_box(engine.run(&start, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e4_ball_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/ball_growth_audit");
+    for &n in &[128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = random_connected(&mut rng, n, n);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dm, |b, dm| {
+            b.iter(|| black_box(ball_growth_ladder(dm, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn e5_corollary11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/corollary11_audit");
+    for &n in &[64usize, 256] {
+        let g = bncg_graph::generators::classic::star(n);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dm, |b, dm| {
+            b.iter(|| {
+                let audit = corollary11_audit(dm);
+                assert!(audit.holds());
+                black_box(audit)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_tree_census,
+    e3_fig3_audits,
+    e4_dynamics_to_equilibrium,
+    e4_ball_growth,
+    e5_corollary11
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Benchmarks regenerating the **Section 5** experiments:
+//! E9 (Theorem 13 uniformization), E10 (the spider), E11 (Theorem 15 on
+//! Abelian Cayley graphs + Plünnecke audit).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_algebra::cayley::{complete_multipartite_cayley, dense_circulant};
+use bncg_algebra::group::AbelianGroup;
+use bncg_algebra::primes::safe_prime_power;
+use bncg_algebra::sumset::plunnecke_consequence_holds;
+use bncg_analysis::skew::count_skew_triples;
+use bncg_analysis::theorem13::power_uniformity_curve;
+use bncg_analysis::uniformity::{almost_uniformity, uniformity};
+use bncg_constructions::spider::{pairwise_distance_histogram, spider};
+use bncg_graph::generators::classic;
+use bncg_graph::DistanceMatrix;
+
+fn e9_power_uniformization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/power_uniformization");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let g = classic::cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(power_uniformity_curve(g, &[1, 2, 4, 8])));
+        });
+    }
+    group.finish();
+}
+
+fn e9_skew_triples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/skew_triples");
+    for &n in &[128usize, 512] {
+        let dm = DistanceMatrix::build(&classic::cycle(n).to_csr());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &dm, |b, dm| {
+            b.iter(|| black_box(count_skew_triples(dm, 1.0)));
+        });
+    }
+    group.finish();
+}
+
+fn e9_safe_primes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9/safe_primes");
+    for &n in &[1u64 << 10, 1 << 16, 1 << 20] {
+        let l = (n as f64).log2() as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(safe_prime_power(n / 2, n / 2 + 4 * l, 16 * l * l)));
+        });
+    }
+    group.finish();
+}
+
+fn e10_spider_measurements(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10/spider");
+    group.sample_size(10);
+    let g = spider(8, 2, 40);
+    group.bench_function("pairwise_histogram_n337", |b| {
+        b.iter(|| black_box(pairwise_distance_histogram(&g)));
+    });
+    let dm = DistanceMatrix::build(&g.to_csr());
+    group.bench_function("per_vertex_uniformity_n337", |b| {
+        b.iter(|| black_box(almost_uniformity(&dm)));
+    });
+    group.finish();
+}
+
+fn e11_cayley_uniformity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11/cayley_uniformity");
+    group.sample_size(10);
+    let subjects = [
+        ("multipartite_n256", complete_multipartite_cayley(64, 4)),
+        ("dense_circulant_n256", dense_circulant(256, 104)),
+    ];
+    for (name, g) in subjects {
+        let dm = DistanceMatrix::build(&g.to_csr());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let u = uniformity(&dm).unwrap();
+                assert!(u.epsilon < 0.25);
+                black_box(u)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn e11_plunnecke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11/plunnecke_audit");
+    group.sample_size(10);
+    let group_z = AbelianGroup::cyclic(512);
+    let s = group_z.symmetrize(&[vec![1], vec![20], vec![110]]);
+    group.bench_function("z512_3gens_i10", |b| {
+        b.iter(|| black_box(plunnecke_consequence_holds(&group_z, &s, 10)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    e9_power_uniformization,
+    e9_skew_triples,
+    e9_safe_primes,
+    e10_spider_measurements,
+    e11_cayley_uniformity,
+    e11_plunnecke
+);
+criterion_main!(benches);

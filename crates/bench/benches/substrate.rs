@@ -1,0 +1,94 @@
+//! Substrate micro-benchmarks: the BFS/APSP kernels every experiment sits
+//! on, plus enumeration and exact-diameter machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bncg_graph::distance::{diameter_ifub, eccentricities_streaming};
+use bncg_graph::generators::enumerate::free_trees;
+use bncg_graph::generators::random::random_connected;
+use bncg_graph::girth::girth;
+use bncg_graph::{BfsScratch, DistanceMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/bfs");
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = random_connected(&mut rng, n, 2 * n);
+        let csr = g.to_csr();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &csr, |b, csr| {
+            let mut scratch = BfsScratch::new(csr.n());
+            b.iter(|| black_box(scratch.run(csr, 0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/apsp_parallel");
+    group.sample_size(10);
+    for &n in &[128usize, 512, 1024] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = random_connected(&mut rng, n, 2 * n);
+        let csr = g.to_csr();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &csr, |b, csr| {
+            b.iter(|| black_box(DistanceMatrix::build(csr)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/diameter");
+    group.sample_size(10);
+    let torus = bncg_constructions::torus::rotated_torus(24); // n = 1152
+    let csr = torus.to_csr();
+    group.bench_function("ifub_torus_n1152", |b| {
+        b.iter(|| black_box(diameter_ifub(&csr)));
+    });
+    group.bench_function("apsp_torus_n1152", |b| {
+        b.iter(|| {
+            let dm = DistanceMatrix::build(&csr);
+            black_box(dm.diameter())
+        });
+    });
+    group.bench_function("streaming_ecc_torus_n1152", |b| {
+        b.iter(|| black_box(eccentricities_streaming(&csr)));
+    });
+    group.finish();
+}
+
+fn bench_girth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/girth");
+    for &n in &[64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_connected(&mut rng, n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(girth(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/free_trees");
+    group.sample_size(10);
+    for &n in &[10usize, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(free_trees(n).len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfs,
+    bench_apsp,
+    bench_diameter,
+    bench_girth,
+    bench_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2 — Theorem 4 / Figure 2: max-equilibrium trees.
+//!
+//! Paper claims: max-equilibrium trees have diameter ≤ 3; the diameter-3
+//! family is exactly the double stars with ≥ 2 leaves per root.
+
+use bncg_core::equilibrium::MaxGame;
+use bncg_dynamics::census::tree_census;
+use bncg_graph::generators::classic::double_star;
+
+use crate::md::{ok, Table};
+
+/// Runs E2 and renders the report.
+pub fn run(quick: bool) -> String {
+    let max_n = if quick { 9 } else { 12 };
+    let mut out = String::from("## E2 — Theorem 4: max-equilibrium trees have diameter ≤ 3\n\n");
+    let mut t = Table::new(vec![
+        "n",
+        "free trees",
+        "max equilibria",
+        "max diameter",
+        "all stars/double-stars?",
+        "Theorem 4 holds",
+    ]);
+    for n in 4..=max_n {
+        let c = tree_census(n);
+        let max_diam = c
+            .max_equilibrium_diameters
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
+        t.row(vec![
+            n.to_string(),
+            c.total_trees.to_string(),
+            c.max_equilibrium_diameters.len().to_string(),
+            max_diam.to_string(),
+            ok(c.max_equilibria_star_or_double_star == c.max_equilibrium_diameters.len()),
+            ok(c.theorem4_holds()),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nFigure 2 boundary: D(p, q) is a max equilibrium iff p, q ≥ 2:\n\n");
+    let mut b = Table::new(vec!["p \\ q", "1", "2", "3", "4"]);
+    for p in 1..=4usize {
+        let mut row = vec![p.to_string()];
+        for q in 1..=4usize {
+            let eq = MaxGame::is_equilibrium(&double_star(p, q));
+            row.push(if eq { "eq".into() } else { "—".to_string() });
+        }
+        b.row(row);
+    }
+    out.push_str(&b.render());
+    out
+}

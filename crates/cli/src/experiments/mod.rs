@@ -1,0 +1,35 @@
+//! The thirteen experiments of the reproduction (see DESIGN.md §3).
+
+pub mod e01_tree_census;
+pub mod e02_max_trees;
+pub mod e03_fig3;
+pub mod e04_sum_diameter;
+pub mod e05_insertion_gain;
+pub mod e06_torus;
+pub mod e07_multidim;
+pub mod e08_spread;
+pub mod e09_uniformity;
+pub mod e10_spider;
+pub mod e11_cayley;
+pub mod e12_alpha;
+pub mod e13_convergence;
+
+/// One-line description per experiment id.
+pub fn description(name: &str) -> &'static str {
+    match name {
+        "e1" => "Theorem 1: exhaustive tree census — sum-equilibrium trees are stars",
+        "e2" => "Theorem 4 / Figure 2: max-equilibrium trees have diameter <= 3",
+        "e3" => "Theorem 5 / Figure 3: diameter-3 sum equilibrium (erratum + repair)",
+        "e4" => "Theorem 9: sum-equilibrium diameters and ball growth",
+        "e5" => "Lemma 10 / Corollary 11: insertion-gain audits on sum equilibria",
+        "e6" => "Theorem 12 / Figure 4: the rotated torus is a Θ(√n)-diameter max equilibrium",
+        "e7" => "Section 4: d-dimensional tori and the k-insertion stability trade-off",
+        "e8" => "Lemma 2: local diameters in max equilibria differ by at most 1",
+        "e9" => "Theorem 13: power graphs of equilibria become distance-(almost-)uniform",
+        "e10" => "Section 5 remark: the spider — pairwise uniformity is not enough",
+        "e11" => "Theorem 15: distance-uniform Abelian Cayley graphs have small diameter",
+        "e12" => "Baseline: the alpha-game — PoA vs diameter, for every alpha at once",
+        "e13" => "Dynamics: convergence behavior and polynomial equilibrium detection",
+        _ => "unknown",
+    }
+}

@@ -1,0 +1,76 @@
+//! `bncg` — experiment driver for the *Basic Network Creation Games*
+//! reproduction.
+//!
+//! Each subcommand regenerates one experiment from `DESIGN.md`'s index
+//! (E1–E13), printing a markdown report whose tables back `EXPERIMENTS.md`.
+//!
+//! ```text
+//! bncg list          # show all experiments
+//! bncg e6            # run one experiment
+//! bncg all           # run everything (the EXPERIMENTS.md refresh)
+//! bncg quick         # run everything at reduced scale
+//! ```
+
+mod experiments;
+mod md;
+
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("list");
+    let quick = args.iter().any(|a| a == "--quick") || command == "quick";
+    type Runner = fn(bool) -> String;
+    let all: Vec<(&str, Runner)> = vec![
+        ("e1", experiments::e01_tree_census::run),
+        ("e2", experiments::e02_max_trees::run),
+        ("e3", experiments::e03_fig3::run),
+        ("e4", experiments::e04_sum_diameter::run),
+        ("e5", experiments::e05_insertion_gain::run),
+        ("e6", experiments::e06_torus::run),
+        ("e7", experiments::e07_multidim::run),
+        ("e8", experiments::e08_spread::run),
+        ("e9", experiments::e09_uniformity::run),
+        ("e10", experiments::e10_spider::run),
+        ("e11", experiments::e11_cayley::run),
+        ("e12", experiments::e12_alpha::run),
+        ("e13", experiments::e13_convergence::run),
+    ];
+    match command {
+        "list" => {
+            println!("available experiments:");
+            for (name, _) in &all {
+                println!("  {name}  — {}", experiments::description(name));
+            }
+            println!("  all | quick — run every experiment (quick = reduced scale)");
+            println!("  dump [dir]  — export the construction catalog as edge lists + graph6");
+        }
+        "dump" => {
+            let dir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());
+            std::fs::create_dir_all(&dir).expect("create artifact directory");
+            for entry in bncg_constructions::catalog::default_catalog() {
+                let path = format!("{dir}/{}.edges", entry.name);
+                let mut text = format!("# {}\n# graph6: {}\n", entry.provenance,
+                    bncg_graph::graph6::encode(&entry.graph));
+                text.push_str(&bncg_graph::io::to_edge_list(&entry.graph));
+                std::fs::write(&path, text).expect("write artifact");
+                println!("wrote {path}");
+            }
+        }
+        "all" | "quick" => {
+            for (name, f) in &all {
+                let t = Instant::now();
+                let report = f(quick);
+                println!("{report}");
+                eprintln!("[{name} finished in {:.2?}]", t.elapsed());
+            }
+        }
+        name => match all.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => println!("{}", f(quick)),
+            None => {
+                eprintln!("unknown experiment '{name}'; try `bncg list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

@@ -1,0 +1,53 @@
+//! Tiny markdown-table builder for experiment reports.
+
+/// Accumulates a markdown table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a boolean as a check / cross.
+pub fn ok(b: bool) -> String {
+    if b { "yes".into() } else { "**NO**".into() }
+}

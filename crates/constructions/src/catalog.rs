@@ -1,0 +1,155 @@
+//! A name-indexed catalog of the paper's constructions and stock test
+//! families, consumed by the CLI, benches, and batch experiments.
+
+use bncg_algebra::cayley::{circulant_cayley, hypercube_cayley};
+use bncg_algebra::projective::ProjectivePlane;
+use bncg_graph::generators::classic;
+use bncg_graph::Graph;
+
+use crate::{fig3, spider, torus};
+
+/// A named graph instance with provenance.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Short unique name, e.g. `"fig3"` or `"torus_k4"`.
+    pub name: String,
+    /// Where the graph comes from in the paper (or "substrate").
+    pub provenance: &'static str,
+    /// The graph itself.
+    pub graph: Graph,
+}
+
+impl CatalogEntry {
+    fn new(name: impl Into<String>, provenance: &'static str, graph: Graph) -> Self {
+        CatalogEntry {
+            name: name.into(),
+            provenance,
+            graph,
+        }
+    }
+}
+
+/// The full default catalog used by experiments: every construction of the
+/// paper at a few sizes, plus contrast families.
+pub fn default_catalog() -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    // Theorem 1 / Figure 2 families.
+    for n in [5usize, 9, 17] {
+        out.push(CatalogEntry::new(
+            format!("star_n{n}"),
+            "Theorem 1: the unique sum-equilibrium tree",
+            classic::star(n),
+        ));
+    }
+    for (p, q) in [(2usize, 2usize), (3, 5)] {
+        out.push(CatalogEntry::new(
+            format!("double_star_{p}_{q}"),
+            "Figure 2: diameter-3 max-equilibrium tree",
+            classic::double_star(p, q),
+        ));
+    }
+    // Theorem 5 / Figure 3.
+    out.push(CatalogEntry::new(
+        "fig3",
+        "Theorem 5 / Figure 3 as printed (erratum: not an equilibrium)",
+        fig3::fig3_graph(),
+    ));
+    out.push(CatalogEntry::new(
+        "fig3_straight",
+        "control variant of Figure 3 (straight C1-C3 matching)",
+        fig3::fig3_straight_variant(),
+    ));
+    out.push(CatalogEntry::new(
+        "fig3_repaired",
+        "repaired Theorem 5 witness: 4-branch diameter-3 sum equilibrium",
+        fig3::repaired_fig3(),
+    ));
+    // Theorem 12 / Figure 4.
+    for k in [2usize, 3, 4, 6] {
+        out.push(CatalogEntry::new(
+            format!("torus_k{k}"),
+            "Theorem 12 / Figure 4: Θ(√n)-diameter max equilibrium",
+            torus::rotated_torus(k),
+        ));
+    }
+    out.push(CatalogEntry::new(
+        "multi_torus_d3_k3",
+        "Section 4 generalization: diameter Θ(n^{1/d})",
+        torus::multi_torus(3, 3),
+    ));
+    out.push(CatalogEntry::new(
+        "standard_torus_6x6",
+        "the contrast case the paper warns about (not an equilibrium)",
+        torus::standard_torus(6, 6),
+    ));
+    // Section 5.
+    out.push(CatalogEntry::new(
+        "spider_8x2x12",
+        "Section 5 remark: pairwise-uniform but not vertex-uniform",
+        spider::spider(8, 2, 12),
+    ));
+    // Cayley graphs for Theorem 15.
+    out.push(CatalogEntry::new(
+        "circulant_64_1_9",
+        "Theorem 15 subject: Cayley graph of Z_64",
+        circulant_cayley(64, &[1, 9]),
+    ));
+    out.push(CatalogEntry::new(
+        "hypercube_q6",
+        "Theorem 15 subject: Cayley graph of Z_2^6",
+        hypercube_cayley(6),
+    ));
+    // Projective-plane families (the prior art the paper cites).
+    let pg3 = ProjectivePlane::new(3);
+    out.push(CatalogEntry::new(
+        "pg3_polarity",
+        "Albers et al. prior art: diameter-2 polarity graph of PG(2,3)",
+        pg3.polarity_graph(),
+    ));
+    // Contrast substrate families.
+    out.push(CatalogEntry::new(
+        "petersen",
+        "substrate: vertex-transitive contrast family",
+        classic::petersen(),
+    ));
+    out.push(CatalogEntry::new(
+        "cycle_24",
+        "substrate: high-diameter symmetric contrast",
+        classic::cycle(24),
+    ));
+    out
+}
+
+/// Looks up a catalog entry by exact name.
+pub fn by_name(name: &str) -> Option<CatalogEntry> {
+    default_catalog().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::components::is_connected;
+
+    #[test]
+    fn catalog_entries_are_unique_and_connected() {
+        let cat = default_catalog();
+        let mut names: Vec<&str> = cat.iter().map(|e| e.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate catalog names");
+        for e in &cat {
+            assert!(is_connected(&e.graph), "{} must be connected", e.name);
+            assert!(e.graph.n() >= 2);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("fig3").is_some());
+        assert!(by_name("torus_k4").is_some());
+        assert!(by_name("nonexistent").is_none());
+        let fig3 = by_name("fig3").unwrap();
+        assert_eq!(fig3.graph.n(), 13);
+    }
+}

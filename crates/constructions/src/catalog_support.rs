@@ -1,0 +1,56 @@
+//! Small helpers shared by the construction modules.
+
+/// Whether every triple `{i, j, l}` of branches has odd matching parity
+/// (`σ_{ij} + σ_{jl} + σ_{il} ≡ 1 (mod 2)`), where `crossed` lists the
+/// pairs with `σ = 1`. This is the repaired-Figure-3 equilibrium condition
+/// discovered by the E3 scan.
+pub fn parity_triples_all_odd(t: usize, crossed: &[(usize, usize)]) -> bool {
+    let mut sigma = vec![vec![0u8; t]; t];
+    for &(i, j) in crossed {
+        let (i, j) = (i.min(j), i.max(j));
+        sigma[i][j] = 1;
+    }
+    let get = |i: usize, j: usize| -> u8 {
+        let (i, j) = (i.min(j), i.max(j));
+        sigma[i][j]
+    };
+    for i in 0..t {
+        for j in (i + 1)..t {
+            for l in (j + 1)..t {
+                if (get(i, j) + get(j, l) + get(i, l)) % 2 != 1 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_branches_single_cross_is_odd() {
+        assert!(parity_triples_all_odd(3, &[(0, 2)]));
+        assert!(!parity_triples_all_odd(3, &[]));
+        assert!(!parity_triples_all_odd(3, &[(0, 1), (0, 2)]));
+        assert!(parity_triples_all_odd(3, &[(0, 1), (0, 2), (1, 2)]));
+    }
+
+    #[test]
+    fn four_branches_perfect_matchings_are_all_odd() {
+        assert!(parity_triples_all_odd(4, &[(0, 3), (1, 2)]));
+        assert!(parity_triples_all_odd(4, &[(0, 1), (2, 3)]));
+        assert!(parity_triples_all_odd(4, &[(0, 2), (1, 3)]));
+        assert!(!parity_triples_all_odd(4, &[(0, 1)]));
+        assert!(!parity_triples_all_odd(4, &[]));
+    }
+
+    #[test]
+    fn five_branches_have_no_all_odd_pattern_via_matchings() {
+        // K5 perfect matchings don't exist; check a couple of patterns.
+        assert!(!parity_triples_all_odd(5, &[(0, 1), (2, 3)]));
+        assert!(!parity_triples_all_odd(5, &[(0, 1), (1, 2), (2, 3)]));
+    }
+}

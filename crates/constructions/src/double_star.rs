@@ -1,0 +1,101 @@
+//! Figure 2: double stars — the diameter-3 max-equilibrium trees.
+//!
+//! Section 2.2 of the paper shows that max-equilibrium trees have diameter
+//! at most 3 (Theorem 4) and that exactly two families attain equilibrium:
+//! stars, and *double stars* with **at least two leaves on each root**. The
+//! constructors here expose the family with its equilibrium precondition
+//! made explicit, and the tests chart the exact boundary.
+
+use bncg_graph::{Graph, V};
+
+/// The double star `D(p, q)`: adjacent roots `0` and `1` carrying `p` and
+/// `q` leaves respectively (re-exported from the generator substrate).
+pub fn double_star(p: usize, q: usize) -> Graph {
+    bncg_graph::generators::classic::double_star(p, q)
+}
+
+/// A double star satisfying the paper's max-equilibrium precondition
+/// (`p, q ≥ 2`).
+///
+/// # Panics
+/// Panics when `p < 2` or `q < 2` — such double stars are *not* max
+/// equilibria (a lone leaf can swap to the far root without penalty).
+pub fn equilibrium_double_star(p: usize, q: usize) -> Graph {
+    assert!(
+        p >= 2 && q >= 2,
+        "max-equilibrium double stars need >= 2 leaves per root (Figure 2)"
+    );
+    double_star(p, q)
+}
+
+/// The roots of a double star built by [`double_star`].
+pub const ROOTS: (V, V) = (0, 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::equilibrium::{MaxGame, SumGame};
+    use bncg_graph::properties::is_double_star;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn family_is_max_equilibrium_iff_two_leaves_per_root() {
+        for p in 1..=4 {
+            for q in 1..=4 {
+                let g = double_star(p, q);
+                let expect = p >= 2 && q >= 2;
+                assert_eq!(
+                    MaxGame::is_equilibrium(&g),
+                    expect,
+                    "D({p},{q}) equilibrium status wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_double_stars_have_diameter_three() {
+        for (p, q) in [(2, 2), (2, 5), (4, 4), (3, 7)] {
+            let g = equilibrium_double_star(p, q);
+            let dm = DistanceMatrix::build(&g.to_csr());
+            assert_eq!(dm.diameter(), Some(3));
+            assert!(is_double_star(&g));
+        }
+    }
+
+    #[test]
+    fn double_stars_are_never_sum_equilibria() {
+        // Theorem 1: the only sum-equilibrium tree is the star.
+        for (p, q) in [(2, 2), (2, 3), (3, 3), (1, 1)] {
+            assert!(
+                !SumGame::is_equilibrium(&double_star(p, q)),
+                "D({p},{q}) must not be a sum equilibrium"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2 leaves per root")]
+    fn constructor_guards_the_precondition() {
+        let _ = equilibrium_double_star(1, 5);
+    }
+
+    #[test]
+    fn figure2_swap_analysis() {
+        // The caption of Figure 2: adding edge a-w decreases a's local
+        // diameter, but any *swap* by a must delete edge a-v, which
+        // restores it. Verify with D(2,2): leaf 2 on root 0.
+        let g = double_star(2, 2);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let a: V = 2; // a leaf of root 0
+        let w: V = 1; // the far root
+        assert_eq!(dm.ecc(a), Some(3));
+        // Pure insertion helps:
+        assert_eq!(dm.ecc_with_insertion(a, w), Some(2));
+        // But the swap (a drops its root edge for the far root) does not:
+        let mut h = g.clone();
+        h.apply_swap(a, 0, w);
+        let dmh = DistanceMatrix::build(&h.to_csr());
+        assert_eq!(dmh.ecc(a), Some(3), "swap restores the local diameter");
+    }
+}

@@ -1,0 +1,319 @@
+//! The Theorem 5 / Figure 3 graph — and a reproduction **erratum**.
+//!
+//! Theorem 5 claims a diameter-3 **sum equilibrium** exists, refuting the
+//! natural conjecture that all sum equilibria have diameter 2. The paper's
+//! witness (Figure 3) is a 13-vertex, 21-edge, girth-4 construction:
+//!
+//! * a hub `a` adjacent to `b₁, b₂, b₃`;
+//! * each `bᵢ` adjacent to a private pair `Cᵢ = {c_{i,1}, c_{i,2}}`;
+//! * each `dᵢ` adjacent to both members of `Cᵢ`;
+//! * perfect matchings between the `C` pairs — straight
+//!   (`c_{i,1}c_{j,1}`, `c_{i,2}c_{j,2}`) between `C₁C₂` and `C₂C₃`, and
+//!   **crossed** (`c_{1,1}c_{3,2}`, `c_{1,2}c_{3,1}`) between `C₁C₃`.
+//!
+//! ## Erratum found by this reproduction
+//!
+//! Both the fast checker and the independent brute-force reference checker
+//! find that the printed graph is **not** in sum equilibrium: agent `d₁`
+//! strictly improves (sum of distances 27 → 26) by swapping its edge
+//! `d₁c_{1,1}` for `d₁c_{2,1}` — see [`fig3_printed_witness`]. The gap in
+//! the published proof's `dᵢ` case: it charges a loss of ≥ 2 for the
+//! distance from `dᵢ` to the dropped neighbor `c_{i,k}` via Lemma 8, but
+//! when the swap target is `c_{i,k}`'s *matched partner* the two are
+//! adjacent, and Lemma 8's own exception then guarantees only ≥ 1. The
+//! realized loss is 2 while the realized gain (target, `b_j`, `d_j`) is 3.
+//! No assignment of straight/crossed matchings rescues the 13-vertex
+//! blueprint (there are only two isomorphism classes; tests cover both).
+//!
+//! ## Repair: the theorem statement survives
+//!
+//! Enlarging the construction to **four branches** restores equilibrium:
+//! [`generalized_fig3`] builds the family with `t` branches and a matching
+//! parity `σ_{ij} ∈ {0,1}` per branch pair, and [`repaired_fig3`] (17
+//! vertices, 32 edges, girth 4, diameter 3) chooses `t = 4` with crossings
+//! on a perfect matching of the branch pairs, making **every branch triple
+//! odd** (`σ_{ij} + σ_{jl} + σ_{il} ≡ 1`). An exhaustive scan over all
+//! `2^6` parity patterns (in the tests and Experiment E3) shows equilibrium
+//! holds **iff** every triple is odd. With four branches the `dᵢ` swap
+//! that breaks the printed graph becomes an exact tie: the extra branch
+//! contributes one more lost partner, raising the loss to match the gain.
+
+use bncg_graph::{Graph, V};
+
+use crate::catalog_support::parity_triples_all_odd;
+use bncg_core::swap::SwapMove;
+
+/// Vertex ids of the printed (3-branch) Figure 3 graph.
+pub mod ids {
+    use bncg_graph::V;
+    /// The hub vertex `a`.
+    pub const A: V = 0;
+    /// `b₁, b₂, b₃`.
+    pub const B: [V; 3] = [1, 2, 3];
+    /// `c_{i,k}` indexed `[i][k]` (0-based).
+    pub const C: [[V; 2]; 3] = [[4, 5], [6, 7], [8, 9]];
+    /// `d₁, d₂, d₃`.
+    pub const D: [V; 3] = [10, 11, 12];
+}
+
+/// Builds the Figure 3 graph exactly as printed in the paper.
+pub fn fig3_graph() -> Graph {
+    // The printed layout is the 3-branch member of the generalized family
+    // with a single crossed matching (C1-C3) — the "odd triangle" parity.
+    let sigma = [(0, 2)]; // cross C1-C3 (0-based branches 0 and 2)
+    generalized_fig3(3, &sigma)
+}
+
+/// The *control* variant with all three matchings straight. The other of
+/// the two isomorphism classes of the 13-vertex blueprint; also not an
+/// equilibrium (tests confirm).
+pub fn fig3_straight_variant() -> Graph {
+    generalized_fig3(3, &[])
+}
+
+/// The improving swap our checkers find in the printed graph:
+/// `d₁` trades `d₁c_{1,1}` for `d₁c_{2,1}`, 27 → 26.
+pub fn fig3_printed_witness() -> SwapMove {
+    SwapMove {
+        v: ids::D[0],
+        w: ids::C[0][0],
+        w2: ids::C[1][0],
+    }
+}
+
+/// The generalized Figure-3 family: `t ≥ 3` branches; `crossed` lists the
+/// branch pairs `(i, j)` (0-based, `i < j`) whose matching is crossed
+/// (`σ_{ij} = 1`); all other pairs are straight.
+///
+/// Layout: `a = 0`; `bᵢ = 1 + i`; `cᵢˣ = 1 + t + 2i + x`;
+/// `dᵢ = 1 + 3t + i`; so `n = 4t + 1` and `m = t(t − 1) + 5t`.
+pub fn generalized_fig3(t: usize, crossed: &[(usize, usize)]) -> Graph {
+    assert!(t >= 3, "the family needs at least 3 branches");
+    let n = 1 + 4 * t;
+    let mut g = Graph::new(n);
+    let b = |i: usize| (1 + i) as V;
+    let c = |i: usize, x: usize| (1 + t + 2 * i + x) as V;
+    let d = |i: usize| (1 + 3 * t + i) as V;
+    let mut sigma = vec![vec![0u8; t]; t];
+    for &(i, j) in crossed {
+        assert!(i < j && j < t, "crossed pair ({i},{j}) out of range");
+        sigma[i][j] = 1;
+    }
+    for i in 0..t {
+        g.add_edge(ids::A, b(i));
+        for x in 0..2 {
+            g.add_edge(b(i), c(i, x));
+            g.add_edge(d(i), c(i, x));
+        }
+    }
+    #[allow(clippy::needless_range_loop)] // (i, j) mirrors the paper's σ_{ij}
+    for i in 0..t {
+        for j in (i + 1)..t {
+            let s = sigma[i][j] as usize;
+            for x in 0..2 {
+                g.add_edge(c(i, x), c(j, (x + s) % 2));
+            }
+        }
+    }
+    g
+}
+
+/// The repaired Theorem 5 witness: four branches with crossings on the
+/// perfect matching `{(0,3), (1,2)}` of branch pairs — every branch triple
+/// odd. 17 vertices, 32 edges, diameter 3, girth 4, and (as verified by
+/// both checkers and pinned by tests) a genuine **sum equilibrium**.
+pub fn repaired_fig3() -> Graph {
+    let crossed = [(0, 3), (1, 2)];
+    debug_assert!(parity_triples_all_odd(4, &crossed));
+    generalized_fig3(4, &crossed)
+}
+
+/// Vertex ids for the generalized family.
+pub fn generalized_ids(t: usize) -> GeneralizedIds {
+    GeneralizedIds { t }
+}
+
+/// Index helper for [`generalized_fig3`] layouts.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneralizedIds {
+    t: usize,
+}
+
+impl GeneralizedIds {
+    /// The hub `a`.
+    pub fn a(&self) -> V {
+        0
+    }
+
+    /// Branch vertex `bᵢ`.
+    pub fn b(&self, i: usize) -> V {
+        assert!(i < self.t);
+        (1 + i) as V
+    }
+
+    /// `cᵢˣ` for `x ∈ {0, 1}`.
+    pub fn c(&self, i: usize, x: usize) -> V {
+        assert!(i < self.t && x < 2);
+        (1 + self.t + 2 * i + x) as V
+    }
+
+    /// `dᵢ`.
+    pub fn d(&self, i: usize) -> V {
+        assert!(i < self.t);
+        (1 + 3 * self.t + i) as V
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::equilibrium::SumGame;
+    use bncg_core::objective::SumObjective;
+    use bncg_core::verify::{reference_cost, reference_is_sum_equilibrium};
+    use bncg_graph::girth::girth;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn printed_shape_matches_paper() {
+        let g = fig3_graph();
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 21);
+        assert_eq!(g.degree(ids::A), 3);
+        for b in ids::B {
+            assert_eq!(g.degree(b), 3);
+        }
+        for ci in ids::C {
+            for c in ci {
+                assert_eq!(g.degree(c), 4);
+            }
+        }
+        for d in ids::D {
+            assert_eq!(g.degree(d), 2);
+        }
+    }
+
+    #[test]
+    fn printed_diameter_three_and_girth_four() {
+        let g = fig3_graph();
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(3));
+        assert_eq!(girth(&g), Some(4));
+    }
+
+    #[test]
+    fn printed_local_diameters_match_proof() {
+        // "vertices a, b_i, and d_i have local diameter 3, while vertices
+        //  c_{i,k} have local diameter 2" — this part of the proof checks out.
+        let g = fig3_graph();
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.ecc(ids::A), Some(3));
+        for b in ids::B {
+            assert_eq!(dm.ecc(b), Some(3));
+        }
+        for d in ids::D {
+            assert_eq!(dm.ecc(d), Some(3));
+        }
+        for ci in ids::C {
+            for c in ci {
+                assert_eq!(dm.ecc(c), Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn erratum_printed_fig3_is_not_a_sum_equilibrium() {
+        // Measured truth, confirmed by both independent checkers: the
+        // printed witness admits an improving swap by d1.
+        let g = fig3_graph();
+        assert!(!SumGame::is_equilibrium(&g));
+        assert!(!reference_is_sum_equilibrium(&g));
+    }
+
+    #[test]
+    fn erratum_witness_swap_improves_exactly_by_one() {
+        let g = fig3_graph();
+        let w = fig3_printed_witness();
+        let before = reference_cost::<SumObjective>(&g, w.v);
+        let mut h = g.clone();
+        w.apply(&mut h);
+        let after = reference_cost::<SumObjective>(&h, w.v);
+        assert_eq!(before, 27);
+        assert_eq!(after, 26);
+    }
+
+    #[test]
+    fn erratum_both_isomorphism_classes_fail() {
+        // The 13-vertex blueprint has exactly two matching-parity classes
+        // (odd / even number of crossings); neither is an equilibrium.
+        assert!(!SumGame::is_equilibrium(&fig3_graph())); // odd class
+        assert!(!SumGame::is_equilibrium(&fig3_straight_variant())); // even
+    }
+
+    #[test]
+    fn repaired_fig3_is_a_sum_equilibrium() {
+        let g = repaired_fig3();
+        assert_eq!(g.n(), 17);
+        assert_eq!(g.m(), 32);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(3), "Theorem 5: diameter 3");
+        assert_eq!(girth(&g), Some(4));
+        assert!(
+            SumGame::is_equilibrium(&g),
+            "repaired witness must be a sum equilibrium; witness: {:?}",
+            SumGame::find_improving_swap(&g)
+        );
+        assert!(reference_is_sum_equilibrium(&g));
+    }
+
+    #[test]
+    fn repair_requires_all_odd_triples() {
+        // Scan all 2^6 parity patterns of the 4-branch family: equilibrium
+        // holds iff every branch triple has odd parity.
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for code in 0u32..64 {
+            let crossed: Vec<(usize, usize)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(bit, _)| code & (1 << bit) != 0)
+                .map(|(_, &p)| p)
+                .collect();
+            let g = generalized_fig3(4, &crossed);
+            let all_odd = parity_triples_all_odd(4, &crossed);
+            assert_eq!(
+                SumGame::is_equilibrium(&g),
+                all_odd,
+                "code {code:06b}: equilibrium iff all triples odd"
+            );
+        }
+    }
+
+    #[test]
+    fn repaired_local_diameters_mirror_the_printed_pattern() {
+        let g = repaired_fig3();
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let idx = generalized_ids(4);
+        assert_eq!(dm.ecc(idx.a()), Some(3));
+        for i in 0..4 {
+            assert_eq!(dm.ecc(idx.b(i)), Some(3));
+            assert_eq!(dm.ecc(idx.d(i)), Some(3));
+            for x in 0..2 {
+                assert_eq!(dm.ecc(idx.c(i, x)), Some(2));
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhoods_are_independent_sets() {
+        // The girth-4 precondition of Lemma 8 holds in both versions.
+        for g in [fig3_graph(), repaired_fig3()] {
+            for v in 0..g.n() as V {
+                let nbrs = g.neighbors(v);
+                for (ai, &a) in nbrs.iter().enumerate() {
+                    for &b in &nbrs[ai + 1..] {
+                        assert!(!g.has_edge(a, b), "triangle at {v}: {a}-{b}");
+                    }
+                }
+            }
+        }
+    }
+}

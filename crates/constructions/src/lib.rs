@@ -1,0 +1,28 @@
+//! Every concrete graph construction in *Basic Network Creation Games*
+//! (SPAA 2010), built programmatically and re-verified by the test suite:
+//!
+//! * [`double_star`] — Figure 2: the diameter-3 max-equilibrium trees;
+//! * [`fig3`] — Theorem 5 / Figure 3: the first diameter-3 **sum**
+//!   equilibrium (13 vertices, girth 4);
+//! * [`torus`] — Theorem 12 / Figure 4: the rotated-torus max equilibrium
+//!   of diameter `Θ(√n)`, plus its `d`-dimensional generalization of
+//!   diameter `Θ(n^{1/d})` that is stable under `d − 1` edge changes;
+//! * [`spider`] — the Section 5 remark: a graph whose *pairwise* distance
+//!   distribution is almost uniform while per-vertex uniformity (the
+//!   notion Conjecture 14 needs) fails, with large diameter;
+//! * [`catalog`] — a name-indexed registry of all constructions for the
+//!   CLI and benches.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod catalog_support;
+pub mod double_star;
+pub mod fig3;
+pub mod search;
+pub mod spider;
+pub mod torus;
+
+pub use fig3::{fig3_graph, repaired_fig3};
+pub use torus::{multi_torus, rotated_torus};

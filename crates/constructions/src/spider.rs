@@ -1,0 +1,118 @@
+//! The Section 5 counterexample: pairwise distance uniformity is **not**
+//! enough.
+//!
+//! Conjecture 14 asks whether *distance-almost-uniform* graphs (every
+//! vertex sees almost all vertices at distance `r` or `r+1`) have diameter
+//! `O(lg n)`. The paper notes that the per-vertex quantifier is crucial:
+//! a hub of degree `Θ(1/ε)` with long legs ending in heavy clusters has
+//! almost all **pairs** at one common distance, yet its diameter is large
+//! — the hub and leg vertices see the world at wildly varying distances.
+//!
+//! [`spider`] builds that graph; the E10 experiment measures both kinds of
+//! uniformity on it.
+
+use bncg_graph::{Graph, V};
+
+/// Builds the spider: a hub, `legs` paths of `path_len` interior vertices,
+/// and `cluster` extra leaves attached to each leg's endpoint.
+///
+/// `n = 1 + legs·(path_len + cluster)`; the diameter is
+/// `2·(path_len + 1)` (cluster to cluster across legs) for `path_len ≥ 1`.
+///
+/// # Panics
+/// Panics unless `legs ≥ 2`, `path_len ≥ 1`, `cluster ≥ 1`.
+pub fn spider(legs: usize, path_len: usize, cluster: usize) -> Graph {
+    assert!(legs >= 2 && path_len >= 1 && cluster >= 1);
+    let n = 1 + legs * (path_len + cluster);
+    let mut g = Graph::new(n);
+    let hub: V = 0;
+    let mut next: V = 1;
+    for _ in 0..legs {
+        // Path of `path_len` vertices.
+        let mut prev = hub;
+        for _ in 0..path_len {
+            g.add_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+        // Cluster hanging off the leg end.
+        for _ in 0..cluster {
+            g.add_edge(prev, next);
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next as usize, n);
+    g
+}
+
+/// The fraction of *ordered pairs* `(u, v)`, `u ≠ v`, at each distance —
+/// the pairwise distance histogram the Section 5 remark is about.
+pub fn pairwise_distance_histogram(g: &Graph) -> Vec<f64> {
+    let dm = bncg_graph::DistanceMatrix::build(&g.to_csr());
+    let n = g.n();
+    let mut counts: Vec<u64> = Vec::new();
+    for u in 0..n as V {
+        for (dist, &count) in dm.sphere_sizes(u).iter().enumerate() {
+            if counts.len() <= dist {
+                counts.resize(dist + 1, 0);
+            }
+            counts[dist] += count as u64;
+        }
+    }
+    let total: u64 = counts.iter().skip(1).sum();
+    counts
+        .iter()
+        .map(|&c| c as f64 / total.max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::properties::is_tree;
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn spider_shape() {
+        let g = spider(4, 3, 5);
+        assert_eq!(g.n(), 1 + 4 * (3 + 5));
+        assert!(is_tree(&g));
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn spider_diameter_is_leg_dominated() {
+        let g = spider(3, 4, 2);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(2 * (4 + 1) as u32));
+    }
+
+    #[test]
+    fn heavy_clusters_concentrate_pairwise_distances() {
+        // With big clusters and several legs, the modal pairwise distance
+        // is the cross-leg cluster-to-cluster distance 2(path_len+1),
+        // carrying most of the mass.
+        let path_len = 2;
+        let g = spider(8, path_len, 40);
+        let hist = pairwise_distance_histogram(&g);
+        let modal = 2 * (path_len + 1);
+        let mass = hist[modal];
+        assert!(
+            mass > 0.7,
+            "cross-cluster distance should dominate, got {mass:.3}"
+        );
+        // Yet per-vertex uniformity fails badly at the hub: the hub sees
+        // nothing at the modal distance.
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let hub_spheres = dm.sphere_sizes(0);
+        assert!(hub_spheres.len() <= modal || hub_spheres[modal] == 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_one() {
+        let g = spider(3, 2, 3);
+        let hist = pairwise_distance_histogram(&g);
+        let total: f64 = hist.iter().skip(1).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

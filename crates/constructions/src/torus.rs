@@ -1,0 +1,349 @@
+//! The Theorem 12 / Figure 4 construction: a max equilibrium of diameter
+//! `Θ(√n)`, and its `d`-dimensional generalization.
+//!
+//! The 2-dimensional graph is "a 2D torus rotated 45°": vertices are pairs
+//! `(i, j)` with `0 ≤ i, j < 2k` and `i + j` even (so `n = 2k²`), and each
+//! vertex is adjacent to `(i ± 1, j ± 1)` (coordinates mod `2k`). The
+//! paper warns that *"a standard torus is not in max equilibrium, so the
+//! precise definition is critical"* — the test suite checks both halves of
+//! that sentence.
+//!
+//! Key facts (all re-verified computationally by tests and Experiment E6):
+//!
+//! * the metric is `d((i,j),(i',j')) = max(circ(i,i'), circ(j,j'))` where
+//!   `circ` is distance on the `2k`-cycle;
+//! * every vertex has local diameter exactly `k`, so the diameter is
+//!   `k = Θ(√n)`;
+//! * the graph is deletion-critical and insertion-stable, hence a max
+//!   equilibrium;
+//! * the `d`-dimensional version (all coordinates congruent mod 2,
+//!   neighbors `(i₁±1, …, i_d±1)` for every sign pattern, `n = 2k^d`) has
+//!   diameter `k = Θ(n^{1/d})` and is stable under up to `d − 1` edge
+//!   insertions (or swaps) at a vertex — the smooth trade-off between
+//!   diameter and agent power.
+
+use bncg_graph::{Graph, V};
+
+/// The 2-dimensional rotated torus with `n = 2k²` vertices (`k ≥ 2`).
+///
+/// Vertex `(i, j)` (with `i + j` even) has index `i·k + ⌊j/2⌋`.
+pub fn rotated_torus(k: usize) -> Graph {
+    assert!(k >= 2, "rotated torus needs k >= 2 to stay simple");
+    let torus = RotatedTorus::new(k);
+    let mut g = Graph::new(torus.n());
+    for i in 0..2 * k {
+        for j in 0..2 * k {
+            if (i + j) % 2 != 0 {
+                continue;
+            }
+            let v = torus.index(i, j);
+            for (di, dj) in [(1isize, 1isize), (1, -1)] {
+                let ni = wrap(i as isize + di, 2 * k);
+                let nj = wrap(j as isize + dj, 2 * k);
+                let w = torus.index(ni, nj);
+                if v != w {
+                    g.add_edge(v, w);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Coordinate helper for [`rotated_torus`]: index mapping and the
+/// closed-form metric of the proof of Theorem 12.
+#[derive(Debug, Clone, Copy)]
+pub struct RotatedTorus {
+    k: usize,
+}
+
+impl RotatedTorus {
+    /// Helper for the torus with parameter `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2);
+        RotatedTorus { k }
+    }
+
+    /// Number of vertices `2k²`.
+    pub fn n(&self) -> usize {
+        2 * self.k * self.k
+    }
+
+    /// The parameter `k` (= the graph's diameter).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Vertex index of coordinates `(i, j)` (requires `i + j` even).
+    pub fn index(&self, i: usize, j: usize) -> V {
+        debug_assert!((i + j).is_multiple_of(2), "coordinates must have even sum");
+        debug_assert!(i < 2 * self.k && j < 2 * self.k);
+        (i * self.k + j / 2) as V
+    }
+
+    /// Coordinates of a vertex index.
+    pub fn coords(&self, v: V) -> (usize, usize) {
+        let i = v as usize / self.k;
+        let half = v as usize % self.k;
+        let j = 2 * half + (i % 2);
+        (i, j)
+    }
+
+    /// Circular distance on the `2k` cycle.
+    pub fn circ(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(2 * self.k - d)
+    }
+
+    /// The closed-form metric of Theorem 12:
+    /// `d((i,j),(i',j')) = max(circ(i,i'), circ(j,j'))`.
+    pub fn distance(&self, u: V, w: V) -> usize {
+        let (i, j) = self.coords(u);
+        let (i2, j2) = self.coords(w);
+        self.circ(i, i2).max(self.circ(j, j2))
+    }
+}
+
+/// The `d`-dimensional generalization: vertices are `d`-tuples with all
+/// coordinates congruent mod 2 (each in `0..2k`), adjacent under every
+/// `±1` sign pattern applied to all coordinates simultaneously.
+/// `n = 2·k^d`; requires `k ≥ 2` and `2 ≤ d` (and modest `d` so `2^d`
+/// neighbor patterns stay reasonable).
+pub fn multi_torus(d: usize, k: usize) -> Graph {
+    let t = MultiTorus::new(d, k);
+    let mut g = Graph::new(t.n());
+    let mut coords = vec![0usize; d];
+    for v in 0..t.n() as V {
+        t.coords_into(v, &mut coords);
+        // All 2^d sign patterns.
+        for pattern in 0..(1u32 << d) {
+            let mut nbr = vec![0usize; d];
+            for (axis, c) in coords.iter().enumerate() {
+                let delta = if pattern & (1 << axis) != 0 { 1 } else { -1 };
+                nbr[axis] = wrap(*c as isize + delta, 2 * k);
+            }
+            let w = t.index(&nbr);
+            if w != v {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+/// Coordinate helper for [`multi_torus`].
+#[derive(Debug, Clone)]
+pub struct MultiTorus {
+    d: usize,
+    k: usize,
+}
+
+impl MultiTorus {
+    /// Helper for dimension `d`, parameter `k`.
+    pub fn new(d: usize, k: usize) -> Self {
+        assert!(d >= 2, "dimension must be at least 2");
+        assert!(k >= 2, "k must be at least 2");
+        let n = 2 * k.pow(d as u32);
+        assert!(n <= (1 << 26), "multi_torus too large");
+        MultiTorus { d, k }
+    }
+
+    /// Number of vertices `2·k^d`.
+    pub fn n(&self) -> usize {
+        2 * self.k.pow(self.d as u32)
+    }
+
+    /// Dimension.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The parameter `k` (= the graph's diameter).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Index of a coordinate tuple (all coordinates congruent mod 2).
+    pub fn index(&self, coords: &[usize]) -> V {
+        debug_assert_eq!(coords.len(), self.d);
+        let parity = coords[0] % 2;
+        debug_assert!(coords.iter().all(|&c| c % 2 == parity && c < 2 * self.k));
+        // First coordinate contributes i1 in 0..2k; the rest contribute
+        // floor(i_j / 2) in 0..k.
+        let mut idx = coords[0];
+        for &c in &coords[1..] {
+            idx = idx * self.k + c / 2;
+        }
+        idx as V
+    }
+
+    /// Writes the coordinates of `v` into `out`.
+    pub fn coords_into(&self, v: V, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.d);
+        let mut idx = v as usize;
+        for slot in (1..self.d).rev() {
+            out[slot] = idx % self.k;
+            idx /= self.k;
+        }
+        out[0] = idx;
+        let parity = out[0] % 2;
+        for slot in out.iter_mut().skip(1) {
+            *slot = 2 * *slot + parity;
+        }
+    }
+
+    /// Coordinates of `v` as a fresh vector.
+    pub fn coords(&self, v: V) -> Vec<usize> {
+        let mut out = vec![0usize; self.d];
+        self.coords_into(v, &mut out);
+        out
+    }
+
+    /// Circular distance on the `2k` cycle.
+    pub fn circ(&self, a: usize, b: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(2 * self.k - d)
+    }
+
+    /// Closed-form metric: `max_axis circ(i_axis, i'_axis)`.
+    pub fn distance(&self, u: V, w: V) -> usize {
+        let cu = self.coords(u);
+        let cw = self.coords(w);
+        cu.iter()
+            .zip(&cw)
+            .map(|(&a, &b)| self.circ(a, b))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn wrap(x: isize, modulus: usize) -> usize {
+    let m = modulus as isize;
+    (((x % m) + m) % m) as usize
+}
+
+/// The **standard** (axis-aligned) torus `C_w × C_h` — the graph the paper
+/// warns is *not* in max equilibrium. Kept here so the contrast is testable.
+pub fn standard_torus(w: usize, h: usize) -> Graph {
+    bncg_graph::generators::classic::torus_grid(w, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::equilibrium::MaxGame;
+    use bncg_core::stability::{is_deletion_critical, is_insertion_stable};
+    use bncg_graph::properties::{has_uniform_distance_profile, is_regular};
+    use bncg_graph::DistanceMatrix;
+
+    #[test]
+    fn torus_shape() {
+        for k in 2..=5 {
+            let g = rotated_torus(k);
+            assert_eq!(g.n(), 2 * k * k, "n = 2k^2");
+            assert!(is_regular(&g), "rotated torus must be 4-regular");
+            assert_eq!(g.degree(0), 4);
+            assert_eq!(g.m(), 2 * g.n(), "4-regular means m = 2n");
+        }
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let t = RotatedTorus::new(4);
+        for v in 0..t.n() as V {
+            let (i, j) = t.coords(v);
+            assert_eq!((i + j) % 2, 0);
+            assert_eq!(t.index(i, j), v);
+        }
+    }
+
+    #[test]
+    fn closed_form_metric_matches_bfs() {
+        let k = 4;
+        let t = RotatedTorus::new(k);
+        let g = rotated_torus(k);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for u in 0..g.n() as V {
+            for w in 0..g.n() as V {
+                assert_eq!(
+                    dm.get(u, w) as usize,
+                    t.distance(u, w),
+                    "metric mismatch at ({u},{w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_diameter_is_exactly_k() {
+        for k in 2..=5 {
+            let g = rotated_torus(k);
+            let dm = DistanceMatrix::build(&g.to_csr());
+            for v in 0..g.n() as V {
+                assert_eq!(dm.ecc(v), Some(k as u32), "ecc({v}) != k for k={k}");
+            }
+            assert!(has_uniform_distance_profile(&dm));
+        }
+    }
+
+    #[test]
+    fn theorem12_torus_is_max_equilibrium() {
+        for k in [2usize, 3, 4] {
+            let g = rotated_torus(k);
+            assert!(is_deletion_critical(&g), "k={k}: not deletion-critical");
+            assert!(is_insertion_stable(&g), "k={k}: not insertion-stable");
+            assert!(MaxGame::is_equilibrium(&g), "k={k}: not a max equilibrium");
+        }
+    }
+
+    #[test]
+    fn standard_torus_is_not_max_equilibrium() {
+        // The paper: "a standard torus is not in max equilibrium, so the
+        // precise definition is critical."
+        let g = standard_torus(6, 6);
+        assert!(!MaxGame::is_equilibrium(&g));
+    }
+
+    #[test]
+    fn multi_torus_reduces_to_rotated_in_2d() {
+        for k in [2usize, 3] {
+            let a = multi_torus(2, k);
+            let b = rotated_torus(k);
+            assert_eq!(a.n(), b.n());
+            assert_eq!(a.m(), b.m());
+            let da = DistanceMatrix::build(&a.to_csr());
+            let db = DistanceMatrix::build(&b.to_csr());
+            assert_eq!(da.diameter(), db.diameter());
+            assert_eq!(da.total_distance(), db.total_distance());
+        }
+    }
+
+    #[test]
+    fn multi_torus_metric_and_diameter() {
+        let t = MultiTorus::new(3, 2);
+        let g = multi_torus(3, 2);
+        assert_eq!(g.n(), 16); // 2 * 2^3
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for u in 0..g.n() as V {
+            for w in 0..g.n() as V {
+                assert_eq!(dm.get(u, w) as usize, t.distance(u, w));
+            }
+        }
+        assert_eq!(dm.diameter(), Some(2));
+        let g3 = multi_torus(3, 3);
+        assert_eq!(g3.n(), 54);
+        let dm3 = DistanceMatrix::build(&g3.to_csr());
+        assert_eq!(dm3.diameter(), Some(3), "diameter must equal k");
+    }
+
+    #[test]
+    fn multi_torus_coords_roundtrip() {
+        let t = MultiTorus::new(3, 3);
+        for v in 0..t.n() as V {
+            let c = t.coords(v);
+            let parity = c[0] % 2;
+            assert!(c.iter().all(|&x| x % 2 == parity));
+            assert_eq!(t.index(&c), v);
+        }
+    }
+}

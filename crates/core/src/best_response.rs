@@ -1,0 +1,117 @@
+//! Per-agent responses for the dynamics engine.
+//!
+//! An agent's *best response* is the improving swap with the largest cost
+//! decrease over all of its incident edges and all replacement endpoints;
+//! a *first improving response* is any improving swap (cheaper to find,
+//! and the natural model of the paper's computationally bounded agents,
+//! who only ever weigh one edge against another).
+
+use bncg_graph::{Csr, Graph, V};
+
+use crate::evaluator::EdgeSwapScan;
+use crate::objective::Objective;
+use crate::swap::ScoredSwap;
+
+/// The best improving swap available to agent `v`, or `None` if `v` is
+/// already playing a best response.
+pub fn best_response<O: Objective>(g: &Graph, v: V) -> Option<ScoredSwap> {
+    let csr = g.to_csr();
+    best_response_csr::<O>(g, &csr, v)
+}
+
+/// [`best_response`] with a caller-provided CSR snapshot (the dynamics
+/// engine reuses snapshots across agents within a round).
+pub fn best_response_csr<O: Objective>(g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
+    let old = {
+        let mut scratch = bncg_graph::BfsScratch::new(g.n());
+        scratch.run(csr, v);
+        O::cost_of_row(&scratch.dist)
+    };
+    let mut best: Option<ScoredSwap> = None;
+    for &w in g.neighbors(v) {
+        let scan = EdgeSwapScan::new(csr, v, w);
+        if let Some(s) = scan.best_improving::<O>(v, old) {
+            if best.as_ref().is_none_or(|b| s.new_cost < b.new_cost) {
+                best = Some(s);
+            }
+        }
+    }
+    best
+}
+
+/// The first improving swap found for agent `v` scanning its incident
+/// edges in order, or `None` if none exists.
+pub fn first_improving_response<O: Objective>(g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
+    let old = {
+        let mut scratch = bncg_graph::BfsScratch::new(g.n());
+        scratch.run(csr, v);
+        O::cost_of_row(&scratch.dist)
+    };
+    for &w in g.neighbors(v) {
+        let scan = EdgeSwapScan::new(csr, v, w);
+        if let Some(s) = scan.best_improving::<O>(v, old) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{MaxObjective, SumObjective};
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn path_endpoint_best_response_targets_center() {
+        let g = classic::path(9);
+        let s = best_response::<SumObjective>(&g, 0).expect("endpoint must improve");
+        // Best response for the endpoint is to hook onto the center (4).
+        assert_eq!(s.mv.w, 1);
+        assert_eq!(s.mv.w2, 4);
+        assert!(s.is_improving());
+    }
+
+    #[test]
+    fn star_agents_have_no_response() {
+        let g = classic::star(9);
+        for v in 0..9 {
+            assert!(best_response::<SumObjective>(&g, v).is_none());
+            assert!(best_response::<MaxObjective>(&g, v).is_none());
+        }
+    }
+
+    #[test]
+    fn best_response_beats_first_improving() {
+        let g = classic::path(9);
+        let csr = g.to_csr();
+        let best = best_response_csr::<SumObjective>(&g, &csr, 0).unwrap();
+        let first = first_improving_response::<SumObjective>(&g, &csr, 0).unwrap();
+        assert!(best.new_cost <= first.new_cost);
+    }
+
+    #[test]
+    fn max_best_response_on_path() {
+        let g = classic::path(7);
+        // Endpoint 0 has ecc 6; swapping onto the center gives ecc 4.
+        let s = best_response::<MaxObjective>(&g, 0).unwrap();
+        assert_eq!(s.old_cost, 6);
+        assert_eq!(s.new_cost, 4);
+        assert_eq!(s.mv.w2, 3);
+    }
+
+    #[test]
+    fn applying_best_response_realizes_predicted_cost() {
+        let mut g = classic::path(8);
+        for _ in 0..20 {
+            let Some(s) = (0..8 as V)
+                .find_map(|v| best_response::<SumObjective>(&g, v))
+            else {
+                break;
+            };
+            s.mv.apply(&mut g);
+            let realized = crate::evaluator::agent_cost::<SumObjective>(&g, s.mv.v);
+            assert_eq!(realized, s.new_cost, "prediction must match reality");
+        }
+    }
+}

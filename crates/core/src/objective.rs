@@ -1,0 +1,134 @@
+//! The two usage costs of the paper behind a single trait.
+//!
+//! Both costs are functionals of an agent's distance row; both admit the
+//! single-edge insertion identity (`d' = min(d_base, 1 + d_via)`), which is
+//! what lets the evaluator score all `n` candidate swaps of one deleted
+//! edge with `O(n)` work each.
+
+use bncg_graph::UNREACHABLE;
+
+/// Cost assigned to disconnection: an agent that cannot reach someone pays
+/// infinitely much (swaps that disconnect are never improving).
+pub const INFINITE_COST: u64 = u64::MAX;
+
+/// A usage-cost objective of the basic network creation game.
+pub trait Objective: Copy + Send + Sync + 'static {
+    /// Human-readable name ("sum" / "max").
+    const NAME: &'static str;
+
+    /// Cost of an agent whose distance row is `row`
+    /// ([`INFINITE_COST`] if any entry is unreachable).
+    fn cost_of_row(row: &[u32]) -> u64;
+
+    /// Cost of the agent after inserting one edge to a vertex with distance
+    /// row `via`, i.e. the cost of the row `min(base[x], 1 + via[x])`.
+    fn cost_with_insertion(base: &[u32], via: &[u32]) -> u64;
+}
+
+/// The **sum** objective: `Σ_x d(v, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SumObjective;
+
+impl Objective for SumObjective {
+    const NAME: &'static str = "sum";
+
+    #[inline]
+    fn cost_of_row(row: &[u32]) -> u64 {
+        let mut sum = 0u64;
+        for &d in row {
+            if d == UNREACHABLE {
+                return INFINITE_COST;
+            }
+            sum += u64::from(d);
+        }
+        sum
+    }
+
+    #[inline]
+    fn cost_with_insertion(base: &[u32], via: &[u32]) -> u64 {
+        let mut sum = 0u64;
+        for (&b, &v) in base.iter().zip(via) {
+            let d = b.min(v.saturating_add(1));
+            if d == UNREACHABLE {
+                return INFINITE_COST;
+            }
+            sum += u64::from(d);
+        }
+        sum
+    }
+}
+
+/// The **max** objective: the agent's *local diameter* `max_x d(v, x)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxObjective;
+
+impl Objective for MaxObjective {
+    const NAME: &'static str = "max";
+
+    #[inline]
+    fn cost_of_row(row: &[u32]) -> u64 {
+        let mut m = 0u32;
+        for &d in row {
+            if d == UNREACHABLE {
+                return INFINITE_COST;
+            }
+            m = m.max(d);
+        }
+        u64::from(m)
+    }
+
+    #[inline]
+    fn cost_with_insertion(base: &[u32], via: &[u32]) -> u64 {
+        let mut m = 0u32;
+        for (&b, &v) in base.iter().zip(via) {
+            let d = b.min(v.saturating_add(1));
+            if d == UNREACHABLE {
+                return INFINITE_COST;
+            }
+            m = m.max(d);
+        }
+        u64::from(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_cost_basic() {
+        assert_eq!(SumObjective::cost_of_row(&[0, 1, 2, 3]), 6);
+        assert_eq!(SumObjective::cost_of_row(&[0, UNREACHABLE]), INFINITE_COST);
+        assert_eq!(SumObjective::cost_of_row(&[]), 0);
+    }
+
+    #[test]
+    fn max_cost_basic() {
+        assert_eq!(MaxObjective::cost_of_row(&[0, 1, 5, 2]), 5);
+        assert_eq!(MaxObjective::cost_of_row(&[0, UNREACHABLE]), INFINITE_COST);
+        assert_eq!(MaxObjective::cost_of_row(&[0]), 0);
+    }
+
+    #[test]
+    fn insertion_blend_takes_pointwise_min() {
+        // base = distances from v, via = distances from w'; inserting vw'
+        // makes d(v,x) = min(base, via + 1).
+        let base = [0, 4, 5, 6];
+        let via = [4, 0, 1, 2];
+        assert_eq!(SumObjective::cost_with_insertion(&base, &via), 1 + 2 + 3);
+        assert_eq!(MaxObjective::cost_with_insertion(&base, &via), 3);
+    }
+
+    #[test]
+    fn insertion_cannot_rescue_total_disconnection() {
+        let base = [0, UNREACHABLE, 2];
+        let via = [UNREACHABLE, UNREACHABLE, UNREACHABLE];
+        assert_eq!(
+            SumObjective::cost_with_insertion(&base, &via),
+            INFINITE_COST
+        );
+        // But it can rescue partial disconnection through the new edge.
+        let via2 = [1, 0, UNREACHABLE];
+        assert_eq!(SumObjective::cost_with_insertion(&base, &via2), 1 + 2);
+    }
+}

@@ -1,0 +1,340 @@
+//! Stability notions of the max version: deletion-criticality,
+//! insertion-stability, and the `k`-insertion stability ladder.
+//!
+//! The paper's Section 4 lower bounds are built from graphs that are both
+//! *deletion-critical* (deleting any edge strictly increases the local
+//! diameter of both endpoints) and *insertion-stable* (inserting any edge
+//! does not decrease the local diameter of either endpoint) — properties
+//! that together imply max equilibrium and are preserved under the
+//! stronger `k`-edge agents of the dimension-`d` construction.
+//!
+//! Key algorithmic facts used here (proofs in `DESIGN.md` §4):
+//!
+//! * deleting edge `uv` only requires two masked BFS runs to re-evaluate
+//!   the endpoints' local diameters;
+//! * inserting `uv` changes `u`'s distances by the identity
+//!   `d' = min(d(u, ·), 1 + d(v, ·))`, so a full insertion audit runs off
+//!   one APSP;
+//! * inserting a *set* `T` of edges at one vertex `v` obeys
+//!   `d'(v, x) = min(d(v, x), min_{t∈T} 1 + d(t, x))` (a simple path from
+//!   `v` cannot revisit `v`, so it uses at most one new edge), turning the
+//!   `k`-insertion stability question into a minimum set-cover question
+//!   over `v`'s farthest vertices;
+//! * insertion-stability at level `k` implies stability under `k`
+//!   *swaps* for the max objective, because the deletions in a swap can
+//!   only increase distances.
+
+use bncg_graph::{BfsScratch, DistanceMatrix, Graph, V};
+
+/// A witness that `g` is **not** deletion-critical: the edge `(u, v)` and
+/// the endpoint whose local diameter fails to strictly increase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeletionViolation {
+    /// The deleted edge.
+    pub edge: (V, V),
+    /// The endpoint whose local diameter did not strictly increase.
+    pub endpoint: V,
+    /// Local diameter before deletion.
+    pub before: u64,
+    /// Local diameter after deletion (`u64::MAX` when disconnected — which
+    /// counts as an increase, not a violation).
+    pub after: u64,
+}
+
+/// Returns a violation of deletion-criticality, or `None` if `g` is
+/// deletion-critical. Disconnection counts as an infinite increase.
+pub fn deletion_critical_violation(g: &Graph) -> Option<DeletionViolation> {
+    let csr = g.to_csr();
+    let n = g.n();
+    let mut scratch = BfsScratch::new(n);
+    for e in g.edge_vec() {
+        for (agent, _other) in [(e.u, e.v), (e.v, e.u)] {
+            let before = scratch.run(&csr, agent);
+            let before_ecc = if before.reached == n {
+                u64::from(before.ecc)
+            } else {
+                u64::MAX
+            };
+            let after = scratch.run_masked(&csr, agent, (e.u, e.v));
+            let after_ecc = if after.reached == n {
+                u64::from(after.ecc)
+            } else {
+                u64::MAX
+            };
+            if after_ecc <= before_ecc {
+                return Some(DeletionViolation {
+                    edge: (e.u, e.v),
+                    endpoint: agent,
+                    before: before_ecc,
+                    after: after_ecc,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Whether `g` is deletion-critical.
+pub fn is_deletion_critical(g: &Graph) -> bool {
+    deletion_critical_violation(g).is_none()
+}
+
+/// A witness that `g` is **not** insertion-stable: inserting `(u, v)`
+/// strictly decreases the local diameter of `endpoint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertionViolation {
+    /// The inserted edge.
+    pub edge: (V, V),
+    /// The endpoint whose local diameter decreased.
+    pub endpoint: V,
+    /// Local diameter before insertion.
+    pub before: u32,
+    /// Local diameter after insertion.
+    pub after: u32,
+}
+
+/// Returns a violation of insertion-stability, or `None` if `g` is
+/// insertion-stable. Requires a connected graph (the max game's local
+/// diameters are infinite otherwise).
+pub fn insertion_stability_violation(g: &Graph) -> Option<InsertionViolation> {
+    let dm = DistanceMatrix::build(&g.to_csr());
+    for u in 0..g.n() as V {
+        if let Some(vi) = insertion_violation_at(&dm, g, u) {
+            return Some(vi);
+        }
+    }
+    None
+}
+
+/// Insertion-stability audit restricted to edges incident to `u` — the
+/// vertex-transitive shortcut used for the torus (mirrors the paper's own
+/// symmetry reduction in Theorem 12).
+pub fn insertion_violation_at(
+    dm: &DistanceMatrix,
+    g: &Graph,
+    u: V,
+) -> Option<InsertionViolation> {
+    let before = dm.ecc(u)?;
+    for v in 0..dm.n() as V {
+        if v == u || g.has_edge(u, v) {
+            continue;
+        }
+        let after = dm
+            .ecc_with_insertion(u, v)
+            .expect("connected graph stays connected under insertion");
+        if after < before {
+            return Some(InsertionViolation {
+                edge: (u, v),
+                endpoint: u,
+                before,
+                after,
+            });
+        }
+    }
+    None
+}
+
+/// Whether `g` is insertion-stable.
+pub fn is_insertion_stable(g: &Graph) -> bool {
+    bncg_graph::components::is_connected(g) && insertion_stability_violation(g).is_none()
+}
+
+/// Size of the smallest set `T` of edge insertions at `v` that strictly
+/// decreases `v`'s local diameter, if one of size `≤ limit` exists.
+///
+/// By the multi-insertion identity this is a minimum set cover: the
+/// universe is `Far(v) = {x : d(v,x) = ecc(v)}`, and inserting `vt` covers
+/// `{x ∈ Far(v) : d(t,x) ≤ ecc(v) − 2}`. Solved exactly by
+/// branch-and-bound (the instances here are small: `|Far|` is tiny for the
+/// torus family).
+pub fn min_insertions_to_shrink_ecc(dm: &DistanceMatrix, v: V, limit: usize) -> Option<usize> {
+    let ecc = dm.ecc(v)?;
+    if ecc <= 1 {
+        return None; // local diameter 1 cannot shrink below 1
+    }
+    let n = dm.n();
+    let far: Vec<V> = (0..n as V)
+        .filter(|&x| dm.get(v, x) == ecc)
+        .collect();
+    // Candidate coverage sets (as bitmask-over-far indices).
+    assert!(
+        far.len() <= 128,
+        "far set too large for the bitmask cover solver"
+    );
+    let mut sets: Vec<(V, u128)> = Vec::new();
+    for t in 0..n as V {
+        if t == v {
+            continue;
+        }
+        let row_t = dm.row(t);
+        let mut mask: u128 = 0;
+        for (i, &x) in far.iter().enumerate() {
+            if row_t[x as usize] + 2 <= ecc {
+                mask |= 1 << i;
+            }
+        }
+        if mask != 0 {
+            sets.push((t, mask));
+        }
+    }
+    let full: u128 = if far.len() == 128 {
+        u128::MAX
+    } else {
+        (1u128 << far.len()) - 1
+    };
+    solve_min_cover(&sets, full, limit).map(|cover| cover.len())
+}
+
+/// Exact minimum set cover by branch-and-bound over labeled bitmasks:
+/// returns the labels of a smallest cover of `full` using at most `limit`
+/// sets, or `None` if no such cover exists. Shared by the insertion- and
+/// swap-stability audits.
+pub(crate) fn solve_min_cover(sets: &[(V, u128)], full: u128, limit: usize) -> Option<Vec<V>> {
+    // Deduplicate by mask and drop dominated sets (strict subsets of
+    // another set), keeping one representative label each.
+    let mut work: Vec<(V, u128)> = sets.to_vec();
+    work.sort_unstable_by_key(|&(t, m)| (m, t));
+    work.dedup_by_key(|&mut (_, m)| m);
+    let masks: Vec<u128> = work.iter().map(|&(_, m)| m).collect();
+    let work: Vec<(V, u128)> = work
+        .into_iter()
+        .filter(|&(_, s)| !masks.iter().any(|&t| t != s && (s & t) == s))
+        .collect();
+    let mut best: Option<Vec<V>> = None;
+    let mut chosen: Vec<V> = Vec::new();
+    cover_dfs(&work, full, 0, limit, &mut chosen, &mut best);
+    best
+}
+
+fn cover_dfs(
+    sets: &[(V, u128)],
+    remaining: u128,
+    covered: u128,
+    limit: usize,
+    chosen: &mut Vec<V>,
+    best: &mut Option<Vec<V>>,
+) {
+    if remaining & !covered == 0 {
+        if best.as_ref().is_none_or(|b| chosen.len() < b.len()) {
+            *best = Some(chosen.clone());
+        }
+        return;
+    }
+    let budget = best
+        .as_ref()
+        .map_or(limit, |b| b.len().saturating_sub(1).min(limit));
+    if chosen.len() >= budget {
+        return;
+    }
+    // Branch on the lowest uncovered element.
+    let uncovered = remaining & !covered;
+    let pivot_bit = 1u128 << uncovered.trailing_zeros();
+    for &(label, s) in sets {
+        if s & pivot_bit != 0 {
+            chosen.push(label);
+            cover_dfs(sets, remaining, covered | s, limit, chosen, best);
+            chosen.pop();
+        }
+    }
+}
+
+/// Whether `g` is stable under the insertion of up to `k` edges at any
+/// single vertex (no such insertion strictly decreases that vertex's local
+/// diameter). `k = 1` coincides with ordinary insertion-stability.
+pub fn is_k_insertion_stable(g: &Graph, k: usize) -> bool {
+    if !bncg_graph::components::is_connected(g) {
+        return false;
+    }
+    let dm = DistanceMatrix::build(&g.to_csr());
+    (0..g.n() as V).all(|v| min_insertions_to_shrink_ecc(&dm, v, k).is_none())
+}
+
+/// `k`-insertion stability audited only at vertex `v` (vertex-transitive
+/// shortcut).
+pub fn k_insertion_stable_at(dm: &DistanceMatrix, v: V, k: usize) -> bool {
+    min_insertions_to_shrink_ecc(dm, v, k).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn trees_are_deletion_critical() {
+        // Deleting any tree edge disconnects -> infinite local diameter.
+        assert!(is_deletion_critical(&classic::path(6)));
+        assert!(is_deletion_critical(&classic::star(7)));
+        assert!(is_deletion_critical(&classic::double_star(2, 3)));
+    }
+
+    #[test]
+    fn short_even_cycles_are_not_deletion_critical() {
+        // C4: deleting an edge gives P4; the far endpoints keep ecc... for
+        // endpoint u of the deleted edge, ecc goes from 2 to 3 — increase.
+        // Actually check C6: ecc 3 -> deleting edge gives P6 where the
+        // deleted-edge endpoints become path ends with ecc 5: increase.
+        // A graph that is NOT deletion-critical: K4 minus nothing... take
+        // the diamond (K4 minus an edge): deleting the central edge keeps
+        // both endpoints at ecc 2? diamond: 0-1,0-2,1-2,1-3,2-3. ecc(1)=1?
+        // d(1,0)=1,d(1,2)=1,d(1,3)=1 -> ecc 1. Delete 1-2: d(1,2)=2 via 0
+        // or 3 -> ecc(1)=2: increased. Delete 0-1: d(0,1)=2 via 2; ecc(0)
+        // was 2 (d(0,3)=2): stays 2 -> violation!
+        let diamond = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let v = deletion_critical_violation(&diamond).expect("diamond must violate");
+        assert_eq!(v.before, v.after);
+    }
+
+    #[test]
+    fn complete_graphs_are_deletion_critical() {
+        for n in [2usize, 3, 4, 6] {
+            assert!(is_deletion_critical(&classic::complete(n)), "K{n}");
+        }
+    }
+
+    #[test]
+    fn stars_are_insertion_stable_but_paths_are_not() {
+        // Star: adding a leaf-leaf edge keeps both local diameters at 2.
+        assert!(is_insertion_stable(&classic::star(8)));
+        // Path: the endpoint gains a lot from a chord to the middle.
+        let p = classic::path(7);
+        let vi = insertion_stability_violation(&p).expect("path must violate");
+        assert!(vi.after < vi.before);
+    }
+
+    #[test]
+    fn insertion_identity_agrees_with_brute_force() {
+        let g = classic::cycle(10);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for (u, v) in [(0u32, 5u32), (0, 4), (2, 8)] {
+            let mut h = g.clone();
+            h.add_edge(u, v);
+            let dmh = DistanceMatrix::build(&h.to_csr());
+            assert_eq!(dm.ecc_with_insertion(u, v), dmh.ecc(u));
+        }
+    }
+
+    #[test]
+    fn min_insertions_on_long_cycle() {
+        // C12 has ecc 6 everywhere. One chord from v to the antipode drops
+        // v's ecc: min insertions = 1.
+        let dm = DistanceMatrix::build(&classic::cycle(12).to_csr());
+        assert_eq!(min_insertions_to_shrink_ecc(&dm, 0, 3), Some(1));
+        // The complete graph cannot shrink below ecc 1.
+        let dk = DistanceMatrix::build(&classic::complete(5).to_csr());
+        assert_eq!(min_insertions_to_shrink_ecc(&dk, 0, 3), None);
+    }
+
+    #[test]
+    fn k_stability_ladder_on_star() {
+        // Star leaves have ecc 2; no insertion set can give a leaf ecc 1
+        // short of connecting to every other leaf (n-2 edges).
+        let g = classic::star(8);
+        assert!(is_k_insertion_stable(&g, 1));
+        assert!(is_k_insertion_stable(&g, 3));
+        // But with k = n-2 = 6 the leaf can wire itself to everyone.
+        assert!(!is_k_insertion_stable(&g, 6));
+    }
+
+    use bncg_graph::Graph;
+}

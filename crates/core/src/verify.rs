@@ -1,0 +1,171 @@
+//! Slow reference checkers: literal transcriptions of the paper's
+//! definitions, with no shared code with the fast path.
+//!
+//! Every candidate move is evaluated by cloning the graph, applying the
+//! move, and re-running BFS. Property tests in `tests/` assert that these
+//! agree with the [`EdgeSwapScan`](crate::evaluator)-based checkers on
+//! random graphs — the fast path's correctness argument is the insertion
+//! identity, and this module is its executable cross-examination.
+
+use bncg_graph::{Graph, V};
+
+use crate::objective::Objective;
+
+/// Reference usage cost of `v` in `g` (BFS from scratch).
+pub fn reference_cost<O: Objective>(g: &Graph, v: V) -> u64 {
+    let csr = g.to_csr();
+    let mut scratch = bncg_graph::BfsScratch::new(g.n());
+    scratch.run(&csr, v);
+    O::cost_of_row(&scratch.dist)
+}
+
+/// Reference swap-stability: tries every `(agent, incident edge, target)`
+/// triple by mutating a scratch copy of the graph.
+pub fn reference_is_swap_stable<O: Objective>(g: &Graph) -> bool {
+    let mut scratch = g.clone();
+    for v in 0..g.n() as V {
+        let old = reference_cost::<O>(g, v);
+        let nbrs: Vec<V> = g.neighbors(v).to_vec();
+        for w in nbrs {
+            for w2 in 0..g.n() as V {
+                if w2 == v || w2 == w {
+                    continue;
+                }
+                let rec = scratch.apply_swap(v, w, w2);
+                let new = reference_cost::<O>(&scratch, v);
+                scratch.undo_swap(rec);
+                if new < old {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Reference sum-equilibrium check (connectivity + swap stability).
+pub fn reference_is_sum_equilibrium(g: &Graph) -> bool {
+    bncg_graph::components::is_connected(g)
+        && reference_is_swap_stable::<crate::objective::SumObjective>(g)
+}
+
+/// Reference deletion-criticality check.
+pub fn reference_is_deletion_critical(g: &Graph) -> bool {
+    let mut scratch = g.clone();
+    for e in g.edge_vec() {
+        scratch.remove_edge(e.u, e.v);
+        for agent in [e.u, e.v] {
+            let before = reference_cost::<crate::objective::MaxObjective>(g, agent);
+            let after = reference_cost::<crate::objective::MaxObjective>(&scratch, agent);
+            if after <= before {
+                scratch.add_edge(e.u, e.v);
+                return false;
+            }
+        }
+        scratch.add_edge(e.u, e.v);
+    }
+    true
+}
+
+/// Reference max-equilibrium check.
+pub fn reference_is_max_equilibrium(g: &Graph) -> bool {
+    bncg_graph::components::is_connected(g)
+        && reference_is_deletion_critical(g)
+        && reference_is_swap_stable::<crate::objective::MaxObjective>(g)
+}
+
+/// Reference insertion-stability check.
+pub fn reference_is_insertion_stable(g: &Graph) -> bool {
+    if !bncg_graph::components::is_connected(g) {
+        return false;
+    }
+    let mut scratch = g.clone();
+    for u in 0..g.n() as V {
+        for v in (u + 1)..g.n() as V {
+            if g.has_edge(u, v) {
+                continue;
+            }
+            scratch.add_edge(u, v);
+            for agent in [u, v] {
+                let before = reference_cost::<crate::objective::MaxObjective>(g, agent);
+                let after = reference_cost::<crate::objective::MaxObjective>(&scratch, agent);
+                if after < before {
+                    scratch.remove_edge(u, v);
+                    return false;
+                }
+            }
+            scratch.remove_edge(u, v);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::{MaxGame, SumGame};
+    use crate::stability;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn reference_agrees_with_fast_path_on_families() {
+        let graphs = vec![
+            classic::star(7),
+            classic::path(7),
+            classic::cycle(5),
+            classic::cycle(8),
+            classic::complete(5),
+            classic::double_star(2, 2),
+            classic::double_star(1, 4),
+            classic::petersen(),
+            classic::grid(3, 3),
+        ];
+        for g in graphs {
+            assert_eq!(
+                reference_is_sum_equilibrium(&g),
+                SumGame::is_equilibrium(&g),
+                "sum mismatch on n={} m={}",
+                g.n(),
+                g.m()
+            );
+            assert_eq!(
+                reference_is_max_equilibrium(&g),
+                MaxGame::is_equilibrium(&g),
+                "max mismatch on n={} m={}",
+                g.n(),
+                g.m()
+            );
+            assert_eq!(
+                reference_is_deletion_critical(&g),
+                stability::is_deletion_critical(&g),
+                "deletion-critical mismatch"
+            );
+            assert_eq!(
+                reference_is_insertion_stable(&g),
+                stability::is_insertion_stable(&g),
+                "insertion-stable mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_agrees_on_random_connected_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0xc0ffee);
+        for trial in 0..25 {
+            let n = 5 + (trial % 5);
+            let g = bncg_graph::generators::random::random_connected(&mut rng, n, trial % 4);
+            assert_eq!(
+                reference_is_sum_equilibrium(&g),
+                SumGame::is_equilibrium(&g),
+                "sum mismatch on trial {trial}"
+            );
+            assert_eq!(
+                reference_is_max_equilibrium(&g),
+                MaxGame::is_equilibrium(&g),
+                "max mismatch on trial {trial}"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Exhaustive tree census — Experiments E1 and E2.
+//!
+//! Theorem 1: a sum-equilibrium tree has diameter ≤ 2 (it is a star).
+//! Theorem 4: a max-equilibrium tree has diameter ≤ 3 (star or double star
+//! with ≥ 2 leaves per root). The census enumerates **every** free tree on
+//! `n` vertices (via Beyer–Hedetniemi + AHU) and classifies each, giving a
+//! finite, machine-checked verification of both theorems for all `n` the
+//! hardware can reach.
+
+use bncg_core::equilibrium::{MaxGame, SumGame};
+use bncg_graph::generators::enumerate::free_trees;
+use bncg_graph::properties::{is_double_star, is_star};
+use bncg_graph::DistanceMatrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Census results for all free trees on `n` vertices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeCensus {
+    /// Vertex count.
+    pub n: usize,
+    /// Number of isomorphism classes of trees examined.
+    pub total_trees: usize,
+    /// Diameters of the trees found to be sum equilibria.
+    pub sum_equilibrium_diameters: Vec<u32>,
+    /// How many sum equilibria are stars (must equal the count above,
+    /// per Theorem 1).
+    pub sum_equilibria_stars: usize,
+    /// Diameters of the trees found to be max equilibria.
+    pub max_equilibrium_diameters: Vec<u32>,
+    /// How many max equilibria are stars or double stars (must equal the
+    /// count above, per Theorem 4 and its classification).
+    pub max_equilibria_star_or_double_star: usize,
+}
+
+impl TreeCensus {
+    /// Whether the census is consistent with Theorem 1.
+    pub fn theorem1_holds(&self) -> bool {
+        self.sum_equilibrium_diameters.iter().all(|&d| d <= 2)
+            && self.sum_equilibria_stars == self.sum_equilibrium_diameters.len()
+    }
+
+    /// Whether the census is consistent with Theorem 4.
+    pub fn theorem4_holds(&self) -> bool {
+        self.max_equilibrium_diameters.iter().all(|&d| d <= 3)
+            && self.max_equilibria_star_or_double_star == self.max_equilibrium_diameters.len()
+    }
+}
+
+/// Runs the census over all free trees on `n ≥ 2` vertices (parallel over
+/// isomorphism classes).
+pub fn tree_census(n: usize) -> TreeCensus {
+    assert!(n >= 2);
+    let trees = free_trees(n);
+    let total_trees = trees.len();
+    let rows: Vec<(bool, bool, u32, bool, bool)> = trees
+        .par_iter()
+        .map(|t| {
+            let dm = DistanceMatrix::build(&t.to_csr());
+            let diameter = dm.diameter().expect("trees are connected");
+            let sum_eq = SumGame::is_equilibrium(t);
+            let max_eq = MaxGame::is_equilibrium(t);
+            (sum_eq, max_eq, diameter, is_star(t), is_double_star(t))
+        })
+        .collect();
+    let mut census = TreeCensus {
+        n,
+        total_trees,
+        sum_equilibrium_diameters: Vec::new(),
+        sum_equilibria_stars: 0,
+        max_equilibrium_diameters: Vec::new(),
+        max_equilibria_star_or_double_star: 0,
+    };
+    for (sum_eq, max_eq, diameter, star, dstar) in rows {
+        if sum_eq {
+            census.sum_equilibrium_diameters.push(diameter);
+            if star {
+                census.sum_equilibria_stars += 1;
+            }
+        }
+        if max_eq {
+            census.max_equilibrium_diameters.push(diameter);
+            if star || dstar {
+                census.max_equilibria_star_or_double_star += 1;
+            }
+        }
+    }
+    census
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_small_n_exact_counts() {
+        // n=4: trees are P4 and the star; only the star is a sum
+        // equilibrium; for max, the star qualifies, P4 = D(1,1) does not
+        // (single leaves can relocate freely).
+        let c4 = tree_census(4);
+        assert_eq!(c4.total_trees, 2);
+        assert_eq!(c4.sum_equilibrium_diameters, vec![2]);
+        assert!(c4.theorem1_holds());
+        assert!(c4.theorem4_holds());
+    }
+
+    #[test]
+    fn census_n6_finds_first_double_star() {
+        // n=6: D(2,2) is the smallest equilibrium double star.
+        let c6 = tree_census(6);
+        assert_eq!(c6.total_trees, 6);
+        assert_eq!(c6.sum_equilibrium_diameters, vec![2]);
+        let mut max_diams = c6.max_equilibrium_diameters.clone();
+        max_diams.sort_unstable();
+        assert_eq!(max_diams, vec![2, 3], "star and D(2,2)");
+        assert!(c6.theorem1_holds());
+        assert!(c6.theorem4_holds());
+    }
+
+    #[test]
+    fn census_theorems_hold_up_to_nine() {
+        for n in 2..=9 {
+            let c = tree_census(n);
+            assert!(c.theorem1_holds(), "Theorem 1 fails at n={n}");
+            assert!(c.theorem4_holds(), "Theorem 4 fails at n={n}");
+            // Exactly one sum-equilibrium tree (the star) for n >= 3.
+            if n >= 3 {
+                assert_eq!(
+                    c.sum_equilibrium_diameters.len(),
+                    1,
+                    "the star must be the unique sum equilibrium at n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn census_counts_max_equilibria_exactly() {
+        // For n >= 6: equilibrium trees are the star plus the double
+        // stars D(p, q) with p, q >= 2, p + q = n - 2, p <= q — i.e.
+        // 1 + floor((n-2)/2) - 1 classes.
+        for n in 6..=10 {
+            let c = tree_census(n);
+            let expected_double_stars = (n - 2) / 2 - 1;
+            assert_eq!(
+                c.max_equilibrium_diameters.len(),
+                1 + expected_double_stars,
+                "max-equilibrium class count at n={n}"
+            );
+        }
+    }
+}

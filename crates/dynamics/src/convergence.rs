@@ -1,0 +1,91 @@
+//! State hashing for cycle detection in swap dynamics.
+//!
+//! Best-response dynamics in the basic game has no known potential
+//! function, so trajectories can in principle revisit a state. The engine
+//! hashes each visited edge set; a repeat means the schedule is cycling
+//! (with deterministic schedules this is a true cycle, with random ones a
+//! revisit).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use bncg_graph::Graph;
+
+/// Hash of a graph's exact edge set (labeled, not canonical — dynamics
+/// states are labeled networks).
+pub fn state_hash(g: &Graph) -> u64 {
+    let mut h = DefaultHasher::new();
+    g.n().hash(&mut h);
+    for e in g.edge_vec() {
+        (e.u, e.v).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A visited-state registry.
+#[derive(Debug, Default)]
+pub struct StateLog {
+    seen: HashSet<u64>,
+}
+
+impl StateLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        StateLog::default()
+    }
+
+    /// Records the state; returns `true` if it was seen before (a cycle).
+    pub fn record(&mut self, g: &Graph) -> bool {
+        !self.seen.insert(state_hash(g))
+    }
+
+    /// Number of distinct states seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn identical_graphs_hash_equal() {
+        let a = classic::cycle(8);
+        let b = classic::cycle(8);
+        assert_eq!(state_hash(&a), state_hash(&b));
+    }
+
+    #[test]
+    fn single_edge_difference_changes_hash() {
+        let a = classic::path(6);
+        let mut b = a.clone();
+        b.apply_swap(0, 1, 3);
+        assert_ne!(state_hash(&a), state_hash(&b));
+    }
+
+    #[test]
+    fn log_detects_revisit() {
+        let mut log = StateLog::new();
+        let g = classic::star(5);
+        assert!(!log.record(&g));
+        assert!(log.record(&g), "second visit must be flagged");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn relabeled_graphs_hash_differently() {
+        // Dynamics states are labeled: re-centering a star produces a
+        // different labeled edge set, hence a different state.
+        let g = classic::star(4);
+        let h = g.relabel(&[1, 0, 2, 3]);
+        assert_ne!(state_hash(&g), state_hash(&h));
+    }
+}

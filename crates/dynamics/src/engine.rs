@@ -1,0 +1,284 @@
+//! The swap-dynamics loop.
+//!
+//! Agents are activated under a [`Schedule`]; the activated agent applies
+//! its best (or first) improving swap; the run ends when a full activation
+//! round passes with no improving move (**converged**), a state repeats
+//! (**cycled**), or the round cap is hit (**capped**).
+
+use bncg_core::best_response::{best_response_csr, first_improving_response};
+use bncg_core::objective::Objective;
+use bncg_graph::{Graph, V};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::convergence::StateLog;
+
+/// Agent activation order within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Agents `0..n` in order, every round.
+    RoundRobin,
+    /// A fresh uniformly random permutation each round.
+    RandomPermutation,
+    /// Each round activates only the agent with the single largest
+    /// improvement (slow, thorough; the "greedy global" baseline).
+    GreedyGlobal,
+}
+
+/// Response rule for an activated agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// Apply the agent's best improving swap.
+    Best,
+    /// Apply the first improving swap found (the paper's minimal
+    /// computationally-bounded agent).
+    FirstImproving,
+}
+
+/// Configuration of a dynamics run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicsConfig {
+    /// Activation order.
+    pub schedule: Schedule,
+    /// Response rule.
+    pub response: Response,
+    /// Hard cap on activation rounds.
+    pub max_rounds: usize,
+    /// Whether to track and stop on revisited states.
+    pub detect_cycles: bool,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            schedule: Schedule::RoundRobin,
+            response: Response::Best,
+            max_rounds: 10_000,
+            detect_cycles: true,
+        }
+    }
+}
+
+/// How a dynamics run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// A full round passed with no improving swap: swap equilibrium
+    /// reached (for the configured objective).
+    Converged,
+    /// A previously visited state recurred.
+    Cycled,
+    /// The round cap was exhausted.
+    Capped,
+}
+
+/// Result of a dynamics run.
+#[derive(Debug, Clone)]
+pub struct DynamicsResult {
+    /// Final network.
+    pub graph: Graph,
+    /// Termination cause.
+    pub outcome: Outcome,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total improving swaps applied.
+    pub moves: usize,
+}
+
+/// The dynamics engine, generic over the usage-cost objective.
+pub struct SwapDynamics<O: Objective> {
+    config: DynamicsConfig,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O: Objective> SwapDynamics<O> {
+    /// Engine with the given configuration.
+    pub fn new(config: DynamicsConfig) -> Self {
+        SwapDynamics {
+            config,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the dynamics from `start` using `rng` for stochastic
+    /// schedules.
+    pub fn run<R: Rng>(&self, start: &Graph, rng: &mut R) -> DynamicsResult {
+        let mut g = start.clone();
+        let n = g.n();
+        let mut log = StateLog::new();
+        if self.config.detect_cycles {
+            log.record(&g);
+        }
+        let mut moves = 0usize;
+        let mut order: Vec<V> = (0..n as V).collect();
+        for round in 0..self.config.max_rounds {
+            let mut any_move = false;
+            match self.config.schedule {
+                Schedule::RoundRobin | Schedule::RandomPermutation => {
+                    if self.config.schedule == Schedule::RandomPermutation {
+                        order.shuffle(rng);
+                    }
+                    #[allow(clippy::needless_range_loop)] // `order` must not stay borrowed across the mutation of `g`
+                    for idx in 0..order.len() {
+                        let v = order[idx];
+                        let csr = g.to_csr();
+                        let swap = match self.config.response {
+                            Response::Best => best_response_csr::<O>(&g, &csr, v),
+                            Response::FirstImproving => {
+                                first_improving_response::<O>(&g, &csr, v)
+                            }
+                        };
+                        if let Some(s) = swap {
+                            s.mv.apply(&mut g);
+                            moves += 1;
+                            any_move = true;
+                            if self.config.detect_cycles && log.record(&g) {
+                                return DynamicsResult {
+                                    graph: g,
+                                    outcome: Outcome::Cycled,
+                                    rounds: round + 1,
+                                    moves,
+                                };
+                            }
+                        }
+                    }
+                }
+                Schedule::GreedyGlobal => {
+                    let csr = g.to_csr();
+                    let best = (0..n as V)
+                        .filter_map(|v| best_response_csr::<O>(&g, &csr, v))
+                        .max_by_key(|s| s.improvement());
+                    if let Some(s) = best {
+                        s.mv.apply(&mut g);
+                        moves += 1;
+                        any_move = true;
+                        if self.config.detect_cycles && log.record(&g) {
+                            return DynamicsResult {
+                                graph: g,
+                                outcome: Outcome::Cycled,
+                                rounds: round + 1,
+                                moves,
+                            };
+                        }
+                    }
+                }
+            }
+            if !any_move {
+                return DynamicsResult {
+                    graph: g,
+                    outcome: Outcome::Converged,
+                    rounds: round + 1,
+                    moves,
+                };
+            }
+        }
+        DynamicsResult {
+            graph: g,
+            outcome: Outcome::Capped,
+            rounds: self.config.max_rounds,
+            moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::equilibrium::{MaxGame, SumGame};
+    use bncg_core::objective::{MaxObjective, SumObjective};
+    use bncg_graph::generators::classic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sum_dynamics_on_path_reaches_sum_equilibrium() {
+        let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+        let result = engine.run(&classic::path(10), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged);
+        assert!(SumGame::is_equilibrium(&result.graph));
+        assert!(result.moves > 0);
+        // Edge count is invariant under swaps.
+        assert_eq!(result.graph.m(), 9);
+    }
+
+    #[test]
+    fn tree_dynamics_preserve_connectivity_and_edges() {
+        let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+        for n in [5usize, 8, 12] {
+            let result = engine.run(&classic::path(n), &mut rng());
+            assert!(bncg_graph::components::is_connected(&result.graph));
+            assert_eq!(result.graph.m(), n - 1);
+        }
+    }
+
+    #[test]
+    fn sum_dynamics_from_tree_ends_at_star_shape() {
+        // Theorem 1: the only sum-equilibrium tree is the star, so tree
+        // dynamics (which preserve tree-ness through improving swaps that
+        // keep connectivity) must end at a star.
+        let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+        let result = engine.run(&classic::path(9), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged);
+        assert!(
+            bncg_graph::properties::is_star(&result.graph),
+            "tree sum dynamics must end at a star"
+        );
+    }
+
+    #[test]
+    fn max_dynamics_converges_to_max_swap_stability() {
+        let engine = SwapDynamics::<MaxObjective>::new(DynamicsConfig::default());
+        let result = engine.run(&classic::path(9), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged);
+        // Swap stability for max (deletion-criticality is a separate,
+        // stronger requirement that trees satisfy automatically).
+        assert!(MaxGame::find_improving_swap(&result.graph).is_none());
+    }
+
+    #[test]
+    fn equilibrium_start_converges_immediately() {
+        let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+        let result = engine.run(&classic::star(12), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged);
+        assert_eq!(result.moves, 0);
+        assert_eq!(result.rounds, 1);
+    }
+
+    #[test]
+    fn schedules_all_reach_equilibrium_on_small_inputs() {
+        for schedule in [
+            Schedule::RoundRobin,
+            Schedule::RandomPermutation,
+            Schedule::GreedyGlobal,
+        ] {
+            let config = DynamicsConfig {
+                schedule,
+                ..DynamicsConfig::default()
+            };
+            let engine = SwapDynamics::<SumObjective>::new(config);
+            let result = engine.run(&classic::cycle(8), &mut rng());
+            assert_eq!(
+                result.outcome,
+                Outcome::Converged,
+                "schedule {schedule:?} failed to converge"
+            );
+            assert!(SumGame::is_equilibrium(&result.graph));
+        }
+    }
+
+    #[test]
+    fn first_improving_response_also_converges() {
+        let config = DynamicsConfig {
+            response: Response::FirstImproving,
+            ..DynamicsConfig::default()
+        };
+        let engine = SwapDynamics::<SumObjective>::new(config);
+        let result = engine.run(&classic::path(8), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged);
+        assert!(SumGame::is_equilibrium(&result.graph));
+    }
+}

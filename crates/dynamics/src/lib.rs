@@ -1,0 +1,30 @@
+//! Swap-dynamics simulation engine and exhaustive tree census.
+//!
+//! The paper studies the *statics* of swap equilibria; this crate supplies
+//! the *dynamics* that find them: agents activated under a schedule apply
+//! improving swaps until none exists. Because the basic game is not known
+//! to admit a potential function, the engine carries cycle detection and a
+//! round cap, and reports honestly which of {converged, cycled, capped}
+//! happened.
+//!
+//! * [`engine`] — the dynamics loop ([`engine::SwapDynamics`]) with
+//!   round-robin / random / greedy-global schedules and best- or
+//!   first-improving response rules;
+//! * [`convergence`] — canonical state hashing for cycle detection;
+//! * [`census`] — the exhaustive tree classification behind Experiments
+//!   E1/E2 (Theorems 1 and 4);
+//! * [`batch`] — seeded multi-run experiments with summary statistics
+//!   (Experiments E4 and E13).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod census;
+pub mod convergence;
+pub mod engine;
+pub mod trajectory;
+
+pub use census::{tree_census, TreeCensus};
+pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Schedule, SwapDynamics};
+pub use trajectory::{run_traced, Trajectory, TrajectoryPoint};

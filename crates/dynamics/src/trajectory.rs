@@ -1,0 +1,130 @@
+//! Instrumented dynamics: per-round trajectories.
+//!
+//! The plain engine reports only the endpoint; experiments that chart how
+//! the network *changes shape* along the way (E13's small-world emergence,
+//! the dynamics-lab example) use this traced variant, which snapshots
+//! diameter, total distance, and the worst local diameter after every
+//! round.
+
+use bncg_core::best_response::best_response_csr;
+use bncg_core::objective::Objective;
+use bncg_graph::{DistanceMatrix, Graph, V};
+use serde::{Deserialize, Serialize};
+
+/// One row of a dynamics trajectory (state *after* the given round).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryPoint {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Improving swaps applied during the round.
+    pub moves: usize,
+    /// Diameter after the round (`None` while disconnected).
+    pub diameter: Option<u32>,
+    /// Sum of all ordered pairwise distances after the round.
+    pub total_distance: Option<u64>,
+    /// Worst local diameter after the round.
+    pub max_ecc: Option<u32>,
+}
+
+/// A full traced run.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Per-round measurements, in order.
+    pub points: Vec<TrajectoryPoint>,
+    /// The final network.
+    pub graph: Graph,
+    /// Whether the run ended because a full round had no improving move.
+    pub converged: bool,
+}
+
+impl Trajectory {
+    /// Total improving swaps over the run.
+    pub fn total_moves(&self) -> usize {
+        self.points.iter().map(|p| p.moves).sum()
+    }
+
+    /// Whether the *social* total distance decreased monotonically — NOT
+    /// guaranteed by the game (agents are selfish), and experiments use
+    /// this to exhibit rounds where selfish play hurts the aggregate.
+    pub fn total_distance_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| match (w[0].total_distance, w[1].total_distance) {
+                (Some(a), Some(b)) => b <= a,
+                _ => true,
+            })
+    }
+}
+
+/// Runs round-robin best-response dynamics with per-round tracing.
+pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory {
+    let mut g = start.clone();
+    let n = g.n();
+    let mut points = Vec::new();
+    let mut converged = false;
+    for round in 1..=max_rounds {
+        let mut moves = 0usize;
+        for v in 0..n as V {
+            let csr = g.to_csr();
+            if let Some(s) = best_response_csr::<O>(&g, &csr, v) {
+                s.mv.apply(&mut g);
+                moves += 1;
+            }
+        }
+        let dm = DistanceMatrix::build(&g.to_csr());
+        points.push(TrajectoryPoint {
+            round,
+            moves,
+            diameter: dm.diameter(),
+            total_distance: dm.total_distance(),
+            max_ecc: dm.eccentricities().map(|e| e.into_iter().max().unwrap_or(0)),
+        });
+        if moves == 0 {
+            converged = true;
+            break;
+        }
+    }
+    Trajectory {
+        points,
+        graph: g,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::objective::SumObjective;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn trace_of_path_reaches_star() {
+        let t = run_traced::<SumObjective>(&classic::path(9), 50);
+        assert!(t.converged);
+        assert!(bncg_graph::properties::is_star(&t.graph));
+        // Final round has zero moves; earlier rounds have some.
+        assert_eq!(t.points.last().unwrap().moves, 0);
+        assert!(t.total_moves() > 0);
+        // Diameter at the end is 2.
+        assert_eq!(t.points.last().unwrap().diameter, Some(2));
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let t = run_traced::<SumObjective>(&classic::cycle(10), 50);
+        assert!(t.converged);
+        for (i, p) in t.points.iter().enumerate() {
+            assert_eq!(p.round, i + 1);
+            assert!(p.total_distance.is_some(), "dynamics keep connectivity");
+        }
+    }
+
+    #[test]
+    fn equilibrium_start_traces_one_empty_round() {
+        let t = run_traced::<SumObjective>(&classic::star(8), 50);
+        assert!(t.converged);
+        assert_eq!(t.points.len(), 1);
+        assert_eq!(t.total_moves(), 0);
+        assert!(t.total_distance_monotone());
+    }
+}

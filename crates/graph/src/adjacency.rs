@@ -1,0 +1,393 @@
+//! Mutable simple undirected graph backed by sorted adjacency lists.
+//!
+//! This is the *game board* representation: agents in the basic network
+//! creation game repeatedly swap incident edges, so the structure is
+//! optimized for `O(log deg)` membership tests, `O(deg)` edge insertion and
+//! removal, and cheap conversion to the immutable [`Csr`] snapshots used
+//! by the metric kernels.
+
+use crate::{Csr, V};
+
+/// An undirected edge, stored with endpoints in increasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: V,
+    /// Larger endpoint.
+    pub v: V,
+}
+
+impl Edge {
+    /// Normalized constructor: orders the endpoints.
+    ///
+    /// # Panics
+    /// Panics on self-loops, which are meaningless in this game.
+    pub fn new(u: V, v: V) -> Self {
+        assert_ne!(u, v, "self-loops are not allowed");
+        if u < v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+
+    /// The endpoint different from `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: V) -> V {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+/// A simple undirected graph with `u32` vertices and sorted neighbor lists.
+///
+/// Invariants maintained by every public method:
+/// * no self-loops, no parallel edges;
+/// * every adjacency list is strictly increasing;
+/// * `m` equals the number of undirected edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    adj: Vec<Vec<V>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Empty graph on `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n` or an edge is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(V, V)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: V) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: V) -> &[V] {
+        &self.adj[v as usize]
+    }
+
+    /// Whether the undirected edge `uv` is present.
+    #[inline]
+    pub fn has_edge(&self, u: V, v: V) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Inserts edge `uv`. Returns `true` if the edge was newly added,
+    /// `false` if it already existed.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: V, v: V) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            (u as usize) < self.n() && (v as usize) < self.n(),
+            "endpoint out of range"
+        );
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos_u) => {
+                self.adj[u as usize].insert(pos_u, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency lists out of sync");
+                self.adj[v as usize].insert(pos_v, u);
+                self.m += 1;
+                true
+            }
+        }
+    }
+
+    /// Removes edge `uv`. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: V, v: V) -> bool {
+        if u == v {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(pos_u) => {
+                self.adj[u as usize].remove(pos_u);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency lists out of sync");
+                self.adj[v as usize].remove(pos_v);
+                self.m -= 1;
+                true
+            }
+        }
+    }
+
+    /// Iterator over all edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as V;
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge { u, v })
+        })
+    }
+
+    /// Collects the edge list (each edge once, `u < v`).
+    pub fn edge_vec(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.m);
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            let u = u as V;
+            for &v in nbrs {
+                if u < v {
+                    out.push(Edge { u, v });
+                }
+            }
+        }
+        out
+    }
+
+    /// Immutable compressed-sparse-row snapshot for the BFS kernels.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_adjacency(&self.adj)
+    }
+
+    /// Degree sequence in non-increasing order.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Adds `k` fresh isolated vertices, returning the id of the first.
+    pub fn add_vertices(&mut self, k: usize) -> V {
+        let first = self.n() as V;
+        self.adj.extend(std::iter::repeat_with(Vec::new).take(k));
+        first
+    }
+
+    /// Relabels vertices by the permutation `perm` (vertex `v` becomes
+    /// `perm[v]`). Used by canonicalization and isomorphism tests.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn relabel(&self, perm: &[V]) -> Graph {
+        assert_eq!(perm.len(), self.n());
+        let mut seen = vec![false; self.n()];
+        for &p in perm {
+            assert!(
+                (p as usize) < self.n() && !std::mem::replace(&mut seen[p as usize], true),
+                "relabel: not a permutation"
+            );
+        }
+        let mut g = Graph::new(self.n());
+        for e in self.edge_vec() {
+            g.add_edge(perm[e.u as usize], perm[e.v as usize]);
+        }
+        g
+    }
+
+    /// The *edge swap* move of the basic network creation game, performed by
+    /// agent `v`: remove incident edge `vw`, add incident edge `vw2`.
+    ///
+    /// Following the paper, a swap onto an already existing edge `vw2`
+    /// degenerates to a pure deletion of `vw`, and `w2 == w` is a no-op.
+    /// Returns the [`SwapApplied`] record needed to undo the move.
+    ///
+    /// # Panics
+    /// Panics if `vw` is not an edge or `w2 == v`.
+    pub fn apply_swap(&mut self, v: V, w: V, w2: V) -> SwapApplied {
+        assert_ne!(w2, v, "cannot swap onto a self-loop");
+        assert!(self.has_edge(v, w), "swap requires existing edge vw");
+        if w2 == w {
+            return SwapApplied::Noop;
+        }
+        self.remove_edge(v, w);
+        if self.add_edge(v, w2) {
+            SwapApplied::Swapped { v, w, w2 }
+        } else {
+            // Edge vw2 already existed: the move is a deletion of vw.
+            SwapApplied::Deleted { v, w }
+        }
+    }
+
+    /// Undoes a move previously returned by [`Graph::apply_swap`].
+    pub fn undo_swap(&mut self, applied: SwapApplied) {
+        match applied {
+            SwapApplied::Noop => {}
+            SwapApplied::Swapped { v, w, w2 } => {
+                self.remove_edge(v, w2);
+                self.add_edge(v, w);
+            }
+            SwapApplied::Deleted { v, w } => {
+                self.add_edge(v, w);
+            }
+        }
+    }
+}
+
+/// Undo record for [`Graph::apply_swap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapApplied {
+    /// The swap did not change the graph (`w2 == w`).
+    Noop,
+    /// Edge `vw` was replaced by `vw2`.
+    Swapped {
+        /// Acting agent.
+        v: V,
+        /// Removed neighbor.
+        w: V,
+        /// Added neighbor.
+        w2: V,
+    },
+    /// The swap degenerated to deletion of `vw` because `vw2` already
+    /// existed.
+    Deleted {
+        /// Acting agent.
+        v: V,
+        /// Removed neighbor.
+        w: V,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_normalizes_and_reports_other_endpoint() {
+        let e = Edge::new(5, 2);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(3, 3);
+    }
+
+    #[test]
+    fn add_remove_edge_roundtrip() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "parallel edge must be rejected");
+        assert!(g.add_edge(1, 2));
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted() {
+        let mut g = Graph::new(6);
+        for &v in &[5, 1, 3, 2, 4] {
+            g.add_edge(0, v);
+        }
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn edge_vec_lists_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let edges = g.edge_vec();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.iter().all(|e| e.u < e.v));
+        assert_eq!(edges.len(), g.edges().count());
+    }
+
+    #[test]
+    fn swap_moves_edge_and_undo_restores() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let orig = g.clone();
+        let rec = g.apply_swap(0, 1, 3); // replace 0-1 by 0-3
+        assert!(matches!(rec, SwapApplied::Swapped { .. }));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+        g.undo_swap(rec);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn swap_onto_existing_edge_is_deletion() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let orig = g.clone();
+        let rec = g.apply_swap(0, 1, 2); // 0-2 already exists -> delete 0-1
+        assert!(matches!(rec, SwapApplied::Deleted { .. }));
+        assert_eq!(g.m(), 2);
+        assert!(!g.has_edge(0, 1));
+        g.undo_swap(rec);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn swap_onto_same_neighbor_is_noop() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let orig = g.clone();
+        let rec = g.apply_swap(0, 1, 1);
+        assert!(matches!(rec, SwapApplied::Noop));
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let h = g.relabel(&[3, 2, 1, 0]);
+        assert_eq!(h.m(), 3);
+        assert!(h.has_edge(3, 2) && h.has_edge(2, 1) && h.has_edge(1, 0));
+        assert_eq!(h.degree_sequence(), g.degree_sequence());
+    }
+
+    #[test]
+    fn add_vertices_extends_graph() {
+        let mut g = Graph::from_edges(2, &[(0, 1)]);
+        let first = g.add_vertices(3);
+        assert_eq!(first, 2);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Cut vertices (articulation points) and bridges, via an iterative
+//! Hopcroft–Tarjan DFS.
+//!
+//! Lemma 3 of the paper constrains how components hang off a cut vertex in a
+//! max-equilibrium graph; the executable form of that lemma (in `bncg-core`)
+//! consumes the output of [`articulation_points`].
+
+use crate::{Graph, V};
+
+/// DFS bookkeeping shared by the articulation-point and bridge routines.
+struct LowlinkDfs {
+    disc: Vec<u32>,
+    low: Vec<u32>,
+    parent: Vec<Option<V>>,
+    timer: u32,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+impl LowlinkDfs {
+    fn new(n: usize) -> Self {
+        LowlinkDfs {
+            disc: vec![UNVISITED; n],
+            low: vec![0; n],
+            parent: vec![None; n],
+            timer: 0,
+        }
+    }
+
+    /// Iterative DFS from `root`, invoking `on_closed(child, parent, state)`
+    /// when the subtree of `child` has been fully explored.
+    fn run<F: FnMut(V, V, &LowlinkDfs)>(&mut self, g: &Graph, root: V, mut on_closed: F) {
+        // Stack frames: (vertex, index into neighbor list).
+        let mut stack: Vec<(V, usize)> = vec![(root, 0)];
+        self.disc[root as usize] = self.timer;
+        self.low[root as usize] = self.timer;
+        self.timer += 1;
+        #[allow(clippy::while_let_loop)] // `while let` would hold the borrow across push/pop
+        loop {
+            let Some(frame) = stack.last_mut() else { break };
+            let v = frame.0;
+            let idx = frame.1;
+            let nbrs = g.neighbors(v);
+            if idx < nbrs.len() {
+                frame.1 += 1;
+                let w = nbrs[idx];
+                if self.disc[w as usize] == UNVISITED {
+                    self.parent[w as usize] = Some(v);
+                    self.disc[w as usize] = self.timer;
+                    self.low[w as usize] = self.timer;
+                    self.timer += 1;
+                    stack.push((w, 0));
+                } else if Some(w) != self.parent[v as usize] {
+                    self.low[v as usize] = self.low[v as usize].min(self.disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(p) = self.parent[v as usize] {
+                    self.low[p as usize] = self.low[p as usize].min(self.low[v as usize]);
+                    on_closed(v, p, self);
+                }
+            }
+        }
+    }
+}
+
+/// All articulation points (cut vertices) of `g`.
+pub fn articulation_points(g: &Graph) -> Vec<V> {
+    let n = g.n();
+    let mut dfs = LowlinkDfs::new(n);
+    let mut is_cut = vec![false; n];
+    let mut root_children = vec![0u32; n];
+    for root in 0..n as V {
+        if dfs.disc[root as usize] != UNVISITED {
+            continue;
+        }
+        dfs.run(g, root, |child, parent, state| {
+            if state.parent[parent as usize].is_none() {
+                root_children[parent as usize] += 1;
+            } else if state.low[child as usize] >= state.disc[parent as usize] {
+                is_cut[parent as usize] = true;
+            }
+        });
+        if root_children[root as usize] >= 2 {
+            is_cut[root as usize] = true;
+        }
+    }
+    (0..n as V).filter(|&v| is_cut[v as usize]).collect()
+}
+
+/// All bridges (cut edges) of `g`, each with endpoints ordered `u < v`.
+pub fn bridges(g: &Graph) -> Vec<(V, V)> {
+    let n = g.n();
+    let mut dfs = LowlinkDfs::new(n);
+    let mut out = Vec::new();
+    for root in 0..n as V {
+        if dfs.disc[root as usize] != UNVISITED {
+            continue;
+        }
+        dfs.run(g, root, |child, parent, state| {
+            if state.low[child as usize] > state.disc[parent as usize] {
+                out.push((child.min(parent), child.max(parent)));
+            }
+        });
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn path_interior_vertices_are_cut() {
+        let g = classic::path(5);
+        assert_eq!(articulation_points(&g), vec![1, 2, 3]);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_cut_vertices_or_bridges() {
+        let g = classic::cycle(7);
+        assert!(articulation_points(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn star_center_is_the_only_cut_vertex() {
+        let g = classic::star(6);
+        assert_eq!(articulation_points(&g), vec![0]);
+        assert_eq!(bridges(&g).len(), 5);
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        // A small caterpillar.
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (1, 4), (2, 5), (3, 6)]);
+        assert_eq!(bridges(&g).len(), g.m());
+    }
+
+    #[test]
+    fn barbell_handles_block_structure() {
+        // Two triangles joined by a bridge: 0-1-2-0 and 3-4-5-3 with edge 2-3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        assert_eq!(articulation_points(&g), vec![2, 3]);
+        assert_eq!(bridges(&g), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_handled_per_component() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]);
+        assert_eq!(articulation_points(&g), vec![1]);
+        assert_eq!(bridges(&g), vec![(0, 1), (1, 2)]);
+    }
+}

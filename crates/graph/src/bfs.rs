@@ -1,0 +1,228 @@
+//! Breadth-first search with reusable scratch buffers.
+//!
+//! BFS from a single source is the innermost kernel of every computation in
+//! this workspace (sums of distances, eccentricities, equilibrium checks all
+//! reduce to it), so it is written allocation-free: callers thread a
+//! [`BfsScratch`] through repeated calls, and parallel sweeps give each rayon
+//! worker its own scratch via `map_init`.
+
+use crate::{Csr, UNREACHABLE, V};
+
+/// Reusable buffers for BFS runs on graphs of a fixed vertex count.
+#[derive(Debug, Clone)]
+pub struct BfsScratch {
+    /// Distance labels; `UNREACHABLE` marks unvisited vertices.
+    pub dist: Vec<u32>,
+    queue: Vec<V>,
+}
+
+impl BfsScratch {
+    /// Scratch for graphs on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![UNREACHABLE; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+
+    /// Resizes the scratch for a different vertex count.
+    pub fn resize(&mut self, n: usize) {
+        self.dist.resize(n, UNREACHABLE);
+        self.queue.reserve(n.saturating_sub(self.queue.capacity()));
+    }
+
+    /// Runs BFS from `src`, filling `self.dist`. Returns the number of
+    /// vertices reached (including `src`) and the maximum finite distance
+    /// (the eccentricity of `src` within its component).
+    pub fn run(&mut self, csr: &Csr, src: V) -> BfsSummary {
+        debug_assert_eq!(self.dist.len(), csr.n());
+        self.dist.fill(UNREACHABLE);
+        self.queue.clear();
+        self.dist[src as usize] = 0;
+        self.queue.push(src);
+        let mut head = 0;
+        let mut max_dist = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &w in csr.neighbors(u) {
+                if self.dist[w as usize] == UNREACHABLE {
+                    self.dist[w as usize] = du + 1;
+                    max_dist = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        BfsSummary {
+            reached: self.queue.len(),
+            ecc: max_dist,
+        }
+    }
+
+    /// Runs BFS from `src` on the graph `G − xy` (one edge masked out),
+    /// without materializing the modified graph. This is the kernel of the
+    /// swap evaluator: the game's swap `vw → vw'` is "delete `vw`, insert
+    /// `vw'`", and insertions are handled analytically afterwards.
+    pub fn run_masked(&mut self, csr: &Csr, src: V, mask: (V, V)) -> BfsSummary {
+        debug_assert_eq!(self.dist.len(), csr.n());
+        self.dist.fill(UNREACHABLE);
+        self.queue.clear();
+        self.dist[src as usize] = 0;
+        self.queue.push(src);
+        let mut head = 0;
+        let mut max_dist = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            for &w in csr.neighbors(u) {
+                if (u, w) == mask || (w, u) == mask {
+                    continue;
+                }
+                if self.dist[w as usize] == UNREACHABLE {
+                    self.dist[w as usize] = du + 1;
+                    max_dist = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        BfsSummary {
+            reached: self.queue.len(),
+            ecc: max_dist,
+        }
+    }
+
+    /// Runs BFS from `src` with a *set* of edges masked out — the kernel
+    /// behind `k`-edge-swap stability checks, where an agent may drop
+    /// several incident edges at once.
+    pub fn run_masked_many(&mut self, csr: &Csr, src: V, masks: &[(V, V)]) -> BfsSummary {
+        debug_assert_eq!(self.dist.len(), csr.n());
+        self.dist.fill(UNREACHABLE);
+        self.queue.clear();
+        self.dist[src as usize] = 0;
+        self.queue.push(src);
+        let mut head = 0;
+        let mut max_dist = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            'nbrs: for &w in csr.neighbors(u) {
+                for &(a, b) in masks {
+                    if (u == a && w == b) || (u == b && w == a) {
+                        continue 'nbrs;
+                    }
+                }
+                if self.dist[w as usize] == UNREACHABLE {
+                    self.dist[w as usize] = du + 1;
+                    max_dist = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        BfsSummary {
+            reached: self.queue.len(),
+            ecc: max_dist,
+        }
+    }
+
+    /// Sum of all finite distances from the most recent run, or `None` if
+    /// some vertex was unreached (the game treats disconnection as infinite
+    /// cost).
+    pub fn sum_if_connected(&self) -> Option<u64> {
+        let mut sum = 0u64;
+        for &d in &self.dist {
+            if d == UNREACHABLE {
+                return None;
+            }
+            sum += u64::from(d);
+        }
+        Some(sum)
+    }
+}
+
+/// Result of one BFS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsSummary {
+    /// Number of vertices reached, including the source.
+    pub reached: usize,
+    /// Largest finite distance found (eccentricity within the component).
+    pub ecc: u32,
+}
+
+/// One-shot BFS convenience wrapper: distances from `src`.
+pub fn bfs_distances(csr: &Csr, src: V) -> Vec<u32> {
+    let mut scratch = BfsScratch::new(csr.n());
+    scratch.run(csr, src);
+    scratch.dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::Graph;
+
+    #[test]
+    fn path_distances_are_linear() {
+        let csr = classic::path(6).to_csr();
+        let d = bfs_distances(&csr, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cycle_distances_wrap() {
+        let csr = classic::cycle(6).to_csr();
+        let d = bfs_distances(&csr, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_vertices_are_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let csr = g.to_csr();
+        let mut s = BfsScratch::new(4);
+        let summary = s.run(&csr, 0);
+        assert_eq!(summary.reached, 2);
+        assert_eq!(s.dist[2], UNREACHABLE);
+        assert_eq!(s.sum_if_connected(), None);
+    }
+
+    #[test]
+    fn summary_reports_eccentricity() {
+        let csr = classic::path(5).to_csr();
+        let mut s = BfsScratch::new(5);
+        assert_eq!(s.run(&csr, 2).ecc, 2);
+        assert_eq!(s.run(&csr, 0).ecc, 4);
+        assert_eq!(s.sum_if_connected(), Some(1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn masked_bfs_ignores_one_edge() {
+        let csr = classic::cycle(6).to_csr();
+        let mut s = BfsScratch::new(6);
+        // Removing edge (0,5) turns the cycle into a path from 0.
+        let summary = s.run_masked(&csr, 0, (0, 5));
+        assert_eq!(summary.reached, 6);
+        assert_eq!(s.dist, vec![0, 1, 2, 3, 4, 5]);
+        // Removing a bridge disconnects.
+        let path = classic::path(4).to_csr();
+        let mut s2 = BfsScratch::new(4);
+        let summary2 = s2.run_masked(&path, 0, (1, 2));
+        assert_eq!(summary2.reached, 2);
+        assert_eq!(s2.sum_if_connected(), None);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_runs() {
+        let c6 = classic::cycle(6).to_csr();
+        let mut s = BfsScratch::new(6);
+        for src in 0..6 {
+            let summary = s.run(&c6, src);
+            assert_eq!(summary.reached, 6);
+            assert_eq!(summary.ecc, 3);
+            assert_eq!(s.sum_if_connected(), Some(1 + 2 + 3 + 2 + 1));
+        }
+    }
+}

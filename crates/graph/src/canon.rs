@@ -1,0 +1,276 @@
+//! Canonical forms: AHU tree canonicalization (exact for trees) and
+//! brute-force canonical labelings for small general graphs.
+//!
+//! The tree census of Experiments E1/E2 needs exact isomorphism classes of
+//! trees; the AHU (Aho–Hopcroft–Ullman) encoding rooted at the tree center
+//! provides a canonical string in `O(n log n)`. For small general graphs
+//! (`n ≤ 9`) we fall back to minimizing the adjacency bitset over all
+//! vertex permutations, with degree-partition pruning.
+
+use crate::{Graph, V};
+
+/// Centers of a tree (one or two vertices), found by iteratively stripping
+/// leaves.
+///
+/// # Panics
+/// Panics if `g` is not a tree.
+pub fn tree_centers(g: &Graph) -> Vec<V> {
+    assert!(crate::properties::is_tree(g), "tree_centers requires a tree");
+    let n = g.n();
+    if n <= 2 {
+        return (0..n as V).collect();
+    }
+    let mut degree: Vec<u32> = (0..n as V).map(|v| g.degree(v) as u32).collect();
+    let mut layer: Vec<V> = (0..n as V).filter(|&v| degree[v as usize] == 1).collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        let mut next = Vec::new();
+        remaining -= layer.len();
+        for &leaf in &layer {
+            degree[leaf as usize] = 0;
+            for &w in g.neighbors(leaf) {
+                if degree[w as usize] > 0 {
+                    degree[w as usize] -= 1;
+                    if degree[w as usize] == 1 {
+                        next.push(w);
+                    }
+                }
+            }
+        }
+        layer = next;
+    }
+    layer.sort_unstable();
+    layer
+}
+
+/// AHU canonical encoding of the tree rooted at `root`: a balanced-paren
+/// string (as bytes) where each subtree's children encodings are sorted.
+/// Two rooted trees are isomorphic iff their encodings are equal.
+pub fn ahu_rooted(g: &Graph, root: V) -> Vec<u8> {
+    // Iterative post-order to avoid recursion depth issues on paths.
+    fn encode(g: &Graph, root: V) -> Vec<u8> {
+        let n = g.n();
+        let mut parent = vec![V::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut stack = vec![root];
+        parent[root as usize] = root;
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if parent[w as usize] == V::MAX {
+                    parent[w as usize] = v;
+                    stack.push(w);
+                }
+            }
+        }
+        let mut codes: Vec<Vec<Vec<u8>>> = vec![Vec::new(); n];
+        let mut result: Vec<u8> = Vec::new();
+        for &v in order.iter().rev() {
+            let mut children = std::mem::take(&mut codes[v as usize]);
+            children.sort();
+            let mut code = Vec::with_capacity(2 + children.iter().map(Vec::len).sum::<usize>());
+            code.push(b'(');
+            for c in children {
+                code.extend_from_slice(&c);
+            }
+            code.push(b')');
+            if v == root {
+                result = code;
+            } else {
+                codes[parent[v as usize] as usize].push(code);
+            }
+        }
+        result
+    }
+    encode(g, root)
+}
+
+/// Canonical form of a **free** tree: the lexicographically smallest AHU
+/// encoding over the tree's center(s). Two trees are isomorphic iff their
+/// canonical forms are equal.
+///
+/// # Panics
+/// Panics if `g` is not a tree.
+pub fn tree_canonical(g: &Graph) -> Vec<u8> {
+    let centers = tree_centers(g);
+    centers
+        .iter()
+        .map(|&c| ahu_rooted(g, c))
+        .min()
+        .expect("a tree has at least one center")
+}
+
+/// Whether two trees are isomorphic (exact, via AHU canonical forms).
+pub fn trees_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.n() == b.n() && tree_canonical(a) == tree_canonical(b)
+}
+
+/// Canonical adjacency bitset for small graphs: the minimum, over all
+/// vertex permutations consistent with the degree partition, of the
+/// row-major upper-triangle adjacency bits. Exact isomorphism invariant.
+///
+/// # Panics
+/// Panics for `n > 10` (the factorial search would be too slow).
+pub fn canonical_form_small(g: &Graph) -> Vec<u64> {
+    let n = g.n();
+    assert!(n <= 10, "canonical_form_small is limited to n <= 10");
+    // Order vertices by degree so permutations map degree classes to
+    // degree classes; we enumerate permutations of 0..n and skip those that
+    // break the degree partition.
+    let degrees: Vec<usize> = (0..n as V).map(|v| g.degree(v)).collect();
+    let mut best: Option<Vec<u64>> = None;
+    let mut perm: Vec<V> = (0..n as V).collect();
+    permute(&mut perm, 0, &mut |p| {
+        // Degree-partition pruning: p must map equal-degree vertices onto
+        // equal-degree positions. (p[v] = new label of v.)
+        for v in 0..n {
+            if degrees[v] != degrees[p[v] as usize] {
+                return;
+            }
+        }
+        let bits = adjacency_bits(g, p);
+        if best.as_ref().is_none_or(|b| bits < *b) {
+            best = Some(bits);
+        }
+    });
+    best.unwrap_or_default()
+}
+
+/// Whether two small graphs (`n ≤ 10`) are isomorphic, via
+/// [`canonical_form_small`].
+pub fn small_graphs_isomorphic(a: &Graph, b: &Graph) -> bool {
+    a.n() == b.n()
+        && a.m() == b.m()
+        && a.degree_sequence() == b.degree_sequence()
+        && canonical_form_small(a) == canonical_form_small(b)
+}
+
+fn adjacency_bits(g: &Graph, perm: &[V]) -> Vec<u64> {
+    let n = g.n();
+    let total_bits = n * (n - 1) / 2;
+    let mut bits = vec![0u64; total_bits.div_ceil(64).max(1)];
+    let idx = |i: usize, j: usize| {
+        debug_assert!(i < j);
+        i * (2 * n - i - 1) / 2 + (j - i - 1)
+    };
+    for e in g.edges() {
+        let a = perm[e.u as usize] as usize;
+        let b = perm[e.v as usize] as usize;
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        let k = idx(i, j);
+        bits[k / 64] |= 1 << (k % 64);
+    }
+    bits
+}
+
+fn permute<F: FnMut(&[V])>(perm: &mut Vec<V>, k: usize, f: &mut F) {
+    if k == perm.len() {
+        f(perm);
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute(perm, k + 1, f);
+        perm.swap(k, i);
+    }
+}
+
+/// 1-dimensional Weisfeiler–Leman refinement hash: a fast isomorphism
+/// *invariant* (not complete) used to pre-bucket graphs before exact
+/// comparison.
+pub fn wl1_hash(g: &Graph, rounds: usize) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let n = g.n();
+    let mut colors: Vec<u64> = (0..n as V).map(|v| g.degree(v) as u64).collect();
+    for _ in 0..rounds {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n as V {
+            let mut nbr: Vec<u64> = g.neighbors(v).iter().map(|&w| colors[w as usize]).collect();
+            nbr.sort_unstable();
+            let mut h = DefaultHasher::new();
+            colors[v as usize].hash(&mut h);
+            nbr.hash(&mut h);
+            next.push(h.finish());
+        }
+        colors = next;
+    }
+    colors.sort_unstable();
+    let mut h = DefaultHasher::new();
+    colors.hash(&mut h);
+    n.hash(&mut h);
+    (g.m() as u64).hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn path_centers() {
+        assert_eq!(tree_centers(&classic::path(5)), vec![2]);
+        assert_eq!(tree_centers(&classic::path(6)), vec![2, 3]);
+        assert_eq!(tree_centers(&classic::star(7)), vec![0]);
+        assert_eq!(tree_centers(&classic::path(1)), vec![0]);
+        assert_eq!(tree_centers(&classic::path(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn ahu_distinguishes_nonisomorphic_trees() {
+        // Two 5-vertex trees with equal degree sequences {1,1,1,2,3}... the
+        // "chair" vs the "spider" actually differ in degree sequence; use
+        // the two distinct 6-vertex trees with degree sequence (3,2,2,1,1,1).
+        let a = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]);
+        let b = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 4), (3, 5)]);
+        assert_eq!(a.degree_sequence(), b.degree_sequence());
+        assert!(!trees_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn ahu_is_relabel_invariant() {
+        let g = classic::double_star(2, 3);
+        let perm: Vec<V> = vec![3, 6, 0, 5, 2, 4, 1];
+        let h = g.relabel(&perm);
+        assert!(trees_isomorphic(&g, &h));
+        assert_eq!(tree_canonical(&g), tree_canonical(&h));
+    }
+
+    #[test]
+    fn small_canonical_distinguishes_c4_from_p4_plus_edge() {
+        let c4 = classic::cycle(4);
+        let paw = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert!(!small_graphs_isomorphic(&c4, &paw));
+        // C4 relabeled stays isomorphic.
+        let c4b = c4.relabel(&[2, 0, 3, 1]);
+        assert!(small_graphs_isomorphic(&c4, &c4b));
+    }
+
+    #[test]
+    fn small_canonical_catches_regular_nonisomorphic_pair() {
+        // K_{3,3} and the 3-prism (C3 x K2) are both 3-regular on 6 vertices.
+        let k33 = classic::complete_bipartite(3, 3);
+        let prism = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+        );
+        assert_eq!(k33.degree_sequence(), prism.degree_sequence());
+        assert!(!small_graphs_isomorphic(&k33, &prism));
+    }
+
+    #[test]
+    fn wl_hash_is_relabel_invariant() {
+        let g = classic::petersen();
+        let perm: Vec<V> = vec![9, 3, 5, 0, 7, 1, 8, 2, 6, 4];
+        let h = g.relabel(&perm);
+        assert_eq!(wl1_hash(&g, 3), wl1_hash(&h, 3));
+    }
+
+    #[test]
+    fn rooted_ahu_depends_on_root() {
+        let p = classic::path(4);
+        assert_ne!(ahu_rooted(&p, 0), ahu_rooted(&p, 1));
+        assert_eq!(ahu_rooted(&p, 1), ahu_rooted(&p, 2));
+    }
+}

@@ -1,0 +1,133 @@
+//! Connectivity: disjoint-set union and connected components.
+//!
+//! Connectivity is consulted constantly by the game layer — a swap that
+//! disconnects the graph has infinite usage cost and is never improving — so
+//! the DSU here is the standard union-by-size + path-halving structure.
+
+use crate::{Graph, V};
+
+/// Disjoint-set union (union-find) with union by size and path halving.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let r = self.find(x);
+        self.size[r as usize] as usize
+    }
+}
+
+/// Per-vertex component labels (`0..count`) and the component count.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut dsu = Dsu::new(g.n());
+    for e in g.edges() {
+        dsu.union(e.u, e.v);
+    }
+    let mut labels = vec![u32::MAX; g.n()];
+    let mut next = 0;
+    for v in 0..g.n() as V {
+        let r = dsu.find(v);
+        if labels[r as usize] == u32::MAX {
+            labels[r as usize] = next;
+            next += 1;
+        }
+        labels[v as usize] = labels[r as usize];
+    }
+    (labels, next as usize)
+}
+
+/// Whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.n() <= 1 || connected_components(g).1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn dsu_merges_and_counts() {
+        let mut dsu = Dsu::new(5);
+        assert_eq!(dsu.component_count(), 5);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2));
+        assert_eq!(dsu.component_count(), 3);
+        assert!(dsu.connected(0, 2));
+        assert!(!dsu.connected(0, 3));
+        assert_eq!(dsu.component_size(1), 3);
+    }
+
+    #[test]
+    fn components_of_forest() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn classic_families_are_connected() {
+        assert!(is_connected(&classic::path(9)));
+        assert!(is_connected(&classic::cycle(5)));
+        assert!(is_connected(&classic::star(12)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+}

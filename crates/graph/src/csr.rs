@@ -1,0 +1,147 @@
+//! Immutable compressed-sparse-row snapshot of a graph.
+//!
+//! All metric kernels (BFS, APSP, eccentricities) run on [`Csr`] rather than
+//! the mutable [`Graph`](crate::Graph): a flat `offsets`/`targets` pair keeps
+//! neighbor scans sequential in memory, which is what the per-source BFS
+//! sweeps spend essentially all of their time doing.
+
+use crate::V;
+
+/// Compressed-sparse-row adjacency structure for an undirected graph.
+///
+/// Each undirected edge appears twice in `targets` (once per direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<V>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-vertex neighbor lists.
+    pub fn from_adjacency(adj: &[Vec<V>]) -> Self {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for nbrs in adj {
+            targets.extend_from_slice(nbrs);
+            targets_len_guard(targets.len());
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Builds a CSR directly from an edge list over `n` vertices.
+    ///
+    /// Duplicate and self-loop edges must not be present.
+    pub fn from_edges(n: usize, edges: &[(V, V)]) -> Self {
+        let mut deg = vec![0u32; n];
+        for &(u, v) in edges {
+            assert_ne!(u, v, "self-loops are not allowed");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as V; 2 * edges.len()];
+        for &(u, v) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `v` as a contiguous slice.
+    #[inline]
+    pub fn neighbors(&self, v: V) -> &[V] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: V) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// A vertex of maximum degree (ties broken by smallest id); `None` for
+    /// the empty graph.
+    pub fn max_degree_vertex(&self) -> Option<V> {
+        (0..self.n() as V).max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+    }
+}
+
+#[inline]
+fn targets_len_guard(len: usize) {
+    assert!(
+        len <= u32::MAX as usize,
+        "graph too large for u32 CSR offsets"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let csr = g.to_csr();
+        assert_eq!(csr.n(), 5);
+        assert_eq!(csr.m(), 6);
+        for v in 0..5 {
+            assert_eq!(csr.neighbors(v), g.neighbors(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn from_edges_agrees_with_from_adjacency() {
+        let edges = [(0, 1), (1, 2), (0, 2), (2, 3)];
+        let g = Graph::from_edges(4, &edges);
+        let a = g.to_csr();
+        let b = Csr::from_edges(4, &edges);
+        for v in 0..4 {
+            let mut nb = b.neighbors(v).to_vec();
+            nb.sort_unstable();
+            assert_eq!(a.neighbors(v), nb.as_slice());
+        }
+    }
+
+    #[test]
+    fn max_degree_vertex_picks_hub() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        assert_eq!(g.to_csr().max_degree_vertex(), Some(0));
+        let empty = Graph::new(0);
+        assert_eq!(empty.to_csr().max_degree_vertex(), None);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_slices() {
+        let g = Graph::new(3);
+        let csr = g.to_csr();
+        for v in 0..3 {
+            assert!(csr.neighbors(v).is_empty());
+        }
+    }
+}

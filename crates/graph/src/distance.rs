@@ -1,0 +1,433 @@
+//! All-pairs shortest paths and metric summaries.
+//!
+//! The paper's equilibrium notions are defined through two per-vertex
+//! functionals of the shortest-path metric: the *sum of distances* (sum
+//! version) and the *local diameter* / eccentricity (max version). This
+//! module computes the full metric in parallel (one BFS per source, spread
+//! over rayon workers) and exposes the two **insertion identities** that let
+//! higher layers evaluate *every* single-edge insertion from one APSP:
+//!
+//! * `d_{G+uv}(u, x) = min(d_G(u, x), 1 + d_G(v, x))` — a shortest path from
+//!   `u` uses the new edge at most once, and if so, first (a simple path
+//!   cannot revisit `u`);
+//! * hence the post-insertion sum/eccentricity of `u` is a single `O(n)`
+//!   scan over precomputed rows.
+//!
+//! These identities are what make the Corollary 11 audit, the insertion
+//! stability check of Theorem 12, and the skew-triple machinery of
+//! Theorem 13 run at `O(n²)` instead of `O(n² · m)`.
+
+use rayon::prelude::*;
+
+use crate::bfs::BfsScratch;
+use crate::{Csr, V};
+
+/// Sentinel distance for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Dense all-pairs shortest-path matrix (row-major, `n × n`, `u32`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<u32>,
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs shortest paths by parallel per-source BFS.
+    pub fn build(csr: &Csr) -> Self {
+        let n = csr.n();
+        let mut d = vec![UNREACHABLE; n * n];
+        d.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each_init(
+                || BfsScratch::new(n),
+                |scratch, (src, row)| {
+                    scratch.run(csr, src as V);
+                    row.copy_from_slice(&scratch.dist);
+                },
+            );
+        DistanceMatrix { n, d }
+    }
+
+    /// Computes all-pairs shortest paths of `G − xy` (one edge masked)
+    /// without materializing the modified graph. This is the per-deleted-edge
+    /// step of the swap evaluator.
+    pub fn build_masked(csr: &Csr, mask: (V, V)) -> Self {
+        let n = csr.n();
+        let mut d = vec![UNREACHABLE; n * n];
+        d.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each_init(
+                || BfsScratch::new(n),
+                |scratch, (src, row)| {
+                    scratch.run_masked(csr, src as V, mask);
+                    row.copy_from_slice(&scratch.dist);
+                },
+            );
+        DistanceMatrix { n, d }
+    }
+
+    /// Computes all-pairs shortest paths with a *set* of edges masked out
+    /// (the `k`-swap generalization of [`DistanceMatrix::build_masked`]).
+    pub fn build_masked_many(csr: &Csr, masks: &[(V, V)]) -> Self {
+        let n = csr.n();
+        let mut d = vec![UNREACHABLE; n * n];
+        d.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each_init(
+                || BfsScratch::new(n),
+                |scratch, (src, row)| {
+                    scratch.run_masked_many(csr, src as V, masks);
+                    row.copy_from_slice(&scratch.dist);
+                },
+            );
+        DistanceMatrix { n, d }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v` (`UNREACHABLE` if disconnected).
+    #[inline]
+    pub fn get(&self, u: V, v: V) -> u32 {
+        self.d[u as usize * self.n + v as usize]
+    }
+
+    /// Row of distances from `u`.
+    #[inline]
+    pub fn row(&self, u: V) -> &[u32] {
+        &self.d[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// Whether every pair is connected.
+    pub fn is_connected(&self) -> bool {
+        self.n == 0 || !self.d.contains(&UNREACHABLE)
+    }
+
+    /// Sum of distances from `u` (the paper's *sum usage cost*), `None` when
+    /// some vertex is unreachable.
+    pub fn sum_from(&self, u: V) -> Option<u64> {
+        let mut sum = 0u64;
+        for &x in self.row(u) {
+            if x == UNREACHABLE {
+                return None;
+            }
+            sum += u64::from(x);
+        }
+        Some(sum)
+    }
+
+    /// Eccentricity of `u` (the paper's *local diameter*), `None` when some
+    /// vertex is unreachable.
+    pub fn ecc(&self, u: V) -> Option<u32> {
+        let mut m = 0;
+        for &x in self.row(u) {
+            if x == UNREACHABLE {
+                return None;
+            }
+            m = m.max(x);
+        }
+        Some(m)
+    }
+
+    /// All eccentricities, `None` if the graph is disconnected.
+    pub fn eccentricities(&self) -> Option<Vec<u32>> {
+        (0..self.n as V).map(|u| self.ecc(u)).collect()
+    }
+
+    /// Exact diameter, `None` if disconnected (or the graph is empty).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0;
+        for u in 0..self.n as V {
+            best = best.max(self.ecc(u)?);
+        }
+        Some(best)
+    }
+
+    /// Exact radius (minimum eccentricity), `None` if disconnected/empty.
+    pub fn radius(&self) -> Option<u32> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = u32::MAX;
+        for u in 0..self.n as V {
+            best = best.min(self.ecc(u)?);
+        }
+        Some(best)
+    }
+
+    /// The Wiener-type total: sum over *ordered* pairs of `d(u,v)`.
+    pub fn total_distance(&self) -> Option<u64> {
+        let mut t = 0u64;
+        for u in 0..self.n as V {
+            t += self.sum_from(u)?;
+        }
+        Some(t)
+    }
+
+    /// Sum of distances from `u` in `G + uv` via the insertion identity
+    /// (`G` must be connected for a meaningful result; unreachable entries
+    /// propagate as `None`).
+    pub fn sum_from_with_insertion(&self, u: V, v: V) -> Option<u64> {
+        let ru = self.row(u);
+        let rv = self.row(v);
+        let mut sum = 0u64;
+        for (&du, &dv) in ru.iter().zip(rv) {
+            let via = dv.checked_add(1).unwrap_or(UNREACHABLE);
+            let d = du.min(via);
+            if d == UNREACHABLE {
+                return None;
+            }
+            sum += u64::from(d);
+        }
+        Some(sum)
+    }
+
+    /// Eccentricity of `u` in `G + uv` via the insertion identity.
+    pub fn ecc_with_insertion(&self, u: V, v: V) -> Option<u32> {
+        let ru = self.row(u);
+        let rv = self.row(v);
+        let mut m = 0;
+        for (&du, &dv) in ru.iter().zip(rv) {
+            let via = dv.saturating_add(1);
+            let d = du.min(via);
+            if d == UNREACHABLE {
+                return None;
+            }
+            m = m.max(d);
+        }
+        Some(m)
+    }
+
+    /// Histogram of distances from `u`: `hist[k]` = number of vertices at
+    /// distance exactly `k` (the sphere sizes `S_k(u)` of Theorem 9).
+    /// Unreachable vertices are not counted.
+    pub fn sphere_sizes(&self, u: V) -> Vec<usize> {
+        let mut hist = Vec::new();
+        for &x in self.row(u) {
+            if x == UNREACHABLE {
+                continue;
+            }
+            let x = x as usize;
+            if hist.len() <= x {
+                hist.resize(x + 1, 0);
+            }
+            hist[x] += 1;
+        }
+        hist
+    }
+}
+
+/// All eccentricities computed without storing the full matrix — the
+/// memory-light path for large graphs (used by the torus sweeps).
+pub fn eccentricities_streaming(csr: &Csr) -> Option<Vec<u32>> {
+    let n = csr.n();
+    let eccs: Vec<Option<u32>> = (0..n as V)
+        .into_par_iter()
+        .map_init(
+            || BfsScratch::new(n),
+            |scratch, src| {
+                let s = scratch.run(csr, src);
+                (s.reached == n).then_some(s.ecc)
+            },
+        )
+        .collect();
+    eccs.into_iter().collect()
+}
+
+/// Exact diameter via the iFUB (iterative fringe upper bound) algorithm:
+/// usually touches only a handful of BFS trees on low-diameter graphs, and
+/// degrades gracefully to `O(n)` BFS runs in the worst case.
+///
+/// Returns `None` on disconnected or empty graphs.
+pub fn diameter_ifub(csr: &Csr) -> Option<u32> {
+    let n = csr.n();
+    if n == 0 {
+        return None;
+    }
+    let mut scratch = BfsScratch::new(n);
+
+    // Double sweep from a max-degree vertex to find a good root.
+    let start = csr.max_degree_vertex()?;
+    let s1 = scratch.run(csr, start);
+    if s1.reached != n {
+        return None;
+    }
+    let far = argmax(&scratch.dist);
+    let s2 = scratch.run(csr, far);
+    let far2 = argmax(&scratch.dist);
+    let mut lb = s2.ecc;
+    // Root at the midpoint of the (far, far2) path approximated by a vertex
+    // whose distances to both are balanced.
+    let dist_far = scratch.dist.clone();
+    scratch.run(csr, far2);
+    let root = (0..n as V)
+        .filter(|&v| dist_far[v as usize] != UNREACHABLE)
+        .min_by_key(|&v| {
+            let a = dist_far[v as usize];
+            let b = scratch.dist[v as usize];
+            (a.max(b) - a.min(b), a.max(b))
+        })
+        .unwrap_or(start);
+
+    let root_summary = scratch.run(csr, root);
+    let root_dist = scratch.dist.clone();
+    let mut levels: Vec<Vec<V>> = vec![Vec::new(); root_summary.ecc as usize + 1];
+    for (v, &d) in root_dist.iter().enumerate() {
+        levels[d as usize].push(v as V);
+    }
+    lb = lb.max(root_summary.ecc);
+    let mut i = root_summary.ecc;
+    let mut ub = 2 * i;
+    while ub > lb && i > 0 {
+        let mut level_max = 0;
+        for &v in &levels[i as usize] {
+            let s = scratch.run(csr, v);
+            level_max = level_max.max(s.ecc);
+        }
+        lb = lb.max(level_max);
+        ub = 2 * (i - 1);
+        i -= 1;
+    }
+    Some(lb)
+}
+
+fn argmax(dist: &[u32]) -> V {
+    let mut best = 0;
+    let mut best_d = 0;
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d > best_d {
+            best_d = d;
+            best = v;
+        }
+    }
+    best as V
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::Graph;
+
+    #[test]
+    fn path_metric_summaries() {
+        let dm = DistanceMatrix::build(&classic::path(5).to_csr());
+        assert_eq!(dm.get(0, 4), 4);
+        assert_eq!(dm.diameter(), Some(4));
+        assert_eq!(dm.radius(), Some(2));
+        assert_eq!(dm.sum_from(0), Some(10));
+        assert_eq!(dm.sum_from(2), Some(6));
+        assert_eq!(dm.ecc(2), Some(2));
+        assert!(dm.is_connected());
+    }
+
+    #[test]
+    fn star_has_diameter_two() {
+        let dm = DistanceMatrix::build(&classic::star(10).to_csr());
+        assert_eq!(dm.diameter(), Some(2));
+        assert_eq!(dm.radius(), Some(1));
+        // center: n-1 leaves at distance 1
+        assert_eq!(dm.sum_from(0), Some(9));
+        // leaf: 1 + 2*(n-2)
+        assert_eq!(dm.sum_from(1), Some(1 + 2 * 8));
+    }
+
+    #[test]
+    fn disconnected_graph_reports_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert!(!dm.is_connected());
+        assert_eq!(dm.diameter(), None);
+        assert_eq!(dm.sum_from(0), None);
+        assert_eq!(dm.ecc(0), None);
+        assert_eq!(dm.total_distance(), None);
+    }
+
+    #[test]
+    fn insertion_identity_matches_explicit_insertion() {
+        // Chord a long cycle and compare against actually inserting the edge.
+        let g = classic::cycle(12);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for (u, v) in [(0u32, 6u32), (1, 5), (2, 9), (0, 3)] {
+            let mut h = g.clone();
+            h.add_edge(u, v);
+            let dm2 = DistanceMatrix::build(&h.to_csr());
+            assert_eq!(
+                dm.sum_from_with_insertion(u, v),
+                dm2.sum_from(u),
+                "sum identity failed for chord ({u},{v})"
+            );
+            assert_eq!(
+                dm.ecc_with_insertion(u, v),
+                dm2.ecc(u),
+                "ecc identity failed for chord ({u},{v})"
+            );
+        }
+    }
+
+    #[test]
+    fn sphere_sizes_partition_the_graph() {
+        let dm = DistanceMatrix::build(&classic::cycle(9).to_csr());
+        let hist = dm.sphere_sizes(0);
+        assert_eq!(hist, vec![1, 2, 2, 2, 2]);
+        assert_eq!(hist.iter().sum::<usize>(), 9);
+    }
+
+    #[test]
+    fn total_distance_of_complete_graph() {
+        let dm = DistanceMatrix::build(&classic::complete(6).to_csr());
+        // ordered pairs: 6*5 at distance 1
+        assert_eq!(dm.total_distance(), Some(30));
+    }
+
+    #[test]
+    fn ifub_agrees_with_apsp_on_families() {
+        let graphs = vec![
+            classic::path(17),
+            classic::cycle(20),
+            classic::star(9),
+            classic::complete(7),
+            classic::grid(4, 5),
+            classic::hypercube(4),
+            classic::petersen(),
+        ];
+        for g in graphs {
+            let csr = g.to_csr();
+            let dm = DistanceMatrix::build(&csr);
+            assert_eq!(diameter_ifub(&csr), dm.diameter());
+        }
+    }
+
+    #[test]
+    fn ifub_none_on_disconnected() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter_ifub(&g.to_csr()), None);
+    }
+
+    #[test]
+    fn streaming_eccentricities_match_matrix() {
+        let g = classic::grid(3, 6);
+        let csr = g.to_csr();
+        let dm = DistanceMatrix::build(&csr);
+        assert_eq!(eccentricities_streaming(&csr), dm.eccentricities());
+    }
+
+    #[test]
+    fn masked_matrix_equals_matrix_of_masked_graph() {
+        let mut g = classic::cycle(8);
+        g.add_edge(0, 4);
+        let csr = g.to_csr();
+        let masked = DistanceMatrix::build_masked(&csr, (0, 4));
+        let mut g2 = g.clone();
+        g2.remove_edge(0, 4);
+        let direct = DistanceMatrix::build(&g2.to_csr());
+        assert_eq!(masked, direct);
+    }
+}

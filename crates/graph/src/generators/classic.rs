@@ -1,0 +1,257 @@
+//! Deterministic classic graph families.
+//!
+//! Conventions: vertices are `0..n`; generators panic on parameters that do
+//! not define a simple graph (e.g. `cycle(2)`).
+
+use crate::{Graph, V};
+
+/// Path `P_n`: vertices `0 − 1 − … − (n−1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n as V {
+        g.add_edge(v - 1, v);
+    }
+    g
+}
+
+/// Cycle `C_n` (`n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle requires n >= 3");
+    let mut g = path(n);
+    g.add_edge(0, (n - 1) as V);
+    g
+}
+
+/// Star `K_{1,n−1}` with center `0` (`n ≥ 1`). The unique sum-equilibrium
+/// tree of the paper's Theorem 1.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 1, "star requires n >= 1");
+    let mut g = Graph::new(n);
+    for v in 1..n as V {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// Double star `D(p, q)`: adjacent roots `0` and `1`, with `p` leaves on
+/// root 0 and `q` leaves on root 1. For `p, q ≥ 2` this is the paper's
+/// Figure 2 family — the diameter-3 max-equilibrium trees.
+pub fn double_star(p: usize, q: usize) -> Graph {
+    let n = 2 + p + q;
+    let mut g = Graph::new(n);
+    g.add_edge(0, 1);
+    for i in 0..p {
+        g.add_edge(0, (2 + i) as V);
+    }
+    for j in 0..q {
+        g.add_edge(1, (2 + p + j) as V);
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as V {
+        for v in (u + 1)..n as V {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a as V {
+        for v in a as V..(a + b) as V {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// `w × h` grid graph (no wraparound). Vertex `(x, y)` is `y*w + x`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as V;
+            if x + 1 < w {
+                g.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                g.add_edge(v, v + w as V);
+            }
+        }
+    }
+    g
+}
+
+/// `w × h` discrete torus (grid with wraparound). Requires `w, h ≥ 3` so
+/// the graph stays simple.
+pub fn torus_grid(w: usize, h: usize) -> Graph {
+    assert!(w >= 3 && h >= 3, "torus_grid requires w, h >= 3");
+    let mut g = Graph::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as V;
+            let right = (y * w + (x + 1) % w) as V;
+            let down = (((y + 1) % h) * w + x) as V;
+            g.add_edge(v, right);
+            g.add_edge(v, down);
+        }
+    }
+    g
+}
+
+/// Hypercube `Q_d` on `2^d` vertices.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if w > v {
+                g.add_edge(v as V, w as V);
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (3-regular, girth 5, diameter 2) — a handy
+/// vertex-transitive test subject.
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5u32 {
+        g.add_edge(i, (i + 1) % 5); // outer pentagon
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// Complete binary tree with `levels ≥ 1` levels (root = 0).
+pub fn binary_tree(levels: u32) -> Graph {
+    let n = (1usize << levels) - 1;
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(v as V, ((v - 1) / 2) as V);
+    }
+    g
+}
+
+/// Wheel `W_n`: a cycle on `n−1` vertices plus a hub adjacent to all
+/// (`n ≥ 4`). Hub is vertex `n−1`.
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4, "wheel requires n >= 4");
+    let mut g = cycle(n - 1);
+    let hub = g.add_vertices(1);
+    for v in 0..(n - 1) as V {
+        g.add_edge(hub, v);
+    }
+    g
+}
+
+/// Lollipop: clique `K_k` with a path of `t` extra vertices attached — a
+/// stock high-diameter, high-asymmetry test subject.
+pub fn lollipop(k: usize, t: usize) -> Graph {
+    let mut g = complete(k);
+    let first = g.add_vertices(t);
+    if t > 0 {
+        g.add_edge((k - 1) as V, first);
+        for i in 1..t as V {
+            g.add_edge(first + i - 1, first + i);
+        }
+    }
+    g
+}
+
+/// Circulant graph `C_n(S)`: vertex `i` adjacent to `i ± s (mod n)` for each
+/// `s ∈ s_set`. A Cayley graph of `Z_n`, used by the Theorem 15 experiments.
+pub fn circulant(n: usize, s_set: &[usize]) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for &s in s_set {
+            assert!(s >= 1 && s < n, "shift {s} out of range");
+            let j = (i + s) % n;
+            if j != i {
+                g.add_edge(i as V, j as V);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use crate::DistanceMatrix;
+
+    #[test]
+    fn basic_counts() {
+        assert_eq!(path(6).m(), 5);
+        assert_eq!(cycle(6).m(), 6);
+        assert_eq!(star(6).m(), 5);
+        assert_eq!(complete(6).m(), 15);
+        assert_eq!(complete_bipartite(3, 4).m(), 12);
+        assert_eq!(grid(3, 4).m(), 2 * 3 * 4 - 3 - 4);
+        assert_eq!(torus_grid(4, 5).m(), 2 * 4 * 5);
+        assert_eq!(hypercube(4).m(), 4 * 16 / 2);
+        assert_eq!(petersen().m(), 15);
+        assert_eq!(binary_tree(4).m(), 14);
+        assert_eq!(wheel(6).m(), 10);
+        assert_eq!(lollipop(4, 3).m(), 9);
+    }
+
+    #[test]
+    fn double_star_shape() {
+        let g = double_star(3, 4);
+        assert_eq!(g.n(), 9);
+        assert!(properties::is_tree(&g));
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 5);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(dm.diameter(), Some(3));
+    }
+
+    #[test]
+    fn known_diameters() {
+        let cases: Vec<(Graph, u32)> = vec![
+            (path(7), 6),
+            (cycle(9), 4),
+            (star(20), 2),
+            (complete(5), 1),
+            (grid(4, 4), 6),
+            (torus_grid(4, 4), 4),
+            (hypercube(5), 5),
+            (petersen(), 2),
+            (wheel(10), 2),
+        ];
+        for (g, d) in cases {
+            let dm = DistanceMatrix::build(&g.to_csr());
+            assert_eq!(dm.diameter(), Some(d), "diameter mismatch");
+        }
+    }
+
+    #[test]
+    fn circulant_is_regular_and_symmetric() {
+        let g = circulant(12, &[1, 3]);
+        assert!(properties::is_regular(&g));
+        let dm = DistanceMatrix::build(&g.to_csr());
+        assert!(properties::has_uniform_distance_profile(&dm));
+    }
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        assert!(properties::is_tree(&binary_tree(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle requires")]
+    fn tiny_cycle_panics() {
+        let _ = cycle(2);
+    }
+}

@@ -1,0 +1,18 @@
+//! Graph generators: classic families, random models, and exhaustive
+//! enumeration of small trees.
+//!
+//! * [`classic`] — deterministic families (paths, cycles, stars, double
+//!   stars, grids, hypercubes, …) including the building blocks of the
+//!   paper's figures.
+//! * [`random`] — seeded random models used as initial conditions for swap
+//!   dynamics (G(n,p), G(n,m), random trees, Watts–Strogatz,
+//!   Barabási–Albert, near-regular graphs).
+//! * [`prufer`] — the Prüfer bijection between labeled trees and sequences;
+//!   drives the exhaustive labeled-tree sweeps of Experiment E1.
+//! * [`enumerate`] — Beyer–Hedetniemi rooted-tree generation and
+//!   AHU-deduplicated free trees; drives the tree census (E1/E2).
+
+pub mod classic;
+pub mod enumerate;
+pub mod prufer;
+pub mod random;

@@ -1,0 +1,200 @@
+//! The Prüfer bijection between labeled trees on `n` vertices and sequences
+//! in `{0..n}^{n−2}`.
+//!
+//! Experiment E1 sweeps *all* labeled trees for small `n` by iterating over
+//! Prüfer sequences; the codec here is the standard linear-time one using a
+//! "pointer" scan over leaves.
+
+use crate::{Graph, V};
+
+/// Decodes a Prüfer sequence of length `n − 2` into a labeled tree on `n`
+/// vertices (`n ≥ 2`).
+///
+/// # Panics
+/// Panics if any entry is `≥ n` or the length is inconsistent.
+pub fn prufer_decode(seq: &[V], n: usize) -> Graph {
+    assert!(n >= 2, "Prüfer trees need n >= 2");
+    assert_eq!(seq.len(), n - 2, "sequence length must be n - 2");
+    let mut degree = vec![1u32; n];
+    for &s in seq {
+        assert!((s as usize) < n, "sequence entry out of range");
+        degree[s as usize] += 1;
+    }
+    let mut g = Graph::new(n);
+    // `ptr` scans for the smallest leaf; `leaf` tracks the current leaf,
+    // which may drop below `ptr` when a degree decrement creates one.
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for &s in seq {
+        g.add_edge(leaf as V, s);
+        degree[s as usize] -= 1;
+        if degree[s as usize] == 1 && (s as usize) < ptr {
+            leaf = s as usize;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    // Join the final leaf to the last remaining vertex, which is always n-1.
+    g.add_edge(leaf as V, (n - 1) as V);
+    g
+}
+
+/// Encodes a labeled tree into its Prüfer sequence.
+///
+/// # Panics
+/// Panics if `g` is not a tree on `n ≥ 2` vertices.
+pub fn prufer_encode(g: &Graph) -> Vec<V> {
+    let n = g.n();
+    assert!(
+        crate::properties::is_tree(g) && n >= 2,
+        "prufer_encode requires a tree on >= 2 vertices"
+    );
+    let mut degree: Vec<u32> = (0..n as V).map(|v| g.degree(v) as u32).collect();
+    // parent elimination: repeatedly remove the smallest leaf.
+    let mut seq = Vec::with_capacity(n.saturating_sub(2));
+    let mut removed = vec![false; n];
+    let mut ptr = 0usize;
+    while degree[ptr] != 1 {
+        ptr += 1;
+    }
+    let mut leaf = ptr;
+    for _ in 0..n.saturating_sub(2) {
+        // The unique remaining neighbor of `leaf`.
+        let parent = *g
+            .neighbors(leaf as V)
+            .iter()
+            .find(|&&w| !removed[w as usize])
+            .expect("leaf must have a live neighbor");
+        seq.push(parent);
+        removed[leaf] = true;
+        degree[parent as usize] -= 1;
+        if degree[parent as usize] == 1 && (parent as usize) < ptr {
+            leaf = parent as usize;
+        } else {
+            ptr += 1;
+            while degree[ptr] != 1 || removed[ptr] {
+                ptr += 1;
+            }
+            leaf = ptr;
+        }
+    }
+    seq
+}
+
+/// Iterator over **all** Prüfer sequences for trees on `n` vertices, i.e.
+/// all `n^{n−2}` labeled trees. Intended for exhaustive sweeps with
+/// `n ≤ 9`; larger `n` would be astronomically many trees.
+pub struct AllLabeledTrees {
+    n: usize,
+    seq: Vec<V>,
+    done: bool,
+}
+
+impl AllLabeledTrees {
+    /// All labeled trees on `n ≥ 2` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        AllLabeledTrees {
+            n,
+            seq: vec![0; n - 2],
+            done: false,
+        }
+    }
+
+    /// Number of trees this iterator will yield (`n^{n−2}`).
+    pub fn count_total(n: usize) -> u64 {
+        (n as u64).pow(n.saturating_sub(2) as u32)
+    }
+}
+
+impl Iterator for AllLabeledTrees {
+    type Item = Graph;
+
+    fn next(&mut self) -> Option<Graph> {
+        if self.done {
+            return None;
+        }
+        let tree = prufer_decode(&self.seq, self.n);
+        // Odometer increment in base n.
+        let mut i = 0;
+        loop {
+            if i == self.seq.len() {
+                self.done = true;
+                break;
+            }
+            self.seq[i] += 1;
+            if (self.seq[i] as usize) < self.n {
+                break;
+            }
+            self.seq[i] = 0;
+            i += 1;
+        }
+        Some(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::properties::is_tree;
+
+    #[test]
+    fn decode_star_and_path() {
+        // Prüfer sequence of all-zeros is the star at 0.
+        let star = prufer_decode(&[0, 0, 0], 5);
+        assert!(crate::properties::is_star(&star));
+        // Sequence [1,2,3] gives the path 0-1-2-3-4.
+        let path = prufer_decode(&[1, 2, 3], 5);
+        assert!(is_tree(&path));
+        assert_eq!(path.degree(0), 1);
+        assert!(path.has_edge(0, 1) && path.has_edge(1, 2) && path.has_edge(2, 3));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_families() {
+        for g in [
+            classic::path(8),
+            classic::star(8),
+            classic::double_star(3, 3),
+            classic::binary_tree(3),
+        ] {
+            let seq = prufer_encode(&g);
+            let h = prufer_decode(&seq, g.n());
+            assert_eq!(g, h, "roundtrip must reproduce the tree exactly");
+        }
+    }
+
+    #[test]
+    fn two_vertex_tree_has_empty_sequence() {
+        let g = prufer_decode(&[], 2);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(prufer_encode(&g), Vec::<V>::new());
+    }
+
+    #[test]
+    fn all_labeled_trees_yields_cayley_count() {
+        // Cayley's formula: n^{n-2} labeled trees.
+        for n in 2..=6 {
+            let trees: Vec<Graph> = AllLabeledTrees::new(n).collect();
+            assert_eq!(trees.len() as u64, AllLabeledTrees::count_total(n));
+            assert!(trees.iter().all(is_tree));
+        }
+    }
+
+    #[test]
+    fn all_labeled_trees_are_distinct() {
+        use std::collections::HashSet;
+        let set: HashSet<Vec<crate::adjacency::Edge>> = AllLabeledTrees::new(5)
+            .map(|g| g.edge_vec())
+            .collect();
+        assert_eq!(set.len(), 125);
+    }
+}

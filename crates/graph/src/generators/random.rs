@@ -1,0 +1,261 @@
+//! Seeded random graph models.
+//!
+//! These provide the initial conditions for the swap-dynamics experiments
+//! (E4, E13): the paper's dynamics start from an arbitrary connected network
+//! and perform improving swaps. All generators take a caller-supplied
+//! [`rand::Rng`], so experiments are reproducible from their seeds.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Graph, V};
+
+/// Erdős–Rényi `G(n, p)`: each possible edge present independently with
+/// probability `p`.
+pub fn gnp<R: Rng>(rng: &mut R, n: usize, p: f64) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n as V {
+        for v in (u + 1)..n as V {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges chosen uniformly.
+///
+/// # Panics
+/// Panics if `m` exceeds `n(n−1)/2`.
+pub fn gnm<R: Rng>(rng: &mut R, n: usize, m: usize) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "m = {m} exceeds the {max} possible edges");
+    let mut g = Graph::new(n);
+    // Rejection sampling is fine for the densities the experiments use.
+    let mut added = 0;
+    while added < m {
+        let u = rng.gen_range(0..n) as V;
+        let v = rng.gen_range(0..n) as V;
+        if u != v && g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Uniform random labeled tree on `n ≥ 1` vertices, via a random Prüfer
+/// sequence (exactly uniform over Cayley's `n^{n−2}` trees).
+pub fn random_tree<R: Rng>(rng: &mut R, n: usize) -> Graph {
+    assert!(n >= 1);
+    if n == 1 {
+        return Graph::new(1);
+    }
+    let seq: Vec<V> = (0..n.saturating_sub(2))
+        .map(|_| rng.gen_range(0..n) as V)
+        .collect();
+    super::prufer::prufer_decode(&seq, n)
+}
+
+/// Connected random graph: a uniform random spanning tree plus `extra`
+/// additional uniformly-chosen edges.
+pub fn random_connected<R: Rng>(rng: &mut R, n: usize, extra: usize) -> Graph {
+    let mut g = random_tree(rng, n);
+    let max_extra = n * n.saturating_sub(1) / 2 - g.m();
+    let extra = extra.min(max_extra);
+    let mut added = 0;
+    while added < extra {
+        let u = rng.gen_range(0..n) as V;
+        let v = rng.gen_range(0..n) as V;
+        if u != v && g.add_edge(u, v) {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `k` existing vertices sampled proportionally
+/// to degree. Produces the heavy-tailed "internet-like" topologies the
+/// network-creation literature is motivated by.
+pub fn barabasi_albert<R: Rng>(rng: &mut R, n: usize, k: usize) -> Graph {
+    assert!(k >= 1 && n > k, "need n > k >= 1");
+    let mut g = Graph::new(n);
+    // Seed clique on k+1 vertices.
+    for u in 0..=(k as V) {
+        for v in (u + 1)..=(k as V) {
+            g.add_edge(u, v);
+        }
+    }
+    // Repeated-endpoint list for degree-proportional sampling.
+    let mut chances: Vec<V> = Vec::new();
+    for u in 0..=(k as V) {
+        for _ in 0..g.degree(u) {
+            chances.push(u);
+        }
+    }
+    for v in (k + 1)..n {
+        let v = v as V;
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < k {
+            let t = *chances.choose(rng).expect("chance list nonempty");
+            targets.insert(t);
+        }
+        for &t in &targets {
+            g.add_edge(v, t);
+            chances.push(t);
+            chances.push(v);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small-world graph: ring lattice where each vertex links to
+/// its `k/2` nearest neighbors on each side, then each edge is rewired with
+/// probability `beta` (keeping the graph simple).
+pub fn watts_strogatz<R: Rng>(rng: &mut R, n: usize, k: usize, beta: f64) -> Graph {
+    assert!(k.is_multiple_of(2) && k >= 2 && n > k, "need even k >= 2 and n > k");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            g.add_edge(i as V, ((i + j) % n) as V);
+        }
+    }
+    // Rewire each original lattice edge with probability beta.
+    for i in 0..n {
+        for j in 1..=(k / 2) {
+            let u = i as V;
+            let w = ((i + j) % n) as V;
+            if g.has_edge(u, w) && rng.gen_bool(beta) {
+                // Pick a new endpoint avoiding self-loops and multi-edges.
+                for _attempt in 0..16 {
+                    let t = rng.gen_range(0..n) as V;
+                    if t != u && !g.has_edge(u, t) {
+                        g.remove_edge(u, w);
+                        g.add_edge(u, t);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Near-`d`-regular random graph by pairing half-edges (configuration
+/// model), discarding self-loops and duplicate edges; retries a few times
+/// and returns the best attempt (may be slightly irregular).
+pub fn near_regular<R: Rng>(rng: &mut R, n: usize, d: usize) -> Graph {
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    let mut best: Option<Graph> = None;
+    for _attempt in 0..8 {
+        let mut stubs: Vec<V> = (0..n as V).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u != v {
+                g.add_edge(u, v);
+            }
+        }
+        if best.as_ref().is_none_or(|b| g.m() > b.m()) {
+            let full = g.m() == n * d / 2;
+            best = Some(g);
+            if full {
+                break;
+            }
+        }
+    }
+    best.expect("at least one attempt ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+    use crate::properties;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_cafe)
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut r = rng();
+        assert_eq!(gnp(&mut r, 10, 0.0).m(), 0);
+        assert_eq!(gnp(&mut r, 10, 1.0).m(), 45);
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let mut r = rng();
+        for m in [0, 1, 10, 45] {
+            assert_eq!(gnm(&mut r, 10, m).m(), m);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_rejects_impossible_m() {
+        let mut r = rng();
+        let _ = gnm(&mut r, 4, 7);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut r = rng();
+        for n in [1, 2, 3, 8, 25, 100] {
+            let t = random_tree(&mut r, n);
+            assert!(properties::is_tree(&t), "not a tree for n={n}");
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_with_extra_edges() {
+        let mut r = rng();
+        let g = random_connected(&mut r, 30, 12);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 29 + 12);
+        // Saturates at the complete graph.
+        let k = random_connected(&mut r, 5, 100);
+        assert_eq!(k.m(), 10);
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let mut r = rng();
+        let g = barabasi_albert(&mut r, 50, 3);
+        // seed clique C(4,2)=6 edges + 46 vertices * 3 edges.
+        assert_eq!(g.m(), 6 + 46 * 3);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count_mostly() {
+        let mut r = rng();
+        let g = watts_strogatz(&mut r, 40, 4, 0.2);
+        // Rewiring keeps the graph simple; edge count can only drop if a
+        // rewire target search failed (rare). Allow small slack.
+        assert!(g.m() <= 80 && g.m() >= 75, "m = {}", g.m());
+    }
+
+    #[test]
+    fn near_regular_hits_target_degree() {
+        let mut r = rng();
+        let g = near_regular(&mut r, 24, 3);
+        assert!(g.m() >= 30, "pairing lost too many edges: m = {}", g.m());
+        assert!(properties::max_degree(&g) <= 3);
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let g1 = gnp(&mut StdRng::seed_from_u64(7), 20, 0.3);
+        let g2 = gnp(&mut StdRng::seed_from_u64(7), 20, 0.3);
+        assert_eq!(g1, g2);
+        let t1 = random_tree(&mut StdRng::seed_from_u64(9), 30);
+        let t2 = random_tree(&mut StdRng::seed_from_u64(9), 30);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Exact girth of an unweighted graph.
+//!
+//! The Theorem 5 construction (Figure 3) relies on its graph having girth 4
+//! — Lemma 8 of the paper converts girth into a lower bound on the loss a
+//! swap incurs — so the analysis layer needs exact girths for verification.
+//!
+//! Algorithm: for every root, run a truncated BFS; the first non-tree edge
+//! joining two vertices `x`, `y` in the BFS certifies a closed walk of
+//! length `d(x) + d(y) + 1`. The minimum of these candidates over all roots
+//! is exactly the girth (a shortest cycle is found when rooting at one of
+//! its vertices), in `O(n·m)`.
+
+use crate::{Csr, Graph, UNREACHABLE, V};
+
+/// Exact girth of `g`, or `None` for forests (acyclic graphs).
+pub fn girth(g: &Graph) -> Option<u32> {
+    let csr = g.to_csr();
+    girth_csr(&csr)
+}
+
+/// Exact girth on a CSR snapshot, or `None` if acyclic.
+pub fn girth_csr(csr: &Csr) -> Option<u32> {
+    let n = csr.n();
+    let mut best: u32 = u32::MAX;
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![UNREACHABLE; n];
+    let mut queue: Vec<V> = Vec::with_capacity(n);
+    for root in 0..n as V {
+        dist.fill(UNREACHABLE);
+        queue.clear();
+        dist[root as usize] = 0;
+        parent[root as usize] = UNREACHABLE;
+        queue.push(root);
+        let mut head = 0;
+        'bfs: while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            // Any candidate found while scanning u has length >= 2*du, so
+            // once 2*du >= best this root cannot improve the answer.
+            if best != u32::MAX && 2 * du >= best {
+                break 'bfs;
+            }
+            for &w in csr.neighbors(u) {
+                if dist[w as usize] == UNREACHABLE {
+                    dist[w as usize] = du + 1;
+                    parent[w as usize] = u;
+                    queue.push(w);
+                } else if parent[u as usize] != w {
+                    // Non-tree edge: closed walk through root.
+                    let cand = du + dist[w as usize] + 1;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+        }
+    }
+    (best != u32::MAX).then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn cycles_have_their_length_as_girth() {
+        for n in 3..12 {
+            assert_eq!(girth(&classic::cycle(n)), Some(n as u32));
+        }
+    }
+
+    #[test]
+    fn trees_are_acyclic() {
+        assert_eq!(girth(&classic::path(10)), None);
+        assert_eq!(girth(&classic::star(8)), None);
+    }
+
+    #[test]
+    fn complete_graphs_have_girth_three() {
+        for n in 3..8 {
+            assert_eq!(girth(&classic::complete(n)), Some(3));
+        }
+    }
+
+    #[test]
+    fn bipartite_families_have_even_girth() {
+        assert_eq!(girth(&classic::complete_bipartite(2, 3)), Some(4));
+        assert_eq!(girth(&classic::grid(3, 4)), Some(4));
+        assert_eq!(girth(&classic::hypercube(3)), Some(4));
+    }
+
+    #[test]
+    fn petersen_graph_has_girth_five() {
+        assert_eq!(girth(&classic::petersen()), Some(5));
+    }
+
+    #[test]
+    fn chorded_cycle_girth_shrinks() {
+        let mut g = classic::cycle(10);
+        g.add_edge(0, 3);
+        assert_eq!(girth(&g), Some(4));
+    }
+}

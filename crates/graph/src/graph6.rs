@@ -1,0 +1,175 @@
+//! graph6 codec — the compact ASCII interchange format for small graphs
+//! (compatible with `nauty`/`geng` and networkx).
+//!
+//! Experiments dump interesting equilibria in graph6 so they can be
+//! inspected or cross-checked with external tooling; the tests decode a few
+//! externally-produced strings to pin the format.
+
+use crate::{Graph, V};
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Graph6Error {
+    /// Input was empty.
+    Empty,
+    /// A byte fell outside the printable graph6 range `0x3F..=0x7E`.
+    InvalidByte(u8),
+    /// The byte stream ended before the advertised bit count.
+    Truncated,
+    /// Header advertised an unsupported size (we support `n < 2^18`).
+    TooLarge,
+}
+
+impl std::fmt::Display for Graph6Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Graph6Error::Empty => write!(f, "empty graph6 string"),
+            Graph6Error::InvalidByte(b) => write!(f, "invalid graph6 byte 0x{b:02x}"),
+            Graph6Error::Truncated => write!(f, "graph6 string ends early"),
+            Graph6Error::TooLarge => write!(f, "graph6 size header too large"),
+        }
+    }
+}
+
+impl std::error::Error for Graph6Error {}
+
+/// Encodes a graph in graph6 format (`n ≤ 258047`).
+pub fn encode(g: &Graph) -> String {
+    let n = g.n();
+    let mut bytes: Vec<u8> = Vec::new();
+    // Size header.
+    if n <= 62 {
+        bytes.push(n as u8 + 63);
+    } else {
+        assert!(n <= 258_047, "graph6 supports n <= 258047 in this codec");
+        bytes.push(126);
+        bytes.push(((n >> 12) & 0x3F) as u8 + 63);
+        bytes.push(((n >> 6) & 0x3F) as u8 + 63);
+        bytes.push((n & 0x3F) as u8 + 63);
+    }
+    // Upper triangle, column by column: bit (i, j) for i < j ordered by
+    // (j, i) — the graph6 convention.
+    let total_bits = n * n.saturating_sub(1) / 2;
+    let mut bit_index = 0usize;
+    let mut current: u8 = 0;
+    let mut data = Vec::with_capacity(total_bits.div_ceil(6));
+    for j in 1..n as V {
+        for i in 0..j {
+            if g.has_edge(i, j) {
+                current |= 1 << (5 - (bit_index % 6));
+            }
+            bit_index += 1;
+            if bit_index.is_multiple_of(6) {
+                data.push(current + 63);
+                current = 0;
+            }
+        }
+    }
+    if !bit_index.is_multiple_of(6) {
+        data.push(current + 63);
+    }
+    bytes.extend_from_slice(&data);
+    String::from_utf8(bytes).expect("graph6 bytes are printable ASCII")
+}
+
+/// Decodes a graph6 string.
+pub fn decode(s: &str) -> Result<Graph, Graph6Error> {
+    let bytes = s.trim().as_bytes();
+    if bytes.is_empty() {
+        return Err(Graph6Error::Empty);
+    }
+    for &b in bytes {
+        if !(63..=126).contains(&b) {
+            return Err(Graph6Error::InvalidByte(b));
+        }
+    }
+    let (n, mut pos) = if bytes[0] == 126 {
+        if bytes.len() >= 2 && bytes[1] == 126 {
+            return Err(Graph6Error::TooLarge);
+        }
+        if bytes.len() < 4 {
+            return Err(Graph6Error::Truncated);
+        }
+        let n = (((bytes[1] - 63) as usize) << 12)
+            | (((bytes[2] - 63) as usize) << 6)
+            | ((bytes[3] - 63) as usize);
+        (n, 4)
+    } else {
+        ((bytes[0] - 63) as usize, 1)
+    };
+    let total_bits = n * n.saturating_sub(1) / 2;
+    let needed = total_bits.div_ceil(6);
+    if bytes.len() < pos + needed {
+        return Err(Graph6Error::Truncated);
+    }
+    let mut g = Graph::new(n);
+    let mut bit_index = 0usize;
+    let mut current = 0u8;
+    for j in 1..n as V {
+        for i in 0..j {
+            if bit_index.is_multiple_of(6) {
+                current = bytes[pos] - 63;
+                pos += 1;
+            }
+            if current & (1 << (5 - (bit_index % 6))) != 0 {
+                g.add_edge(i, j);
+            }
+            bit_index += 1;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn known_strings_decode() {
+        // 'D?{' is the "bull"-free example: n=5 header 'D' = 68 -> n=5.
+        // Canonical known pairs (verified against nauty's documentation):
+        // K_4 = "C~", P_4 = "Ch", C_5 = "Dhc".
+        let k4 = decode("C~").unwrap();
+        assert_eq!((k4.n(), k4.m()), (4, 6));
+        let p4 = decode("Ch").unwrap();
+        assert_eq!((p4.n(), p4.m()), (4, 3));
+        assert!(crate::properties::is_tree(&p4));
+        let c5 = decode("Dhc").unwrap();
+        assert_eq!((c5.n(), c5.m()), (5, 5));
+        assert_eq!(crate::girth::girth(&c5), Some(5));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for g in [
+            classic::path(7),
+            classic::cycle(9),
+            classic::star(13),
+            classic::petersen(),
+            classic::complete(6),
+            Graph::new(1),
+            Graph::new(0),
+        ] {
+            let s = encode(&g);
+            let h = decode(&s).unwrap();
+            assert_eq!(g, h, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn long_form_header_for_large_n() {
+        let g = classic::star(100);
+        let s = encode(&g);
+        assert_eq!(s.as_bytes()[0], 126);
+        let h = decode(&s).unwrap();
+        assert_eq!(h, g);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(decode(""), Err(Graph6Error::Empty));
+        assert!(matches!(decode("C\u{1}"), Err(Graph6Error::InvalidByte(_))));
+        assert_eq!(decode("E"), Err(Graph6Error::Truncated));
+    }
+}

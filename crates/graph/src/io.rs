@@ -1,0 +1,132 @@
+//! Plain-text edge-list serialization.
+//!
+//! Experiment artifacts (equilibria worth inspecting, repaired witnesses,
+//! dynamics endpoints) are dumped in a minimal line-oriented format that
+//! external tools and humans can read:
+//!
+//! ```text
+//! # optional comments
+//! n 13
+//! 0 1
+//! 0 2
+//! …
+//! ```
+
+use crate::{Graph, V};
+
+/// Errors from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `n <count>` header line is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed as two vertex ids.
+    BadLine(usize),
+    /// An endpoint was out of range or a self-loop was given.
+    BadEdge(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing `n <count>` header"),
+            ParseError::BadLine(l) => write!(f, "unparsable edge on line {l}"),
+            ParseError::BadEdge(l) => write!(f, "invalid edge on line {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a graph to the edge-list format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::with_capacity(8 + 8 * g.m());
+    out.push_str(&format!("n {}\n", g.n()));
+    for e in g.edge_vec() {
+        out.push_str(&format!("{} {}\n", e.u, e.v));
+    }
+    out
+}
+
+/// Parses the edge-list format (comments start with `#`; blank lines are
+/// skipped; duplicate edges are tolerated).
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut g: Option<Graph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("n ") {
+            let n: usize = rest.trim().parse().map_err(|_| ParseError::MissingHeader)?;
+            g = Some(Graph::new(n));
+            continue;
+        }
+        let g = g.as_mut().ok_or(ParseError::MissingHeader)?;
+        let mut parts = line.split_whitespace();
+        let u: V = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::BadLine(lineno + 1))?;
+        let v: V = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseError::BadLine(lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(ParseError::BadLine(lineno + 1));
+        }
+        if u == v || (u as usize) >= g.n() || (v as usize) >= g.n() {
+            return Err(ParseError::BadEdge(lineno + 1));
+        }
+        g.add_edge(u, v);
+    }
+    g.ok_or(ParseError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn roundtrip_families() {
+        for g in [
+            classic::petersen(),
+            classic::star(9),
+            classic::cycle(5),
+            Graph::new(3),
+        ] {
+            let text = to_edge_list(&g);
+            let back = parse_edge_list(&text).unwrap();
+            assert_eq!(g, back);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a triangle\n\nn 3\n0 1\n# middle comment\n1 2\n2 0\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_edge_list(""), Err(ParseError::MissingHeader));
+        assert_eq!(parse_edge_list("0 1\n"), Err(ParseError::MissingHeader));
+        assert_eq!(
+            parse_edge_list("n 3\n0 x\n"),
+            Err(ParseError::BadLine(2))
+        );
+        assert_eq!(
+            parse_edge_list("n 3\n0 3\n"),
+            Err(ParseError::BadEdge(2))
+        );
+        assert_eq!(
+            parse_edge_list("n 3\n1 1\n"),
+            Err(ParseError::BadEdge(2))
+        );
+        assert_eq!(
+            parse_edge_list("n 3\n0 1 2\n"),
+            Err(ParseError::BadLine(2))
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Graph substrate for the *basic network creation games* reproduction
+//! (Alon, Demaine, Hajiaghayi, Leighton — SPAA 2010).
+//!
+//! This crate is a from-scratch, dependency-light graph library tuned for the
+//! workloads of the paper: simple undirected graphs on up to ~10⁵ vertices,
+//! breadth-first-search–based metric computations (sums of distances,
+//! eccentricities, diameters), exhaustive enumeration of small trees, and the
+//! generators behind every construction in the paper.
+//!
+//! # Layout
+//!
+//! * [`Graph`] — mutable adjacency-list graph supporting the *edge swap*
+//!   operation at the heart of the game.
+//! * [`Csr`] — immutable compressed-sparse-row snapshot used by all hot
+//!   loops; [`bfs`] runs on it with reusable scratch buffers.
+//! * [`DistanceMatrix`] — all-pairs shortest paths (computed in parallel
+//!   with rayon), plus the single-edge *insertion identities* used to
+//!   evaluate many candidate moves from one APSP (see the crate-level
+//!   documentation of [`distance`]).
+//! * [`generators`] — classic families, random models, Prüfer codecs, and
+//!   exhaustive rooted/free tree enumeration (Beyer–Hedetniemi + AHU).
+//! * [`canon`] — AHU tree canonicalization and brute-force canonical forms
+//!   for small graphs.
+//! * [`ops`] — graph operators (powers, complements, unions, …); the power
+//!   graph is the uniformization device of the paper's Theorem 13.
+//!
+//! # Quick example
+//!
+//! ```
+//! use bncg_graph::{Graph, generators::classic};
+//!
+//! let g = classic::star(8);
+//! let csr = g.to_csr();
+//! let dm = bncg_graph::DistanceMatrix::build(&csr);
+//! assert_eq!(dm.diameter(), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adjacency;
+pub mod articulation;
+pub mod bfs;
+pub mod canon;
+pub mod components;
+pub mod csr;
+pub mod distance;
+pub mod generators;
+pub mod girth;
+pub mod graph6;
+pub mod io;
+pub mod ops;
+pub mod properties;
+
+pub use adjacency::{Edge, Graph};
+pub use bfs::{bfs_distances, BfsScratch};
+pub use csr::Csr;
+pub use distance::{DistanceMatrix, UNREACHABLE};
+
+/// Vertex identifier. Graphs in this workspace are small enough (≤ ~10⁵
+/// vertices) that `u32` indices keep every structure compact and cache
+/// friendly, per the HPC sizing guidance.
+pub type V = u32;

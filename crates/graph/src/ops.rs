@@ -1,0 +1,211 @@
+//! Graph operators.
+//!
+//! The headline operator is the **power graph** `G^x` (vertices adjacent
+//! when their distance in `G` is at most `x`): Theorem 13 of the paper
+//! coalesces the distance range `D ± 2p·lg n` of a sum-equilibrium graph
+//! into one or two values by taking an appropriate power, turning the graph
+//! into an (almost-)distance-uniform one. The remaining operators support
+//! tests and constructions.
+
+use crate::{DistanceMatrix, Graph, UNREACHABLE, V};
+
+/// The `x`-th power `G^x`: `u ~ v` iff `1 ≤ d_G(u, v) ≤ x`.
+///
+/// Distances obey `d_{G^x}(u, v) = ⌈d_G(u, v) / x⌉` (checked by tests and
+/// used in the proof of Theorem 13).
+///
+/// # Panics
+/// Panics if `x == 0`.
+pub fn power(g: &Graph, x: u32) -> Graph {
+    assert!(x >= 1, "power requires x >= 1");
+    let dm = DistanceMatrix::build(&g.to_csr());
+    power_from_matrix(&dm, x)
+}
+
+/// Power graph built from a precomputed distance matrix (avoids re-running
+/// APSP when several powers of the same graph are needed).
+pub fn power_from_matrix(dm: &DistanceMatrix, x: u32) -> Graph {
+    assert!(x >= 1, "power requires x >= 1");
+    let n = dm.n();
+    let mut g = Graph::new(n);
+    for u in 0..n as V {
+        let row = dm.row(u);
+        for v in (u + 1)..n as V {
+            let d = row[v as usize];
+            if d != UNREACHABLE && d <= x {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Complement graph: `u ~ v` iff `u ≁ v` in `g`.
+pub fn complement(g: &Graph) -> Graph {
+    let n = g.n();
+    let mut h = Graph::new(n);
+    for u in 0..n as V {
+        for v in (u + 1)..n as V {
+            if !g.has_edge(u, v) {
+                h.add_edge(u, v);
+            }
+        }
+    }
+    h
+}
+
+/// Induced subgraph on `verts` (in the given order; result vertex `i`
+/// corresponds to `verts[i]`).
+///
+/// # Panics
+/// Panics if `verts` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &Graph, verts: &[V]) -> Graph {
+    let mut index = vec![u32::MAX; g.n()];
+    for (i, &v) in verts.iter().enumerate() {
+        assert!((v as usize) < g.n(), "vertex out of range");
+        assert!(index[v as usize] == u32::MAX, "duplicate vertex in selection");
+        index[v as usize] = i as u32;
+    }
+    let mut h = Graph::new(verts.len());
+    for e in g.edges() {
+        let (iu, iv) = (index[e.u as usize], index[e.v as usize]);
+        if iu != u32::MAX && iv != u32::MAX {
+            h.add_edge(iu, iv);
+        }
+    }
+    h
+}
+
+/// Disjoint union: vertices of `b` are shifted by `a.n()`.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let shift = a.n() as V;
+    let mut g = Graph::new(a.n() + b.n());
+    for e in a.edges() {
+        g.add_edge(e.u, e.v);
+    }
+    for e in b.edges() {
+        g.add_edge(e.u + shift, e.v + shift);
+    }
+    g
+}
+
+/// Graph join: disjoint union plus all edges between the two sides.
+pub fn join(a: &Graph, b: &Graph) -> Graph {
+    let shift = a.n() as V;
+    let mut g = disjoint_union(a, b);
+    for u in 0..shift {
+        for v in 0..b.n() as V {
+            g.add_edge(u, v + shift);
+        }
+    }
+    g
+}
+
+/// Cartesian product `a □ b`: vertex `(i, j)` is `i * b.n() + j`; edges
+/// connect `(i,j)–(i',j)` for `ii' ∈ E(a)` and `(i,j)–(i,j')` for
+/// `jj' ∈ E(b)`. Distances add coordinate-wise — a useful metric oracle.
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Graph {
+    let nb = b.n();
+    let mut g = Graph::new(a.n() * nb);
+    for i in 0..a.n() {
+        for e in b.edges() {
+            g.add_edge((i * nb + e.u as usize) as V, (i * nb + e.v as usize) as V);
+        }
+    }
+    for e in a.edges() {
+        for j in 0..nb {
+            g.add_edge(
+                (e.u as usize * nb + j) as V,
+                (e.v as usize * nb + j) as V,
+            );
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn power_distance_law() {
+        // d_{G^x}(u,v) = ceil(d_G(u,v)/x) on a long cycle.
+        let g = classic::cycle(16);
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for x in 1..=4u32 {
+            let gx = power_from_matrix(&dm, x);
+            let dmx = DistanceMatrix::build(&gx.to_csr());
+            for u in 0..16 as V {
+                for v in 0..16 as V {
+                    if u == v {
+                        continue;
+                    }
+                    let expect = dm.get(u, v).div_ceil(x);
+                    assert_eq!(
+                        dmx.get(u, v),
+                        expect,
+                        "power law failed for x={x}, pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn power_one_is_identity() {
+        let g = classic::petersen();
+        assert_eq!(power(&g, 1), g);
+    }
+
+    #[test]
+    fn high_power_is_complete() {
+        let g = classic::path(6);
+        let gp = power(&g, 5);
+        assert_eq!(gp.m(), 15);
+    }
+
+    #[test]
+    fn complement_involution_and_counts() {
+        let g = classic::cycle(5);
+        let c = complement(&g);
+        assert_eq!(c.m(), 10 - 5);
+        assert_eq!(complement(&c), g);
+        // C5 is self-complementary.
+        assert!(crate::canon::small_graphs_isomorphic(&g, &c));
+    }
+
+    #[test]
+    fn induced_subgraph_of_cycle_is_path() {
+        let g = classic::cycle(6);
+        let h = induced_subgraph(&g, &[0, 1, 2, 3]);
+        assert_eq!(h.m(), 3);
+        assert!(crate::properties::is_tree(&h));
+    }
+
+    #[test]
+    fn disjoint_union_and_join_counts() {
+        let a = classic::path(3);
+        let b = classic::cycle(4);
+        let u = disjoint_union(&a, &b);
+        assert_eq!((u.n(), u.m()), (7, 2 + 4));
+        let j = join(&a, &b);
+        assert_eq!((j.n(), j.m()), (7, 2 + 4 + 12));
+    }
+
+    #[test]
+    fn cartesian_product_gives_grid_and_torus() {
+        let p3 = classic::path(3);
+        let p4 = classic::path(4);
+        let grid = cartesian_product(&p3, &p4);
+        assert_eq!((grid.n(), grid.m()), (12, 17));
+        let dm = DistanceMatrix::build(&grid.to_csr());
+        assert_eq!(dm.diameter(), Some(2 + 3));
+        let c4 = classic::cycle(4);
+        let c5 = classic::cycle(5);
+        let torus = cartesian_product(&c4, &c5);
+        assert_eq!((torus.n(), torus.m()), (20, 40));
+        let dmt = DistanceMatrix::build(&torus.to_csr());
+        assert_eq!(dmt.diameter(), Some(2 + 2));
+    }
+}

@@ -1,0 +1,249 @@
+//! Structural predicates and summary statistics.
+//!
+//! These are the vocabulary the experiments speak in: "is this equilibrium a
+//! tree?", "is it a star / double star?", "does it look vertex-transitive?".
+
+use std::collections::HashMap;
+
+use crate::components::is_connected;
+use crate::{DistanceMatrix, Graph, V};
+
+/// Whether `g` is a tree (connected and `m = n − 1`).
+pub fn is_tree(g: &Graph) -> bool {
+    g.n() >= 1 && g.m() == g.n() - 1 && is_connected(g)
+}
+
+/// Whether `g` is a forest (acyclic).
+pub fn is_forest(g: &Graph) -> bool {
+    let (_, comps) = crate::components::connected_components(g);
+    g.m() + comps == g.n()
+}
+
+/// Whether `g` is a star `K_{1,n−1}` (for `n ≥ 2`; `K_1` and `K_2` count).
+pub fn is_star(g: &Graph) -> bool {
+    if !is_tree(g) {
+        return false;
+    }
+    match g.n() {
+        0 => false,
+        1 | 2 => true,
+        n => g.degree_sequence()[0] == n - 1,
+    }
+}
+
+/// Whether `g` is a *double star*: a tree with exactly two non-leaf vertices
+/// (which must be adjacent). These are the diameter-3 max-equilibrium trees
+/// of Figure 2 in the paper.
+pub fn is_double_star(g: &Graph) -> bool {
+    if !is_tree(g) || g.n() < 4 {
+        return false;
+    }
+    let internal: Vec<V> = (0..g.n() as V).filter(|&v| g.degree(v) >= 2).collect();
+    internal.len() == 2 && g.has_edge(internal[0], internal[1])
+}
+
+/// Whether every vertex has the same degree.
+pub fn is_regular(g: &Graph) -> bool {
+    let mut degs = (0..g.n() as V).map(|v| g.degree(v));
+    match degs.next() {
+        None => true,
+        Some(d0) => degs.all(|d| d == d0),
+    }
+}
+
+/// Whether `g` is bipartite (2-colorable), via BFS coloring.
+pub fn is_bipartite(g: &Graph) -> bool {
+    let n = g.n();
+    let mut color = vec![u8::MAX; n];
+    let mut queue: Vec<V> = Vec::new();
+    for root in 0..n as V {
+        if color[root as usize] != u8::MAX {
+            continue;
+        }
+        color[root as usize] = 0;
+        queue.clear();
+        queue.push(root);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &w in g.neighbors(u) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[u as usize];
+                    queue.push(w);
+                } else if color[w as usize] == color[u as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Maximum degree (0 for the empty graph).
+pub fn max_degree(g: &Graph) -> usize {
+    (0..g.n() as V).map(|v| g.degree(v)).max().unwrap_or(0)
+}
+
+/// Minimum degree (0 for the empty graph).
+pub fn min_degree(g: &Graph) -> usize {
+    (0..g.n() as V).map(|v| g.degree(v)).min().unwrap_or(0)
+}
+
+/// Histogram of degrees: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0; max_degree(g) + 1];
+    for v in 0..g.n() as V {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// A cheap necessary condition for vertex-transitivity: every vertex sees
+/// the same multiset of distances (identical distance profile). The paper's
+/// torus and Cayley constructions pass this; asymmetric graphs fail fast.
+///
+/// Returns `false` on disconnected graphs.
+pub fn has_uniform_distance_profile(dm: &DistanceMatrix) -> bool {
+    if dm.n() == 0 {
+        return true;
+    }
+    if !dm.is_connected() {
+        return false;
+    }
+    let reference = dm.sphere_sizes(0);
+    (1..dm.n() as V).all(|v| dm.sphere_sizes(v) == reference)
+}
+
+/// Multiset of sorted neighbor-degree signatures; equal signatures are a
+/// necessary condition for isomorphism used to prune brute-force search.
+pub fn degree_signature(g: &Graph) -> Vec<(usize, Vec<usize>)> {
+    let mut sig: Vec<(usize, Vec<usize>)> = (0..g.n() as V)
+        .map(|v| {
+            let mut nd: Vec<usize> = g.neighbors(v).iter().map(|&w| g.degree(w)).collect();
+            nd.sort_unstable();
+            (g.degree(v), nd)
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+/// Average local clustering coefficient (a small-world statistic for the
+/// dynamics experiments). Vertices of degree < 2 contribute 0.
+pub fn clustering_coefficient(g: &Graph) -> f64 {
+    if g.n() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in 0..g.n() as V {
+        let nbrs = g.neighbors(v);
+        let d = nbrs.len();
+        if d < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        for i in 0..d {
+            for j in i + 1..d {
+                if g.has_edge(nbrs[i], nbrs[j]) {
+                    closed += 1;
+                }
+            }
+        }
+        total += closed as f64 / (d * (d - 1) / 2) as f64;
+    }
+    total / g.n() as f64
+}
+
+/// Counts occurrences of each `(degree, eccentricity)` pair — a quick
+/// fingerprint used when comparing equilibrium populations.
+pub fn degree_ecc_fingerprint(g: &Graph, dm: &DistanceMatrix) -> HashMap<(usize, u32), usize> {
+    let mut map = HashMap::new();
+    for v in 0..g.n() as V {
+        if let Some(e) = dm.ecc(v) {
+            *map.entry((g.degree(v), e)).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+
+    #[test]
+    fn tree_predicates() {
+        assert!(is_tree(&classic::path(5)));
+        assert!(is_tree(&classic::star(7)));
+        assert!(!is_tree(&classic::cycle(5)));
+        assert!(is_forest(&Graph::from_edges(4, &[(0, 1), (2, 3)])));
+        assert!(!is_forest(&classic::cycle(4)));
+    }
+
+    #[test]
+    fn star_recognition() {
+        assert!(is_star(&classic::star(2)));
+        assert!(is_star(&classic::star(9)));
+        assert!(!is_star(&classic::path(4)));
+        assert!(!is_star(&classic::cycle(4)));
+    }
+
+    #[test]
+    fn double_star_recognition() {
+        assert!(is_double_star(&classic::double_star(2, 2)));
+        assert!(is_double_star(&classic::double_star(3, 5)));
+        // A star is not a double star.
+        assert!(!is_double_star(&classic::star(6)));
+        // A path on 4 vertices *is* the degenerate double star D(1,1).
+        assert!(is_double_star(&classic::path(4)));
+        // Diameter-4 caterpillar is not.
+        assert!(!is_double_star(&classic::path(5)));
+    }
+
+    #[test]
+    fn regular_and_bipartite() {
+        assert!(is_regular(&classic::cycle(8)));
+        assert!(is_regular(&classic::complete(5)));
+        assert!(!is_regular(&classic::star(5)));
+        assert!(is_bipartite(&classic::grid(3, 3)));
+        assert!(is_bipartite(&classic::cycle(6)));
+        assert!(!is_bipartite(&classic::cycle(5)));
+        assert!(!is_bipartite(&classic::complete(4)));
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = classic::star(6);
+        assert_eq!(max_degree(&g), 5);
+        assert_eq!(min_degree(&g), 1);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist[1], 5);
+        assert_eq!(hist[5], 1);
+    }
+
+    #[test]
+    fn uniform_distance_profile_on_symmetric_families() {
+        for g in [classic::cycle(9), classic::complete(6), classic::petersen()] {
+            let dm = DistanceMatrix::build(&g.to_csr());
+            assert!(has_uniform_distance_profile(&dm));
+        }
+        let dm = DistanceMatrix::build(&classic::path(5).to_csr());
+        assert!(!has_uniform_distance_profile(&dm));
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert!((clustering_coefficient(&classic::complete(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(clustering_coefficient(&classic::cycle(6)), 0.0);
+        assert_eq!(clustering_coefficient(&classic::star(5)), 0.0);
+    }
+
+    #[test]
+    fn degree_signature_is_an_invariant() {
+        let g = classic::double_star(2, 3);
+        let perm: Vec<V> = vec![6, 5, 4, 3, 2, 1, 0];
+        let h = g.relabel(&perm);
+        assert_eq!(degree_signature(&g), degree_signature(&h));
+    }
+}

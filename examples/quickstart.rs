@@ -1,0 +1,79 @@
+//! Quickstart: the basic network creation game in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the core API: build graphs, compute usage costs, check the two
+//! equilibrium notions, find improving swaps, and run swap dynamics.
+
+use bncg::prelude::*;
+use bncg::game::evaluator::agent_cost;
+use bncg::game::objective::{MaxObjective, SumObjective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== basic network creation games: quickstart ===\n");
+
+    // 1. The star: the unique sum-equilibrium tree (Theorem 1).
+    let star = classic::star(8);
+    println!(
+        "star(8):   sum equilibrium? {:>5} | max equilibrium? {}",
+        SumGame::is_equilibrium(&star),
+        bncg::game::MaxGame::is_equilibrium(&star)
+    );
+
+    // 2. The path is not stable: its endpoint wants to re-attach.
+    let path = classic::path(8);
+    let witness = SumGame::find_improving_swap(&path).expect("paths are unstable");
+    println!(
+        "path(8):   agent {} swaps edge to {} for an edge to {} (sum {} -> {})",
+        witness.mv.v, witness.mv.w, witness.mv.w2, witness.old_cost, witness.new_cost
+    );
+
+    // 3. Usage costs: the two objectives the paper studies.
+    println!(
+        "path(8):   endpoint sum-cost = {}, endpoint local diameter = {}",
+        agent_cost::<SumObjective>(&path, 0),
+        agent_cost::<MaxObjective>(&path, 0),
+    );
+
+    // 4. Swap dynamics: start from the path, let agents improve greedily.
+    let mut rng = StdRng::seed_from_u64(1);
+    let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+    let result = engine.run(&path, &mut rng);
+    let report = SumGame::analyze(&result.graph);
+    println!(
+        "dynamics:  {} moves over {} rounds -> diameter {:?}, equilibrium: {}",
+        result.moves,
+        result.rounds,
+        report.diameter(),
+        report.is_equilibrium()
+    );
+    assert!(
+        bncg::graph::properties::is_star(&result.graph),
+        "Theorem 1: tree dynamics must end at a star"
+    );
+
+    // 5. The max version: double stars are diameter-3 equilibria (Fig. 2).
+    let ds = classic::double_star(3, 4);
+    let max_report = bncg::game::MaxGame::analyze(&ds);
+    println!(
+        "D(3,4):    max equilibrium? {} (diameter {:?}, deletion-critical: {:?})",
+        max_report.is_equilibrium(),
+        max_report.diameter(),
+        max_report.deletion_critical
+    );
+
+    // 6. Stability notions from Section 4.
+    let torus = bncg::constructions::torus::rotated_torus(3);
+    println!(
+        "torus k=3: deletion-critical: {}, insertion-stable: {} -> max equilibrium of diameter {:?}",
+        is_deletion_critical(&torus),
+        is_insertion_stable(&torus),
+        DistanceMatrix::build(&torus.to_csr()).diameter()
+    );
+
+    println!("\nAll quickstart checks passed.");
+}

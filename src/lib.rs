@@ -1,0 +1,52 @@
+//! # bncg — Basic Network Creation Games
+//!
+//! A comprehensive Rust reproduction of *"Basic Network Creation Games"*
+//! (Noga Alon, Erik D. Demaine, MohammadTaghi Hajiaghayi, Tom Leighton —
+//! SPAA 2010): the swap-based network creation game, its sum/max swap
+//! equilibria, every concrete construction in the paper, the classical
+//! α-game baseline, swap dynamics, and the analysis toolkit behind the
+//! paper's theorems.
+//!
+//! This facade crate re-exports the workspace members under one roof:
+//!
+//! * [`graph`] — graph substrate (BFS/APSP, generators, enumeration, …)
+//! * [`algebra`] — Abelian groups, Cayley graphs, sumsets, projective planes
+//! * [`game`] — the paper's contribution: swap moves and equilibrium theory
+//! * [`alpha`] — the classical α-parameterized game baseline
+//! * [`constructions`] — Figures 2–4 and friends, programmatically
+//! * [`analysis`] — distance uniformity, ball growth, skew triples
+//! * [`dynamics`] — better/best-response simulation engine and tree census
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bncg::prelude::*;
+//!
+//! // Theorem 5 says a diameter-3 sum equilibrium exists. Our reproduction
+//! // found that the paper's printed Figure 3 witness admits an improving
+//! // swap (see `constructions::fig3` for the erratum), and repaired it:
+//! let printed = bncg::constructions::fig3::fig3_graph();
+//! assert!(!SumGame::analyze(&printed).is_equilibrium());
+//!
+//! let repaired = bncg::constructions::fig3::repaired_fig3();
+//! let eq = SumGame::analyze(&repaired);
+//! assert!(eq.is_equilibrium());
+//! assert_eq!(eq.diameter(), Some(3));
+//! ```
+
+pub use bncg_algebra as algebra;
+pub use bncg_alpha as alpha;
+pub use bncg_analysis as analysis;
+pub use bncg_constructions as constructions;
+pub use bncg_core as game;
+pub use bncg_dynamics as dynamics;
+pub use bncg_graph as graph;
+
+/// Convenience re-exports covering the most common workflow: build a graph,
+/// analyze its equilibrium status, run dynamics.
+pub mod prelude {
+    pub use bncg_core::equilibrium::{MaxGame, SumGame};
+    pub use bncg_core::stability::{is_deletion_critical, is_insertion_stable};
+    pub use bncg_dynamics::engine::{DynamicsConfig, Schedule, SwapDynamics};
+    pub use bncg_graph::{generators::classic, DistanceMatrix, Graph, V};
+}

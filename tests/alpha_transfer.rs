@@ -1,0 +1,85 @@
+//! Integration tests for the α-game baseline and the paper's
+//! "all α at once" transfer story.
+
+use bncg::alpha::game::OwnedNetwork;
+use bncg::alpha::nash::{find_improving_deviation, greedy_dynamics, is_single_deviation_stable};
+use bncg::alpha::poa::{alpha_sweep, empirical_poa, poa_diameter_bounds};
+use bncg::alpha::social::{optimal_social_cost, social_cost};
+use bncg::game::SumGame;
+use bncg::graph::generators::classic;
+
+#[test]
+fn social_optimum_is_exact_on_small_instances() {
+    // Exhaustive-ish: the optimum over random connected graphs never beats
+    // min(star, clique).
+    use bncg::graph::generators::random::random_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(3);
+    for alpha in [0.25, 1.0, 2.0, 3.0, 10.0] {
+        let opt = optimal_social_cost(6, alpha);
+        for extra in 0..8 {
+            let g = random_connected(&mut rng, 6, extra);
+            assert!(social_cost(&g, alpha) >= opt - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn swap_equilibria_give_poa_points_for_every_alpha() {
+    // One parameter-free equilibrium, a full α sweep — the transfer the
+    // paper's abstract advertises.
+    let g = bncg::constructions::fig3::repaired_fig3();
+    assert!(SumGame::is_equilibrium(&g));
+    let sweep = alpha_sweep(&g, &[0.1, 0.5, 1.0, 2.0, 8.0, 64.0, 1024.0]);
+    for (alpha, ratio) in sweep {
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(
+            ratio <= 4.0,
+            "diameter-3 equilibrium should stay within small constant of OPT; alpha={alpha}, ratio={ratio}"
+        );
+        let bounds = poa_diameter_bounds(&g, alpha).unwrap();
+        assert!(bounds.consistent, "diameter sandwich at alpha={alpha}");
+    }
+}
+
+#[test]
+fn alpha_game_regime_boundary_at_two() {
+    let n = 9;
+    let star = OwnedNetwork::from_graph(&classic::star(n));
+    let clique = OwnedNetwork::from_graph(&classic::complete(n));
+    // Star stable above 1, clique stable below 1... precisely: star is
+    // 1-deviation stable for alpha >= 1; clique for alpha <= 1.
+    assert!(is_single_deviation_stable(&star, 2.0));
+    assert!(is_single_deviation_stable(&star, 100.0));
+    assert!(!is_single_deviation_stable(&star, 0.5));
+    assert!(is_single_deviation_stable(&clique, 0.5));
+    assert!(!is_single_deviation_stable(&clique, 3.0));
+}
+
+#[test]
+fn greedy_alpha_dynamics_lands_on_stable_networks() {
+    let start = OwnedNetwork::from_graph(&classic::cycle(7));
+    for alpha in [0.5, 1.5, 4.0] {
+        let (stable, steps) = greedy_dynamics(&start, alpha, 200);
+        assert!(steps < 200, "must converge at alpha={alpha}");
+        assert!(is_single_deviation_stable(&stable, alpha));
+        assert!(bncg::graph::components::is_connected(stable.graph()));
+    }
+}
+
+#[test]
+fn optimal_topologies_have_unit_ratio() {
+    assert!((empirical_poa(&classic::complete(8), 1.0) - 1.0).abs() < 1e-9);
+    assert!((empirical_poa(&classic::star(8), 4.0) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn deviations_report_genuine_improvements() {
+    let net = OwnedNetwork::from_graph(&classic::path(7));
+    if let Some(dev) = find_improving_deviation(&net, 1.0) {
+        assert!(dev.after < dev.before);
+    } else {
+        panic!("a path should never be alpha-stable at alpha=1");
+    }
+}

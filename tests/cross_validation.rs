@@ -1,0 +1,133 @@
+//! Property-based cross-validation: the fast equilibrium machinery versus
+//! the literal-definition reference implementation, on random graphs.
+//!
+//! The fast path's correctness rests on the single-edge insertion identity
+//! (`DESIGN.md` §4); the reference path uses none of it. Agreement across
+//! random graphs is the load-bearing evidence that every experiment in
+//! this repository measures what the paper defines.
+
+use bncg::game::equilibrium::{MaxGame, SumGame};
+use bncg::game::evaluator::{agent_cost, EdgeSwapScan};
+use bncg::game::objective::{MaxObjective, SumObjective};
+use bncg::game::stability;
+use bncg::game::verify;
+use bncg::graph::generators::random::random_connected;
+use bncg::graph::{DistanceMatrix, Graph, V};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random connected graph strategy: (n, extra edges, seed) -> Graph.
+fn connected_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..=max_n, 0usize..8, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_connected(&mut rng, n, extra)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_and_reference_sum_equilibrium_agree(g in connected_graph(9)) {
+        prop_assert_eq!(
+            SumGame::is_equilibrium(&g),
+            verify::reference_is_sum_equilibrium(&g)
+        );
+    }
+
+    #[test]
+    fn fast_and_reference_max_equilibrium_agree(g in connected_graph(8)) {
+        prop_assert_eq!(
+            MaxGame::is_equilibrium(&g),
+            verify::reference_is_max_equilibrium(&g)
+        );
+    }
+
+    #[test]
+    fn deletion_critical_and_insertion_stable_agree(g in connected_graph(8)) {
+        prop_assert_eq!(
+            stability::is_deletion_critical(&g),
+            verify::reference_is_deletion_critical(&g)
+        );
+        prop_assert_eq!(
+            stability::is_insertion_stable(&g),
+            verify::reference_is_insertion_stable(&g)
+        );
+    }
+
+    #[test]
+    fn swap_scan_matches_brute_force_costs(g in connected_graph(9), pick in any::<u64>()) {
+        let edges = g.edge_vec();
+        prop_assume!(!edges.is_empty());
+        let e = edges[(pick as usize) % edges.len()];
+        let csr = g.to_csr();
+        let scan = EdgeSwapScan::new(&csr, e.u, e.v);
+        for agent in [e.u, e.v] {
+            for w2 in 0..g.n() as V {
+                if w2 == agent { continue; }
+                let mut h = g.clone();
+                let rec = h.apply_swap(agent, e.other(agent), w2);
+                let brute_sum = agent_cost::<SumObjective>(&h, agent);
+                let brute_max = agent_cost::<MaxObjective>(&h, agent);
+                h.undo_swap(rec);
+                if w2 == e.other(agent) {
+                    continue; // no-op swap, scan treats separately
+                }
+                prop_assert_eq!(scan.swap_cost::<SumObjective>(agent, w2), brute_sum);
+                prop_assert_eq!(scan.swap_cost::<MaxObjective>(agent, w2), brute_max);
+            }
+        }
+    }
+
+    #[test]
+    fn improving_swap_witnesses_are_genuine(g in connected_graph(10)) {
+        if let Some(s) = SumGame::find_improving_swap(&g) {
+            let before = agent_cost::<SumObjective>(&g, s.mv.v);
+            let mut h = g.clone();
+            s.mv.apply(&mut h);
+            let after = agent_cost::<SumObjective>(&h, s.mv.v);
+            prop_assert_eq!(before, s.old_cost);
+            prop_assert_eq!(after, s.new_cost);
+            prop_assert!(after < before);
+        }
+    }
+
+    #[test]
+    fn insertion_identity_on_random_graphs(g in connected_graph(10), pick in any::<u64>()) {
+        let n = g.n() as V;
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let u = (pick % u64::from(n)) as V;
+        let v = ((pick >> 16) % u64::from(n)) as V;
+        prop_assume!(u != v && !g.has_edge(u, v));
+        let mut h = g.clone();
+        h.add_edge(u, v);
+        let dmh = DistanceMatrix::build(&h.to_csr());
+        prop_assert_eq!(dm.sum_from_with_insertion(u, v), dmh.sum_from(u));
+        prop_assert_eq!(dm.ecc_with_insertion(u, v), dmh.ecc(u));
+    }
+
+    #[test]
+    fn dynamics_preserve_edge_count_and_reach_equilibrium(g in connected_graph(10)) {
+        use bncg::dynamics::{DynamicsConfig, Outcome, SwapDynamics};
+        let m_before = g.m();
+        let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        let result = engine.run(&g, &mut rng);
+        prop_assert_eq!(result.graph.m(), m_before, "swaps preserve edge count");
+        if result.outcome == Outcome::Converged {
+            prop_assert!(SumGame::is_equilibrium(&result.graph));
+        }
+    }
+
+    #[test]
+    fn min_insertions_is_consistent_with_single_insertion_stability(g in connected_graph(9)) {
+        let dm = DistanceMatrix::build(&g.to_csr());
+        for v in 0..g.n() as V {
+            let min_ins = stability::min_insertions_to_shrink_ecc(&dm, v, 2);
+            let single = stability::insertion_violation_at(&dm, &g, v);
+            // A single-insertion violation exists iff the minimum cover is 1.
+            prop_assert_eq!(single.is_some(), min_ins == Some(1));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests for Section 5: distance uniformity, skew triples,
+//! the Theorem 13 pipeline, the spider remark, and Theorem 15.
+
+use bncg::algebra::cayley::{complete_multipartite_cayley, dense_circulant, hypercube_cayley};
+use bncg::algebra::group::AbelianGroup;
+use bncg::algebra::primes::safe_prime_power;
+use bncg::algebra::sumset::{plunnecke_consequence_holds, sumset_growth};
+use bncg::analysis::skew::{skew_fraction, theorem13_claim1};
+use bncg::analysis::theorem13::{power_uniformity_curve, theorem13_uniformize};
+use bncg::analysis::uniformity::{almost_uniformity, theorem15_ratio, uniformity};
+use bncg::constructions::spider::{pairwise_distance_histogram, spider};
+use bncg::graph::generators::classic;
+use bncg::graph::DistanceMatrix;
+
+#[test]
+fn skew_triples_vanish_on_genuine_sum_equilibria() {
+    for g in [
+        classic::star(32),
+        bncg::constructions::fig3::repaired_fig3(),
+        classic::complete(12),
+    ] {
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let (frac, alpha, holds) = theorem13_claim1(&dm, 0.5);
+        assert!(holds, "claim 1 must hold: fraction {frac} vs alpha {alpha}");
+        assert_eq!(frac, 0.0, "diameter-<=3 equilibria admit no skew triples");
+    }
+}
+
+#[test]
+fn skew_fraction_is_large_on_paths() {
+    let dm = DistanceMatrix::build(&classic::path(128).to_csr());
+    assert!(skew_fraction(&dm, 1.0) > 0.1);
+}
+
+#[test]
+fn theorem13_pipeline_contracts_diameter_and_improves_uniformity() {
+    let g = classic::cycle(96);
+    let dm = DistanceMatrix::build(&g.to_csr());
+    let base_diam = dm.diameter().unwrap();
+    let base_eps = almost_uniformity(&dm).unwrap().epsilon;
+    let (x, row) = theorem13_uniformize(&g, 0.5).unwrap();
+    assert!(x > 1);
+    assert!(row.diameter < base_diam);
+    assert!(row.eps_almost <= base_eps + 1e-12);
+}
+
+#[test]
+fn power_curve_is_monotone_in_diameter() {
+    let g = classic::torus_grid(10, 10);
+    let rows = power_uniformity_curve(&g, &[1, 2, 3, 5]).unwrap();
+    for w in rows.windows(2) {
+        assert!(w[1].diameter <= w[0].diameter);
+    }
+}
+
+#[test]
+fn spider_separates_pairwise_from_per_vertex_uniformity() {
+    let g = spider(8, 2, 40);
+    let dm = DistanceMatrix::build(&g.to_csr());
+    // Pairwise: one distance dominates.
+    let hist = pairwise_distance_histogram(&g);
+    let modal_mass = hist.iter().cloned().fold(0.0f64, f64::max);
+    assert!(modal_mass > 0.7);
+    // Per-vertex: even the relaxed notion stays far from uniform.
+    let au = almost_uniformity(&dm).unwrap();
+    assert!(au.epsilon > 0.5, "the spider must NOT be per-vertex uniform");
+    // And the diameter is large relative to lg n, so were it uniform it
+    // would contradict Conjecture 14 — the remark's whole point.
+    assert!(f64::from(dm.diameter().unwrap()) > (g.n() as f64).log2() / 2.0);
+}
+
+#[test]
+fn theorem15_ratio_is_small_on_uniform_cayley_graphs() {
+    let subjects = [
+        complete_multipartite_cayley(16, 4),
+        complete_multipartite_cayley(32, 4),
+        dense_circulant(64, 26),
+        dense_circulant(256, 104),
+    ];
+    for g in subjects {
+        let dm = DistanceMatrix::build(&g.to_csr());
+        let u = uniformity(&dm).unwrap();
+        assert!(u.epsilon < 0.25, "subject must satisfy the eps < 1/4 premise");
+        let ratio = theorem15_ratio(dm.diameter().unwrap(), u.epsilon, g.n()).unwrap();
+        assert!(ratio <= 8.0, "Theorem 15 constant blown: {ratio}");
+    }
+}
+
+#[test]
+fn sparse_cayley_graphs_are_honestly_nonuniform() {
+    // The hypercube's best single-distance layer is the binomial mode,
+    // far below (3/4)n: the Theorem 15 premise does not apply (and the
+    // experiments must report it as n/a rather than claim a bound).
+    let g = hypercube_cayley(8);
+    let dm = DistanceMatrix::build(&g.to_csr());
+    let u = uniformity(&dm).unwrap();
+    assert!(u.epsilon > 0.25);
+    assert!(theorem15_ratio(dm.diameter().unwrap(), u.epsilon, g.n()).is_none());
+}
+
+#[test]
+fn plunnecke_consequence_across_group_families() {
+    let cases: Vec<(AbelianGroup, Vec<Vec<u64>>)> = vec![
+        (AbelianGroup::cyclic(48), vec![vec![1], vec![7]]),
+        (AbelianGroup::product(&[8, 10]), vec![vec![1, 0], vec![0, 1]]),
+        (
+            AbelianGroup::boolean(6),
+            (0..6)
+                .map(|i| {
+                    let mut e = vec![0u64; 6];
+                    e[i] = 1;
+                    e
+                })
+                .collect(),
+        ),
+    ];
+    for (group, gens) in cases {
+        let s = group.symmetrize(&gens);
+        assert_eq!(plunnecke_consequence_holds(&group, &s, 8), Ok(()));
+        // Growth is monotone in the reachable-set sense: |iS| bounded by n.
+        let growth = sumset_growth(&group, &s, 8);
+        assert!(growth.iter().all(|&x| x as u64 <= group.order()));
+    }
+}
+
+#[test]
+fn safe_primes_exist_at_theorem13_scale() {
+    for n in [64u64, 256, 1024, 4096, 1 << 16, 1 << 20] {
+        let l = (n as f64).log2() as u64;
+        let lo = n / 3;
+        let hi = lo + 6 * l;
+        let p = safe_prime_power(lo, hi, 16 * l * l);
+        assert!(p.is_some(), "no safe prime for n={n}");
+    }
+}
