@@ -25,7 +25,10 @@ pub fn primes_up_to(limit: usize) -> Vec<u64> {
         }
         p += 1;
     }
-    (2..=limit).filter(|&i| is_prime[i]).map(|i| i as u64).collect()
+    (2..=limit)
+        .filter(|&i| is_prime[i])
+        .map(|i| i as u64)
+        .collect()
 }
 
 /// Trial-division primality test (adequate for the ≤ 10⁶ range used here).

@@ -153,11 +153,7 @@ mod tests {
             let pg = ProjectivePlane::new(q);
             let g = pg.polarity_graph();
             let dm = DistanceMatrix::build(&g.to_csr());
-            assert_eq!(
-                dm.diameter(),
-                Some(2),
-                "ER_{q} should have diameter 2"
-            );
+            assert_eq!(dm.diameter(), Some(2), "ER_{q} should have diameter 2");
         }
     }
 

@@ -13,11 +13,7 @@ use crate::group::{AbelianGroup, GroupElem};
 
 /// Computes `iS` for `i = 0..=max_i` as dense-index sets.
 /// `0S = {0}` by convention.
-pub fn iterated_sumsets(
-    group: &AbelianGroup,
-    s: &[GroupElem],
-    max_i: usize,
-) -> Vec<HashSet<u64>> {
+pub fn iterated_sumsets(group: &AbelianGroup, s: &[GroupElem], max_i: usize) -> Vec<HashSet<u64>> {
     let mut out: Vec<HashSet<u64>> = Vec::with_capacity(max_i + 1);
     let mut current: HashSet<u64> = HashSet::new();
     current.insert(group.index_of(&group.zero()));

@@ -15,7 +15,9 @@
 //! swap-stable graphs apply to α-game Nash equilibria for **every** α —
 //! the transfer the paper emphasizes.
 
-use bncg_graph::{DistanceMatrix, V};
+use bncg_core::context::EvalContext;
+use bncg_core::objective::{Objective, SumObjective, INFINITE_COST};
+use bncg_graph::V;
 
 use crate::game::OwnedNetwork;
 
@@ -60,37 +62,59 @@ pub struct ScoredDeviation {
 
 /// Finds a strictly improving single deviation (drop, buy, or swap) for
 /// any player, or `None` if the network is 1-deviation stable at `alpha`.
+///
+/// All deviations are scored analytically from one [`EvalContext`]: the
+/// base APSP covers the `before` costs and pure buys (single-insertion
+/// identity), and each bought edge `vw` gets **one** pooled masked APSP of
+/// `G − vw` that scores the drop *and* every swap target `w2` via the
+/// insertion identity — the same evaluator trick the basic game's
+/// [`EdgeSwapScan`](bncg_core::evaluator::EdgeSwapScan) uses. This
+/// replaces the seed's per-candidate full APSP rebuild (`O(n·m)` per
+/// target) with an `O(n)` row blend per target, at identical scores.
 pub fn find_improving_deviation(net: &OwnedNetwork, alpha: f64) -> Option<ScoredDeviation> {
     let g = net.graph();
     let n = g.n();
-    let dm = DistanceMatrix::build(&g.to_csr());
-    let mut scratch = net.clone();
+    let ctx = EvalContext::new(g);
+    let dm = ctx.base();
     for v in 0..n as V {
-        let before = net.player_cost(&dm, v, alpha);
+        let before = net.player_cost(dm, v, alpha);
         // Drops and swaps of bought edges.
-        for e in net.bought_by(v) {
+        let bought = net.bought_by(v);
+        let owned = bought.len();
+        for e in &bought {
             let w = e.other(v);
-            // Drop.
-            scratch.sell_edge(v, w, v);
-            let dm2 = DistanceMatrix::build(&scratch.graph().to_csr());
-            let after = scratch.player_cost(&dm2, v, alpha);
+            // One masked APSP of G − vw scores the drop and every swap.
+            let scan = ctx.scan(v, w);
+            // Drop: sell vw outright.
+            let after = match scan.masked().sum_from(v) {
+                None => f64::INFINITY,
+                Some(usage) => alpha * (owned - 1) as f64 + usage as f64,
+            };
             if after < before - 1e-9 {
+                scan.recycle();
                 return Some(ScoredDeviation {
                     deviation: Deviation::Drop { v, w },
                     before,
                     after,
                 });
             }
-            // Swaps: re-buy toward every non-neighbor.
+            // Swaps: sell vw, re-buy toward every non-neighbor of v in
+            // G − vw (this includes w2 = w, a re-buy of the same edge,
+            // which scores exactly `before` and is filtered by the strict
+            // epsilon — matching the literal-mutation reference).
             for w2 in 0..n as V {
-                if w2 == v || scratch.graph().has_edge(v, w2) {
+                if w2 == v || (w2 != w && g.has_edge(v, w2)) {
                     continue;
                 }
-                scratch.buy_edge(v, w2, v);
-                let dm3 = DistanceMatrix::build(&scratch.graph().to_csr());
-                let after = scratch.player_cost(&dm3, v, alpha);
-                scratch.sell_edge(v, w2, v);
+                let usage =
+                    SumObjective::cost_with_insertion(scan.masked().row(v), scan.masked().row(w2));
+                let after = if usage == INFINITE_COST {
+                    f64::INFINITY
+                } else {
+                    alpha * owned as f64 + usage as f64
+                };
                 if after < before - 1e-9 {
+                    scan.recycle();
                     return Some(ScoredDeviation {
                         deviation: Deviation::Swap { v, w, w2 },
                         before,
@@ -98,7 +122,7 @@ pub fn find_improving_deviation(net: &OwnedNetwork, alpha: f64) -> Option<Scored
                     });
                 }
             }
-            scratch.buy_edge(v, w, v);
+            scan.recycle();
         }
         // Pure buys.
         for w in 0..n as V {
@@ -109,7 +133,7 @@ pub fn find_improving_deviation(net: &OwnedNetwork, alpha: f64) -> Option<Scored
             let new_usage = dm
                 .sum_from_with_insertion(v, w)
                 .map_or(f64::INFINITY, |s| s as f64);
-            let after = alpha * (net.bought_count(v) + 1) as f64 + new_usage;
+            let after = alpha * (owned + 1) as f64 + new_usage;
             if after < before - 1e-9 {
                 return Some(ScoredDeviation {
                     deviation: Deviation::Buy { v, w },
@@ -130,11 +154,7 @@ pub fn is_single_deviation_stable(net: &OwnedNetwork, alpha: f64) -> bool {
 /// Greedy improvement dynamics: repeatedly applies the first improving
 /// deviation until stability or `max_steps`. Returns the final network and
 /// the number of deviations applied.
-pub fn greedy_dynamics(
-    net: &OwnedNetwork,
-    alpha: f64,
-    max_steps: usize,
-) -> (OwnedNetwork, usize) {
+pub fn greedy_dynamics(net: &OwnedNetwork, alpha: f64, max_steps: usize) -> (OwnedNetwork, usize) {
     let mut current = net.clone();
     for step in 0..max_steps {
         match find_improving_deviation(&current, alpha) {

@@ -126,7 +126,11 @@ mod tests {
     fn equilibria_satisfy_the_theorem13_scale() {
         // Sum equilibria have tiny diameters, so middle intervals are
         // trivially within the O(lg n) budget — the audit quantifies it.
-        for g in [classic::star(64), classic::petersen(), classic::complete(16)] {
+        for g in [
+            classic::star(64),
+            classic::petersen(),
+            classic::complete(16),
+        ] {
             let dm = DistanceMatrix::build(&g.to_csr());
             let audit = concentration_audit(&dm, 0.1).unwrap();
             assert!(

@@ -60,10 +60,7 @@ impl GrowthProfile {
 
 /// Evaluates the Theorem 9 inequality for a geometric ladder of radii
 /// `k, 4k, 16k, …` starting at `k0`, returning each check.
-pub fn ball_growth_ladder(
-    dm: &DistanceMatrix,
-    k0: u32,
-) -> Vec<bncg_core::lemmas::BallGrowthCheck> {
+pub fn ball_growth_ladder(dm: &DistanceMatrix, k0: u32) -> Vec<bncg_core::lemmas::BallGrowthCheck> {
     let mut out = Vec::new();
     let diam = match dm.diameter() {
         Some(d) => d,

@@ -5,11 +5,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use bncg_core::best_response::best_response_csr;
+use bncg_core::context::EvalContext;
 use bncg_core::equilibrium::{MaxGame, SumGame};
-use bncg_core::objective::SumObjective;
+use bncg_core::objective::{Objective, SumObjective};
 use bncg_core::stability::{is_deletion_critical, is_insertion_stable};
 use bncg_core::verify::reference_is_sum_equilibrium;
 use bncg_graph::generators::random::random_connected;
+use bncg_graph::{BfsScratch, DistanceMatrix, Graph, V};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -80,14 +82,99 @@ fn bench_max_and_stability(c: &mut Criterion) {
 }
 
 fn bench_best_response(c: &mut Criterion) {
+    // `ctx/<n>` is the production hot path (long-lived pooled context, as
+    // the dynamics engine runs it); `csr_shim/<n>` is the compatibility
+    // wrapper, which additionally clones the CSR per call.
     let mut group = c.benchmark_group("equilibrium/best_response");
     for &n in &[64usize, 256] {
         let g = graphs(n);
+        let ctx = EvalContext::new(&g);
+        group.bench_with_input(BenchmarkId::new("ctx", n), &n, |b, _| {
+            b.iter(|| black_box(ctx.best_response::<SumObjective>(0)));
+        });
         let csr = g.to_csr();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("csr_shim", n), &n, |b, _| {
             b.iter(|| black_box(best_response_csr::<SumObjective>(&g, &csr, 0)));
         });
     }
+    group.finish();
+}
+
+/// The seed's `SumGame::analyze`, verbatim: CSR + base APSP built here,
+/// then the witness search rebuilding *both again* internally (that double
+/// build plus the per-scan matrix allocations are exactly what the pooled
+/// `EvalContext` path eliminates).
+fn naive_analyze_witness(g: &Graph) -> (bool, Option<u32>, u64) {
+    let csr = g.to_csr();
+    let dm = DistanceMatrix::build(&csr);
+    let witness = {
+        let csr2 = g.to_csr();
+        let base = DistanceMatrix::build(&csr2);
+        let mut found = None;
+        'outer: for e in g.edge_vec() {
+            let scan = bncg_core::evaluator::EdgeSwapScan::new(&csr2, e.u, e.v);
+            for agent in [e.u, e.v] {
+                let old = SumObjective::cost_of_row(base.row(agent));
+                if let Some(s) = scan.best_improving::<SumObjective>(agent, old) {
+                    found = Some(s);
+                    break 'outer;
+                }
+            }
+        }
+        found
+    };
+    let mut max_cost = 0u64;
+    for v in 0..g.n() as V {
+        max_cost = max_cost.max(SumObjective::cost_of_row(dm.row(v)));
+    }
+    (witness.is_some(), dm.diameter(), max_cost)
+}
+
+fn bench_evalcontext_n2048(c: &mut Criterion) {
+    // The acceptance workload of the EvalContext refactor: a random
+    // connected graph with n = 2048, pooled context vs the seed's
+    // per-agent-allocation pattern. Recorded into BENCH_baseline.json via
+    // BNCG_BENCH_JSON.
+    let mut rng = StdRng::seed_from_u64(2048);
+    let g = random_connected(&mut rng, 2048, 1024);
+    let n = g.n();
+
+    let mut group = c.benchmark_group("evalcontext/agent_cost_sweep_n2048");
+    group.sample_size(10);
+    group.bench_function("naive_alloc_per_agent", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..n as V {
+                // The seed's per-call pattern: fresh CSR snapshot and
+                // fresh BFS scratch for every single agent.
+                let csr = g.to_csr();
+                let mut scratch = BfsScratch::new(n);
+                scratch.run(&csr, v);
+                acc = acc.wrapping_add(SumObjective::cost_of_row(&scratch.dist));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("pooled_ctx", |b| {
+        b.iter(|| {
+            let ctx = EvalContext::new(&g);
+            let mut acc = 0u64;
+            for v in 0..n as V {
+                acc = acc.wrapping_add(ctx.agent_cost::<SumObjective>(v));
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("evalcontext/sum_analyze_n2048");
+    group.sample_size(10);
+    group.bench_function("naive_per_agent_allocation", |b| {
+        b.iter(|| black_box(naive_analyze_witness(&g)));
+    });
+    group.bench_function("pooled_ctx", |b| {
+        b.iter(|| black_box(SumGame::analyze(&g).swap_stable));
+    });
     group.finish();
 }
 
@@ -96,6 +183,7 @@ criterion_group!(
     bench_sum_check,
     bench_fast_vs_reference,
     bench_max_and_stability,
-    bench_best_response
+    bench_best_response,
+    bench_evalcontext_n2048
 );
 criterion_main!(benches);

@@ -43,7 +43,11 @@ pub fn run(_quick: bool) -> String {
         "sum eq (reference)",
     ]);
     audit("Figure 3 as printed", &fig3_graph(), &mut t);
-    audit("straight-matching variant", &fig3_straight_variant(), &mut t);
+    audit(
+        "straight-matching variant",
+        &fig3_straight_variant(),
+        &mut t,
+    );
     audit("repaired (4 branches)", &repaired_fig3(), &mut t);
     out.push_str(&t.render());
 

@@ -26,8 +26,7 @@ pub fn run(quick: bool) -> String {
         &[16, 32, 64, 128, 256]
     };
     let runs = if quick { 8 } else { 16 };
-    let mut out =
-        String::from("## E4 — Theorem 9: sum-equilibrium diameters are 2^O(√lg n)\n\n");
+    let mut out = String::from("## E4 — Theorem 9: sum-equilibrium diameters are 2^O(√lg n)\n\n");
     let mut t = Table::new(vec![
         "n",
         "start",
@@ -68,8 +67,7 @@ pub fn run(quick: bool) -> String {
     let mut audit = Table::new(vec!["n", "k", "B_k", "B_4k", "holds"]);
     for &n in sizes.iter().take(3) {
         let mut rng = StdRng::seed_from_u64(0x9999 + n as u64);
-        let start =
-            bncg_graph::generators::random::random_connected(&mut rng, n, n / 4);
+        let start = bncg_graph::generators::random::random_connected(&mut rng, n, n / 4);
         let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
         let result = engine.run(&start, &mut rng);
         if result.outcome != Outcome::Converged {

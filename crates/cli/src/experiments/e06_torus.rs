@@ -40,9 +40,8 @@ pub fn run(quick: bool) -> String {
         let g = rotated_torus(k);
         let torus = RotatedTorus::new(k);
         let dm = DistanceMatrix::build(&g.to_csr());
-        let metric_ok = (0..g.n() as V).all(|u| {
-            (0..g.n() as V).all(|w| dm.get(u, w) as usize == torus.distance(u, w))
-        });
+        let metric_ok = (0..g.n() as V)
+            .all(|u| (0..g.n() as V).all(|w| dm.get(u, w) as usize == torus.distance(u, w)));
         let ecc_ok = (0..g.n() as V).all(|v| dm.ecc(v) == Some(k as u32));
         let dc = deletion_critical_violation(&g).is_none();
         let ins = is_insertion_stable(&g);

@@ -18,11 +18,19 @@ pub fn run(quick: bool) -> String {
     let cases: &[(usize, usize)] = if quick {
         &[(2, 3), (2, 4), (3, 2), (3, 3)]
     } else {
-        &[(2, 3), (2, 4), (2, 6), (3, 2), (3, 3), (3, 4), (4, 2), (4, 3)]
+        &[
+            (2, 3),
+            (2, 4),
+            (2, 6),
+            (3, 2),
+            (3, 3),
+            (3, 4),
+            (4, 2),
+            (4, 3),
+        ]
     };
-    let mut out = String::from(
-        "## E7 — d-dimensional tori: diameter Θ(n^{1/d}) vs agent power\n\n",
-    );
+    let mut out =
+        String::from("## E7 — d-dimensional tori: diameter Θ(n^{1/d}) vs agent power\n\n");
     let mut t = Table::new(vec![
         "d",
         "k",

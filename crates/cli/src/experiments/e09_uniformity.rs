@@ -22,12 +22,12 @@ use crate::md::{f3, ok, Table};
 
 /// Runs E9 and renders the report.
 pub fn run(quick: bool) -> String {
-    let mut out = String::from(
-        "## E9 — Theorem 13: uniformization by powers (+ safe primes)\n\n",
-    );
+    let mut out = String::from("## E9 — Theorem 13: uniformization by powers (+ safe primes)\n\n");
 
     // Skew-triple claim 1 on genuine sum equilibria.
-    out.push_str("Claim 1 audit (α = 1/2, p = 8): skew-triple fraction must be < α on sum equilibria:\n\n");
+    out.push_str(
+        "Claim 1 audit (α = 1/2, p = 8): skew-triple fraction must be < α on sum equilibria:\n\n",
+    );
     let mut c1 = Table::new(vec!["graph", "n", "skew fraction", "< α"]);
     for (name, g) in [
         ("star(64)", classic::star(64)),

@@ -40,8 +40,8 @@ pub fn run(quick: bool) -> String {
         let au = almost_uniformity(&dm).unwrap();
         // A would-be counterexample needs small per-vertex ε AND large
         // diameter; the spider never achieves the former.
-        let contradicts = au.epsilon < 0.25
-            && f64::from(dm.diameter().unwrap()) > 4.0 * (g.n() as f64).log2();
+        let contradicts =
+            au.epsilon < 0.25 && f64::from(dm.diameter().unwrap()) > 4.0 * (g.n() as f64).log2();
         t.row(vec![
             legs.to_string(),
             path_len.to_string(),
@@ -50,7 +50,11 @@ pub fn run(quick: bool) -> String {
             dm.diameter().unwrap().to_string(),
             f3(modal_mass),
             f3(au.epsilon),
-            if contradicts { "**YES**".into() } else { "no".to_string() },
+            if contradicts {
+                "**YES**".into()
+            } else {
+                "no".to_string()
+            },
         ]);
         let _ = uniformity(&dm); // exercised for parity with the almost case
     }

@@ -7,8 +7,7 @@
 //! `|qS| ≤ |pS|^{q/p}` the proof rests on.
 
 use bncg_algebra::cayley::{
-    cayley_graph, circulant_cayley, complete_multipartite_cayley, dense_circulant,
-    hypercube_cayley,
+    cayley_graph, circulant_cayley, complete_multipartite_cayley, dense_circulant, hypercube_cayley,
 };
 use bncg_algebra::group::AbelianGroup;
 use bncg_algebra::sumset::plunnecke_consequence_holds;
@@ -19,26 +18,34 @@ use crate::md::{f3, ok, Table};
 
 /// Runs E11 and renders the report.
 pub fn run(quick: bool) -> String {
-    let mut out = String::from(
-        "## E11 — Theorem 15: uniform Abelian Cayley graphs have small diameter\n\n",
-    );
+    let mut out =
+        String::from("## E11 — Theorem 15: uniform Abelian Cayley graphs have small diameter\n\n");
     // Subjects with genuinely small ε (Theorem 15's hypothesis needs
     // ε < 1/4), plus sparse contrast families where the hypothesis is
     // vacuous (reported honestly as n/a).
     let mut subjects: Vec<(String, Graph)> = vec![
-        ("K_{16×4} = Cay(Z_16×Z_4)".into(), complete_multipartite_cayley(16, 4)),
+        (
+            "K_{16×4} = Cay(Z_16×Z_4)".into(),
+            complete_multipartite_cayley(16, 4),
+        ),
         ("K_{32×4}".into(), complete_multipartite_cayley(32, 4)),
         ("C_64(1..26) dense".into(), dense_circulant(64, 26)),
         ("C_256(1..104) dense".into(), dense_circulant(256, 104)),
         ("Q_8 (sparse contrast)".into(), hypercube_cayley(8)),
-        ("C_128(1,10,27) (sparse)".into(), circulant_cayley(128, &[1, 10, 27])),
+        (
+            "C_128(1,10,27) (sparse)".into(),
+            circulant_cayley(128, &[1, 10, 27]),
+        ),
     ];
     if !quick {
         subjects.push(("K_{64×4}".into(), complete_multipartite_cayley(64, 4)));
         subjects.push(("C_1024(1..416) dense".into(), dense_circulant(1024, 416)));
         let g44 = AbelianGroup::product(&[16, 16]);
         let gens = g44.symmetrize(&[vec![1, 0], vec![0, 1], vec![1, 1]]);
-        subjects.push(("Z_16×Z_16 (3 gens, sparse)".into(), cayley_graph(&g44, &gens)));
+        subjects.push((
+            "Z_16×Z_16 (3 gens, sparse)".into(),
+            cayley_graph(&g44, &gens),
+        ));
     }
     let mut t = Table::new(vec![
         "graph",

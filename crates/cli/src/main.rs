@@ -50,8 +50,11 @@ fn main() {
             std::fs::create_dir_all(&dir).expect("create artifact directory");
             for entry in bncg_constructions::catalog::default_catalog() {
                 let path = format!("{dir}/{}.edges", entry.name);
-                let mut text = format!("# {}\n# graph6: {}\n", entry.provenance,
-                    bncg_graph::graph6::encode(&entry.graph));
+                let mut text = format!(
+                    "# {}\n# graph6: {}\n",
+                    entry.provenance,
+                    bncg_graph::graph6::encode(&entry.graph)
+                );
                 text.push_str(&bncg_graph::io::to_edge_list(&entry.graph));
                 std::fs::write(&path, text).expect("write artifact");
                 println!("wrote {path}");

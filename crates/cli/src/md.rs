@@ -49,5 +49,9 @@ pub fn f3(x: f64) -> String {
 
 /// Formats a boolean as a check / cross.
 pub fn ok(b: bool) -> String {
-    if b { "yes".into() } else { "**NO**".into() }
+    if b {
+        "yes".into()
+    } else {
+        "**NO**".into()
+    }
 }

@@ -117,6 +117,9 @@ mod tests {
         // range (e.g. C5 ~ C_5(1,2)-complement families), so the scanner
         // itself demonstrably finds things.
         let d2 = scan_circulants(12, 5, 2);
-        assert!(!d2.is_empty(), "expected some diameter-2 circulant equilibria");
+        assert!(
+            !d2.is_empty(),
+            "expected some diameter-2 circulant equilibria"
+        );
     }
 }

@@ -8,52 +8,38 @@
 
 use bncg_graph::{Csr, Graph, V};
 
-use crate::evaluator::EdgeSwapScan;
+use crate::context::EvalContext;
 use crate::objective::Objective;
 use crate::swap::ScoredSwap;
 
 /// The best improving swap available to agent `v`, or `None` if `v` is
 /// already playing a best response.
+///
+/// Convenience wrapper that snapshots `g` into a fresh
+/// [`EvalContext`]; callers evaluating more than one agent (or more than
+/// one round) should construct the context themselves and call
+/// [`EvalContext::best_response`] so the snapshot, base matrix, and
+/// scratch buffers are shared across the whole scan.
 pub fn best_response<O: Objective>(g: &Graph, v: V) -> Option<ScoredSwap> {
-    let csr = g.to_csr();
-    best_response_csr::<O>(g, &csr, v)
+    EvalContext::new(g).best_response::<O>(v)
 }
 
-/// [`best_response`] with a caller-provided CSR snapshot (the dynamics
-/// engine reuses snapshots across agents within a round).
-pub fn best_response_csr<O: Objective>(g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
-    let old = {
-        let mut scratch = bncg_graph::BfsScratch::new(g.n());
-        scratch.run(csr, v);
-        O::cost_of_row(&scratch.dist)
-    };
-    let mut best: Option<ScoredSwap> = None;
-    for &w in g.neighbors(v) {
-        let scan = EdgeSwapScan::new(csr, v, w);
-        if let Some(s) = scan.best_improving::<O>(v, old) {
-            if best.as_ref().is_none_or(|b| s.new_cost < b.new_cost) {
-                best = Some(s);
-            }
-        }
-    }
-    best
+/// [`best_response`] with a caller-provided CSR snapshot.
+///
+/// Compatibility shim for callers that hold a bare CSR: it clones the
+/// snapshot into a throwaway context (O(n + m), far below one masked
+/// APSP). Hot loops — the dynamics engine, the equilibrium checkers —
+/// hold a real [`EvalContext`] instead and pay neither the clone nor any
+/// per-agent allocation.
+pub fn best_response_csr<O: Objective>(_g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
+    EvalContext::from_csr(csr.clone()).best_response::<O>(v)
 }
 
 /// The first improving swap found for agent `v` scanning its incident
-/// edges in order, or `None` if none exists.
-pub fn first_improving_response<O: Objective>(g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
-    let old = {
-        let mut scratch = bncg_graph::BfsScratch::new(g.n());
-        scratch.run(csr, v);
-        O::cost_of_row(&scratch.dist)
-    };
-    for &w in g.neighbors(v) {
-        let scan = EdgeSwapScan::new(csr, v, w);
-        if let Some(s) = scan.best_improving::<O>(v, old) {
-            return Some(s);
-        }
-    }
-    None
+/// edges in order, or `None` if none exists. Same compatibility shim as
+/// [`best_response_csr`].
+pub fn first_improving_response<O: Objective>(_g: &Graph, csr: &Csr, v: V) -> Option<ScoredSwap> {
+    EvalContext::from_csr(csr.clone()).first_improving_response::<O>(v)
 }
 
 #[cfg(test)]
@@ -104,9 +90,7 @@ mod tests {
     fn applying_best_response_realizes_predicted_cost() {
         let mut g = classic::path(8);
         for _ in 0..20 {
-            let Some(s) = (0..8 as V)
-                .find_map(|v| best_response::<SumObjective>(&g, v))
-            else {
+            let Some(s) = (0..8 as V).find_map(|v| best_response::<SumObjective>(&g, v)) else {
                 break;
             };
             s.mv.apply(&mut g);

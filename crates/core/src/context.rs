@@ -1,0 +1,323 @@
+//! The pooled evaluation context — the seam every swap scan goes through.
+//!
+//! Before this module existed, every [`best_response`](crate::best_response)
+//! call re-materialized a CSR snapshot and allocated fresh BFS scratch, and
+//! every equilibrium audit rebuilt the base APSP from scratch. An
+//! [`EvalContext`] owns those resources for a whole round of swap scans:
+//!
+//! * the **CSR snapshot** of the current graph, refreshed in place (no
+//!   allocation) after each dynamics move via [`EvalContext::refresh`];
+//! * the **base distance matrix**, built lazily at most once per snapshot
+//!   and shared by every agent's old-cost lookup;
+//! * access to the thread-local **scratch and matrix pools** in
+//!   `bncg_graph`, so per-agent BFS runs and per-edge masked APSPs recycle
+//!   their buffers instead of allocating.
+//!
+//! The context is `Sync`: parallel sweeps (`find_improving_swap_par`,
+//! `best_responses_par`) share one `&EvalContext` across rayon workers,
+//! each worker drawing from its own thread-local pools. Parallel variants
+//! return **byte-identical** results to their sequential counterparts —
+//! the winner is selected by lowest edge index, matching the sequential
+//! scan order — so callers can switch freely between them (property tests
+//! in `tests/evalcontext_props.rs` pin this down).
+
+use std::sync::OnceLock;
+
+use bncg_graph::{with_scratch, Csr, DistanceMatrix, Graph, V};
+use rayon::prelude::*;
+
+use crate::evaluator::EdgeSwapScan;
+use crate::objective::Objective;
+use crate::swap::ScoredSwap;
+
+/// Edges scanned per parallel block in
+/// [`EvalContext::find_improving_swap_par`]: one edge per worker thread.
+/// Each block costs one masked-APSP of wall-clock regardless of width, so
+/// the deterministic early exit never does more *wall-clock* work than the
+/// sequential scan — and on a single-core host the block degenerates to
+/// exactly the sequential short-circuit.
+fn par_edge_block() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Pooled evaluation state for one graph snapshot.
+///
+/// Construct once per graph (or keep one alive across a dynamics run and
+/// [`refresh`](EvalContext::refresh) it after each move), then route all
+/// swap evaluation through it.
+pub struct EvalContext {
+    csr: Csr,
+    base: OnceLock<DistanceMatrix>,
+}
+
+impl EvalContext {
+    /// Context for the current state of `g` (snapshots the CSR once).
+    pub fn new(g: &Graph) -> Self {
+        Self::from_csr(g.to_csr())
+    }
+
+    /// Context wrapping an existing CSR snapshot.
+    pub fn from_csr(csr: Csr) -> Self {
+        EvalContext {
+            csr,
+            base: OnceLock::new(),
+        }
+    }
+
+    /// Re-snapshots `g` in place after a mutation: the CSR buffers are
+    /// refilled without allocating and the cached base matrix (if any) is
+    /// returned to the thread-local pool.
+    pub fn refresh(&mut self, g: &Graph) {
+        g.refresh_csr(&mut self.csr);
+        if let Some(old) = self.base.take() {
+            old.recycle();
+        }
+    }
+
+    /// The CSR snapshot.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.csr.n()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.csr.m()
+    }
+
+    /// The base all-pairs distance matrix of the snapshot, built on first
+    /// use and cached until the next [`refresh`](EvalContext::refresh).
+    pub fn base(&self) -> &DistanceMatrix {
+        self.base.get_or_init(|| DistanceMatrix::build(&self.csr))
+    }
+
+    /// Usage cost of agent `v` under `O` in the current snapshot.
+    ///
+    /// Uses the cached base matrix when present, otherwise one pooled BFS
+    /// (it does *not* force the full APSP — the dynamics engine calls this
+    /// per activated agent).
+    pub fn agent_cost<O: Objective>(&self, v: V) -> u64 {
+        if let Some(dm) = self.base.get() {
+            return O::cost_of_row(dm.row(v));
+        }
+        with_scratch(self.n(), |scratch| {
+            scratch.run(&self.csr, v);
+            O::cost_of_row(&scratch.dist)
+        })
+    }
+
+    /// Prepares the swap scan deleting edge `vw` (one pooled masked APSP).
+    /// Call [`EdgeSwapScan::recycle`] when done to keep the loop
+    /// allocation-free.
+    pub fn scan(&self, v: V, w: V) -> EdgeSwapScan {
+        EdgeSwapScan::new(&self.csr, v, w)
+    }
+
+    /// The best improving swap available to agent `v`, or `None` if `v` is
+    /// already playing a best response. Equivalent to (and replacing) the
+    /// old per-call path that rebuilt the CSR and allocated scratch.
+    pub fn best_response<O: Objective>(&self, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost::<O>(v);
+        let mut best: Option<ScoredSwap> = None;
+        for &w in self.csr.neighbors(v) {
+            let scan = self.scan(v, w);
+            if let Some(s) = scan.best_improving::<O>(v, old) {
+                if best.as_ref().is_none_or(|b| s.new_cost < b.new_cost) {
+                    best = Some(s);
+                }
+            }
+            scan.recycle();
+        }
+        best
+    }
+
+    /// The first improving swap found for agent `v` scanning its incident
+    /// edges in order, or `None` if none exists.
+    pub fn first_improving_response<O: Objective>(&self, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost::<O>(v);
+        for &w in self.csr.neighbors(v) {
+            let scan = self.scan(v, w);
+            let found = scan.best_improving::<O>(v, old);
+            scan.recycle();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Best responses of **all** agents, computed in parallel (one slot per
+    /// agent, `None` where the agent is already best-responding). The
+    /// greedy-global dynamics schedule consumes this.
+    pub fn best_responses_par<O: Objective>(&self) -> Vec<Option<ScoredSwap>> {
+        (0..self.n() as V)
+            .into_par_iter()
+            .map(|v| self.best_response::<O>(v))
+            .collect()
+    }
+
+    /// First improving swap over the whole graph in deterministic scan
+    /// order (edges ascending, then agent `u` before `v`), or `None` when
+    /// the graph is swap-stable under `O`. Sequential with short-circuit.
+    pub fn find_improving_swap<O: Objective>(&self) -> Option<ScoredSwap> {
+        let base = self.base();
+        for (u, v) in self.csr.edge_vec() {
+            let found = self.edge_improving::<O>(base, u, v);
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Parallel version of [`find_improving_swap`](Self::find_improving_swap)
+    /// with **identical** output: edges are scanned in worker-sized blocks
+    /// (see [`par_edge_block`]), each block fans out over rayon workers,
+    /// and the lowest-indexed hit wins — exactly the sequential answer,
+    /// with the sequential early exit preserved at block granularity.
+    pub fn find_improving_swap_par<O: Objective>(&self) -> Option<ScoredSwap> {
+        let base = self.base();
+        let edges = self.csr.edge_vec();
+        for block in edges.chunks(par_edge_block()) {
+            let hits: Vec<Option<ScoredSwap>> = block
+                .to_vec()
+                .into_par_iter()
+                .map(|(u, v)| self.edge_improving::<O>(base, u, v))
+                .collect();
+            if let Some(s) = hits.into_iter().flatten().next() {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Every strictly improving swap in the graph (exhaustive audit),
+    /// in deterministic scan order.
+    pub fn all_improving_swaps<O: Objective>(&self) -> Vec<ScoredSwap> {
+        let base = self.base();
+        let mut out = Vec::new();
+        for (u, v) in self.csr.edge_vec() {
+            let scan = self.scan(u, v);
+            for agent in [u, v] {
+                let old = O::cost_of_row(base.row(agent));
+                out.extend(scan.all_improving::<O>(agent, old));
+            }
+            scan.recycle();
+        }
+        out
+    }
+
+    /// Smallest and largest agent cost under `O`, computed in parallel
+    /// over agents from the base matrix. `(0, 0)` for the empty graph.
+    pub fn cost_range<O: Objective>(&self) -> (u64, u64) {
+        let n = self.n();
+        if n == 0 {
+            return (0, 0);
+        }
+        let base = self.base();
+        let costs: Vec<u64> = (0..n as V)
+            .into_par_iter()
+            .map(|v| O::cost_of_row(base.row(v)))
+            .collect();
+        let lo = *costs.iter().min().expect("n > 0");
+        let hi = *costs.iter().max().expect("n > 0");
+        (lo, hi)
+    }
+
+    /// Scans one edge for an improving swap: agent `u` first, then `v`,
+    /// sharing a single pooled masked APSP.
+    fn edge_improving<O: Objective>(
+        &self,
+        base: &DistanceMatrix,
+        u: V,
+        v: V,
+    ) -> Option<ScoredSwap> {
+        let scan = self.scan(u, v);
+        let mut found = None;
+        for agent in [u, v] {
+            let old = O::cost_of_row(base.row(agent));
+            if let Some(s) = scan.best_improving::<O>(agent, old) {
+                found = Some(s);
+                break;
+            }
+        }
+        scan.recycle();
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{MaxObjective, SumObjective};
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn context_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<EvalContext>();
+    }
+
+    #[test]
+    fn best_response_matches_per_call_path() {
+        let g = classic::path(9);
+        let ctx = EvalContext::new(&g);
+        for v in 0..9 as V {
+            assert_eq!(
+                ctx.best_response::<SumObjective>(v),
+                crate::best_response::best_response::<SumObjective>(&g, v),
+                "agent {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_mutations() {
+        let mut g = classic::path(6);
+        let mut ctx = EvalContext::new(&g);
+        let s = ctx.best_response::<SumObjective>(0).expect("path improves");
+        s.mv.apply(&mut g);
+        ctx.refresh(&g);
+        assert_eq!(ctx.m(), g.m());
+        // After refresh the context scores agents on the new graph.
+        assert_eq!(
+            ctx.agent_cost::<SumObjective>(0),
+            crate::evaluator::agent_cost::<SumObjective>(&g, 0)
+        );
+    }
+
+    #[test]
+    fn parallel_and_sequential_witnesses_agree() {
+        for g in [
+            classic::path(11),
+            classic::cycle(12),
+            classic::star(9),
+            classic::grid(3, 5),
+        ] {
+            let ctx = EvalContext::new(&g);
+            assert_eq!(
+                ctx.find_improving_swap::<SumObjective>(),
+                ctx.find_improving_swap_par::<SumObjective>()
+            );
+            assert_eq!(
+                ctx.find_improving_swap::<MaxObjective>(),
+                ctx.find_improving_swap_par::<MaxObjective>()
+            );
+        }
+    }
+
+    #[test]
+    fn cost_range_matches_direct_scan() {
+        let g = classic::star(8);
+        let ctx = EvalContext::new(&g);
+        assert_eq!(ctx.cost_range::<SumObjective>(), (7, 13));
+        assert_eq!(ctx.cost_range::<MaxObjective>(), (1, 2));
+    }
+}

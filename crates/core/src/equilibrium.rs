@@ -7,12 +7,12 @@
 //! that procedure, accelerated by the [`EdgeSwapScan`](crate::evaluator)
 //! so one masked APSP serves all candidates of a deleted edge.
 
-use bncg_graph::{DistanceMatrix, Graph};
+use bncg_graph::Graph;
 use serde::{Deserialize, Serialize};
 
-use crate::evaluator::EdgeSwapScan;
+use crate::context::EvalContext;
 use crate::objective::{MaxObjective, Objective, SumObjective};
-use crate::stability::deletion_critical_violation;
+use crate::stability::deletion_critical_violation_ctx;
 use crate::swap::ScoredSwap;
 
 /// Finds a strictly improving swap under objective `O`, if any.
@@ -20,34 +20,16 @@ use crate::swap::ScoredSwap;
 /// Returns `None` when the graph is *swap-stable* for `O`. Disconnected
 /// graphs are handled gracefully: every agent has infinite cost, so a swap
 /// improves only if it makes the agent's component reach everything.
+///
+/// Convenience wrapper over [`EvalContext::find_improving_swap`]; callers
+/// auditing repeatedly should hold the context themselves.
 pub fn find_improving_swap<O: Objective>(g: &Graph) -> Option<ScoredSwap> {
-    let csr = g.to_csr();
-    let base = DistanceMatrix::build(&csr);
-    for e in g.edge_vec() {
-        let scan = EdgeSwapScan::new(&csr, e.u, e.v);
-        for agent in [e.u, e.v] {
-            let old = O::cost_of_row(base.row(agent));
-            if let Some(s) = scan.best_improving::<O>(agent, old) {
-                return Some(s);
-            }
-        }
-    }
-    None
+    EvalContext::new(g).find_improving_swap::<O>()
 }
 
 /// Collects **all** strictly improving swaps under `O` (exhaustive audit).
 pub fn all_improving_swaps<O: Objective>(g: &Graph) -> Vec<ScoredSwap> {
-    let csr = g.to_csr();
-    let base = DistanceMatrix::build(&csr);
-    let mut out = Vec::new();
-    for e in g.edge_vec() {
-        let scan = EdgeSwapScan::new(&csr, e.u, e.v);
-        for agent in [e.u, e.v] {
-            let old = O::cost_of_row(base.row(agent));
-            out.extend(scan.all_improving::<O>(agent, old));
-        }
-    }
-    out
+    EvalContext::new(g).all_improving_swaps::<O>()
 }
 
 /// Whether no swap strictly improves any agent under `O`
@@ -98,21 +80,6 @@ impl EquilibriumReport {
     }
 }
 
-fn cost_range<O: Objective>(dm: &DistanceMatrix) -> (u64, u64) {
-    let mut lo = u64::MAX;
-    let mut hi = 0u64;
-    for v in 0..dm.n() as bncg_graph::V {
-        let c = O::cost_of_row(dm.row(v));
-        lo = lo.min(c);
-        hi = hi.max(c);
-    }
-    if dm.n() == 0 {
-        (0, 0)
-    } else {
-        (lo, hi)
-    }
-}
-
 /// The **sum version** of the basic network creation game.
 ///
 /// A connected graph is in *sum equilibrium* iff no agent can strictly
@@ -134,14 +101,20 @@ impl SumGame {
 
     /// Full analysis with a serializable report.
     pub fn analyze(g: &Graph) -> EquilibriumReport {
-        let csr = g.to_csr();
-        let dm = DistanceMatrix::build(&csr);
-        let witness = find_improving_swap::<SumObjective>(g);
-        let (min_cost, max_cost) = cost_range::<SumObjective>(&dm);
+        Self::analyze_ctx(&EvalContext::new(g))
+    }
+
+    /// [`SumGame::analyze`] against an existing evaluation context: one
+    /// CSR snapshot, one base APSP, witness search and cost range both
+    /// parallel over the context's pooled buffers.
+    pub fn analyze_ctx(ctx: &EvalContext) -> EquilibriumReport {
+        let dm = ctx.base();
+        let witness = ctx.find_improving_swap_par::<SumObjective>();
+        let (min_cost, max_cost) = ctx.cost_range::<SumObjective>();
         EquilibriumReport {
             objective: SumObjective::NAME.to_string(),
-            n: g.n(),
-            m: g.m(),
+            n: ctx.n(),
+            m: ctx.m(),
             connected: dm.is_connected(),
             swap_stable: witness.is_none(),
             witness,
@@ -164,9 +137,12 @@ pub struct MaxGame;
 impl MaxGame {
     /// Whether `g` is in max equilibrium.
     pub fn is_equilibrium(g: &Graph) -> bool {
-        bncg_graph::components::is_connected(g)
-            && deletion_critical_violation(g).is_none()
-            && is_swap_stable::<MaxObjective>(g)
+        if !bncg_graph::components::is_connected(g) {
+            return false;
+        }
+        let ctx = EvalContext::new(g);
+        deletion_critical_violation_ctx(&ctx).is_none()
+            && ctx.find_improving_swap::<MaxObjective>().is_none()
     }
 
     /// A strictly improving swap, if one exists.
@@ -176,18 +152,23 @@ impl MaxGame {
 
     /// Full analysis with a serializable report.
     pub fn analyze(g: &Graph) -> EquilibriumReport {
-        let csr = g.to_csr();
-        let dm = DistanceMatrix::build(&csr);
-        let witness = find_improving_swap::<MaxObjective>(g);
-        let (min_cost, max_cost) = cost_range::<MaxObjective>(&dm);
+        Self::analyze_ctx(&EvalContext::new(g))
+    }
+
+    /// [`MaxGame::analyze`] against an existing evaluation context (see
+    /// [`SumGame::analyze_ctx`]).
+    pub fn analyze_ctx(ctx: &EvalContext) -> EquilibriumReport {
+        let dm = ctx.base();
+        let witness = ctx.find_improving_swap_par::<MaxObjective>();
+        let (min_cost, max_cost) = ctx.cost_range::<MaxObjective>();
         EquilibriumReport {
             objective: MaxObjective::NAME.to_string(),
-            n: g.n(),
-            m: g.m(),
+            n: ctx.n(),
+            m: ctx.m(),
             connected: dm.is_connected(),
             swap_stable: witness.is_none(),
             witness,
-            deletion_critical: Some(deletion_critical_violation(g).is_none()),
+            deletion_critical: Some(deletion_critical_violation_ctx(ctx).is_none()),
             diameter: dm.diameter(),
             radius: dm.radius(),
             min_cost,

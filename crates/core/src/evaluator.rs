@@ -54,6 +54,14 @@ impl EdgeSwapScan {
         &self.masked
     }
 
+    /// Returns the scan's masked matrix buffer to the thread-local pool,
+    /// making back-to-back scans (one per deleted edge) allocation-free.
+    /// Dropping a scan without recycling is correct but allocates anew on
+    /// the next scan.
+    pub fn recycle(self) {
+        self.masked.recycle();
+    }
+
     /// Cost of agent `agent` after swapping the deleted edge onto `w2`
     /// (i.e. in the graph `G − vw + (agent, w2)`), under objective `O`.
     ///
@@ -132,12 +140,16 @@ impl EdgeSwapScan {
     }
 }
 
-/// Convenience: cost of agent `v` in `g` under objective `O` via one BFS.
+/// Convenience: cost of agent `v` in `g` under objective `O` via one
+/// pooled BFS. Callers holding an [`EvalContext`](crate::context::EvalContext)
+/// should use [`EvalContext::agent_cost`](crate::context::EvalContext::agent_cost)
+/// instead, which also skips the CSR snapshot.
 pub fn agent_cost<O: Objective>(g: &Graph, v: V) -> u64 {
     let csr = g.to_csr();
-    let mut scratch = bncg_graph::BfsScratch::new(g.n());
-    scratch.run(&csr, v);
-    O::cost_of_row(&scratch.dist)
+    bncg_graph::with_scratch(g.n(), |scratch| {
+        scratch.run(&csr, v);
+        O::cost_of_row(&scratch.dist)
+    })
 }
 
 #[cfg(test)]

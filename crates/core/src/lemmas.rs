@@ -382,10 +382,27 @@ mod tests {
         // this crate; rebuild it inline.)
         let mut g = Graph::new(13);
         let edges: [(V, V); 21] = [
-            (0, 1), (0, 2), (0, 3),
-            (1, 4), (1, 5), (2, 6), (2, 7), (3, 8), (3, 9),
-            (10, 4), (10, 5), (11, 6), (11, 7), (12, 8), (12, 9),
-            (4, 6), (5, 7), (6, 8), (7, 9), (4, 9), (5, 8),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 4),
+            (1, 5),
+            (2, 6),
+            (2, 7),
+            (3, 8),
+            (3, 9),
+            (10, 4),
+            (10, 5),
+            (11, 6),
+            (11, 7),
+            (12, 8),
+            (12, 9),
+            (4, 6),
+            (5, 7),
+            (6, 8),
+            (7, 9),
+            (4, 9),
+            (5, 8),
         ];
         for (u, v) in edges {
             g.add_edge(u, v);
@@ -454,7 +471,11 @@ mod tests {
         let g = classic::cycle(40);
         let dm = DistanceMatrix::build(&g.to_csr());
         match lemma10_search(&g, &dm, 0) {
-            Lemma10Outcome::CheapEdge { edge, increase, bound } => {
+            Lemma10Outcome::CheapEdge {
+                edge,
+                increase,
+                bound,
+            } => {
                 assert!((increase as f64) <= bound);
                 // The edge must be near vertex 0.
                 let near = f64::from(dm.get(0, edge.0)) <= (40f64).log2();
@@ -479,7 +500,7 @@ mod tests {
         let check = theorem9_ball_growth(&dm, 2);
         assert_eq!(check.b_k, 5); // ball of radius 2 on a cycle
         assert_eq!(check.b_4k, 17); // radius 8
-        // 17 <= 50 and factor = 2/(20*log2(100)) ≈ 0.015: 17 >= 0.075 ok.
+                                    // 17 <= 50 and factor = 2/(20*log2(100)) ≈ 0.015: 17 >= 0.075 ok.
         assert!(check.holds());
     }
 }

@@ -17,6 +17,9 @@
 //!
 //! The crate provides:
 //!
+//! * [`context`] — the pooled [`EvalContext`] every hot path threads
+//!   through: one CSR snapshot + lazily cached base APSP + thread-local
+//!   scratch/matrix pools, with parallel agent/edge sweeps;
 //! * [`objective`] — the two usage costs behind one trait;
 //! * [`swap`] — move representation and candidate enumeration;
 //! * [`evaluator`] — the fast scan evaluating *all* candidate swaps of a
@@ -47,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod best_response;
+pub mod context;
 pub mod equilibrium;
 pub mod evaluator;
 pub mod kswap;
@@ -56,6 +60,7 @@ pub mod stability;
 pub mod swap;
 pub mod verify;
 
+pub use context::EvalContext;
 pub use equilibrium::{EquilibriumReport, MaxGame, SumGame};
 pub use objective::{MaxObjective, Objective, SumObjective, INFINITE_COST};
 pub use swap::{ScoredSwap, SwapMove};

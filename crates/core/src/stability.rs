@@ -24,7 +24,9 @@
 //!   *swaps* for the max objective, because the deletions in a swap can
 //!   only increase distances.
 
-use bncg_graph::{BfsScratch, DistanceMatrix, Graph, V};
+use bncg_graph::{with_scratch, DistanceMatrix, Graph, V};
+
+use crate::context::EvalContext;
 
 /// A witness that `g` is **not** deletion-critical: the edge `(u, v)` and
 /// the endpoint whose local diameter fails to strictly increase.
@@ -44,34 +46,42 @@ pub struct DeletionViolation {
 /// Returns a violation of deletion-criticality, or `None` if `g` is
 /// deletion-critical. Disconnection counts as an infinite increase.
 pub fn deletion_critical_violation(g: &Graph) -> Option<DeletionViolation> {
-    let csr = g.to_csr();
-    let n = g.n();
-    let mut scratch = BfsScratch::new(n);
-    for e in g.edge_vec() {
-        for (agent, _other) in [(e.u, e.v), (e.v, e.u)] {
-            let before = scratch.run(&csr, agent);
-            let before_ecc = if before.reached == n {
-                u64::from(before.ecc)
-            } else {
-                u64::MAX
-            };
-            let after = scratch.run_masked(&csr, agent, (e.u, e.v));
-            let after_ecc = if after.reached == n {
-                u64::from(after.ecc)
-            } else {
-                u64::MAX
-            };
-            if after_ecc <= before_ecc {
-                return Some(DeletionViolation {
-                    edge: (e.u, e.v),
-                    endpoint: agent,
-                    before: before_ecc,
-                    after: after_ecc,
-                });
+    deletion_critical_violation_ctx(&EvalContext::new(g))
+}
+
+/// [`deletion_critical_violation`] against an existing evaluation context.
+/// The "before" local diameters are read off the context's base APSP (one
+/// row-max per vertex, computed once); only the "after" side needs a
+/// masked BFS — two per edge, on pooled scratch, no allocation.
+pub fn deletion_critical_violation_ctx(ctx: &EvalContext) -> Option<DeletionViolation> {
+    let csr = ctx.csr();
+    let n = ctx.n();
+    let base = ctx.base();
+    let before_eccs: Vec<u64> = (0..n as V)
+        .map(|v| base.ecc(v).map_or(u64::MAX, u64::from))
+        .collect();
+    with_scratch(n, |scratch| {
+        for (u, v) in csr.edge_vec() {
+            for agent in [u, v] {
+                let before_ecc = before_eccs[agent as usize];
+                let after = scratch.run_masked(csr, agent, (u, v));
+                let after_ecc = if after.reached == n {
+                    u64::from(after.ecc)
+                } else {
+                    u64::MAX
+                };
+                if after_ecc <= before_ecc {
+                    return Some(DeletionViolation {
+                        edge: (u, v),
+                        endpoint: agent,
+                        before: before_ecc,
+                        after: after_ecc,
+                    });
+                }
             }
         }
-    }
-    None
+        None
+    })
 }
 
 /// Whether `g` is deletion-critical.
@@ -109,11 +119,7 @@ pub fn insertion_stability_violation(g: &Graph) -> Option<InsertionViolation> {
 /// Insertion-stability audit restricted to edges incident to `u` — the
 /// vertex-transitive shortcut used for the torus (mirrors the paper's own
 /// symmetry reduction in Theorem 12).
-pub fn insertion_violation_at(
-    dm: &DistanceMatrix,
-    g: &Graph,
-    u: V,
-) -> Option<InsertionViolation> {
+pub fn insertion_violation_at(dm: &DistanceMatrix, g: &Graph, u: V) -> Option<InsertionViolation> {
     let before = dm.ecc(u)?;
     for v in 0..dm.n() as V {
         if v == u || g.has_edge(u, v) {
@@ -153,9 +159,7 @@ pub fn min_insertions_to_shrink_ecc(dm: &DistanceMatrix, v: V, limit: usize) -> 
         return None; // local diameter 1 cannot shrink below 1
     }
     let n = dm.n();
-    let far: Vec<V> = (0..n as V)
-        .filter(|&x| dm.get(v, x) == ecc)
-        .collect();
+    let far: Vec<V> = (0..n as V).filter(|&x| dm.get(v, x) == ecc).collect();
     // Candidate coverage sets (as bitmask-over-far indices).
     assert!(
         far.len() <= 128,

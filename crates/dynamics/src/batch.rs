@@ -71,9 +71,7 @@ pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
             let mut rng = StdRng::seed_from_u64(config.base_seed.wrapping_add(i as u64));
             let start = match config.start {
                 StartFamily::RandomTree => random_tree(&mut rng, config.n),
-                StartFamily::RandomConnected(extra) => {
-                    random_connected(&mut rng, config.n, extra)
-                }
+                StartFamily::RandomConnected(extra) => random_connected(&mut rng, config.n, extra),
             };
             let engine = SwapDynamics::<O>::new(config.dynamics);
             let result = engine.run(&start, &mut rng);

@@ -7,10 +7,11 @@
 //! finite, machine-checked verification of both theorems for all `n` the
 //! hardware can reach.
 
-use bncg_core::equilibrium::{MaxGame, SumGame};
+use bncg_core::context::EvalContext;
+use bncg_core::objective::{MaxObjective, SumObjective};
+use bncg_core::stability::deletion_critical_violation_ctx;
 use bncg_graph::generators::enumerate::free_trees;
 use bncg_graph::properties::{is_double_star, is_star};
-use bncg_graph::DistanceMatrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -56,10 +57,15 @@ pub fn tree_census(n: usize) -> TreeCensus {
     let rows: Vec<(bool, bool, u32, bool, bool)> = trees
         .par_iter()
         .map(|t| {
-            let dm = DistanceMatrix::build(&t.to_csr());
+            // One pooled context per tree: the CSR snapshot and base APSP
+            // are shared by the diameter, both equilibrium checks, and the
+            // deletion-criticality audit.
+            let ctx = EvalContext::new(t);
+            let dm = ctx.base();
             let diameter = dm.diameter().expect("trees are connected");
-            let sum_eq = SumGame::is_equilibrium(t);
-            let max_eq = MaxGame::is_equilibrium(t);
+            let sum_eq = ctx.find_improving_swap::<SumObjective>().is_none();
+            let max_eq = deletion_critical_violation_ctx(&ctx).is_none()
+                && ctx.find_improving_swap::<MaxObjective>().is_none();
             (sum_eq, max_eq, diameter, is_star(t), is_double_star(t))
         })
         .collect();

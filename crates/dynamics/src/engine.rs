@@ -5,7 +5,7 @@
 //! round passes with no improving move (**converged**), a state repeats
 //! (**cycled**), or the round cap is hit (**capped**).
 
-use bncg_core::best_response::{best_response_csr, first_improving_response};
+use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
 use bncg_graph::{Graph, V};
 use rand::seq::SliceRandom;
@@ -102,9 +102,15 @@ impl<O: Objective> SwapDynamics<O> {
 
     /// Runs the dynamics from `start` using `rng` for stochastic
     /// schedules.
+    ///
+    /// One [`EvalContext`] lives for the whole run: agents are scored
+    /// against its pooled snapshot, and the snapshot is refreshed in place
+    /// (no allocation) only after a move actually changes the graph. The
+    /// greedy-global schedule scans all agents in parallel.
     pub fn run<R: Rng>(&self, start: &Graph, rng: &mut R) -> DynamicsResult {
         let mut g = start.clone();
         let n = g.n();
+        let mut ctx = EvalContext::new(&g);
         let mut log = StateLog::new();
         if self.config.detect_cycles {
             log.record(&g);
@@ -118,18 +124,17 @@ impl<O: Objective> SwapDynamics<O> {
                     if self.config.schedule == Schedule::RandomPermutation {
                         order.shuffle(rng);
                     }
-                    #[allow(clippy::needless_range_loop)] // `order` must not stay borrowed across the mutation of `g`
+                    #[allow(clippy::needless_range_loop)]
+                    // `order` must not stay borrowed across the mutation of `g`
                     for idx in 0..order.len() {
                         let v = order[idx];
-                        let csr = g.to_csr();
                         let swap = match self.config.response {
-                            Response::Best => best_response_csr::<O>(&g, &csr, v),
-                            Response::FirstImproving => {
-                                first_improving_response::<O>(&g, &csr, v)
-                            }
+                            Response::Best => ctx.best_response::<O>(v),
+                            Response::FirstImproving => ctx.first_improving_response::<O>(v),
                         };
                         if let Some(s) = swap {
                             s.mv.apply(&mut g);
+                            ctx.refresh(&g);
                             moves += 1;
                             any_move = true;
                             if self.config.detect_cycles && log.record(&g) {
@@ -144,12 +149,14 @@ impl<O: Objective> SwapDynamics<O> {
                     }
                 }
                 Schedule::GreedyGlobal => {
-                    let csr = g.to_csr();
-                    let best = (0..n as V)
-                        .filter_map(|v| best_response_csr::<O>(&g, &csr, v))
+                    let best = ctx
+                        .best_responses_par::<O>()
+                        .into_iter()
+                        .flatten()
                         .max_by_key(|s| s.improvement());
                     if let Some(s) = best {
                         s.mv.apply(&mut g);
+                        ctx.refresh(&g);
                         moves += 1;
                         any_move = true;
                         if self.config.detect_cycles && log.record(&g) {

@@ -6,9 +6,9 @@
 //! diameter, total distance, and the worst local diameter after every
 //! round.
 
-use bncg_core::best_response::best_response_csr;
+use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
-use bncg_graph::{DistanceMatrix, Graph, V};
+use bncg_graph::{Graph, V};
 use serde::{Deserialize, Serialize};
 
 /// One row of a dynamics trajectory (state *after* the given round).
@@ -57,28 +57,40 @@ impl Trajectory {
 }
 
 /// Runs round-robin best-response dynamics with per-round tracing.
+///
+/// Same pooling discipline as the plain engine: one [`EvalContext`] lives
+/// for the whole run, refreshed in place only when a move changes the
+/// graph.
 pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory {
     let mut g = start.clone();
     let n = g.n();
+    let mut ctx = EvalContext::new(&g);
     let mut points = Vec::new();
     let mut converged = false;
     for round in 1..=max_rounds {
         let mut moves = 0usize;
         for v in 0..n as V {
-            let csr = g.to_csr();
-            if let Some(s) = best_response_csr::<O>(&g, &csr, v) {
+            if let Some(s) = ctx.best_response::<O>(v) {
                 s.mv.apply(&mut g);
+                ctx.refresh(&g);
                 moves += 1;
             }
         }
-        let dm = DistanceMatrix::build(&g.to_csr());
-        points.push(TrajectoryPoint {
-            round,
-            moves,
-            diameter: dm.diameter(),
-            total_distance: dm.total_distance(),
-            max_ecc: dm.eccentricities().map(|e| e.into_iter().max().unwrap_or(0)),
-        });
+        let point = {
+            // The context caches this APSP; a converged final round reuses
+            // it for free, and any move next round invalidates it.
+            let dm = ctx.base();
+            TrajectoryPoint {
+                round,
+                moves,
+                diameter: dm.diameter(),
+                total_distance: dm.total_distance(),
+                max_ecc: dm
+                    .eccentricities()
+                    .map(|e| e.into_iter().max().unwrap_or(0)),
+            }
+        };
+        points.push(point);
         if moves == 0 {
             converged = true;
             break;

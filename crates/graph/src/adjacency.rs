@@ -191,6 +191,13 @@ impl Graph {
         Csr::from_adjacency(&self.adj)
     }
 
+    /// Refreshes an existing CSR snapshot in place (reusing its buffers)
+    /// so callers that re-snapshot after every mutation — the dynamics
+    /// engine's evaluation context — stay allocation-free.
+    pub fn refresh_csr(&self, csr: &mut Csr) {
+        csr.refill_from_adjacency(&self.adj);
+    }
+
     /// Degree sequence in non-increasing order.
     pub fn degree_sequence(&self) -> Vec<usize> {
         let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();

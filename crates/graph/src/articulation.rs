@@ -143,10 +143,7 @@ mod tests {
     #[test]
     fn barbell_handles_block_structure() {
         // Two triangles joined by a bridge: 0-1-2-0 and 3-4-5-3 with edge 2-3.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         assert_eq!(articulation_points(&g), vec![2, 3]);
         assert_eq!(bridges(&g), vec![(2, 3)]);
     }

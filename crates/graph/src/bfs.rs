@@ -6,7 +6,42 @@
 //! [`BfsScratch`] through repeated calls, and parallel sweeps give each rayon
 //! worker its own scratch via `map_init`.
 
+use std::cell::RefCell;
+
 use crate::{Csr, UNREACHABLE, V};
+
+thread_local! {
+    /// Per-thread free list of [`BfsScratch`] buffers, shared by every
+    /// caller of [`with_scratch`] on this thread. Rayon workers each get
+    /// their own pool, so pooled BFS composes with parallel sweeps without
+    /// locking.
+    static SCRATCH_POOL: RefCell<Vec<BfsScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Largest number of scratch buffers kept per thread; extras are dropped.
+const SCRATCH_POOL_CAP: usize = 32;
+
+/// Runs `f` with a pooled [`BfsScratch`] sized for `n` vertices.
+///
+/// This is the allocation-free entry point for one-off BFS runs inside
+/// hot loops: the buffer is borrowed from a thread-local free list and
+/// returned afterwards, so steady-state callers never touch the
+/// allocator. Nesting is fine — an inner `with_scratch` simply borrows a
+/// second buffer.
+pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut BfsScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| BfsScratch::new(n));
+    scratch.resize(n);
+    let result = f(&mut scratch);
+    SCRATCH_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    });
+    result
+}
 
 /// Reusable buffers for BFS runs on graphs of a fixed vertex count.
 #[derive(Debug, Clone)]

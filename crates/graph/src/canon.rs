@@ -15,7 +15,10 @@ use crate::{Graph, V};
 /// # Panics
 /// Panics if `g` is not a tree.
 pub fn tree_centers(g: &Graph) -> Vec<V> {
-    assert!(crate::properties::is_tree(g), "tree_centers requires a tree");
+    assert!(
+        crate::properties::is_tree(g),
+        "tree_centers requires a tree"
+    );
     let n = g.n();
     if n <= 2 {
         return (0..n as V).collect();
@@ -253,7 +256,17 @@ mod tests {
         let k33 = classic::complete_bipartite(3, 3);
         let prism = Graph::from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         assert_eq!(k33.degree_sequence(), prism.degree_sequence());
         assert!(!small_graphs_isomorphic(&k33, &prism));

@@ -57,6 +57,22 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// Rebuilds this CSR in place from per-vertex neighbor lists, reusing
+    /// the existing `offsets`/`targets` allocations. This is the refresh
+    /// path of the evaluation context: after a dynamics move mutates the
+    /// graph, the snapshot is refilled without touching the allocator.
+    pub fn refill_from_adjacency(&mut self, adj: &[Vec<V>]) {
+        self.offsets.clear();
+        self.targets.clear();
+        self.offsets.reserve(adj.len() + 1);
+        self.offsets.push(0);
+        for nbrs in adj {
+            self.targets.extend_from_slice(nbrs);
+            targets_len_guard(self.targets.len());
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -81,6 +97,21 @@ impl Csr {
     #[inline]
     pub fn degree(&self, v: V) -> usize {
         (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// All undirected edges, each reported once with `u < v`, in the same
+    /// order as [`Graph::edge_vec`](crate::Graph::edge_vec) (ascending `u`,
+    /// then ascending `v` — neighbor lists are sorted).
+    pub fn edge_vec(&self) -> Vec<(V, V)> {
+        let mut out = Vec::with_capacity(self.m());
+        for u in 0..self.n() as V {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
     }
 
     /// A vertex of maximum degree (ties broken by smallest id); `None` for

@@ -17,6 +17,8 @@
 //! stability check of Theorem 12, and the skew-triple machinery of
 //! Theorem 13 run at `O(n²)` instead of `O(n² · m)`.
 
+use std::cell::RefCell;
+
 use rayon::prelude::*;
 
 use crate::bfs::BfsScratch;
@@ -24,6 +26,65 @@ use crate::{Csr, V};
 
 /// Sentinel distance for unreachable pairs.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+thread_local! {
+    /// Per-thread free list of matrix backing buffers. An `n × n` distance
+    /// matrix is by far the largest allocation in the swap evaluator's hot
+    /// loop (one masked APSP per scanned edge); recycling the backing
+    /// `Vec` through [`DistanceMatrix::recycle`] makes steady-state scans
+    /// allocation-free.
+    static MATRIX_POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Largest number of matrix buffers kept per thread. Buffers can be large
+/// (16 MiB at n = 2048), so the cap is deliberately small.
+const MATRIX_POOL_CAP: usize = 4;
+
+/// A backing buffer of length `len`, recycled when possible. Contents are
+/// arbitrary; every builder below overwrites all `n × n` entries.
+fn take_matrix_buf(len: usize) -> Vec<u32> {
+    MATRIX_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .map(|mut buf| {
+            buf.resize(len, UNREACHABLE);
+            buf
+        })
+        .unwrap_or_else(|| vec![UNREACHABLE; len])
+}
+
+fn give_matrix_buf(buf: Vec<u32>) {
+    MATRIX_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MATRIX_POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Below this vertex count the APSP builders fill rows sequentially on
+/// pooled scratch: each per-row BFS is microseconds, far below the cost of
+/// standing up worker threads — and the small case is exactly the one hit
+/// thousands of times from *inside* outer parallel sweeps (per-edge masked
+/// APSPs in census/audit workloads), where nested fan-out would
+/// oversubscribe the machine.
+const PAR_APSP_MIN_N: usize = 256;
+
+/// Fills the `n` rows of `d`, choosing sequential (pooled scratch) or
+/// parallel (per-worker scratch) execution by problem size.
+fn fill_rows(d: &mut [u32], n: usize, f: impl Fn(&mut BfsScratch, V, &mut [u32]) + Sync) {
+    if n < PAR_APSP_MIN_N {
+        crate::bfs::with_scratch(n, |scratch| {
+            for (src, row) in d.chunks_mut(n.max(1)).enumerate() {
+                f(scratch, src as V, row);
+            }
+        });
+    } else {
+        d.par_chunks_mut(n.max(1)).enumerate().for_each_init(
+            || BfsScratch::new(n),
+            |scratch, (src, row)| f(scratch, src as V, row),
+        );
+    }
+}
 
 /// Dense all-pairs shortest-path matrix (row-major, `n × n`, `u32`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,16 +97,11 @@ impl DistanceMatrix {
     /// Computes all-pairs shortest paths by parallel per-source BFS.
     pub fn build(csr: &Csr) -> Self {
         let n = csr.n();
-        let mut d = vec![UNREACHABLE; n * n];
-        d.par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each_init(
-                || BfsScratch::new(n),
-                |scratch, (src, row)| {
-                    scratch.run(csr, src as V);
-                    row.copy_from_slice(&scratch.dist);
-                },
-            );
+        let mut d = take_matrix_buf(n * n);
+        fill_rows(&mut d, n, |scratch, src, row| {
+            scratch.run(csr, src);
+            row.copy_from_slice(&scratch.dist);
+        });
         DistanceMatrix { n, d }
     }
 
@@ -54,16 +110,11 @@ impl DistanceMatrix {
     /// step of the swap evaluator.
     pub fn build_masked(csr: &Csr, mask: (V, V)) -> Self {
         let n = csr.n();
-        let mut d = vec![UNREACHABLE; n * n];
-        d.par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each_init(
-                || BfsScratch::new(n),
-                |scratch, (src, row)| {
-                    scratch.run_masked(csr, src as V, mask);
-                    row.copy_from_slice(&scratch.dist);
-                },
-            );
+        let mut d = take_matrix_buf(n * n);
+        fill_rows(&mut d, n, |scratch, src, row| {
+            scratch.run_masked(csr, src, mask);
+            row.copy_from_slice(&scratch.dist);
+        });
         DistanceMatrix { n, d }
     }
 
@@ -71,17 +122,21 @@ impl DistanceMatrix {
     /// (the `k`-swap generalization of [`DistanceMatrix::build_masked`]).
     pub fn build_masked_many(csr: &Csr, masks: &[(V, V)]) -> Self {
         let n = csr.n();
-        let mut d = vec![UNREACHABLE; n * n];
-        d.par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each_init(
-                || BfsScratch::new(n),
-                |scratch, (src, row)| {
-                    scratch.run_masked_many(csr, src as V, masks);
-                    row.copy_from_slice(&scratch.dist);
-                },
-            );
+        let mut d = take_matrix_buf(n * n);
+        fill_rows(&mut d, n, |scratch, src, row| {
+            scratch.run_masked_many(csr, src, masks);
+            row.copy_from_slice(&scratch.dist);
+        });
         DistanceMatrix { n, d }
+    }
+
+    /// Returns the backing buffer to this thread's matrix pool so the next
+    /// [`DistanceMatrix::build`]/[`DistanceMatrix::build_masked`] call on
+    /// this thread is allocation-free. Dropping a matrix instead of
+    /// recycling it is always correct — recycling is purely a performance
+    /// lever for hot loops (one masked APSP per scanned edge).
+    pub fn recycle(self) {
+        give_matrix_buf(self.d);
     }
 
     /// Number of vertices.
@@ -228,6 +283,16 @@ impl DistanceMatrix {
 /// memory-light path for large graphs (used by the torus sweeps).
 pub fn eccentricities_streaming(csr: &Csr) -> Option<Vec<u32>> {
     let n = csr.n();
+    if n < PAR_APSP_MIN_N {
+        return crate::bfs::with_scratch(n, |scratch| {
+            (0..n as V)
+                .map(|src| {
+                    let s = scratch.run(csr, src);
+                    (s.reached == n).then_some(s.ecc)
+                })
+                .collect()
+        });
+    }
     let eccs: Vec<Option<u32>> = (0..n as V)
         .into_par_iter()
         .map_init(

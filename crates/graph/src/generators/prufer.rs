@@ -192,9 +192,8 @@ mod tests {
     #[test]
     fn all_labeled_trees_are_distinct() {
         use std::collections::HashSet;
-        let set: HashSet<Vec<crate::adjacency::Edge>> = AllLabeledTrees::new(5)
-            .map(|g| g.edge_vec())
-            .collect();
+        let set: HashSet<Vec<crate::adjacency::Edge>> =
+            AllLabeledTrees::new(5).map(|g| g.edge_vec()).collect();
         assert_eq!(set.len(), 125);
     }
 }

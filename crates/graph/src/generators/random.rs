@@ -114,7 +114,10 @@ pub fn barabasi_albert<R: Rng>(rng: &mut R, n: usize, k: usize) -> Graph {
 /// its `k/2` nearest neighbors on each side, then each edge is rewired with
 /// probability `beta` (keeping the graph simple).
 pub fn watts_strogatz<R: Rng>(rng: &mut R, n: usize, k: usize, beta: f64) -> Graph {
-    assert!(k.is_multiple_of(2) && k >= 2 && n > k, "need even k >= 2 and n > k");
+    assert!(
+        k.is_multiple_of(2) && k >= 2 && n > k,
+        "need even k >= 2 and n > k"
+    );
     let mut g = Graph::new(n);
     for i in 0..n {
         for j in 1..=(k / 2) {
@@ -149,7 +152,9 @@ pub fn near_regular<R: Rng>(rng: &mut R, n: usize, d: usize) -> Graph {
     assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut best: Option<Graph> = None;
     for _attempt in 0..8 {
-        let mut stubs: Vec<V> = (0..n as V).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<V> = (0..n as V)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(rng);
         let mut g = Graph::new(n);
         for pair in stubs.chunks_exact(2) {

@@ -112,21 +112,9 @@ mod tests {
     fn error_cases() {
         assert_eq!(parse_edge_list(""), Err(ParseError::MissingHeader));
         assert_eq!(parse_edge_list("0 1\n"), Err(ParseError::MissingHeader));
-        assert_eq!(
-            parse_edge_list("n 3\n0 x\n"),
-            Err(ParseError::BadLine(2))
-        );
-        assert_eq!(
-            parse_edge_list("n 3\n0 3\n"),
-            Err(ParseError::BadEdge(2))
-        );
-        assert_eq!(
-            parse_edge_list("n 3\n1 1\n"),
-            Err(ParseError::BadEdge(2))
-        );
-        assert_eq!(
-            parse_edge_list("n 3\n0 1 2\n"),
-            Err(ParseError::BadLine(2))
-        );
+        assert_eq!(parse_edge_list("n 3\n0 x\n"), Err(ParseError::BadLine(2)));
+        assert_eq!(parse_edge_list("n 3\n0 3\n"), Err(ParseError::BadEdge(2)));
+        assert_eq!(parse_edge_list("n 3\n1 1\n"), Err(ParseError::BadEdge(2)));
+        assert_eq!(parse_edge_list("n 3\n0 1 2\n"), Err(ParseError::BadLine(2)));
     }
 }

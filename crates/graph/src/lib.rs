@@ -53,7 +53,7 @@ pub mod ops;
 pub mod properties;
 
 pub use adjacency::{Edge, Graph};
-pub use bfs::{bfs_distances, BfsScratch};
+pub use bfs::{bfs_distances, with_scratch, BfsScratch};
 pub use csr::Csr;
 pub use distance::{DistanceMatrix, UNREACHABLE};
 

@@ -63,7 +63,10 @@ pub fn induced_subgraph(g: &Graph, verts: &[V]) -> Graph {
     let mut index = vec![u32::MAX; g.n()];
     for (i, &v) in verts.iter().enumerate() {
         assert!((v as usize) < g.n(), "vertex out of range");
-        assert!(index[v as usize] == u32::MAX, "duplicate vertex in selection");
+        assert!(
+            index[v as usize] == u32::MAX,
+            "duplicate vertex in selection"
+        );
         index[v as usize] = i as u32;
     }
     let mut h = Graph::new(verts.len());
@@ -114,10 +117,7 @@ pub fn cartesian_product(a: &Graph, b: &Graph) -> Graph {
     }
     for e in a.edges() {
         for j in 0..nb {
-            g.add_edge(
-                (e.u as usize * nb + j) as V,
-                (e.v as usize * nb + j) as V,
-            );
+            g.add_edge((e.u as usize * nb + j) as V, (e.v as usize * nb + j) as V);
         }
     }
     g

@@ -1,0 +1,264 @@
+//! Minimal benchmark harness with the `criterion` call shapes used by this
+//! workspace (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`).
+//!
+//! The build environment is offline, so instead of the real statistics
+//! engine this harness times each benchmark with `std::time::Instant`:
+//! one untimed warm-up iteration, then up to `sample_size` timed samples
+//! (capped by a wall-clock budget so `cargo bench` stays usable, but never
+//! fewer than [`MIN_SAMPLES`] — slow benchmarks still get enough samples
+//! for a meaningful median), and reports the median ns/iteration.
+//!
+//! Environment knobs:
+//! * `BNCG_BENCH_JSON=<path>` — additionally write the run's results as a
+//!   JSON array (this is how `BENCH_baseline.json` is produced);
+//! * `BNCG_BENCH_BUDGET_MS=<ms>` — override the per-benchmark wall-clock
+//!   budget (default 300 ms).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget (overridable via `BNCG_BENCH_BUDGET_MS`).
+fn per_bench_budget() -> Duration {
+    let ms = std::env::var("BNCG_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Floor on timed samples per benchmark, taken even past the budget, so a
+/// single slow iteration cannot reduce the median to one noisy shot.
+const MIN_SAMPLES: usize = 5;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Fully qualified id (`group/function` or `group/parameter`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+/// The harness: collects [`BenchRecord`]s from every group.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    fn record(&mut self, rec: BenchRecord) {
+        println!(
+            "bench {:<56} {:>14.1} ns/iter  ({} samples)",
+            rec.id, rec.median_ns, rec.samples
+        );
+        self.records.push(rec);
+    }
+
+    /// Prints the summary and honors `BNCG_BENCH_JSON`. Called by the
+    /// expansion of [`criterion_main!`].
+    pub fn final_report(&self) {
+        if let Ok(path) = std::env::var("BNCG_BENCH_JSON") {
+            let mut out = String::from("[\n");
+            for (i, r) in self.records.iter().enumerate() {
+                let comma = if i + 1 == self.records.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+                    r.id.replace('"', "'"),
+                    r.median_ns,
+                    r.samples
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("warning: could not write {path}: {e}");
+            } else {
+                eprintln!("wrote {} benchmark records to {path}", self.records.len());
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let rec = run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b)
+        });
+        self.criterion.record(rec);
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let rec = run_bench(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self.criterion.record(rec);
+        self
+    }
+
+    /// Ends the group (the shim keeps no per-group state to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) -> BenchRecord {
+    let mut bencher = Bencher {
+        warmed: false,
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        deadline: Instant::now() + per_bench_budget(),
+    };
+    f(&mut bencher);
+    let mut ns: Vec<f64> = bencher.samples;
+    let samples = ns.len();
+    let median_ns = if ns.is_empty() {
+        f64::NAN
+    } else {
+        ns.sort_by(f64::total_cmp);
+        ns[ns.len() / 2]
+    };
+    BenchRecord {
+        id: id.to_string(),
+        median_ns,
+        samples,
+    }
+}
+
+/// Passed to benchmark closures; `iter` performs the measurement.
+pub struct Bencher {
+    warmed: bool,
+    samples: Vec<f64>,
+    sample_size: usize,
+    deadline: Instant,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call after an untimed warm-up.
+    /// Stops at `sample_size` samples or the wall-clock budget — but never
+    /// below [`MIN_SAMPLES`], so slow benchmarks keep a usable median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.warmed {
+            std::hint::black_box(f());
+            self.warmed = true;
+        }
+        let floor = MIN_SAMPLES.min(self.sample_size);
+        while self.samples.len() < self.sample_size
+            && (self.samples.len() < floor || Instant::now() < self.deadline)
+        {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_have_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(5);
+            g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+            g.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &x| {
+                b.iter(|| x * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.records.len(), 2);
+        assert!(c.records.iter().all(|r| r.samples >= 1));
+        assert!(c.records[0].id.starts_with("shim/"));
+    }
+}

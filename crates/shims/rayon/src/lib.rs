@@ -1,0 +1,237 @@
+//! Self-contained stand-in for the subset of the `rayon` API used by this
+//! workspace.
+//!
+//! The build environment is offline, so the workspace vendors a tiny
+//! data-parallelism layer with rayon's *call shapes* (`par_iter`,
+//! `into_par_iter`, `par_chunks_mut`, `map`, `map_init`, `for_each_init`,
+//! `enumerate`, `collect`) backed by scoped OS threads and a shared
+//! work queue. On a single-core host every combinator degrades to the
+//! sequential loop with zero thread overhead; the semantics (output order,
+//! per-worker init state) match rayon for the patterns the workspace uses.
+//!
+//! Unlike real rayon the combinators here are *eager*: each adapter runs
+//! its stage to completion and materializes a `Vec`. That is fine for the
+//! workloads in this repository, where the parallel sections are single
+//! `map`/`for_each` sweeps over BFS sources, trees, or dynamics seeds.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+/// Everything a `use rayon::prelude::*` caller expects.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads to use for a parallel section.
+fn workers(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    hw.min(items).max(1)
+}
+
+/// Core executor: applies `f` to every item with a per-worker `init` state,
+/// returning results in input order. Sequential when only one worker is
+/// warranted; otherwise scoped threads pull `(index, item)` pairs from a
+/// shared queue so uneven workloads balance dynamically.
+fn execute<T, S, U, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n = items.len();
+    let nthreads = workers(n);
+    if nthreads <= 1 || n <= 1 {
+        let mut state = init();
+        return items.into_iter().map(|t| f(&mut state, t)).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let next = queue.lock().expect("worker panicked").next();
+                        match next {
+                            Some((i, t)) => out.push((i, f(&mut state, t))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+/// An (eager) parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: execute(self.items, || (), |(), t| f(t)),
+        }
+    }
+
+    /// Parallel map with a per-worker scratch state (rayon's `map_init`).
+    pub fn map_init<S, U, I, F>(self, init: I, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) -> U + Sync + Send,
+    {
+        ParIter {
+            items: execute(self.items, init, f),
+        }
+    }
+
+    /// Pairs each item with its index (cheap; indices were preserved by the
+    /// eager stages before this one).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        execute(self.items, || (), |(), t| f(t));
+    }
+
+    /// Parallel for-each with per-worker scratch state (rayon's
+    /// `for_each_init`).
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, T) + Sync + Send,
+    {
+        execute(self.items, init, f);
+    }
+
+    /// Collects the (already computed, order-preserved) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] — rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par!(usize, u32, u64, i32, i64);
+
+/// Borrowing parallel iteration over slices — rayon's `par_iter`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Parallel mutable chunking — rayon's `par_chunks_mut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_gets_worker_state() {
+        let out: Vec<usize> = (0..64usize)
+            .into_par_iter()
+            .map_init(Vec::<u8>::new, |scratch, x| {
+                scratch.clear();
+                scratch.resize(x % 7, 0);
+                scratch.len()
+            })
+            .collect();
+        assert_eq!(out, (0..64).map(|x| x % 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each_init_writes_every_chunk() {
+        let n = 17;
+        let mut d = vec![0u32; n * n];
+        d.par_chunks_mut(n).enumerate().for_each_init(
+            || (),
+            |(), (row, chunk)| {
+                for (col, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (row * n + col) as u32;
+                }
+            },
+        );
+        assert!(d.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = [String::from("a"), String::from("bb"), String::from("ccc")];
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+}

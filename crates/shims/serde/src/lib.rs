@@ -1,0 +1,12 @@
+//! Stand-in for the `serde` facade used by this workspace's derives.
+//!
+//! The build environment is offline; report types across the workspace
+//! carry `#[derive(Serialize, Deserialize)]` so a real serde can be
+//! restored later without touching call sites. This facade re-exports the
+//! no-op derive macros from `serde_derive` — no trait machinery is needed
+//! because nothing in the tree invokes a serializer yet (the bench harness
+//! writes its JSON by hand).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

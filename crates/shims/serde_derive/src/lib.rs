@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline build.
+//!
+//! The workspace derives serde traits on its report types so that a real
+//! `serde` can be slotted in when the environment has network access; until
+//! then nothing in the tree calls a serializer, so the derives only need to
+//! *exist*. Each macro accepts the item and emits no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

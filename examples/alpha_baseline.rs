@@ -22,7 +22,10 @@ fn main() {
     println!("=== the alpha-game on {n} players ===\n");
 
     // The optimum flips from clique to star at alpha = 2.
-    println!("{:>6} {:>14} {:>14} {:>8}", "alpha", "SC(clique)", "SC(star)", "OPT");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "alpha", "SC(clique)", "SC(star)", "OPT"
+    );
     for alpha in [0.5, 1.0, 2.0, 3.0, 8.0] {
         let c = clique_social_cost(n, alpha);
         let s = star_social_cost(n, alpha);

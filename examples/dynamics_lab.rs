@@ -9,7 +9,7 @@
 //! reports the equilibrium structure both objectives settle into.
 
 use bncg::dynamics::engine::{DynamicsConfig, Response, Schedule};
-use bncg::game::best_response::best_response_csr;
+use bncg::game::context::EvalContext;
 use bncg::game::objective::{MaxObjective, Objective, SumObjective};
 use bncg::game::{MaxGame, SumGame};
 use bncg::graph::{DistanceMatrix, Graph, V};
@@ -23,18 +23,19 @@ fn trace_dynamics<O: Objective>(label: &str, start: &Graph) -> Graph {
         "round", "moves", "diameter", "total dist", "max ecc"
     );
     let mut g = start.clone();
+    let mut ctx = EvalContext::new(&g);
     let mut round = 0usize;
     loop {
         round += 1;
         let mut moves = 0usize;
         for v in 0..g.n() as V {
-            let csr = g.to_csr();
-            if let Some(s) = best_response_csr::<O>(&g, &csr, v) {
+            if let Some(s) = ctx.best_response::<O>(v) {
                 s.mv.apply(&mut g);
+                ctx.refresh(&g);
                 moves += 1;
             }
         }
-        let dm = DistanceMatrix::build(&g.to_csr());
+        let dm = ctx.base();
         println!(
             "{:>6} {:>9} {:>10} {:>12} {:>9}",
             round,
@@ -52,9 +53,18 @@ fn trace_dynamics<O: Objective>(label: &str, start: &Graph) -> Graph {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
-    let extra: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let seed: u64 = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(2024);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let extra: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let seed: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
 
     let mut rng = StdRng::seed_from_u64(seed);
     let start = bncg::graph::generators::random::random_connected(&mut rng, n, extra);

@@ -37,12 +37,18 @@ fn main() {
     );
 
     let w = fig3_printed_witness();
-    println!("\nthe overlooked swap: agent d1 (vertex {}) trades edge to c11 ({}) for c21 ({})", w.v, w.w, w.w2);
+    println!(
+        "\nthe overlooked swap: agent d1 (vertex {}) trades edge to c11 ({}) for c21 ({})",
+        w.v, w.w, w.w2
+    );
     let before = reference_cost::<SumObjective>(&g, w.v);
     let mut h = g.clone();
     w.apply(&mut h);
     let after = reference_cost::<SumObjective>(&h, w.v);
-    println!("  sum of distances from d1: {before} -> {after}  (gain {})", before - after);
+    println!(
+        "  sum of distances from d1: {before} -> {after}  (gain {})",
+        before - after
+    );
     println!("  why the proof misses it: c21 is c11's matched partner, so");
     println!("  dropping d1-c11 costs only +1 (Lemma 8's adjacency exception),");
     println!("  while the swap gains 3 (c21, b2, d2 each get closer).");

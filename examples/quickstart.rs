@@ -7,9 +7,9 @@
 //! Walks the core API: build graphs, compute usage costs, check the two
 //! equilibrium notions, find improving swaps, and run swap dynamics.
 
-use bncg::prelude::*;
 use bncg::game::evaluator::agent_cost;
 use bncg::game::objective::{MaxObjective, SumObjective};
+use bncg::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -25,7 +25,10 @@ fn main() {
     let g = rotated_torus(k);
     let dm = DistanceMatrix::build(&g.to_csr());
 
-    println!("=== Figure 4: rotated torus, k = {k}, n = 2k² = {} ===\n", g.n());
+    println!(
+        "=== Figure 4: rotated torus, k = {k}, n = 2k² = {} ===\n",
+        g.n()
+    );
 
     // Draw the distance contours from (k, k), like the shaded squares of
     // Figure 4. Cells with odd coordinate sum are not vertices.
@@ -67,7 +70,10 @@ fn main() {
 
     // Scaling table: diameter / sqrt(n) -> 1/sqrt(2).
     println!("\nscaling (diameter = k = sqrt(n/2)):");
-    println!("{:>4} {:>8} {:>10} {:>14}", "k", "n", "diameter", "diam/sqrt(n)");
+    println!(
+        "{:>4} {:>8} {:>10} {:>14}",
+        "k", "n", "diameter", "diam/sqrt(n)"
+    );
     for kk in [2usize, 4, 6, 8, 12, 16, 24] {
         let gg = rotated_torus(kk);
         let d = bncg::graph::distance::diameter_ifub(&gg.to_csr()).unwrap();

@@ -21,8 +21,8 @@ fn measure(name: &str, g: &Graph) {
     let u = uniformity(&dm).unwrap();
     let au = almost_uniformity(&dm).unwrap();
     let d = dm.diameter().unwrap();
-    let ratio = theorem15_ratio(d, u.epsilon, g.n())
-        .map_or("    n/a".to_string(), |r| format!("{r:7.3}"));
+    let ratio =
+        theorem15_ratio(d, u.epsilon, g.n()).map_or("    n/a".to_string(), |r| format!("{r:7.3}"));
     println!(
         "{name:<28} n={:<5} diam={d:<3} eps={:.3} eps₂={:.3} t15-ratio={ratio}",
         g.n(),
@@ -39,7 +39,10 @@ fn main() {
     measure("hypercube Q_8", &classic::hypercube(8));
     measure("K_{16x4} (Cayley)", &complete_multipartite_cayley(16, 4));
     measure("dense circulant C_64(1..26)", &dense_circulant(64, 26));
-    measure("rotated torus k=6", &bncg::constructions::torus::rotated_torus(6));
+    measure(
+        "rotated torus k=6",
+        &bncg::constructions::torus::rotated_torus(6),
+    );
 
     println!("\n=== Theorem 13: uniformization by powers (cycle of 128) ===\n");
     let g = classic::cycle(128);
@@ -65,7 +68,10 @@ fn main() {
         sp.n(),
         dm.diameter().unwrap()
     );
-    println!("  modal PAIRWISE distance {modal} carries {:.1}% of all pairs", mass * 100.0);
+    println!(
+        "  modal PAIRWISE distance {modal} carries {:.1}% of all pairs",
+        mass * 100.0
+    );
     println!(
         "  but the best PER-VERTEX almost-uniformity is eps = {:.3} (at r = {})",
         au.epsilon, au.r

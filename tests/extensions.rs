@@ -70,8 +70,7 @@ fn selfishness_can_hurt_the_aggregate_in_the_max_game() {
     let mut max_nonmonotone = false;
     for _ in 0..60 {
         for (n, extra) in [(10usize, 4usize), (14, 6), (18, 9), (22, 4)] {
-            let start =
-                bncg::graph::generators::random::random_connected(&mut rng, n, extra);
+            let start = bncg::graph::generators::random::random_connected(&mut rng, n, extra);
             let sum_t = run_traced::<SumObjective>(&start, 60);
             assert!(
                 sum_t.total_distance_monotone(),

@@ -63,7 +63,10 @@ fn spider_separates_pairwise_from_per_vertex_uniformity() {
     assert!(modal_mass > 0.7);
     // Per-vertex: even the relaxed notion stays far from uniform.
     let au = almost_uniformity(&dm).unwrap();
-    assert!(au.epsilon > 0.5, "the spider must NOT be per-vertex uniform");
+    assert!(
+        au.epsilon > 0.5,
+        "the spider must NOT be per-vertex uniform"
+    );
     // And the diameter is large relative to lg n, so were it uniform it
     // would contradict Conjecture 14 — the remark's whole point.
     assert!(f64::from(dm.diameter().unwrap()) > (g.n() as f64).log2() / 2.0);
@@ -80,7 +83,10 @@ fn theorem15_ratio_is_small_on_uniform_cayley_graphs() {
     for g in subjects {
         let dm = DistanceMatrix::build(&g.to_csr());
         let u = uniformity(&dm).unwrap();
-        assert!(u.epsilon < 0.25, "subject must satisfy the eps < 1/4 premise");
+        assert!(
+            u.epsilon < 0.25,
+            "subject must satisfy the eps < 1/4 premise"
+        );
         let ratio = theorem15_ratio(dm.diameter().unwrap(), u.epsilon, g.n()).unwrap();
         assert!(ratio <= 8.0, "Theorem 15 constant blown: {ratio}");
     }
@@ -102,7 +108,10 @@ fn sparse_cayley_graphs_are_honestly_nonuniform() {
 fn plunnecke_consequence_across_group_families() {
     let cases: Vec<(AbelianGroup, Vec<Vec<u64>>)> = vec![
         (AbelianGroup::cyclic(48), vec![vec![1], vec![7]]),
-        (AbelianGroup::product(&[8, 10]), vec![vec![1, 0], vec![0, 1]]),
+        (
+            AbelianGroup::product(&[8, 10]),
+            vec![vec![1, 0], vec![0, 1]],
+        ),
         (
             AbelianGroup::boolean(6),
             (0..6)
