@@ -1,1 +1,115 @@
-//! Criterion benchmark harness for the bncg workspace (see benches/).
+//! Criterion benchmark harness for the bncg workspace (see benches/),
+//! plus the shared workload definitions and the CI perf gate for the
+//! dynamic-distance subsystem.
+//!
+//! The gate below is an `#[ignore]`d test so `cargo test --workspace`
+//! stays timing-free; the CI bench-smoke job runs it explicitly with
+//! `cargo test -p bncg_bench --release -- --ignored`.
+
+pub mod workload {
+    //! The trajectory-replay workload shared by `benches/incremental.rs`
+    //! and the CI perf gate — one definition, so the published
+    //! `BENCH_incremental.json` numbers and the regression gate can never
+    //! measure different things.
+
+    use bncg_core::context::EvalContext;
+    use bncg_core::objective::SumObjective;
+    use bncg_core::swap::SwapMove;
+    use bncg_graph::Graph;
+
+    /// Records up to `k` improving round-robin best-response moves from
+    /// `g0` — the exact move stream a dynamics run would apply.
+    pub fn record_trajectory(g0: &Graph, k: usize) -> Vec<SwapMove> {
+        let mut g = g0.clone();
+        let n = g.n();
+        let mut ctx = EvalContext::new(&g);
+        let mut moves = Vec::new();
+        let mut progressed = true;
+        while moves.len() < k && progressed {
+            progressed = false;
+            for v in 0..n as u32 {
+                if moves.len() == k {
+                    break;
+                }
+                if let Some(s) = ctx.best_response::<SumObjective>(v) {
+                    let rec = s.mv.apply(&mut g);
+                    ctx.refresh_after(&g, &rec);
+                    moves.push(s.mv);
+                    progressed = true;
+                }
+            }
+        }
+        moves
+    }
+
+    /// Replays the recorded moves with a per-move base-matrix audit (what
+    /// the traced engine and equilibrium monitors do), using either the
+    /// incremental (`refresh_after`) or the full (`refresh`) path.
+    pub fn replay(g0: &Graph, moves: &[SwapMove], incremental: bool) -> u32 {
+        let mut g = g0.clone();
+        let mut ctx = EvalContext::new(&g);
+        let last = (g.n() - 1) as u32;
+        let mut acc = ctx.base().get(0, last); // initial build, paid by both arms
+        for mv in moves {
+            let rec = mv.apply(&mut g);
+            if incremental {
+                ctx.refresh_after(&g, &rec);
+            } else {
+                ctx.refresh(&g);
+            }
+            acc ^= ctx.base().get(0, last);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod perf_gate {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    use bncg_graph::generators::random::random_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::workload::{record_trajectory, replay};
+
+    fn best_of(reps: usize, mut f: impl FnMut() -> u32) -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps {
+            let t = Instant::now();
+            black_box(f());
+            best = best.min(t.elapsed());
+        }
+        best
+    }
+
+    /// The acceptance bar of the dynamic-distance subsystem, sized down to
+    /// CI scale: replaying a real best-response move stream with per-move
+    /// audits must be ≥ 2× faster through `refresh_after` than through
+    /// full `refresh` rebuilds. Regressions in the repair path fail here
+    /// before they reach `BENCH_incremental.json`.
+    #[test]
+    #[ignore = "perf gate — run by the CI bench-smoke job (release only)"]
+    fn incremental_refresh_is_at_least_twice_as_fast() {
+        let n = 512;
+        let mut rng = StdRng::seed_from_u64(0x5A11);
+        let g0 = random_connected(&mut rng, n, n / 4);
+        let moves = record_trajectory(&g0, 8);
+        assert!(moves.len() >= 4, "trajectory too short: {}", moves.len());
+        // Warm both paths (thread-local pools, lazy allocations).
+        black_box(replay(&g0, &moves, false));
+        black_box(replay(&g0, &moves, true));
+        let full = best_of(3, || replay(&g0, &moves, false));
+        let incremental = best_of(3, || replay(&g0, &moves, true));
+        assert_eq!(
+            replay(&g0, &moves, false),
+            replay(&g0, &moves, true),
+            "paths must agree before their timings mean anything"
+        );
+        assert!(
+            incremental * 2 <= full,
+            "dynamic-distance subsystem regressed: incremental {incremental:?} vs full {full:?}"
+        );
+    }
+}

@@ -8,7 +8,10 @@
 //! * the **CSR snapshot** of the current graph, refreshed in place (no
 //!   allocation) after each dynamics move via [`EvalContext::refresh`];
 //! * the **base distance matrix**, built lazily at most once per snapshot
-//!   and shared by every agent's old-cost lookup;
+//!   and shared by every agent's old-cost lookup — held inside a
+//!   [`DynamicApsp`] so that [`EvalContext::refresh_after`] can *patch* it
+//!   after a single swap (truncated row repairs) instead of rebuilding `n`
+//!   BFS trees per move;
 //! * access to the thread-local **scratch and matrix pools** in
 //!   `bncg_graph`, so per-agent BFS runs and per-edge masked APSPs recycle
 //!   their buffers instead of allocating.
@@ -23,6 +26,8 @@
 
 use std::sync::OnceLock;
 
+use bncg_graph::adjacency::SwapApplied;
+use bncg_graph::dynamic::{DynamicApsp, RepairStats};
 use bncg_graph::{with_scratch, Csr, DistanceMatrix, Graph, V};
 use rayon::prelude::*;
 
@@ -47,7 +52,8 @@ fn par_edge_block() -> usize {
 /// swap evaluation through it.
 pub struct EvalContext {
     csr: Csr,
-    base: OnceLock<DistanceMatrix>,
+    base: OnceLock<DynamicApsp>,
+    max_repair_rows: Option<usize>,
 }
 
 impl EvalContext {
@@ -61,17 +67,60 @@ impl EvalContext {
         EvalContext {
             csr,
             base: OnceLock::new(),
+            max_repair_rows: None,
         }
     }
 
-    /// Re-snapshots `g` in place after a mutation: the CSR buffers are
-    /// refilled without allocating and the cached base matrix (if any) is
-    /// returned to the thread-local pool.
+    /// Re-snapshots `g` in place after a mutation.
+    ///
+    /// **Invalidation contract:** the cached base matrix is dropped (and
+    /// its buffer recycled) only when `g`'s edge set actually differs from
+    /// the current snapshot; a refresh against an unchanged graph keeps
+    /// both the CSR and the matrix, so interleaving refreshes with audits
+    /// costs nothing when no move was applied. Callers that know *which*
+    /// move changed the graph should use
+    /// [`refresh_after`](EvalContext::refresh_after) instead, which patches
+    /// the matrix incrementally rather than dropping it.
     pub fn refresh(&mut self, g: &Graph) {
+        if g.matches_csr(&self.csr) {
+            return;
+        }
         g.refresh_csr(&mut self.csr);
         if let Some(old) = self.base.take() {
             old.recycle();
         }
+    }
+
+    /// Re-snapshots `g` after the single swap recorded in `applied`,
+    /// repairing the cached base matrix through the dynamic-distance
+    /// subsystem ([`DynamicApsp`]) instead of discarding it.
+    ///
+    /// `g` must be the graph state *after* the move (the state
+    /// [`Graph::apply_swap`] left behind when it produced `applied`). When
+    /// no base matrix has been built yet this degrades to a plain CSR
+    /// refill — laziness is preserved.
+    pub fn refresh_after(&mut self, g: &Graph, applied: &SwapApplied) {
+        g.refresh_csr(&mut self.csr);
+        if let Some(mut dyn_apsp) = self.base.take() {
+            dyn_apsp.apply_swap(&self.csr, applied);
+            let _ = self.base.set(dyn_apsp);
+        }
+    }
+
+    /// Overrides the dynamic subsystem's fallback threshold (rows repaired
+    /// per deletion before a full rebuild is cheaper); applies to the
+    /// current cached matrix and any built later.
+    pub fn set_max_repair_rows(&mut self, rows: usize) {
+        self.max_repair_rows = Some(rows);
+        if let Some(dyn_apsp) = self.base.get_mut() {
+            dyn_apsp.set_max_repair_rows(rows);
+        }
+    }
+
+    /// Update counters of the dynamic-distance subsystem, when a base
+    /// matrix is currently cached.
+    pub fn dynamic_stats(&self) -> Option<&RepairStats> {
+        self.base.get().map(DynamicApsp::stats)
     }
 
     /// The CSR snapshot.
@@ -93,9 +142,19 @@ impl EvalContext {
     }
 
     /// The base all-pairs distance matrix of the snapshot, built on first
-    /// use and cached until the next [`refresh`](EvalContext::refresh).
+    /// use and cached until the next *effective*
+    /// [`refresh`](EvalContext::refresh) (no-change refreshes and
+    /// [`refresh_after`](EvalContext::refresh_after) keep it alive).
     pub fn base(&self) -> &DistanceMatrix {
-        self.base.get_or_init(|| DistanceMatrix::build(&self.csr))
+        self.base
+            .get_or_init(|| {
+                let mut dyn_apsp = DynamicApsp::build(&self.csr);
+                if let Some(rows) = self.max_repair_rows {
+                    dyn_apsp.set_max_repair_rows(rows);
+                }
+                dyn_apsp
+            })
+            .matrix()
     }
 
     /// Usage cost of agent `v` under `O` in the current snapshot.
@@ -104,8 +163,8 @@ impl EvalContext {
     /// (it does *not* force the full APSP — the dynamics engine calls this
     /// per activated agent).
     pub fn agent_cost<O: Objective>(&self, v: V) -> u64 {
-        if let Some(dm) = self.base.get() {
-            return O::cost_of_row(dm.row(v));
+        if let Some(dyn_apsp) = self.base.get() {
+            return O::cost_of_row(dyn_apsp.matrix().row(v));
         }
         with_scratch(self.n(), |scratch| {
             scratch.run(&self.csr, v);
@@ -291,6 +350,50 @@ mod tests {
             ctx.agent_cost::<SumObjective>(0),
             crate::evaluator::agent_cost::<SumObjective>(&g, 0)
         );
+    }
+
+    #[test]
+    fn refresh_keeps_base_when_graph_unchanged() {
+        let g = classic::cycle(7);
+        let mut ctx = EvalContext::new(&g);
+        let before = ctx.base().row(0).as_ptr();
+        ctx.refresh(&g); // no-op: same edge set
+        assert_eq!(
+            ctx.base().row(0).as_ptr(),
+            before,
+            "no-change refresh must keep the cached matrix"
+        );
+        let mut h = g.clone();
+        h.apply_swap(0, 1, 3);
+        ctx.refresh(&h); // real change: cache dropped
+        assert_eq!(
+            ctx.agent_cost::<SumObjective>(0),
+            crate::evaluator::agent_cost::<SumObjective>(&h, 0)
+        );
+    }
+
+    #[test]
+    fn refresh_after_patches_base_incrementally() {
+        let mut g = classic::path(10);
+        let mut ctx = EvalContext::new(&g);
+        ctx.base(); // force the matrix so every move exercises the repair
+        for _ in 0..12 {
+            let Some(s) = (0..10).find_map(|v| ctx.best_response::<SumObjective>(v)) else {
+                break;
+            };
+            let rec = s.mv.apply(&mut g);
+            ctx.refresh_after(&g, &rec);
+            let fresh = EvalContext::new(&g);
+            for v in 0..10 as V {
+                assert_eq!(
+                    ctx.base().row(v),
+                    fresh.base().row(v),
+                    "row {v} diverged after incremental refresh"
+                );
+            }
+        }
+        let stats = ctx.dynamic_stats().expect("base is cached");
+        assert!(stats.updates > 0);
     }
 
     #[test]

@@ -3,7 +3,11 @@
 //! Experiments E4 (equilibrium diameters vs `n`) and E13 (convergence
 //! behavior) run the engine from many random initial networks and report
 //! population statistics. Runs are parallelized over seeds; every run is
-//! reproducible from `(base_seed, index)`.
+//! reproducible from `(base_seed, index)`. Final states with truly
+//! canonical cache keys (trees, small graphs) are audited once per
+//! isomorphism class through a shared [`EquilibriumCache`] — every tree
+//! run ends at *some* star — while other endpoints take one plain APSP
+//! for their diameter.
 
 use bncg_core::objective::Objective;
 use bncg_graph::generators::random::{random_connected, random_tree};
@@ -13,6 +17,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::cache::EquilibriumCache;
 use crate::engine::{DynamicsConfig, Outcome, SwapDynamics};
 
 /// Initial-condition family for a batch.
@@ -61,10 +66,30 @@ pub struct BatchSummary {
     pub max_final_diameter: u32,
     /// Mean final diameter over converged runs.
     pub mean_final_diameter: f64,
+    /// Final-state audits answered by the shared equilibrium cache.
+    pub audit_cache_hits: usize,
+    /// Final-state audits that had to be computed.
+    pub audit_cache_misses: usize,
 }
 
-/// Runs the batch for objective `O` (parallel over seeds).
+/// Runs the batch for objective `O` (parallel over seeds), with a private
+/// per-batch audit cache. See [`run_batch_with_cache`] to share the cache
+/// across batches.
 pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
+    run_batch_with_cache::<O>(config, &EquilibriumCache::new())
+}
+
+/// [`run_batch`] against a caller-provided [`EquilibriumCache`]:
+/// converged endpoints with canonical keys (trees, e.g. the stars every
+/// sum run funnels into) are audited once per isomorphism class, repeated
+/// batches over the same cache skip those re-audits entirely, and other
+/// endpoints take one plain APSP for their diameter instead of an audit.
+pub fn run_batch_with_cache<O: Objective>(
+    config: BatchConfig,
+    cache: &EquilibriumCache,
+) -> BatchSummary {
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
     let results: Vec<(Outcome, usize, usize, Option<u32>)> = (0..config.runs)
         .into_par_iter()
         .map(|i| {
@@ -76,7 +101,14 @@ pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
             let engine = SwapDynamics::<O>::new(config.dynamics);
             let result = engine.run(&start, &mut rng);
             let diameter = if result.outcome == Outcome::Converged {
-                DistanceMatrix::build(&result.graph.to_csr()).diameter()
+                if EquilibriumCache::key_is_canonical(&result.graph) {
+                    cache.report_for::<O>(&result.graph).diameter
+                } else {
+                    // Labeled keys never dedup distinct endpoints, and the
+                    // summary only needs the diameter: one APSP is far
+                    // cheaper than a full audit.
+                    DistanceMatrix::build(&result.graph.to_csr()).diameter()
+                }
             } else {
                 None
             };
@@ -94,6 +126,8 @@ pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
         final_diameter_hist: Vec::new(),
         max_final_diameter: 0,
         mean_final_diameter: 0.0,
+        audit_cache_hits: cache.hits() - hits_before,
+        audit_cache_misses: cache.misses() - misses_before,
     };
     let mut rounds_sum = 0usize;
     let mut moves_sum = 0usize;
@@ -160,6 +194,19 @@ mod tests {
         // All known sum equilibria have diameter <= 3; dynamics endpoints
         // should respect the 2^O(sqrt(lg n)) bound with huge slack.
         assert!(summary.max_final_diameter <= 4);
+    }
+
+    #[test]
+    fn converged_star_endpoints_dedup_through_the_cache() {
+        // 16 tree runs all end at stars (isomorphic). Pre-warming the
+        // cache with the star class makes the counts deterministic even
+        // when parallel runs race their audits: every endpoint must hit.
+        let cache = crate::cache::EquilibriumCache::new();
+        cache.report_for::<SumObjective>(&bncg_graph::generators::classic::star(12));
+        let summary = run_batch_with_cache::<SumObjective>(base_config(12, 16), &cache);
+        assert_eq!(summary.converged, 16);
+        assert_eq!(summary.audit_cache_misses, 0);
+        assert_eq!(summary.audit_cache_hits, 16);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Memoized equilibrium audits keyed by canonical graph strings.
+//!
+//! Batch experiments and repeated censuses audit the *same* states over and
+//! over: sum dynamics from random trees funnel into stars (every center
+//! choice is isomorphic), and test suites re-run the tree census for the
+//! same `n`. An [`EquilibriumCache`] keys
+//! [`EquilibriumReport`]s by a canonical string so a state's second audit —
+//! under any vertex labeling, from any thread — is a hash lookup.
+//!
+//! # Keys
+//!
+//! * **Trees** — the AHU canonical encoding ([`canon::tree_canonical`]),
+//!   exact across relabelings for any `n`.
+//! * **Small general graphs** (`n ≤ 10`) — the brute-force canonical
+//!   adjacency bitset ([`canon::canonical_form_small`]), also exact.
+//! * **Everything else** — the *labeled* graph6 string: still a perfect
+//!   dedup for revisited labeled states (trajectory cycles, repeated batch
+//!   seeds), merely missing cross-labeling hits.
+//!
+//! Because keys identify isomorphism classes, a cached report's
+//! *invariant* fields (`n`, `m`, connectivity, stability flags, diameter,
+//! radius, cost range, [`EquilibriumReport::is_equilibrium`]) are valid for
+//! every queried graph; the `witness` field names vertices of the **first
+//! representative audited**, so treat it as "a witness exists for some
+//! labeling" rather than a move on your exact graph.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bncg_core::context::EvalContext;
+use bncg_core::equilibrium::{EquilibriumReport, MaxGame, SumGame};
+use bncg_core::objective::{MaxObjective, Objective};
+use bncg_graph::{canon, graph6, properties, Graph};
+
+/// A concurrent, objective-aware memo of equilibrium audits. Cheap to
+/// share by reference across rayon workers (interior mutability via a
+/// mutexed map; reports are handed out as [`Arc`]s).
+#[derive(Debug, Default)]
+pub struct EquilibriumCache {
+    map: Mutex<HashMap<(&'static str, String), Arc<EquilibriumReport>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl EquilibriumCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether [`canonical_key`](Self::canonical_key) is a true
+    /// isomorphism invariant for `g` (trees and small graphs). When this
+    /// is `false` the key is the *labeled* graph6 string — still a valid
+    /// memo key, but distinct labelings of one class never dedup, so
+    /// callers that only need an isomorphism-invariant scalar (e.g. a
+    /// diameter) are better off computing it directly.
+    pub fn key_is_canonical(g: &Graph) -> bool {
+        properties::is_tree(g) || g.n() <= 10
+    }
+
+    /// Canonical cache key of `g` (see the [module docs](self) for the
+    /// exactness guarantees per graph family).
+    pub fn canonical_key(g: &Graph) -> String {
+        if properties::is_tree(g) {
+            let code = canon::tree_canonical(g);
+            let mut key = String::with_capacity(5 + code.len());
+            key.push_str("tree:");
+            key.push_str(std::str::from_utf8(&code).expect("AHU codes are ASCII"));
+            key
+        } else if g.n() <= 10 {
+            format!("small:{}:{:x?}", g.n(), canon::canonical_form_small(g))
+        } else {
+            debug_assert!(!Self::key_is_canonical(g));
+            format!("g6:{}", graph6::encode(g))
+        }
+    }
+
+    /// The audit of `g` under objective `O`, computed at most once per
+    /// canonical class.
+    pub fn report_for<O: Objective>(&self, g: &Graph) -> Arc<EquilibriumReport> {
+        let key = Self::canonical_key(g);
+        self.lookup_or_insert(O::NAME, key, || compute_report::<O>(g))
+    }
+
+    /// Both objectives' audits of `g`, sharing one canonical key and —
+    /// when either audit misses — one [`EvalContext`] (one CSR snapshot,
+    /// one base APSP) across the two analyzers.
+    pub fn analyze_both(&self, g: &Graph) -> (Arc<EquilibriumReport>, Arc<EquilibriumReport>) {
+        let key = Self::canonical_key(g);
+        let (sum_hit, max_hit) = {
+            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            (
+                map.get(&("sum", key.clone())).cloned(),
+                map.get(&("max", key.clone())).cloned(),
+            )
+        };
+        let cached = usize::from(sum_hit.is_some()) + usize::from(max_hit.is_some());
+        self.hits.fetch_add(cached, Ordering::Relaxed);
+        if let (Some(sum), Some(max)) = (&sum_hit, &max_hit) {
+            return (Arc::clone(sum), Arc::clone(max));
+        }
+        let ctx = EvalContext::new(g);
+        let sum = match sum_hit {
+            Some(report) => report,
+            None => self.insert("sum", key.clone(), SumGame::analyze_ctx(&ctx)),
+        };
+        let max = match max_hit {
+            Some(report) => report,
+            None => self.insert("max", key, MaxGame::analyze_ctx(&ctx)),
+        };
+        (sum, max)
+    }
+
+    /// Number of audits answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of audits that had to be computed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(objective, class)` entries stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup_or_insert(
+        &self,
+        objective: &'static str,
+        key: String,
+        compute: impl FnOnce() -> EquilibriumReport,
+    ) -> Arc<EquilibriumReport> {
+        {
+            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(report) = map.get(&(objective, key.clone())) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(report);
+            }
+        }
+        // Compute outside the lock so concurrent audits of *different*
+        // states overlap; a racing duplicate for the same key is benign
+        // (the second insert wins, both reports are correct) but does
+        // count as a second miss.
+        self.insert(objective, key, compute())
+    }
+
+    fn insert(
+        &self,
+        objective: &'static str,
+        key: String,
+        report: EquilibriumReport,
+    ) -> Arc<EquilibriumReport> {
+        let report = Arc::new(report);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((objective, key), Arc::clone(&report));
+        report
+    }
+}
+
+/// Dispatches the audit to the right game by the objective's name (the
+/// workspace has exactly two: `sum` and `max`).
+fn compute_report<O: Objective>(g: &Graph) -> EquilibriumReport {
+    if O::NAME == MaxObjective::NAME {
+        MaxGame::analyze(g)
+    } else {
+        SumGame::analyze(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::objective::SumObjective;
+    use bncg_graph::generators::classic;
+
+    #[test]
+    fn isomorphic_trees_share_one_audit() {
+        let cache = EquilibriumCache::new();
+        let star = classic::star(7);
+        let first = cache.report_for::<SumObjective>(&star);
+        assert!(first.is_equilibrium());
+        assert_eq!(cache.misses(), 1);
+        // Every relabeling of the star hits the same entry.
+        for shift in 1..7u32 {
+            let perm: Vec<u32> = (0..7).map(|v| (v + shift) % 7).collect();
+            let relabeled = star.relabel(&perm);
+            let report = cache.report_for::<SumObjective>(&relabeled);
+            assert!(report.is_equilibrium());
+            assert_eq!(report.diameter, Some(2));
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 6);
+    }
+
+    #[test]
+    fn objectives_are_cached_independently() {
+        let cache = EquilibriumCache::new();
+        let (sum, max) = cache.analyze_both(&classic::double_star(2, 2));
+        assert!(!sum.is_equilibrium(), "D(2,2) is not a sum equilibrium");
+        assert!(max.is_equilibrium(), "D(2,2) is a max equilibrium");
+        assert_eq!(cache.len(), 2);
+        let (sum2, max2) = cache.analyze_both(&classic::double_star(2, 2));
+        assert!(Arc::ptr_eq(&sum, &sum2) && Arc::ptr_eq(&max, &max2));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn small_nontree_keys_are_canonical() {
+        let cache = EquilibriumCache::new();
+        let c5 = classic::cycle(5);
+        let rotated = c5.relabel(&[2, 3, 4, 0, 1]);
+        assert_eq!(
+            EquilibriumCache::canonical_key(&c5),
+            EquilibriumCache::canonical_key(&rotated)
+        );
+        cache.report_for::<SumObjective>(&c5);
+        cache.report_for::<SumObjective>(&rotated);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn large_nontree_keys_fall_back_to_labeled_graph6() {
+        let mut g = classic::cycle(12);
+        g.add_edge(0, 6);
+        let key = EquilibriumCache::canonical_key(&g);
+        assert!(key.starts_with("g6:"));
+        // Identical labeled states still dedup.
+        assert_eq!(key, EquilibriumCache::canonical_key(&g.clone()));
+    }
+}

@@ -104,9 +104,12 @@ impl<O: Objective> SwapDynamics<O> {
     /// schedules.
     ///
     /// One [`EvalContext`] lives for the whole run: agents are scored
-    /// against its pooled snapshot, and the snapshot is refreshed in place
-    /// (no allocation) only after a move actually changes the graph. The
-    /// greedy-global schedule scans all agents in parallel.
+    /// against its pooled snapshot, and after each applied move the
+    /// snapshot is refreshed in place through
+    /// [`EvalContext::refresh_after`], so the cached base APSP (once any
+    /// audit forces it) is *repaired* by the dynamic-distance subsystem
+    /// rather than rebuilt per move. The greedy-global schedule scans all
+    /// agents in parallel.
     pub fn run<R: Rng>(&self, start: &Graph, rng: &mut R) -> DynamicsResult {
         let mut g = start.clone();
         let n = g.n();
@@ -133,8 +136,8 @@ impl<O: Objective> SwapDynamics<O> {
                             Response::FirstImproving => ctx.first_improving_response::<O>(v),
                         };
                         if let Some(s) = swap {
-                            s.mv.apply(&mut g);
-                            ctx.refresh(&g);
+                            let rec = s.mv.apply(&mut g);
+                            ctx.refresh_after(&g, &rec);
                             moves += 1;
                             any_move = true;
                             if self.config.detect_cycles && log.record(&g) {
@@ -155,8 +158,8 @@ impl<O: Objective> SwapDynamics<O> {
                         .flatten()
                         .max_by_key(|s| s.improvement());
                     if let Some(s) = best {
-                        s.mv.apply(&mut g);
-                        ctx.refresh(&g);
+                        let rec = s.mv.apply(&mut g);
+                        ctx.refresh_after(&g, &rec);
                         moves += 1;
                         any_move = true;
                         if self.config.detect_cycles && log.record(&g) {

@@ -11,6 +11,8 @@
 //!   round-robin / random / greedy-global schedules and best- or
 //!   first-improving response rules;
 //! * [`convergence`] — canonical state hashing for cycle detection;
+//! * [`cache`] — equilibrium audits memoized by canonical graph strings,
+//!   shared by the census and batch layers;
 //! * [`census`] — the exhaustive tree classification behind Experiments
 //!   E1/E2 (Theorems 1 and 4);
 //! * [`batch`] — seeded multi-run experiments with summary statistics
@@ -20,11 +22,13 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod cache;
 pub mod census;
 pub mod convergence;
 pub mod engine;
 pub mod trajectory;
 
-pub use census::{tree_census, TreeCensus};
+pub use cache::EquilibriumCache;
+pub use census::{tree_census, tree_census_with_cache, TreeCensus};
 pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Schedule, SwapDynamics};
 pub use trajectory::{run_traced, Trajectory, TrajectoryPoint};

@@ -59,8 +59,9 @@ impl Trajectory {
 /// Runs round-robin best-response dynamics with per-round tracing.
 ///
 /// Same pooling discipline as the plain engine: one [`EvalContext`] lives
-/// for the whole run, refreshed in place only when a move changes the
-/// graph.
+/// for the whole run, refreshed through
+/// [`EvalContext::refresh_after`] so the per-round APSP snapshot below is
+/// *repaired* across the round's moves instead of rebuilt from scratch.
 pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory {
     let mut g = start.clone();
     let n = g.n();
@@ -71,14 +72,14 @@ pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory 
         let mut moves = 0usize;
         for v in 0..n as V {
             if let Some(s) = ctx.best_response::<O>(v) {
-                s.mv.apply(&mut g);
-                ctx.refresh(&g);
+                let rec = s.mv.apply(&mut g);
+                ctx.refresh_after(&g, &rec);
                 moves += 1;
             }
         }
         let point = {
             // The context caches this APSP; a converged final round reuses
-            // it for free, and any move next round invalidates it.
+            // it for free, and moves in later rounds repair it in place.
             let dm = ctx.base();
             TrajectoryPoint {
                 round,

@@ -198,6 +198,15 @@ impl Graph {
         csr.refill_from_adjacency(&self.adj);
     }
 
+    /// Whether `csr` is an exact snapshot of this graph (same vertex
+    /// count, same sorted neighbor lists). Used by the evaluation context
+    /// to keep its cached distance matrix across no-op refreshes.
+    pub fn matches_csr(&self, csr: &Csr) -> bool {
+        self.n() == csr.n()
+            && self.m() == csr.m()
+            && (0..self.n() as V).all(|v| csr.neighbors(v) == self.neighbors(v))
+    }
+
     /// Degree sequence in non-increasing order.
     pub fn degree_sequence(&self) -> Vec<usize> {
         let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();

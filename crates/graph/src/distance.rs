@@ -130,6 +130,26 @@ impl DistanceMatrix {
         DistanceMatrix { n, d }
     }
 
+    /// Recomputes every row in place for `csr`, reusing the backing buffer
+    /// (no allocation when the vertex count is unchanged). This is the
+    /// full-rebuild fallback of the dynamic-distance subsystem
+    /// ([`crate::dynamic`]).
+    pub fn rebuild(&mut self, csr: &Csr) {
+        let n = csr.n();
+        self.n = n;
+        self.d.resize(n * n, UNREACHABLE);
+        fill_rows(&mut self.d, n, |scratch, src, row| {
+            scratch.run(csr, src);
+            row.copy_from_slice(&scratch.dist);
+        });
+    }
+
+    /// Raw mutable access to the row-major backing storage, for the
+    /// in-place row repairs of [`crate::dynamic::DynamicApsp`].
+    pub(crate) fn data_mut(&mut self) -> &mut [u32] {
+        &mut self.d
+    }
+
     /// Returns the backing buffer to this thread's matrix pool so the next
     /// [`DistanceMatrix::build`]/[`DistanceMatrix::build_masked`] call on
     /// this thread is allocation-free. Dropping a matrix instead of

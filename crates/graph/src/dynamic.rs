@@ -1,0 +1,659 @@
+//! Dynamic-distance subsystem: incremental all-pairs shortest paths under
+//! single-edge mutations.
+//!
+//! Every step of the paper's swap dynamics changes exactly **one** edge
+//! (delete `vw`, insert `vw'`), yet a full [`DistanceMatrix::build`] costs
+//! `n` BFS runs. [`DynamicApsp`] keeps the matrix alive across such
+//! mutations and repairs only what actually changed:
+//!
+//! * **Deletion** (`G − uw`) — a source row `s` can only change when the
+//!   edge was *tight* from `s` (`|d(s,u) − d(s,w)| = 1`; edges on shortest
+//!   paths span adjacent BFS levels) **and** the far endpoint has no
+//!   alternate parent on level `d−1`. For the rows that survive both
+//!   filters, a Ramalingam–Reps-style truncated repair runs from the far
+//!   endpoint: phase 1 walks the (implicit) BFS level tree stored in the
+//!   row itself to find the exactly-affected vertex set, phase 2 re-settles
+//!   that set with a bucketed multi-source Dijkstra seeded from its
+//!   unaffected boundary. The distance row *is* the parent/level tree — no
+//!   separate per-source tree storage is needed.
+//! * **Insertion** (`G + xy`) — exact in `O(n)` per row by the two-sided
+//!   insertion identity `d'(s,t) = min(d(s,t), d(s,x)+1+d(y,t),
+//!   d(s,y)+1+d(x,t))` (a shortest path uses a new edge at most once);
+//!   rows with `|d(s,x) − d(s,y)| ≤ 1` are provably unchanged and skipped
+//!   in `O(1)`.
+//! * **Swap** — deletion repair (with the inserted edge masked out of the
+//!   CSR scans) followed by the insertion blend, consuming the
+//!   [`SwapApplied`] record the game board already produces.
+//!
+//! A deletion needing repairs on more rows than
+//! [`DynamicApsp::max_repair_rows`] falls back to a full parallel rebuild
+//! instead; every decision is recorded in [`RepairStats`]. Measurements on
+//! this workload (see `BENCH_incremental.json`) show the truncated repair
+//! beating the rebuild even at total invalidation — a tree-bridge deletion
+//! affecting all `n` sources repairs in a fraction of the rebuild time —
+//! so the default threshold is `n` (never fall back); lower it to cap
+//! repair work on instances where rebuild's streaming BFS wins. Repairs
+//! are embarrassingly parallel (each row repair reads only its own row
+//! plus the CSR), so large updates fan out over rayon workers exactly like
+//! the full build.
+//!
+//! The repaired matrix is **byte-identical** to a fresh
+//! [`DistanceMatrix::build`] of the mutated graph — distances are unique,
+//! and the property tests in `tests/dynamic_apsp_props.rs` pin this over
+//! thousands of random swap steps.
+
+use std::cell::RefCell;
+
+use rayon::prelude::*;
+
+use crate::adjacency::SwapApplied;
+use crate::{Csr, DistanceMatrix, UNREACHABLE, V};
+
+/// Below this vertex count (or repair-candidate count) the per-row repairs
+/// run sequentially on pooled scratch; matches the APSP builders' cutoff.
+const PAR_REPAIR_MIN_N: usize = 256;
+
+/// Repairing fewer rows than this is always cheaper sequentially than
+/// fanning the whole row range out over workers.
+const PAR_REPAIR_MIN_ROWS: usize = 33;
+
+thread_local! {
+    /// Per-thread free list of [`RepairScratch`] buffers (same discipline
+    /// as the BFS scratch pool: rayon workers each get their own pool, so
+    /// parallel repairs compose without locking).
+    static REPAIR_POOL: RefCell<Vec<RepairScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Largest number of repair-scratch buffers kept per thread.
+const REPAIR_POOL_CAP: usize = 4;
+
+/// Runs `f` with a pooled [`RepairScratch`] sized for `n` vertices.
+fn with_repair_scratch<R>(n: usize, f: impl FnOnce(&mut RepairScratch) -> R) -> R {
+    let mut scratch = REPAIR_POOL
+        .with(|pool| pool.borrow_mut().pop())
+        .unwrap_or_else(|| RepairScratch::new(n));
+    scratch.resize(n);
+    let result = f(&mut scratch);
+    REPAIR_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < REPAIR_POOL_CAP {
+            pool.push(scratch);
+        }
+    });
+    result
+}
+
+/// Counters describing how [`DynamicApsp`] serviced its updates — the
+/// observability hook for benchmarks and the fallback-threshold tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Total updates applied (swaps, deletions, insertions; no-ops count).
+    pub updates: u64,
+    /// Updates serviced incrementally (row repairs + blends).
+    pub incremental: u64,
+    /// Updates that fell back to a full parallel rebuild.
+    pub full_rebuilds: u64,
+    /// Cumulative rows repaired by truncated deletion repair.
+    pub rows_repaired: u64,
+    /// Cumulative rows rewritten by the insertion blend.
+    pub rows_blended: u64,
+    /// Rows that needed deletion repair in the most recent update (the
+    /// count the fallback threshold is compared against).
+    pub last_repair_candidates: usize,
+    /// Rows actually repaired in the most recent update.
+    pub last_rows_repaired: usize,
+    /// Rows blended in the most recent update.
+    pub last_rows_blended: usize,
+    /// Whether the most recent update fell back to a full rebuild.
+    pub last_was_rebuild: bool,
+}
+
+/// An all-pairs distance matrix maintained incrementally across single-edge
+/// mutations. See the [module docs](self) for the algorithm.
+#[derive(Debug, Clone)]
+pub struct DynamicApsp {
+    dm: DistanceMatrix,
+    n: usize,
+    max_repair_rows: usize,
+    stats: RepairStats,
+    /// Per-source repair root from stage A (`V::MAX` = row unchanged).
+    roots: Vec<V>,
+    /// Saved pre-insertion rows of the inserted edge's endpoints.
+    row_x: Vec<u32>,
+    row_y: Vec<u32>,
+}
+
+impl DynamicApsp {
+    /// Builds the matrix for the current state of `csr` (one full parallel
+    /// APSP). The fallback threshold defaults to `n` — never fall back —
+    /// because per-row repair measures several times cheaper than a BFS
+    /// row even when every row is touched; see
+    /// [`set_max_repair_rows`](Self::set_max_repair_rows) to cap repair
+    /// work explicitly.
+    pub fn build(csr: &Csr) -> Self {
+        Self::from_matrix(DistanceMatrix::build(csr))
+    }
+
+    /// Wraps an existing matrix (which must be the exact APSP of the graph
+    /// the subsequent updates start from).
+    pub fn from_matrix(dm: DistanceMatrix) -> Self {
+        let n = dm.n();
+        DynamicApsp {
+            dm,
+            n,
+            max_repair_rows: n.max(1),
+            stats: RepairStats::default(),
+            roots: Vec::new(),
+            row_x: Vec::new(),
+            row_y: Vec::new(),
+        }
+    }
+
+    /// The maintained distance matrix (always exact for the last graph
+    /// state passed to an update method).
+    #[inline]
+    pub fn matrix(&self) -> &DistanceMatrix {
+        &self.dm
+    }
+
+    /// Consumes the wrapper, returning the matrix.
+    pub fn into_matrix(self) -> DistanceMatrix {
+        self.dm
+    }
+
+    /// Returns the matrix buffer to the thread-local pool (see
+    /// [`DistanceMatrix::recycle`]).
+    pub fn recycle(self) {
+        self.dm.recycle();
+    }
+
+    /// Update counters.
+    #[inline]
+    pub fn stats(&self) -> &RepairStats {
+        &self.stats
+    }
+
+    /// Current fallback threshold: a deletion needing repairs on more than
+    /// this many source rows triggers a full rebuild instead.
+    #[inline]
+    pub fn max_repair_rows(&self) -> usize {
+        self.max_repair_rows
+    }
+
+    /// Sets the fallback threshold (`0` forces every effective deletion to
+    /// rebuild; `n` disables the fallback entirely).
+    pub fn set_max_repair_rows(&mut self, rows: usize) {
+        self.max_repair_rows = rows;
+    }
+
+    /// Applies the outcome of [`Graph::apply_swap`](crate::Graph::apply_swap)
+    /// to the matrix. `csr` must be the snapshot of the graph **after** the
+    /// move (the state the record was produced by).
+    pub fn apply_swap(&mut self, csr: &Csr, applied: &SwapApplied) {
+        match *applied {
+            SwapApplied::Noop => {}
+            SwapApplied::Deleted { v, w } => {
+                self.update_deletion(csr, v, w, None);
+            }
+            SwapApplied::Swapped { v, w, w2 } => {
+                // Deletion repair runs on `G − vw` — the inserted edge is
+                // masked out of every adjacency scan — then the blend adds
+                // it back analytically. A fallback rebuild already reflects
+                // the full post-swap `csr`, so the blend is skipped.
+                if self.update_deletion(csr, v, w, Some((v, w2))) {
+                    self.update_insertion(v, w2);
+                }
+            }
+        }
+        self.stats.updates += 1;
+    }
+
+    /// Applies a single edge deletion. `csr` must already lack edge `uw`;
+    /// the matrix must be the exact APSP of `csr + uw`.
+    pub fn apply_deletion(&mut self, csr: &Csr, u: V, w: V) {
+        self.update_deletion(csr, u, w, None);
+        self.stats.updates += 1;
+    }
+
+    /// Applies a single edge insertion. `csr` must already contain edge
+    /// `xy`; the matrix must be the exact APSP of `csr − xy`.
+    pub fn apply_insertion(&mut self, csr: &Csr, x: V, y: V) {
+        debug_assert!(csr.neighbors(x).contains(&y), "insertion requires edge xy");
+        debug_assert_eq!(csr.n(), self.n);
+        self.stats.last_repair_candidates = 0;
+        self.stats.last_rows_repaired = 0;
+        self.stats.last_was_rebuild = false;
+        self.update_insertion(x, y);
+        self.stats.incremental += 1;
+        self.stats.updates += 1;
+    }
+
+    /// Deletion repair driver. Returns `false` when it fell back to a full
+    /// rebuild of `csr` (in which case the caller must not blend — the
+    /// rebuild already reflects `csr` exactly, mask included).
+    fn update_deletion(&mut self, csr: &Csr, u: V, w: V, mask: Option<(V, V)>) -> bool {
+        let n = self.n;
+        debug_assert_eq!(csr.n(), n);
+        self.stats.last_rows_blended = 0;
+
+        // Stage A: find the rows that can change at all. Tightness reads
+        // the contiguous rows of u and w (d(s,u) = d(u,s) by symmetry);
+        // the alternate-parent filter then touches only tight rows.
+        let candidates = {
+            let dm = &self.dm;
+            let roots = &mut self.roots;
+            roots.clear();
+            roots.resize(n, V::MAX);
+            let ru = dm.row(u);
+            let rw = dm.row(w);
+            let mut count = 0usize;
+            for s in 0..n {
+                if ru[s] != rw[s] {
+                    if let Some(far) = repair_root(csr, mask, dm.row(s as V), u, w) {
+                        roots[s] = far;
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        self.stats.last_repair_candidates = candidates;
+
+        if candidates == 0 {
+            self.stats.last_rows_repaired = 0;
+            self.stats.last_was_rebuild = false;
+            self.stats.incremental += 1;
+            return true;
+        }
+        if candidates > self.max_repair_rows {
+            self.dm.rebuild(csr);
+            self.stats.last_rows_repaired = 0;
+            self.stats.last_was_rebuild = true;
+            self.stats.full_rebuilds += 1;
+            return false;
+        }
+
+        // Stage B: truncated per-row repair, parallel when wide enough.
+        let roots = &self.roots;
+        let d = self.dm.data_mut();
+        if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
+            with_repair_scratch(n, |scratch| {
+                for s in 0..n {
+                    let far = roots[s];
+                    if far != V::MAX {
+                        repair_row(scratch, csr, mask, &mut d[s * n..(s + 1) * n], far);
+                    }
+                }
+            });
+        } else {
+            d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
+                let far = roots[s];
+                if far != V::MAX {
+                    with_repair_scratch(n, |scratch| repair_row(scratch, csr, mask, row, far));
+                }
+            });
+        }
+        self.stats.last_rows_repaired = candidates;
+        self.stats.rows_repaired += candidates as u64;
+        self.stats.last_was_rebuild = false;
+        self.stats.incremental += 1;
+        true
+    }
+
+    /// Insertion blend driver: exact `O(n)` rewrite of every row the new
+    /// edge `xy` can shorten.
+    fn update_insertion(&mut self, x: V, y: V) {
+        let n = self.n;
+        self.row_x.clear();
+        self.row_x.extend_from_slice(self.dm.row(x));
+        self.row_y.clear();
+        self.row_y.extend_from_slice(self.dm.row(y));
+        let rx = &self.row_x;
+        let ry = &self.row_y;
+        let xi = x as usize;
+        let yi = y as usize;
+        let d = self.dm.data_mut();
+        let blended: usize = if n < PAR_REPAIR_MIN_N {
+            d.chunks_mut(n.max(1))
+                .map(|row| usize::from(blend_row(row, xi, yi, rx, ry)))
+                .sum()
+        } else {
+            d.par_chunks_mut(n)
+                .map(|row| usize::from(blend_row(row, xi, yi, rx, ry)))
+                .collect::<Vec<usize>>()
+                .into_iter()
+                .sum()
+        };
+        self.stats.last_rows_blended = blended;
+        self.stats.rows_blended += blended as u64;
+    }
+}
+
+/// Neighbors of `v` in `csr` with one optional extra edge masked out (the
+/// not-yet-blended inserted edge during the deletion phase of a swap).
+#[inline]
+fn masked_neighbors<'a>(csr: &'a Csr, v: V, mask: Option<(V, V)>) -> impl Iterator<Item = V> + 'a {
+    csr.neighbors(v)
+        .iter()
+        .copied()
+        .filter(move |&t| match mask {
+            Some((a, b)) => !((v == a && t == b) || (v == b && t == a)),
+            None => true,
+        })
+}
+
+/// Stage-A filter for one source row: `None` when the row is provably
+/// unchanged by deleting `uw`, otherwise the endpoint the repair must start
+/// from. `row` holds the pre-deletion distances from the source; `csr` is
+/// the post-deletion snapshot.
+fn repair_root(csr: &Csr, mask: Option<(V, V)>, row: &[u32], u: V, w: V) -> Option<V> {
+    let du = row[u as usize];
+    let dw = row[w as usize];
+    if du == dw {
+        // Equal levels (or both unreachable): the edge lies on no shortest
+        // path from this source.
+        return None;
+    }
+    debug_assert_eq!(du.abs_diff(dw), 1, "pre-deletion levels must be adjacent");
+    let far = if dw > du { w } else { u };
+    let parent_level = du.min(dw);
+    if masked_neighbors(csr, far, mask).any(|z| row[z as usize] == parent_level) {
+        // An alternate parent keeps every shortest-path tree intact.
+        return None;
+    }
+    Some(far)
+}
+
+/// Ramalingam–Reps truncated repair of one source row after deleting the
+/// edge below `far` (which stage A proved has no alternate parent).
+///
+/// Phase 1 collects the exactly-affected set — vertices whose *every*
+/// shortest path from the source used the deleted edge — by walking level
+/// tree children (`d(t) = d(a) + 1`) and keeping those without an
+/// unaffected parent. Phase 2 re-settles the set with a bucketed
+/// multi-source Dijkstra seeded from each member's unaffected neighbors;
+/// members never settled are unreachable in the new graph.
+fn repair_row(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: Option<(V, V)>,
+    row: &mut [u32],
+    far: V,
+) {
+    scratch.begin();
+
+    // Phase 1: affected set, discovered in non-decreasing level order (the
+    // FIFO queue guarantees every level-L verdict is final before any
+    // level-L+1 candidate is examined).
+    scratch.queue.clear();
+    scratch.mark_affected(far);
+    scratch.queue.push(far);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let a = scratch.queue[head];
+        head += 1;
+        let da = row[a as usize];
+        for t in masked_neighbors(csr, a, mask) {
+            if row[t as usize] == da + 1 && !scratch.is_affected(t) {
+                let has_intact_parent = masked_neighbors(csr, t, mask)
+                    .any(|z| row[z as usize] == da && !scratch.is_affected(z));
+                if !has_intact_parent {
+                    scratch.mark_affected(t);
+                    scratch.queue.push(t);
+                }
+            }
+        }
+    }
+
+    // Phase 2: seed each affected vertex from its unaffected boundary
+    // (whose distances are final), then settle buckets in distance order.
+    let mut max_bucket = 0usize;
+    for i in 0..scratch.queue.len() {
+        let a = scratch.queue[i];
+        let mut best = UNREACHABLE;
+        for z in masked_neighbors(csr, a, mask) {
+            if !scratch.is_affected(z) {
+                best = best.min(row[z as usize].saturating_add(1));
+            }
+        }
+        scratch.cand[a as usize] = best;
+        if best != UNREACHABLE {
+            let b = best as usize;
+            scratch.buckets[b].push(a);
+            max_bucket = max_bucket.max(b);
+        }
+    }
+    let mut dist = 0usize;
+    while dist <= max_bucket {
+        while let Some(t) = scratch.buckets[dist].pop() {
+            if scratch.is_settled(t) || scratch.cand[t as usize] != dist as u32 {
+                continue; // stale entry superseded by a shorter candidate
+            }
+            scratch.mark_settled(t);
+            row[t as usize] = dist as u32;
+            let nd = dist as u32 + 1;
+            for nb in masked_neighbors(csr, t, mask) {
+                if scratch.is_affected(nb)
+                    && !scratch.is_settled(nb)
+                    && nd < scratch.cand[nb as usize]
+                {
+                    scratch.cand[nb as usize] = nd;
+                    scratch.buckets[nd as usize].push(nb);
+                    max_bucket = max_bucket.max(nd as usize);
+                }
+            }
+        }
+        dist += 1;
+    }
+    for &a in &scratch.queue {
+        if !scratch.is_settled(a) {
+            row[a as usize] = UNREACHABLE;
+        }
+    }
+}
+
+/// Exact insertion blend of one row; returns whether the row changed class
+/// (rows with adjacent endpoint levels are provably unchanged).
+#[inline]
+fn blend_row(row: &mut [u32], x: usize, y: usize, rx: &[u32], ry: &[u32]) -> bool {
+    let dsx = row[x];
+    let dsy = row[y];
+    if dsx.abs_diff(dsy) <= 1 {
+        return false;
+    }
+    for (t, slot) in row.iter_mut().enumerate() {
+        let via_y = dsx.saturating_add(1).saturating_add(ry[t]);
+        let via_x = dsy.saturating_add(1).saturating_add(rx[t]);
+        *slot = (*slot).min(via_y).min(via_x);
+    }
+    true
+}
+
+/// Reusable buffers for one row repair: epoch-stamped affected/settled
+/// marks, the affected queue, candidate distances, and the bucket queue of
+/// the phase-2 Dijkstra.
+#[derive(Debug)]
+struct RepairScratch {
+    affected: Vec<u32>,
+    settled: Vec<u32>,
+    epoch: u32,
+    queue: Vec<V>,
+    cand: Vec<u32>,
+    buckets: Vec<Vec<V>>,
+}
+
+impl RepairScratch {
+    fn new(n: usize) -> Self {
+        RepairScratch {
+            affected: vec![0; n],
+            settled: vec![0; n],
+            epoch: 0,
+            queue: Vec::new(),
+            cand: vec![0; n],
+            buckets: (0..n + 2).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        if self.affected.len() < n {
+            self.affected.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.cand.resize(n, 0);
+        }
+        if self.buckets.len() < n + 2 {
+            self.buckets.resize_with(n + 2, Vec::new);
+        }
+    }
+
+    fn begin(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.affected.fill(0);
+            self.settled.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn mark_affected(&mut self, v: V) {
+        self.affected[v as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn is_affected(&self, v: V) -> bool {
+        self.affected[v as usize] == self.epoch
+    }
+
+    #[inline]
+    fn mark_settled(&mut self, v: V) {
+        self.settled[v as usize] = self.epoch;
+    }
+
+    #[inline]
+    fn is_settled(&self, v: V) -> bool {
+        self.settled[v as usize] == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic;
+    use crate::Graph;
+
+    fn assert_exact(da: &DynamicApsp, g: &Graph) {
+        let fresh = DistanceMatrix::build(&g.to_csr());
+        assert_eq!(da.matrix(), &fresh, "matrix diverged from full rebuild");
+        fresh.recycle();
+    }
+
+    #[test]
+    fn deletion_on_cycle_repairs_exactly() {
+        let mut g = classic::cycle(12);
+        g.add_edge(0, 6);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        g.remove_edge(0, 6);
+        da.apply_deletion(&g.to_csr(), 0, 6);
+        assert_exact(&da, &g);
+        assert!(!da.stats().last_was_rebuild);
+    }
+
+    #[test]
+    fn insertion_on_cycle_blends_exactly() {
+        let mut g = classic::cycle(16);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        g.add_edge(0, 8);
+        da.apply_insertion(&g.to_csr(), 0, 8);
+        assert_exact(&da, &g);
+        assert!(da.stats().last_rows_blended > 0);
+    }
+
+    #[test]
+    fn swap_record_replays_exactly() {
+        let mut g = classic::path(10);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        // Endpoint rewires to the center — a Swapped record.
+        let rec = g.apply_swap(0, 1, 5);
+        da.apply_swap(&g.to_csr(), &rec);
+        assert_exact(&da, &g);
+        // Swap onto an existing edge degenerates to a deletion record.
+        let mut h = classic::complete(5);
+        let mut dh = DynamicApsp::build(&h.to_csr());
+        let rec = h.apply_swap(0, 1, 2);
+        assert!(matches!(rec, SwapApplied::Deleted { .. }));
+        dh.apply_swap(&h.to_csr(), &rec);
+        assert_exact(&dh, &h);
+    }
+
+    #[test]
+    fn noop_swap_changes_nothing() {
+        let mut g = classic::path(6);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        let before = da.matrix().clone();
+        let rec = g.apply_swap(0, 1, 1);
+        da.apply_swap(&g.to_csr(), &rec);
+        assert_eq!(da.matrix(), &before);
+        assert_eq!(da.stats().updates, 1);
+    }
+
+    #[test]
+    fn tree_bridge_deletion_falls_back_and_stays_exact() {
+        // Deleting a tree edge affects every source: with a lowered
+        // threshold the update must rebuild, and the matrix must report
+        // the disconnection exactly.
+        let mut g = classic::path(9);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        da.set_max_repair_rows(g.n() / 2);
+        g.remove_edge(4, 5);
+        da.apply_deletion(&g.to_csr(), 4, 5);
+        assert!(da.stats().last_was_rebuild);
+        assert_exact(&da, &g);
+        assert_eq!(da.matrix().get(0, 8), UNREACHABLE);
+        // Reconnect somewhere else; the blend must restore exactness.
+        g.add_edge(0, 8);
+        da.apply_insertion(&g.to_csr(), 0, 8);
+        assert_exact(&da, &g);
+    }
+
+    #[test]
+    fn threshold_boundary_switches_paths_without_changing_results() {
+        let mut g = classic::cycle(10);
+        g.add_edge(0, 5);
+        let csr0 = g.to_csr();
+        let mut probe = DynamicApsp::build(&csr0);
+        probe.set_max_repair_rows(g.n());
+        let mut h = g.clone();
+        h.remove_edge(0, 5);
+        let csr1 = h.to_csr();
+        probe.apply_deletion(&csr1, 0, 5);
+        let candidates = probe.stats().last_repair_candidates;
+        assert!(candidates >= 1, "chord deletion must touch some rows");
+        assert!(!probe.stats().last_was_rebuild);
+
+        // At exactly `candidates` the repair path runs; one below, rebuild.
+        let mut at = DynamicApsp::build(&csr0);
+        at.set_max_repair_rows(candidates);
+        at.apply_deletion(&csr1, 0, 5);
+        assert!(!at.stats().last_was_rebuild);
+        assert_eq!(at.matrix(), probe.matrix());
+
+        let mut below = DynamicApsp::build(&csr0);
+        below.set_max_repair_rows(candidates - 1);
+        below.apply_deletion(&csr1, 0, 5);
+        assert!(below.stats().last_was_rebuild);
+        assert_eq!(below.matrix(), probe.matrix());
+        assert_exact(&below, &h);
+    }
+
+    #[test]
+    fn untouched_rows_are_skipped() {
+        // Deleting one chord of a dense graph leaves most rows unchanged;
+        // the stats must reflect a narrow repair, not a sweep.
+        let mut g = classic::complete(8);
+        let mut da = DynamicApsp::build(&g.to_csr());
+        g.remove_edge(0, 1);
+        da.apply_deletion(&g.to_csr(), 0, 1);
+        assert_exact(&da, &g);
+        assert!(da.stats().last_repair_candidates <= 2);
+    }
+}

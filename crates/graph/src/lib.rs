@@ -17,6 +17,10 @@
 //!   with rayon), plus the single-edge *insertion identities* used to
 //!   evaluate many candidate moves from one APSP (see the crate-level
 //!   documentation of [`distance`]).
+//! * [`DynamicApsp`] — the dynamic-distance subsystem: the same matrix
+//!   maintained incrementally across single-edge swaps (truncated
+//!   Ramalingam–Reps row repairs with a full-rebuild fallback; see
+//!   [`dynamic`]).
 //! * [`generators`] — classic families, random models, Prüfer codecs, and
 //!   exhaustive rooted/free tree enumeration (Beyer–Hedetniemi + AHU).
 //! * [`canon`] — AHU tree canonicalization and brute-force canonical forms
@@ -45,6 +49,7 @@ pub mod canon;
 pub mod components;
 pub mod csr;
 pub mod distance;
+pub mod dynamic;
 pub mod generators;
 pub mod girth;
 pub mod graph6;
@@ -56,6 +61,7 @@ pub use adjacency::{Edge, Graph};
 pub use bfs::{bfs_distances, with_scratch, BfsScratch};
 pub use csr::Csr;
 pub use distance::{DistanceMatrix, UNREACHABLE};
+pub use dynamic::{DynamicApsp, RepairStats};
 
 /// Vertex identifier. Graphs in this workspace are small enough (≤ ~10⁵
 /// vertices) that `u32` indices keep every structure compact and cache

@@ -4,17 +4,22 @@
 //! The build environment is offline, so the workspace vendors a tiny
 //! data-parallelism layer with rayon's *call shapes* (`par_iter`,
 //! `into_par_iter`, `par_chunks_mut`, `map`, `map_init`, `for_each_init`,
-//! `enumerate`, `collect`) backed by scoped OS threads and a shared
-//! work queue. On a single-core host every combinator degrades to the
-//! sequential loop with zero thread overhead; the semantics (output order,
-//! per-worker init state) match rayon for the patterns the workspace uses.
+//! `enumerate`, `collect`) backed by a **persistent worker pool** (see
+//! [`pool`]) and a shared work queue. Worker threads are spawned once, on
+//! the first parallel sweep, and reused for every sweep after that — the
+//! previous incarnation spawned scoped OS threads per sweep, which showed
+//! up as constant-factor overhead on the dynamics engine's thousands of
+//! short parallel sections. On a single-core host every combinator
+//! degrades to the sequential loop with zero thread overhead; the
+//! semantics (output order, per-worker init state) match rayon for the
+//! patterns the workspace uses.
 //!
 //! Unlike real rayon the combinators here are *eager*: each adapter runs
 //! its stage to completion and materializes a `Vec`. That is fine for the
 //! workloads in this repository, where the parallel sections are single
 //! `map`/`for_each` sweeps over BFS sources, trees, or dynamics seeds.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 use std::sync::Mutex;
 
@@ -23,16 +28,191 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 }
 
+/// The persistent worker pool behind every parallel sweep.
+///
+/// Workers are OS threads spawned lazily on the first sweep and parked on
+/// a condvar between sweeps. A sweep enqueues *mirror jobs* — closures
+/// that pull `(index, item)` pairs from the sweep's own item queue — and
+/// the calling thread both participates in its sweep and, while waiting
+/// for stragglers, helps drain the global job queue (that cooperative
+/// draining is what makes nested sweeps — census over trees, APSP inside
+/// each — deadlock-free without per-sweep thread spawns).
+///
+/// Mirror jobs borrow the caller's stack (the item queue, the `init`/`f`
+/// closures), so handing them to `'static` worker threads requires one
+/// lifetime transmute, encapsulated in [`pool::run_mirrored`]. Safety rests
+/// on the completion latch: `run_mirrored` does not return — normally *or*
+/// by unwinding — until every submitted job has finished executing, so no
+/// borrow outlives the frame that owns it. The latch itself is
+/// heap-allocated (`Arc`) so a finishing job never touches the caller's
+/// stack after releasing it.
+mod pool {
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::time::Duration;
+
+    /// A unit of pool work. Jobs are self-contained: each catches its own
+    /// panics and reports through its sweep's latch.
+    type Job = Box<dyn FnOnce() + Send>;
+
+    /// The global queue shared by all pool workers.
+    struct Shared {
+        queue: Mutex<VecDeque<Job>>,
+        work_ready: Condvar,
+    }
+
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Completion latch of one sweep: remaining mirror jobs plus a panic
+    /// flag. Heap-allocated and shared by `Arc` so job teardown never
+    /// races the caller's stack frame.
+    struct Latch {
+        state: Mutex<(usize, bool)>,
+        done: Condvar,
+    }
+
+    /// Number of hardware threads (the pool's size, and the cap on how
+    /// wide a single sweep fans out).
+    pub(crate) fn hardware_workers() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    /// The global pool, spawning its workers on first use.
+    fn shared() -> &'static Shared {
+        static SHARED: OnceLock<Shared> = OnceLock::new();
+        static SPAWNED: OnceLock<()> = OnceLock::new();
+        let shared = SHARED.get_or_init(|| Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        SPAWNED.get_or_init(|| {
+            for i in 0..hardware_workers() {
+                let _ = std::thread::Builder::new()
+                    .name(format!("bncg-par-{i}"))
+                    .spawn(|| worker_loop(SHARED.get().expect("pool initialized")));
+            }
+        });
+        shared
+    }
+
+    fn worker_loop(shared: &'static Shared) -> ! {
+        loop {
+            let job = {
+                let mut queue = lock(&shared.queue);
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    queue = shared
+                        .work_ready
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Jobs handle their own panics; this catch only shields the
+            // worker from a defect in the job wrapper itself.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+
+    /// Runs one queued job on the current thread, if any is pending.
+    fn try_run_one(shared: &Shared) -> bool {
+        let job = lock(&shared.queue).pop_front();
+        match job {
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Widens `job` from its true borrow lifetime to `'static` so it can
+    /// sit in the pool queue. Sound **only** under `run_mirrored`'s
+    /// blocking discipline (see its safety argument).
+    #[allow(unsafe_code)]
+    fn widen_job(job: Box<dyn FnOnce() + Send + '_>) -> Job {
+        // SAFETY: `run_mirrored` blocks — through normal return and
+        // through unwinds alike — until the sweep's latch records that
+        // every submitted job has finished running. The borrows captured
+        // by `job` (the sweep's item queue, `init`, `f`, the result
+        // vector) therefore strictly outlive every use. After its last
+        // use of those borrows each job only touches its `Arc`-owned
+        // latch, so nothing dereferences the caller's stack once
+        // `run_mirrored` is free to return. Both trait objects have
+        // identical layout; only the lifetime bound differs.
+        unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) }
+    }
+
+    /// Runs `body` on the calling thread while `mirrors` pool workers run
+    /// the same closure concurrently; returns only once every mirror has
+    /// finished. Returns whether any mirror panicked. A panic in the
+    /// caller's own `body` run is caught, held until the mirrors drain
+    /// (the safety invariant of [`widen_job`]), and then resumed.
+    pub(crate) fn run_mirrored(mirrors: usize, body: &(dyn Fn() + Sync)) -> bool {
+        if mirrors == 0 {
+            body();
+            return false;
+        }
+        let shared = shared();
+        let latch = Arc::new(Latch {
+            state: Mutex::new((mirrors, false)),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = lock(&shared.queue);
+            for _ in 0..mirrors {
+                let latch = Arc::clone(&latch);
+                queue.push_back(widen_job(Box::new(move || {
+                    let panicked = catch_unwind(AssertUnwindSafe(body)).is_err();
+                    let mut state = lock(&latch.state);
+                    state.0 -= 1;
+                    state.1 |= panicked;
+                    drop(state);
+                    latch.done.notify_all();
+                })));
+            }
+            shared.work_ready.notify_all();
+        }
+        // Participate, then help the global queue until the latch clears —
+        // even if our own body panicked, the mirrors must finish first.
+        let own_panic = catch_unwind(AssertUnwindSafe(body)).err();
+        let mirrors_panicked = loop {
+            let state = lock(&latch.state);
+            if state.0 == 0 {
+                break state.1;
+            }
+            drop(state);
+            if !try_run_one(shared) {
+                let state = lock(&latch.state);
+                if state.0 != 0 {
+                    let _ = latch
+                        .done
+                        .wait_timeout(state, Duration::from_millis(1))
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        if let Some(payload) = own_panic {
+            std::panic::resume_unwind(payload);
+        }
+        mirrors_panicked
+    }
+}
+
 /// Number of worker threads to use for a parallel section.
 fn workers(items: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
-    hw.min(items).max(1)
+    pool::hardware_workers().min(items).max(1)
 }
 
 /// Core executor: applies `f` to every item with a per-worker `init` state,
 /// returning results in input order. Sequential when only one worker is
-/// warranted; otherwise scoped threads pull `(index, item)` pairs from a
-/// shared queue so uneven workloads balance dynamically.
+/// warranted; otherwise the calling thread plus persistent pool workers
+/// pull `(index, item)` pairs from a shared queue so uneven workloads
+/// balance dynamically.
 fn execute<T, S, U, I, F>(items: Vec<T>, init: I, f: F) -> Vec<U>
 where
     T: Send,
@@ -47,28 +227,31 @@ where
         return items.into_iter().map(|t| f(&mut state, t)).collect();
     }
     let queue = Mutex::new(items.into_iter().enumerate());
-    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..nthreads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut out = Vec::new();
-                    loop {
-                        let next = queue.lock().expect("worker panicked").next();
-                        match next {
-                            Some((i, t)) => out.push((i, f(&mut state, t))),
-                            None => break,
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    });
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    let sweep = || {
+        let mut state = init();
+        let mut local = Vec::new();
+        loop {
+            let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+            match next {
+                Some((i, t)) => local.push((i, f(&mut state, t))),
+                None => break,
+            }
+        }
+        if !local.is_empty() {
+            collected
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(local);
+        }
+    };
+    // A panic in `f` on the calling thread resumes inside `run_mirrored`
+    // (after the mirrors drain); a panic on a mirror surfaces as the
+    // boolean and is re-raised here.
+    if pool::run_mirrored(nthreads - 1, &sweep) {
+        panic!("parallel worker panicked");
+    }
+    let mut tagged = collected.into_inner().unwrap_or_else(|e| e.into_inner());
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, u)| u).collect()
 }
@@ -233,5 +416,105 @@ mod tests {
         let data = [String::from("a"), String::from("bb"), String::from("ccc")];
         let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
         assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_sweeps_complete_without_deadlock() {
+        // Census-shaped workload: an outer sweep whose every item runs an
+        // inner sweep. The cooperative queue draining in `run_mirrored`
+        // must let waiting sweeps make progress on pool workers that are
+        // all busy with outer items.
+        let totals: Vec<u64> = (0..8u64)
+            .into_par_iter()
+            .map(|outer| {
+                let inner: Vec<u64> = (0..64u64).into_par_iter().map(|i| outer + i).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        let expected: Vec<u64> = (0..8u64).map(|o| (0..64).map(|i| o + i).sum()).collect();
+        assert_eq!(totals, expected);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate_to_the_caller() {
+        (0..256usize).into_par_iter().for_each(|i| {
+            if i == 137 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn sweeps_survive_an_earlier_panicked_sweep() {
+        // A panicked sweep must not wedge the persistent pool.
+        let result = std::panic::catch_unwind(|| {
+            (0..64usize).into_par_iter().for_each(|i| {
+                if i % 2 == 0 {
+                    panic!("intentional");
+                }
+            });
+        });
+        assert!(result.is_err());
+        let doubled: Vec<usize> = (0..64usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_mirrored_runs_body_once_per_participant() {
+        // Direct pool exercise, independent of the hardware worker count
+        // (single-core hosts route the combinators around the pool): three
+        // mirror jobs plus the caller must each run the body exactly once,
+        // with the caller helping drain the queue if no worker picks up.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let body = || {
+            count.fetch_add(1, Ordering::SeqCst);
+        };
+        let mirrors_panicked = crate::pool::run_mirrored(3, &body);
+        assert!(!mirrors_panicked);
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn run_mirrored_surfaces_panics_and_leaves_the_pool_usable() {
+        let attempt = std::panic::catch_unwind(|| {
+            let body = || -> () { panic!("mirror boom") };
+            let _ = crate::pool::run_mirrored(2, &body);
+        });
+        assert!(attempt.is_err(), "caller's own panic must resume");
+        // The pool must still serve jobs afterwards.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let body = || {
+            count.fetch_add(1, Ordering::SeqCst);
+        };
+        assert!(!crate::pool::run_mirrored(2, &body));
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn pool_threads_persist_across_sweeps() {
+        use std::collections::HashSet;
+        if crate::pool::hardware_workers() < 2 {
+            return; // single-core hosts take the sequential path
+        }
+        let ids = || -> HashSet<std::thread::ThreadId> {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect()
+        };
+        let first = ids();
+        let second = ids();
+        // The caller thread plus at least one persistent pool worker must
+        // appear in both sweeps; per-sweep spawning would mint fresh ids.
+        assert!(
+            first.intersection(&second).count() >= 2,
+            "expected persistent workers shared across sweeps: {first:?} vs {second:?}"
+        );
     }
 }

@@ -1,0 +1,231 @@
+//! Property tests pinning the dynamic-distance subsystem to full APSP
+//! rebuilds.
+//!
+//! `DynamicApsp` repairs only the rows a single-edge mutation invalidates;
+//! none of that is allowed to change a single bit of the matrix. These
+//! properties replay random swap sequences — on Erdős–Rényi graphs and
+//! uniform random trees, through `Swapped`/`Deleted`/`Noop` records alike —
+//! and compare the maintained matrix byte-for-byte against
+//! `DistanceMatrix::build` of the mutated graph after **every** step, at
+//! both fallback-threshold extremes. A deterministic long-run test keeps
+//! the total step count ≥ 1000 regardless of proptest case budgets, and
+//! context-level properties pin `refresh_after` trajectories to fresh
+//! contexts under both objectives.
+
+use bncg::game::context::EvalContext;
+use bncg::game::objective::{MaxObjective, Objective, SumObjective};
+use bncg::graph::dynamic::DynamicApsp;
+use bncg::graph::generators::random::{gnp, random_tree};
+use bncg::graph::{DistanceMatrix, Graph, V};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sparse Erdős–Rényi graph on up to `max_n` vertices (connectivity not
+/// required — the subsystem must track unreachable pairs exactly).
+fn er_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (6usize..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = (3.0 / n as f64).min(0.9);
+        gnp(&mut rng, n, p)
+    })
+}
+
+/// Uniform random labeled tree on up to `max_n` vertices.
+fn tree(max_n: usize) -> impl Strategy<Value = Graph> {
+    (6usize..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_tree(&mut rng, n)
+    })
+}
+
+/// Picks a random legal swap `(v, w, w2)` of `g`: `vw` an existing edge,
+/// `w2` any non-`v` vertex (so deletions — `w2` already adjacent — and
+/// no-ops — `w2 == w` — occur alongside proper swaps).
+fn random_swap<R: Rng>(rng: &mut R, g: &Graph) -> Option<(V, V, V)> {
+    if g.m() == 0 {
+        return None;
+    }
+    let edges = g.edge_vec();
+    let e = edges[rng.gen_range(0..edges.len())];
+    let (v, w) = if rng.gen_bool(0.5) {
+        (e.u, e.v)
+    } else {
+        (e.v, e.u)
+    };
+    let n = g.n() as V;
+    let mut w2 = rng.gen_range(0..n);
+    if w2 == v {
+        w2 = if w2 + 1 < n { w2 + 1 } else { 0 };
+    }
+    if w2 == v {
+        return None; // n == 1 has no legal target
+    }
+    Some((v, w, w2))
+}
+
+fn assert_byte_identical(da: &DynamicApsp, g: &Graph, context: &str) {
+    let fresh = DistanceMatrix::build(&g.to_csr());
+    assert_eq!(
+        da.matrix(),
+        &fresh,
+        "dynamic matrix diverged from full rebuild ({context})"
+    );
+    fresh.recycle();
+}
+
+/// Replays `steps` random swaps on `g`, checking the maintained matrix
+/// against a full rebuild after every step. Returns the number of steps
+/// actually applied.
+fn replay_and_check(mut g: Graph, seed: u64, steps: usize, max_repair_rows: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut da = DynamicApsp::build(&g.to_csr());
+    da.set_max_repair_rows(max_repair_rows);
+    let mut applied = 0;
+    for step in 0..steps {
+        let Some((v, w, w2)) = random_swap(&mut rng, &g) else {
+            break;
+        };
+        let rec = g.apply_swap(v, w, w2);
+        da.apply_swap(&g.to_csr(), &rec);
+        applied += 1;
+        assert_byte_identical(
+            &da,
+            &g,
+            &format!("step {step}, threshold {max_repair_rows}"),
+        );
+    }
+    applied
+}
+
+/// `refresh_after`-maintained context must agree with a fresh context on
+/// every audit surface the game uses.
+fn assert_context_paths_agree<O: Objective>(ctx: &EvalContext, g: &Graph) {
+    let fresh = EvalContext::new(g);
+    for v in 0..g.n() as V {
+        assert_eq!(
+            ctx.base().row(v),
+            fresh.base().row(v),
+            "base row {v} diverged under {}",
+            O::NAME
+        );
+        assert_eq!(ctx.agent_cost::<O>(v), fresh.agent_cost::<O>(v));
+    }
+    assert_eq!(
+        ctx.find_improving_swap::<O>(),
+        fresh.find_improving_swap::<O>(),
+        "witness diverged under {}",
+        O::NAME
+    );
+}
+
+#[test]
+fn thousand_plus_random_swap_steps_stay_byte_identical() {
+    // Deterministic volume floor: ≥ 1000 verified steps across ER graphs
+    // and trees, with the default fallback threshold in play.
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+    let mut total = 0usize;
+    for round in 0..3 {
+        let er = gnp(&mut rng, 28, 0.12);
+        total += replay_and_check(er, 0xE0 + round, 180, 14);
+        let t = random_tree(&mut rng, 22);
+        total += replay_and_check(t, 0x70 + round, 180, 11);
+    }
+    assert!(
+        total >= 1000,
+        "volume floor not met: only {total} steps verified"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn er_swap_sequences_match_rebuild_at_both_threshold_extremes(
+        g in er_graph(40),
+        seed in any::<u64>(),
+    ) {
+        // Never fall back …
+        replay_and_check(g.clone(), seed, 12, g.n());
+        // … and always fall back: identical matrices either way.
+        replay_and_check(g, seed, 12, 0);
+    }
+
+    #[test]
+    fn tree_swap_sequences_match_rebuild_at_both_threshold_extremes(
+        t in tree(32),
+        seed in any::<u64>(),
+    ) {
+        replay_and_check(t.clone(), seed, 12, t.n());
+        replay_and_check(t, seed, 12, 0);
+    }
+
+    #[test]
+    fn fallback_boundary_is_exact(g in er_graph(32), seed in any::<u64>()) {
+        // Find a step with a non-trivial repair set, then re-apply it with
+        // the threshold pinned exactly at, and one below, the candidate
+        // count: the path taken must flip, the matrix must not change.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = g;
+        let mut da = DynamicApsp::build(&g.to_csr());
+        da.set_max_repair_rows(g.n());
+        for _ in 0..24 {
+            let Some((v, w, w2)) = random_swap(&mut rng, &g) else { break };
+            let before = g.clone();
+            let rec = g.apply_swap(v, w, w2);
+            let csr = g.to_csr();
+            da.apply_swap(&csr, &rec);
+            let candidates = da.stats().last_repair_candidates;
+            if candidates >= 1 && !da.stats().last_was_rebuild {
+                let mut at = DynamicApsp::build(&before.to_csr());
+                at.set_max_repair_rows(candidates);
+                at.apply_swap(&csr, &rec);
+                prop_assert!(!at.stats().last_was_rebuild);
+                prop_assert_eq!(at.matrix(), da.matrix());
+
+                let mut below = DynamicApsp::build(&before.to_csr());
+                below.set_max_repair_rows(candidates - 1);
+                below.apply_swap(&csr, &rec);
+                prop_assert!(below.stats().last_was_rebuild);
+                prop_assert_eq!(below.matrix(), da.matrix());
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_context_matches_fresh_context_on_er_graphs(
+        g in er_graph(28),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = g;
+        let mut ctx = EvalContext::new(&g);
+        ctx.base(); // force the matrix so every move exercises the repair
+        for _ in 0..8 {
+            let Some((v, w, w2)) = random_swap(&mut rng, &g) else { break };
+            let rec = g.apply_swap(v, w, w2);
+            ctx.refresh_after(&g, &rec);
+            assert_context_paths_agree::<SumObjective>(&ctx, &g);
+            assert_context_paths_agree::<MaxObjective>(&ctx, &g);
+        }
+    }
+
+    #[test]
+    fn maintained_context_matches_fresh_context_on_trees(
+        t in tree(24),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = t;
+        let mut ctx = EvalContext::new(&g);
+        ctx.base();
+        for _ in 0..8 {
+            let Some((v, w, w2)) = random_swap(&mut rng, &g) else { break };
+            let rec = g.apply_swap(v, w, w2);
+            ctx.refresh_after(&g, &rec);
+            assert_context_paths_agree::<SumObjective>(&ctx, &g);
+            assert_context_paths_agree::<MaxObjective>(&ctx, &g);
+        }
+    }
+}
