@@ -13,8 +13,11 @@ use std::time::Instant;
 use bncg_analysis::smallworld::SmallWorldStats;
 use bncg_core::equilibrium::SumGame;
 use bncg_core::objective::{MaxObjective, SumObjective};
-use bncg_dynamics::batch::{run_batch, BatchConfig, StartFamily};
+use bncg_dynamics::batch::{
+    run_batch, run_round_batch, BatchConfig, RoundBatchConfig, StartFamily,
+};
 use bncg_dynamics::engine::{DynamicsConfig, Schedule};
+use bncg_dynamics::rounds::RoundConfig;
 use bncg_dynamics::SwapDynamics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -66,6 +69,49 @@ pub fn run(quick: bool) -> String {
         }
     }
     out.push_str(&t.render());
+
+    // Round-based (frozen-snapshot) vs sequential semantics on the same
+    // seeded starts: simultaneous play can oscillate (cycled runs report
+    // their revisit period) where sequential play converges.
+    out.push_str(
+        "\nRound-based (frozen-snapshot) dynamics vs the sequential engine \
+         (same starts, deterministic lowest-agent conflict resolution):\n\n",
+    );
+    let mut rt = Table::new(vec![
+        "n",
+        "objective",
+        "round converged",
+        "oscillated",
+        "mean rounds",
+        "mean applied moves",
+        "mean final diameter",
+    ]);
+    for &n in sizes {
+        for (obj_name, is_sum) in [("sum", true), ("max", false)] {
+            let config = RoundBatchConfig {
+                n,
+                start: StartFamily::RandomConnected(n / 4),
+                runs,
+                base_seed: 0xE13 + n as u64,
+                rounds: RoundConfig::default(),
+            };
+            let summary = if is_sum {
+                run_round_batch::<SumObjective>(config)
+            } else {
+                run_round_batch::<MaxObjective>(config)
+            };
+            rt.row(vec![
+                n.to_string(),
+                obj_name.to_string(),
+                format!("{}/{}", summary.converged, runs),
+                summary.cycled.to_string(),
+                f3(summary.mean_rounds),
+                f3(summary.mean_moves),
+                f3(summary.mean_final_diameter),
+            ]);
+        }
+    }
+    out.push_str(&rt.render());
 
     // Small-world statistics of one endpoint per size.
     out.push_str("\nSmall-world statistics of sum-dynamics endpoints (start: ring lattice WS(k=4, β=0)):\n\n");

@@ -5,6 +5,13 @@
 //! a *first improving response* is any improving swap (cheaper to find,
 //! and the natural model of the paper's computationally bounded agents,
 //! who only ever weigh one edge against another).
+//!
+//! Every path below routes through [`EvalContext`], whose per-edge scans
+//! derive their masked APSPs from the cached base matrix by
+//! copy-plus-repair ([`EdgeSwapScan::from_base`](crate::evaluator::EdgeSwapScan::from_base))
+//! rather than `n` masked BFS runs per scanned edge — the response
+//! computation itself rides the dynamic-distance subsystem, not just the
+//! post-move refresh.
 
 use bncg_graph::{Csr, Graph, V};
 

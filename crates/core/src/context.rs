@@ -99,10 +99,37 @@ impl EvalContext {
     /// [`Graph::apply_swap`] left behind when it produced `applied`). When
     /// no base matrix has been built yet this degrades to a plain CSR
     /// refill — laziness is preserved.
+    ///
+    /// Aggregation across a *span* of refreshes (a whole activation round,
+    /// a whole trajectory) is exposed through
+    /// [`dynamic_stats_snapshot`](Self::dynamic_stats_snapshot) +
+    /// [`RepairStats::delta_since`]: snapshot before the span, diff after,
+    /// and the cumulative counters (updates, incremental vs full rebuilds,
+    /// rows repaired/blended) cover every call in between — not just the
+    /// most recent one.
     pub fn refresh_after(&mut self, g: &Graph, applied: &SwapApplied) {
         g.refresh_csr(&mut self.csr);
         if let Some(mut dyn_apsp) = self.base.take() {
             dyn_apsp.apply_swap(&self.csr, applied);
+            let _ = self.base.set(dyn_apsp);
+        }
+    }
+
+    /// Re-snapshots `g` after a whole **round** of swaps, repairing the
+    /// cached base matrix as one batch at the round barrier
+    /// ([`DynamicApsp::apply_batch`]): one multi-edge deletion pass with
+    /// every inserted edge masked, then the insertion blends in order.
+    ///
+    /// `g` must be the state after *all* of `batch` was applied, and the
+    /// batch's moves must have pairwise edge-disjoint footprints relative
+    /// to the round-start graph — the contract the round engine's
+    /// lowest-agent-index conflict resolution guarantees. Byte-identical
+    /// to calling [`refresh_after`](Self::refresh_after) per move through
+    /// the intermediate states.
+    pub fn refresh_after_batch(&mut self, g: &Graph, batch: &[SwapApplied]) {
+        g.refresh_csr(&mut self.csr);
+        if let Some(mut dyn_apsp) = self.base.take() {
+            dyn_apsp.apply_batch(&self.csr, batch);
             let _ = self.base.set(dyn_apsp);
         }
     }
@@ -121,6 +148,15 @@ impl EvalContext {
     /// matrix is currently cached.
     pub fn dynamic_stats(&self) -> Option<&RepairStats> {
         self.base.get().map(DynamicApsp::stats)
+    }
+
+    /// Owned snapshot of the dynamic-distance counters (zeroed default
+    /// when no base matrix is cached yet). Pair with
+    /// [`RepairStats::delta_since`] to aggregate over a span of
+    /// [`refresh_after`](Self::refresh_after) /
+    /// [`refresh_after_batch`](Self::refresh_after_batch) calls.
+    pub fn dynamic_stats_snapshot(&self) -> RepairStats {
+        self.dynamic_stats().copied().unwrap_or_default()
     }
 
     /// The CSR snapshot.
@@ -172,11 +208,13 @@ impl EvalContext {
         })
     }
 
-    /// Prepares the swap scan deleting edge `vw` (one pooled masked APSP).
-    /// Call [`EdgeSwapScan::recycle`] when done to keep the loop
-    /// allocation-free.
+    /// Prepares the swap scan deleting edge `vw`, deriving the masked APSP
+    /// by **copy-plus-repair** from the cached base matrix (built on first
+    /// use) instead of `n` fresh masked BFS runs — see
+    /// [`EdgeSwapScan::from_base`]. Call [`EdgeSwapScan::recycle`] when
+    /// done to keep the loop allocation-free.
     pub fn scan(&self, v: V, w: V) -> EdgeSwapScan {
-        EdgeSwapScan::new(&self.csr, v, w)
+        EdgeSwapScan::from_base(&self.csr, self.base(), v, w)
     }
 
     /// The best improving swap available to agent `v`, or `None` if `v` is
@@ -214,11 +252,24 @@ impl EvalContext {
 
     /// Best responses of **all** agents, computed in parallel (one slot per
     /// agent, `None` where the agent is already best-responding). The
-    /// greedy-global dynamics schedule consumes this.
+    /// greedy-global dynamics schedule and the round engine's frozen
+    /// snapshot proposals consume this.
     pub fn best_responses_par<O: Objective>(&self) -> Vec<Option<ScoredSwap>> {
         (0..self.n() as V)
             .into_par_iter()
             .map(|v| self.best_response::<O>(v))
+            .collect()
+    }
+
+    /// First improving responses of **all** agents against this snapshot,
+    /// computed in parallel (each agent's per-edge scan order — hence the
+    /// witness — matches [`first_improving_response`](Self::first_improving_response)
+    /// exactly). The round engine's first-improving proposal phase
+    /// consumes this.
+    pub fn first_improving_responses_par<O: Objective>(&self) -> Vec<Option<ScoredSwap>> {
+        (0..self.n() as V)
+            .into_par_iter()
+            .map(|v| self.first_improving_response::<O>(v))
             .collect()
     }
 

@@ -20,9 +20,20 @@
 //! candidate after one `O(n·m)` preprocessing step.
 
 use bncg_graph::{Csr, DistanceMatrix, Graph, V};
+use rayon::prelude::*;
 
 use crate::objective::Objective;
 use crate::swap::{ScoredSwap, SwapMove};
+
+/// Below this vertex count the candidate loop of
+/// [`EdgeSwapScan::best_improving`] runs sequentially: each candidate
+/// costs one `O(n)` row blend, so the loop only becomes worth sharding
+/// over the persistent worker pool once `n²` work is in play.
+const PAR_CANDIDATE_MIN_N: usize = 1024;
+
+/// Candidates per parallel shard of the candidate loop (large enough that
+/// one shard amortizes a pool hand-off, small enough to fan out).
+const PAR_CANDIDATE_CHUNK: usize = 256;
 
 /// Scores all candidate swaps that delete a fixed edge `vw`.
 pub struct EdgeSwapScan {
@@ -45,6 +56,21 @@ impl EdgeSwapScan {
         );
         EdgeSwapScan {
             masked: DistanceMatrix::build_masked(csr, (v, w)),
+            edge: (v, w),
+        }
+    }
+
+    /// Prepares the scan by **copy-plus-repair** from an exact base APSP
+    /// of the graph backing `csr`, instead of `n` fresh masked BFS runs:
+    /// the base matrix is cloned into a pooled buffer and only the rows
+    /// the deleted edge actually lies on shortest paths of are repaired
+    /// (see [`bncg_graph::dynamic::masked_apsp_from_base`]). Byte-identical
+    /// to [`EdgeSwapScan::new`]; callers holding an
+    /// [`EvalContext`](crate::context::EvalContext) get this path
+    /// automatically through [`EvalContext::scan`](crate::context::EvalContext::scan).
+    pub fn from_base(csr: &Csr, base: &DistanceMatrix, v: V, w: V) -> Self {
+        EdgeSwapScan {
+            masked: bncg_graph::dynamic::masked_apsp_from_base(csr, base, (v, w)),
             edge: (v, w),
         }
     }
@@ -81,16 +107,42 @@ impl EdgeSwapScan {
     /// Scores every candidate `w2 ≠ agent` for `agent ∈ {v, w}` against the
     /// baseline cost `old_cost`, returning the best strictly-improving swap
     /// (minimum new cost; ties broken by smallest `w2`).
+    ///
+    /// For large `n` the candidate loop is sharded over the persistent
+    /// worker pool in fixed chunks; shard winners are combined in
+    /// ascending chunk order under the same `(new_cost, w2)` ordering, so
+    /// the result is **byte-identical** to the sequential scan.
     pub fn best_improving<O: Objective>(&self, agent: V, old_cost: u64) -> Option<ScoredSwap> {
-        let other = if agent == self.edge.0 {
-            self.edge.1
-        } else {
-            debug_assert_eq!(agent, self.edge.1);
-            self.edge.0
-        };
+        let other = self.other_endpoint(agent);
         let n = self.masked.n() as V;
+        if (n as usize) < PAR_CANDIDATE_MIN_N {
+            return self.best_improving_range::<O>(agent, other, old_cost, 0, n);
+        }
+        let chunks: Vec<V> = (0..n).step_by(PAR_CANDIDATE_CHUNK).collect();
+        chunks
+            .into_par_iter()
+            .map(|lo| {
+                let hi = (lo + PAR_CANDIDATE_CHUNK as V).min(n);
+                self.best_improving_range::<O>(agent, other, old_cost, lo, hi)
+            })
+            .collect::<Vec<Option<ScoredSwap>>>()
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| if b.new_cost < a.new_cost { b } else { a })
+    }
+
+    /// Sequential candidate scan over `lo..hi` (one shard of
+    /// [`best_improving`](Self::best_improving)).
+    fn best_improving_range<O: Objective>(
+        &self,
+        agent: V,
+        other: V,
+        old_cost: u64,
+        lo: V,
+        hi: V,
+    ) -> Option<ScoredSwap> {
         let mut best: Option<ScoredSwap> = None;
-        for w2 in 0..n {
+        for w2 in lo..hi {
             if w2 == agent || w2 == other {
                 continue; // w2 == other re-creates the original graph
             }
@@ -110,13 +162,20 @@ impl EdgeSwapScan {
         best
     }
 
-    /// All strictly improving swaps for `agent` (used by exhaustive audits).
-    pub fn all_improving<O: Objective>(&self, agent: V, old_cost: u64) -> Vec<ScoredSwap> {
-        let other = if agent == self.edge.0 {
+    /// The endpoint of the deleted edge that is not `agent`.
+    #[inline]
+    fn other_endpoint(&self, agent: V) -> V {
+        if agent == self.edge.0 {
             self.edge.1
         } else {
+            debug_assert_eq!(agent, self.edge.1);
             self.edge.0
-        };
+        }
+    }
+
+    /// All strictly improving swaps for `agent` (used by exhaustive audits).
+    pub fn all_improving<O: Objective>(&self, agent: V, old_cost: u64) -> Vec<ScoredSwap> {
+        let other = self.other_endpoint(agent);
         let n = self.masked.n() as V;
         let mut out = Vec::new();
         for w2 in 0..n {

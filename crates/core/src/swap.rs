@@ -4,6 +4,7 @@
 //! `vw` with the incident edge `vw'`. Following the paper, `w' = w` is a
 //! no-op and a swap onto an already existing edge `vw'` is a deletion.
 
+use bncg_graph::adjacency::Edge;
 use bncg_graph::{Graph, V};
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,23 @@ impl SwapMove {
     /// Applies the move to `g`; returns the undo record.
     pub fn apply(&self, g: &mut Graph) -> bncg_graph::adjacency::SwapApplied {
         g.apply_swap(self.v, self.w, self.w2)
+    }
+
+    /// The move's **edge footprint**: the (normalized) deleted edge `vw`
+    /// and target edge `vw2`. Round-based dynamics accept a set of
+    /// simultaneous moves only when their footprints are pairwise
+    /// disjoint, which keeps the accepted batch well-formed against the
+    /// frozen snapshot (deleted edges all present and distinct, inserted
+    /// edges distinct and never colliding with a deletion).
+    pub fn footprint(&self) -> [Edge; 2] {
+        [Edge::new(self.v, self.w), Edge::new(self.v, self.w2)]
+    }
+
+    /// Whether two simultaneous moves touch a common edge (the conflict
+    /// predicate of the round engine's deterministic resolution).
+    pub fn conflicts_with(&self, other: &SwapMove) -> bool {
+        let a = self.footprint();
+        other.footprint().iter().any(|e| a.contains(e))
     }
 }
 

@@ -159,6 +159,133 @@ pub fn run_batch_with_cache<O: Objective>(
     summary
 }
 
+/// Batch configuration for **round-based** (frozen-snapshot) dynamics.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoundBatchConfig {
+    /// Vertex count for every run.
+    pub n: usize,
+    /// Initial-condition family.
+    pub start: StartFamily,
+    /// Number of runs.
+    pub runs: usize,
+    /// Base RNG seed (for the starting graphs only — the round engine
+    /// itself is deterministic); run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Round-engine configuration.
+    pub rounds: crate::rounds::RoundConfig,
+}
+
+/// Aggregated results of a round-based batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundBatchSummary {
+    /// The configuration that produced this summary.
+    pub config: RoundBatchConfig,
+    /// Runs that converged to a swap-stable state.
+    pub converged: usize,
+    /// Runs that revisited a round-boundary state (oscillations).
+    pub cycled: usize,
+    /// Runs that hit the round cap.
+    pub capped: usize,
+    /// Mean rounds over converged runs.
+    pub mean_rounds: f64,
+    /// Mean applied moves over converged runs.
+    pub mean_moves: f64,
+    /// Histogram of observed oscillation periods (`hist[p]` = count).
+    pub cycle_period_hist: Vec<usize>,
+    /// Converged runs whose endpoint is **disconnected** — a degenerate
+    /// equilibrium simultaneous play can reach (every agent's cost is
+    /// infinite and no single swap reconnects), impossible under
+    /// sequential improving moves. These runs carry no diameter.
+    pub converged_disconnected: usize,
+    /// Largest final diameter over connected converged runs.
+    pub max_final_diameter: u32,
+    /// Mean final diameter over **connected** converged runs (degenerate
+    /// disconnected endpoints are excluded, not averaged in as zero).
+    pub mean_final_diameter: f64,
+}
+
+/// Per-run record of a round batch: outcome, rounds, applied moves,
+/// oscillation period, final diameter.
+type RoundRunRecord = (Outcome, usize, usize, Option<usize>, Option<u32>);
+
+/// Runs a round-based batch for objective `O` (parallel over seeds) from
+/// the same start families as [`run_batch`], so sequential and round
+/// semantics can be compared on identical initial conditions.
+pub fn run_round_batch<O: Objective>(config: RoundBatchConfig) -> RoundBatchSummary {
+    let results: Vec<RoundRunRecord> = (0..config.runs)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(config.base_seed.wrapping_add(i as u64));
+            let start = match config.start {
+                StartFamily::RandomTree => random_tree(&mut rng, config.n),
+                StartFamily::RandomConnected(extra) => random_connected(&mut rng, config.n, extra),
+            };
+            let engine = crate::rounds::RoundDynamics::<O>::new(config.rounds);
+            let result = engine.run(&start);
+            let diameter = (result.outcome == Outcome::Converged)
+                .then(|| DistanceMatrix::build(&result.graph.to_csr()).diameter())
+                .flatten();
+            (
+                result.outcome,
+                result.rounds,
+                result.moves_applied,
+                result.cycle_period,
+                diameter,
+            )
+        })
+        .collect();
+
+    let mut summary = RoundBatchSummary {
+        config,
+        converged: 0,
+        cycled: 0,
+        capped: 0,
+        mean_rounds: 0.0,
+        mean_moves: 0.0,
+        cycle_period_hist: Vec::new(),
+        converged_disconnected: 0,
+        max_final_diameter: 0,
+        mean_final_diameter: 0.0,
+    };
+    let mut rounds_sum = 0usize;
+    let mut moves_sum = 0usize;
+    let mut diam_sum = 0u64;
+    let mut diam_runs = 0usize;
+    for (outcome, rounds, moves, period, diameter) in results {
+        match outcome {
+            Outcome::Converged => {
+                summary.converged += 1;
+                rounds_sum += rounds;
+                moves_sum += moves;
+                if let Some(d) = diameter {
+                    summary.max_final_diameter = summary.max_final_diameter.max(d);
+                    diam_sum += u64::from(d);
+                    diam_runs += 1;
+                } else {
+                    summary.converged_disconnected += 1;
+                }
+            }
+            Outcome::Cycled => {
+                summary.cycled += 1;
+                let p = period.unwrap_or(0);
+                if summary.cycle_period_hist.len() <= p {
+                    summary.cycle_period_hist.resize(p + 1, 0);
+                }
+                summary.cycle_period_hist[p] += 1;
+            }
+            Outcome::Capped => summary.capped += 1,
+        }
+    }
+    if summary.converged > 0 {
+        summary.mean_rounds = rounds_sum as f64 / summary.converged as f64;
+        summary.mean_moves = moves_sum as f64 / summary.converged as f64;
+    }
+    if diam_runs > 0 {
+        summary.mean_final_diameter = diam_sum as f64 / diam_runs as f64;
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +334,23 @@ mod tests {
         assert_eq!(summary.converged, 16);
         assert_eq!(summary.audit_cache_misses, 0);
         assert_eq!(summary.audit_cache_hits, 16);
+    }
+
+    #[test]
+    fn round_batches_account_for_every_run() {
+        let config = RoundBatchConfig {
+            n: 12,
+            start: StartFamily::RandomTree,
+            runs: 12,
+            base_seed: 0xbeef,
+            rounds: crate::rounds::RoundConfig::default(),
+        };
+        let summary = run_round_batch::<SumObjective>(config);
+        assert_eq!(summary.converged + summary.cycled + summary.capped, 12);
+        // Theorem 1 still binds whenever a round run converges on a tree.
+        if summary.converged > 0 {
+            assert_eq!(summary.max_final_diameter, 2);
+        }
     }
 
     #[test]

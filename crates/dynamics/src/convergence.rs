@@ -7,7 +7,7 @@
 //! revisit).
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use bncg_graph::Graph;
@@ -23,10 +23,14 @@ pub fn state_hash(g: &Graph) -> u64 {
     h.finish()
 }
 
-/// A visited-state registry.
+/// A visited-state registry. Each state remembers the step at which it was
+/// first seen, so a revisit reports the cycle (or revisit) **period** —
+/// the round engine uses this to distinguish the 2-oscillations of
+/// simultaneous play from longer orbits.
 #[derive(Debug, Default)]
 pub struct StateLog {
-    seen: HashSet<u64>,
+    seen: HashMap<u64, usize>,
+    steps: usize,
 }
 
 impl StateLog {
@@ -37,7 +41,23 @@ impl StateLog {
 
     /// Records the state; returns `true` if it was seen before (a cycle).
     pub fn record(&mut self, g: &Graph) -> bool {
-        !self.seen.insert(state_hash(g))
+        self.record_period(g).is_some()
+    }
+
+    /// Records the state at the next step index; on a revisit, returns
+    /// `Some(period)` — the number of recorded steps since the state was
+    /// first seen (`1` = a fixed point replayed, `2` = the classic
+    /// simultaneous-play oscillation, …).
+    pub fn record_period(&mut self, g: &Graph) -> Option<usize> {
+        let step = self.steps;
+        self.steps += 1;
+        match self.seen.entry(state_hash(g)) {
+            std::collections::hash_map::Entry::Occupied(e) => Some(step - *e.get()),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(step);
+                None
+            }
+        }
     }
 
     /// Number of distinct states seen.

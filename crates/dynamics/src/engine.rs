@@ -3,7 +3,11 @@
 //! Agents are activated under a [`Schedule`]; the activated agent applies
 //! its best (or first) improving swap; the run ends when a full activation
 //! round passes with no improving move (**converged**), a state repeats
-//! (**cycled**), or the round cap is hit (**capped**).
+//! (**cycled**, with the revisit period reported), or the round cap is hit
+//! (**capped**). Every activation here is **sequential** — each agent sees
+//! all earlier moves of its round; for the frozen-snapshot alternative
+//! where a whole round is evaluated against the round-start state and
+//! applied as one batch, see [`crate::rounds`].
 
 use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
@@ -83,6 +87,9 @@ pub struct DynamicsResult {
     pub rounds: usize,
     /// Total improving swaps applied.
     pub moves: usize,
+    /// Revisit period when the run [`Cycled`](Outcome::Cycled) (number of
+    /// recorded states between the two visits).
+    pub cycle_period: Option<usize>,
 }
 
 /// The dynamics engine, generic over the usage-cost objective.
@@ -140,13 +147,16 @@ impl<O: Objective> SwapDynamics<O> {
                             ctx.refresh_after(&g, &rec);
                             moves += 1;
                             any_move = true;
-                            if self.config.detect_cycles && log.record(&g) {
-                                return DynamicsResult {
-                                    graph: g,
-                                    outcome: Outcome::Cycled,
-                                    rounds: round + 1,
-                                    moves,
-                                };
+                            if self.config.detect_cycles {
+                                if let Some(period) = log.record_period(&g) {
+                                    return DynamicsResult {
+                                        graph: g,
+                                        outcome: Outcome::Cycled,
+                                        rounds: round + 1,
+                                        moves,
+                                        cycle_period: Some(period),
+                                    };
+                                }
                             }
                         }
                     }
@@ -162,13 +172,16 @@ impl<O: Objective> SwapDynamics<O> {
                         ctx.refresh_after(&g, &rec);
                         moves += 1;
                         any_move = true;
-                        if self.config.detect_cycles && log.record(&g) {
-                            return DynamicsResult {
-                                graph: g,
-                                outcome: Outcome::Cycled,
-                                rounds: round + 1,
-                                moves,
-                            };
+                        if self.config.detect_cycles {
+                            if let Some(period) = log.record_period(&g) {
+                                return DynamicsResult {
+                                    graph: g,
+                                    outcome: Outcome::Cycled,
+                                    rounds: round + 1,
+                                    moves,
+                                    cycle_period: Some(period),
+                                };
+                            }
                         }
                     }
                 }
@@ -179,6 +192,7 @@ impl<O: Objective> SwapDynamics<O> {
                     outcome: Outcome::Converged,
                     rounds: round + 1,
                     moves,
+                    cycle_period: None,
                 };
             }
         }
@@ -187,6 +201,7 @@ impl<O: Objective> SwapDynamics<O> {
             outcome: Outcome::Capped,
             rounds: self.config.max_rounds,
             moves,
+            cycle_period: None,
         }
     }
 }

@@ -7,10 +7,16 @@
 //! round cap, and reports honestly which of {converged, cycled, capped}
 //! happened.
 //!
-//! * [`engine`] — the dynamics loop ([`engine::SwapDynamics`]) with
-//!   round-robin / random / greedy-global schedules and best- or
+//! * [`engine`] — the sequential dynamics loop ([`engine::SwapDynamics`])
+//!   with round-robin / random / greedy-global schedules and best- or
 //!   first-improving response rules;
-//! * [`convergence`] — canonical state hashing for cycle detection;
+//! * [`rounds`] — the **round-based** engine ([`rounds::RoundDynamics`]):
+//!   whole activation rounds evaluated against one frozen snapshot,
+//!   conflicts resolved deterministically (lowest agent index), accepted
+//!   moves applied to the maintained base matrix as one batch repair at
+//!   the round barrier;
+//! * [`convergence`] — state hashing for cycle detection, with revisit
+//!   periods;
 //! * [`cache`] — equilibrium audits memoized by canonical graph strings,
 //!   shared by the census and batch layers;
 //! * [`census`] — the exhaustive tree classification behind Experiments
@@ -26,9 +32,11 @@ pub mod cache;
 pub mod census;
 pub mod convergence;
 pub mod engine;
+pub mod rounds;
 pub mod trajectory;
 
 pub use cache::EquilibriumCache;
 pub use census::{tree_census, tree_census_with_cache, TreeCensus};
-pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Schedule, SwapDynamics};
-pub use trajectory::{run_traced, Trajectory, TrajectoryPoint};
+pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Response, Schedule, SwapDynamics};
+pub use rounds::{RoundConfig, RoundDynamics, RoundResult};
+pub use trajectory::{run_traced, run_traced_rounds, Trajectory, TrajectoryPoint};

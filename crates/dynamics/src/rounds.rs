@@ -1,0 +1,351 @@
+//! Round-based (frozen-snapshot) swap dynamics.
+//!
+//! The sequential engine ([`crate::engine`]) activates one agent at a
+//! time, each seeing every earlier move of the same round. The round
+//! model studied by Kawald & Lenzner (*On Dynamics in Selfish Network
+//! Creation*) instead evaluates a whole activation round against **one
+//! frozen snapshot**: every agent proposes its response to the
+//! round-start state, a deterministic resolution picks a conflict-free
+//! subset, and the accepted moves land simultaneously at the round
+//! barrier. Convergence behavior genuinely differs — simultaneous play
+//! can oscillate where sequential play converges — so the engine reports
+//! the revisit period alongside the usual outcomes.
+//!
+//! **Determinism contract (conflict resolution).** Proposals are scanned
+//! in ascending agent index; a proposal is accepted iff its edge
+//! footprint (`{vw, vw2}`, see [`SwapMove::footprint`]) is disjoint from
+//! the footprints of every previously accepted proposal of the round. The
+//! lowest-indexed agent therefore always plays, the accepted set is a
+//! deterministic function of the snapshot, and the whole run needs no RNG.
+//! Footprint-disjointness also keeps the batch well-formed against the
+//! snapshot — deleted edges distinct and present, inserted edges distinct
+//! and never colliding with a deletion — which is exactly the
+//! precondition of the batch repair
+//! ([`DynamicApsp::apply_batch`](bncg_graph::dynamic::DynamicApsp::apply_batch))
+//! that patches the shared base matrix once per round instead of once per
+//! move.
+//!
+//! [`SwapMove::footprint`]: bncg_core::swap::SwapMove::footprint
+
+use bncg_core::context::EvalContext;
+use bncg_core::objective::Objective;
+use bncg_core::swap::ScoredSwap;
+use bncg_graph::adjacency::{Edge, SwapApplied};
+use bncg_graph::dynamic::RepairStats;
+use bncg_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+use crate::convergence::StateLog;
+use crate::engine::{Outcome, Response};
+
+/// Configuration of a round-based dynamics run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RoundConfig {
+    /// Response rule each agent uses against the frozen snapshot.
+    pub response: Response,
+    /// Hard cap on activation rounds.
+    pub max_rounds: usize,
+    /// Whether to track and stop on revisited round-boundary states.
+    pub detect_cycles: bool,
+}
+
+impl Default for RoundConfig {
+    fn default() -> Self {
+        RoundConfig {
+            response: Response::Best,
+            max_rounds: 10_000,
+            detect_cycles: true,
+        }
+    }
+}
+
+/// Result of a round-based dynamics run.
+#[derive(Debug, Clone)]
+pub struct RoundResult {
+    /// Final network.
+    pub graph: Graph,
+    /// Termination cause (same vocabulary as the sequential engine).
+    pub outcome: Outcome,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Improving moves proposed across all rounds (pre-resolution).
+    pub moves_proposed: usize,
+    /// Moves actually applied (post-resolution).
+    pub moves_applied: usize,
+    /// Revisit period when the run [`Cycled`](Outcome::Cycled): `2` is the
+    /// classic simultaneous-play oscillation.
+    pub cycle_period: Option<usize>,
+    /// Dynamic-distance counters aggregated over the whole run
+    /// ([`RepairStats::delta_since`] the pre-run snapshot).
+    pub repair: RepairStats,
+}
+
+/// One resolved activation round (the unit [`RoundDynamics::run`] and the
+/// traced variant iterate).
+#[derive(Debug, Clone)]
+pub struct RoundStep {
+    /// Agents that proposed an improving move against the snapshot.
+    pub proposed: usize,
+    /// Moves accepted by conflict resolution and applied.
+    pub applied: usize,
+    /// The applied records, in ascending agent order (the batch handed to
+    /// the repair).
+    pub batch: Vec<SwapApplied>,
+}
+
+/// Deterministic conflict resolution: scan `proposals` (indexed by agent)
+/// in ascending agent order and keep every move whose edge footprint is
+/// disjoint from all earlier accepted footprints.
+pub fn resolve_round(proposals: &[Option<ScoredSwap>]) -> Vec<ScoredSwap> {
+    let mut accepted: Vec<ScoredSwap> = Vec::new();
+    let mut touched: Vec<Edge> = Vec::new();
+    for s in proposals.iter().flatten() {
+        let fp = s.mv.footprint();
+        if fp.iter().any(|e| touched.contains(e)) {
+            continue;
+        }
+        touched.extend_from_slice(&fp);
+        accepted.push(*s);
+    }
+    accepted
+}
+
+/// Executes one frozen-snapshot round: propose (in parallel) against the
+/// current state of `ctx`, resolve deterministically, apply the accepted
+/// moves to `g`, and repair the context's base matrix as **one batch** at
+/// the round barrier. Returns the resolved step (`proposed == 0` means
+/// the snapshot is already stable under `response`).
+pub fn step_round<O: Objective>(
+    ctx: &mut EvalContext,
+    g: &mut Graph,
+    response: Response,
+) -> RoundStep {
+    let proposals = match response {
+        Response::Best => ctx.best_responses_par::<O>(),
+        Response::FirstImproving => ctx.first_improving_responses_par::<O>(),
+    };
+    let proposed = proposals.iter().flatten().count();
+    let accepted = resolve_round(&proposals);
+    let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(g)).collect();
+    if !batch.is_empty() {
+        ctx.refresh_after_batch(g, &batch);
+    }
+    RoundStep {
+        proposed,
+        applied: batch.len(),
+        batch,
+    }
+}
+
+/// The round-based dynamics engine, generic over the usage-cost
+/// objective. Fully deterministic: no schedule, no RNG — every agent is
+/// activated every round against the same frozen snapshot.
+pub struct RoundDynamics<O: Objective> {
+    config: RoundConfig,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O: Objective> RoundDynamics<O> {
+    /// Engine with the given configuration.
+    pub fn new(config: RoundConfig) -> Self {
+        RoundDynamics {
+            config,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs the round dynamics from `start`.
+    ///
+    /// One [`EvalContext`] lives for the whole run; each round costs one
+    /// parallel proposal sweep off the maintained base matrix plus one
+    /// batch repair, so the per-round refresh work is bounded by the
+    /// round's touched rows, not by `n` BFS trees per applied move.
+    pub fn run(&self, start: &Graph) -> RoundResult {
+        let mut g = start.clone();
+        let mut ctx = EvalContext::new(&g);
+        ctx.base(); // force the matrix: every round repairs, none rebuilds
+        let stats_before = ctx.dynamic_stats_snapshot();
+        let mut log = StateLog::new();
+        if self.config.detect_cycles {
+            log.record_period(&g);
+        }
+        let mut moves_proposed = 0usize;
+        let mut moves_applied = 0usize;
+        for round in 0..self.config.max_rounds {
+            let step = step_round::<O>(&mut ctx, &mut g, self.config.response);
+            moves_proposed += step.proposed;
+            moves_applied += step.applied;
+            if step.proposed == 0 {
+                return self.finish(
+                    g,
+                    Outcome::Converged,
+                    round + 1,
+                    moves_proposed,
+                    moves_applied,
+                    None,
+                    &ctx,
+                    &stats_before,
+                );
+            }
+            if self.config.detect_cycles {
+                if let Some(period) = log.record_period(&g) {
+                    return self.finish(
+                        g,
+                        Outcome::Cycled,
+                        round + 1,
+                        moves_proposed,
+                        moves_applied,
+                        Some(period),
+                        &ctx,
+                        &stats_before,
+                    );
+                }
+            }
+        }
+        let rounds = self.config.max_rounds;
+        self.finish(
+            g,
+            Outcome::Capped,
+            rounds,
+            moves_proposed,
+            moves_applied,
+            None,
+            &ctx,
+            &stats_before,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        graph: Graph,
+        outcome: Outcome,
+        rounds: usize,
+        moves_proposed: usize,
+        moves_applied: usize,
+        cycle_period: Option<usize>,
+        ctx: &EvalContext,
+        stats_before: &RepairStats,
+    ) -> RoundResult {
+        RoundResult {
+            graph,
+            outcome,
+            rounds,
+            moves_proposed,
+            moves_applied,
+            cycle_period,
+            repair: ctx.dynamic_stats_snapshot().delta_since(stats_before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_core::equilibrium::SumGame;
+    use bncg_core::objective::{MaxObjective, SumObjective};
+    use bncg_core::swap::SwapMove;
+    use bncg_graph::generators::classic;
+
+    fn scored(v: u32, w: u32, w2: u32) -> ScoredSwap {
+        ScoredSwap {
+            mv: SwapMove { v, w, w2 },
+            old_cost: 10,
+            new_cost: 5,
+        }
+    }
+
+    #[test]
+    fn resolution_prefers_lowest_agent_index() {
+        // Agents 0 and 2 both want edge {0,2}-adjacent moves that collide.
+        let proposals = vec![
+            Some(scored(0, 1, 2)), // footprint {01, 02}
+            None,
+            Some(scored(2, 0, 3)), // footprint {02, 23} — collides on 02
+            Some(scored(3, 2, 5)), // footprint {23, 35} — disjoint from {01, 02}
+        ];
+        let accepted = resolve_round(&proposals);
+        let agents: Vec<u32> = accepted.iter().map(|s| s.mv.v).collect();
+        assert_eq!(agents, vec![0, 3]);
+    }
+
+    #[test]
+    fn resolution_accepts_disjoint_moves() {
+        let proposals = vec![
+            Some(scored(0, 1, 2)),
+            None,
+            None,
+            Some(scored(3, 4, 5)),
+            Some(scored(4, 3, 6)), // {34} collides with agent 3's deletion
+        ];
+        let accepted = resolve_round(&proposals);
+        let agents: Vec<u32> = accepted.iter().map(|s| s.mv.v).collect();
+        assert_eq!(agents, vec![0, 3]);
+    }
+
+    #[test]
+    fn star_is_a_round_fixed_point() {
+        let engine = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+        let result = engine.run(&classic::star(12));
+        assert_eq!(result.outcome, Outcome::Converged);
+        assert_eq!(result.rounds, 1);
+        assert_eq!(result.moves_applied, 0);
+        assert_eq!(result.cycle_period, None);
+    }
+
+    #[test]
+    fn converged_round_runs_end_at_swap_equilibria() {
+        let engine = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+        for start in [classic::path(9), classic::cycle(8), classic::grid(3, 4)] {
+            let result = engine.run(&start);
+            assert_eq!(result.graph.m(), start.m(), "swaps preserve edge count");
+            if result.outcome == Outcome::Converged {
+                assert!(
+                    SumGame::is_equilibrium(&result.graph),
+                    "converged endpoint must be a swap equilibrium"
+                );
+            } else {
+                assert_eq!(result.outcome, Outcome::Cycled, "round cap must not bind");
+            }
+        }
+    }
+
+    #[test]
+    fn round_runs_are_deterministic() {
+        let engine = RoundDynamics::<MaxObjective>::new(RoundConfig::default());
+        let a = engine.run(&classic::path(11));
+        let b = engine.run(&classic::path(11));
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.cycle_period, b.cycle_period);
+    }
+
+    #[test]
+    fn every_round_repairs_never_rebuilds() {
+        // Both orbit shapes: path(10) oscillates, path(9) converges (its
+        // final round carries an empty batch and must not skew the
+        // counters either way).
+        for start in [classic::path(10), classic::path(9)] {
+            let engine = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+            let result = engine.run(&start);
+            assert!(result.repair.updates > 0);
+            assert_eq!(result.repair.full_rebuilds, 0);
+            assert_eq!(
+                result.repair.incremental, result.repair.updates,
+                "default threshold must service every round incrementally"
+            );
+        }
+    }
+
+    #[test]
+    fn first_improving_rounds_also_terminate() {
+        let config = RoundConfig {
+            response: Response::FirstImproving,
+            ..RoundConfig::default()
+        };
+        let engine = RoundDynamics::<SumObjective>::new(config);
+        let result = engine.run(&classic::path(8));
+        assert_ne!(result.outcome, Outcome::Capped);
+    }
+}

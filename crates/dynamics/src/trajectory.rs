@@ -104,6 +104,59 @@ pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory 
     }
 }
 
+/// Runs **round-based** (frozen-snapshot) dynamics with per-round tracing:
+/// the same measurements as [`run_traced`], driven by
+/// [`rounds::step_round`](crate::rounds::step_round) — every agent
+/// proposes against the round-start snapshot, conflicts resolve to the
+/// lowest agent index, and the accepted moves repair the maintained base
+/// matrix as one batch at the round barrier (which the trace then reads
+/// for free).
+///
+/// `moves` in each [`TrajectoryPoint`] counts the *applied* moves of the
+/// round. Round dynamics can oscillate where sequential play converges;
+/// tracing stops at the first revisited round-boundary state, reporting
+/// `converged = false` exactly as a capped run would.
+pub fn run_traced_rounds<O: Objective>(
+    start: &Graph,
+    response: crate::engine::Response,
+    max_rounds: usize,
+) -> Trajectory {
+    let mut g = start.clone();
+    let mut ctx = EvalContext::new(&g);
+    let mut log = crate::convergence::StateLog::new();
+    log.record_period(&g);
+    let mut points = Vec::new();
+    let mut converged = false;
+    for round in 1..=max_rounds {
+        let step = crate::rounds::step_round::<O>(&mut ctx, &mut g, response);
+        let point = {
+            let dm = ctx.base();
+            TrajectoryPoint {
+                round,
+                moves: step.applied,
+                diameter: dm.diameter(),
+                total_distance: dm.total_distance(),
+                max_ecc: dm
+                    .eccentricities()
+                    .map(|e| e.into_iter().max().unwrap_or(0)),
+            }
+        };
+        points.push(point);
+        if step.proposed == 0 {
+            converged = true;
+            break;
+        }
+        if log.record_period(&g).is_some() {
+            break; // oscillation: the orbit will replay forever
+        }
+    }
+    Trajectory {
+        points,
+        graph: g,
+        converged,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +192,30 @@ mod tests {
         assert_eq!(t.points.len(), 1);
         assert_eq!(t.total_moves(), 0);
         assert!(t.total_distance_monotone());
+    }
+
+    #[test]
+    fn round_trace_of_star_is_one_empty_round() {
+        let t =
+            run_traced_rounds::<SumObjective>(&classic::star(9), crate::engine::Response::Best, 50);
+        assert!(t.converged);
+        assert_eq!(t.points.len(), 1);
+        assert_eq!(t.total_moves(), 0);
+    }
+
+    #[test]
+    fn round_trace_terminates_and_keeps_edge_count() {
+        let start = classic::path(9);
+        let t = run_traced_rounds::<SumObjective>(&start, crate::engine::Response::Best, 60);
+        assert_eq!(t.graph.m(), start.m());
+        assert!(!t.points.is_empty());
+        // Unlike sequential play, simultaneous rounds may *transiently*
+        // disconnect the network (two bridge endpoints can rewire in the
+        // same round, each move sound against the frozen snapshot): the
+        // trace reports those rounds as `diameter: None` rather than
+        // pretending connectivity is invariant.
+        for p in &t.points {
+            assert_eq!(p.diameter.is_some(), p.total_distance.is_some());
+        }
     }
 }

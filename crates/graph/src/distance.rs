@@ -150,6 +150,25 @@ impl DistanceMatrix {
         &mut self.d
     }
 
+    /// Copy of this matrix backed by a pooled buffer (parallel row copy
+    /// for large `n`). This is the "copy" half of the copy-plus-repair
+    /// masked scans in [`crate::dynamic::masked_apsp_from_base`]: cloning
+    /// `n²` words and repairing a few rows beats re-running `n` masked BFS
+    /// traversals whenever the deleted edge's affected set is small.
+    pub fn clone_pooled(&self) -> DistanceMatrix {
+        let n = self.n;
+        let mut d = take_matrix_buf(n * n);
+        if n < PAR_APSP_MIN_N {
+            d.copy_from_slice(&self.d);
+        } else {
+            let src = &self.d;
+            d.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+                row.copy_from_slice(&src[i * n..(i + 1) * n]);
+            });
+        }
+        DistanceMatrix { n, d }
+    }
+
     /// Returns the backing buffer to this thread's matrix pool so the next
     /// [`DistanceMatrix::build`]/[`DistanceMatrix::build_masked`] call on
     /// this thread is allocation-free. Dropping a matrix instead of

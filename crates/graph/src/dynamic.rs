@@ -24,6 +24,18 @@
 //! * **Swap** — deletion repair (with the inserted edge masked out of the
 //!   CSR scans) followed by the insertion blend, consuming the
 //!   [`SwapApplied`] record the game board already produces.
+//! * **Batch** ([`DynamicApsp::apply_batch`]) — a whole activation round's
+//!   edge-disjoint swaps repaired at once: one multi-edge deletion pass
+//!   (far endpoints of *all* tight deleted edges seed a level-bucketed
+//!   phase 1, with every inserted edge masked) followed by the insertion
+//!   blends in order. Rows touched by several deletions are repaired once
+//!   instead of once per deletion.
+//!
+//! The same copy-plus-repair machinery also serves *reads*:
+//! [`masked_apsp_from_base`] derives the full APSP of `G − e` from the
+//! maintained base matrix (pooled parallel copy + truncated repairs),
+//! which is what lets `EdgeSwapScan` in `bncg_core` skip its `n` masked
+//! BFS runs per scanned edge.
 //!
 //! A deletion needing repairs on more rows than
 //! [`DynamicApsp::max_repair_rows`] falls back to a full parallel rebuild
@@ -43,6 +55,7 @@
 //! thousands of random swap steps.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
@@ -87,7 +100,8 @@ fn with_repair_scratch<R>(n: usize, f: impl FnOnce(&mut RepairScratch) -> R) -> 
 /// observability hook for benchmarks and the fallback-threshold tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairStats {
-    /// Total updates applied (swaps, deletions, insertions; no-ops count).
+    /// Total updates applied (swaps, deletions, insertions, whole
+    /// batches; no-ops count).
     pub updates: u64,
     /// Updates serviced incrementally (row repairs + blends).
     pub incremental: u64,
@@ -97,15 +111,48 @@ pub struct RepairStats {
     pub rows_repaired: u64,
     /// Cumulative rows rewritten by the insertion blend.
     pub rows_blended: u64,
+    /// Whole-round batches applied via [`DynamicApsp::apply_batch`].
+    pub batches: u64,
     /// Rows that needed deletion repair in the most recent update (the
-    /// count the fallback threshold is compared against).
+    /// count the fallback threshold is compared against). For a batch
+    /// update this is the batch-wide tight-row count.
     pub last_repair_candidates: usize,
-    /// Rows actually repaired in the most recent update.
+    /// Rows actually repaired in the most recent update (batch-wide for a
+    /// batch update).
     pub last_rows_repaired: usize,
-    /// Rows blended in the most recent update.
+    /// Rows blended in the most recent update (summed over a batch's
+    /// insertions for a batch update).
     pub last_rows_blended: usize,
+    /// Swaps carried by the most recent batch update (`0` while no batch
+    /// has been applied).
+    pub last_batch_swaps: usize,
     /// Whether the most recent update fell back to a full rebuild.
     pub last_was_rebuild: bool,
+}
+
+impl RepairStats {
+    /// Aggregation of the cumulative counters since `baseline` (an earlier
+    /// snapshot of the same subsystem): `updates`, `incremental`,
+    /// `full_rebuilds`, `rows_repaired`, `rows_blended`, and `batches` are
+    /// differenced, the `last_*` fields are carried over from `self`.
+    ///
+    /// This is how callers observe a *span* of updates — a whole activation
+    /// round, a whole trajectory — instead of only the most recent call:
+    /// snapshot the stats before, diff after, then assert on
+    /// repair-vs-rebuild ratios (`incremental` vs `full_rebuilds`) or on
+    /// total repair volume.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &RepairStats) -> RepairStats {
+        RepairStats {
+            updates: self.updates - baseline.updates,
+            incremental: self.incremental - baseline.incremental,
+            full_rebuilds: self.full_rebuilds - baseline.full_rebuilds,
+            rows_repaired: self.rows_repaired - baseline.rows_repaired,
+            rows_blended: self.rows_blended - baseline.rows_blended,
+            batches: self.batches - baseline.batches,
+            ..*self
+        }
+    }
 }
 
 /// An all-pairs distance matrix maintained incrementally across single-edge
@@ -121,6 +168,9 @@ pub struct DynamicApsp {
     /// Saved pre-insertion rows of the inserted edge's endpoints.
     row_x: Vec<u32>,
     row_y: Vec<u32>,
+    /// Endpoint-incidence table of the current update's mask (reused
+    /// buffer; see [`fill_mask_touch`]).
+    mask_touch: Vec<bool>,
 }
 
 impl DynamicApsp {
@@ -146,6 +196,7 @@ impl DynamicApsp {
             roots: Vec::new(),
             row_x: Vec::new(),
             row_y: Vec::new(),
+            mask_touch: Vec::new(),
         }
     }
 
@@ -193,16 +244,84 @@ impl DynamicApsp {
         match *applied {
             SwapApplied::Noop => {}
             SwapApplied::Deleted { v, w } => {
-                self.update_deletion(csr, v, w, None);
+                self.update_deletion(csr, v, w, &[]);
             }
             SwapApplied::Swapped { v, w, w2 } => {
                 // Deletion repair runs on `G − vw` — the inserted edge is
                 // masked out of every adjacency scan — then the blend adds
                 // it back analytically. A fallback rebuild already reflects
                 // the full post-swap `csr`, so the blend is skipped.
-                if self.update_deletion(csr, v, w, Some((v, w2))) {
+                if self.update_deletion(csr, v, w, &[(v, w2)]) {
                     self.update_insertion(v, w2);
                 }
+            }
+        }
+        self.stats.updates += 1;
+    }
+
+    /// Applies a whole **round** of swaps as one batch repair at the round
+    /// barrier: every deletion is repaired in a single multi-edge pass
+    /// (with all of the round's insertions masked out of the scans), then
+    /// the insertions are blended in order. `csr` must be the snapshot of
+    /// the graph **after the entire batch** — the state the round engine's
+    /// accepted moves left behind.
+    ///
+    /// The batch must have pairwise edge-disjoint footprints relative to
+    /// the round-start graph: deleted edges distinct and all present
+    /// before the batch, inserted edges distinct, absent before the
+    /// batch, and disjoint from the deleted set. This is exactly the
+    /// contract the round engine's lowest-agent-index conflict resolution
+    /// guarantees (see `bncg_dynamics::rounds`). The result is
+    /// byte-identical to applying the same records one
+    /// [`apply_swap`](Self::apply_swap) at a time through the intermediate
+    /// graph states — both are exact for the final graph — which the
+    /// property tests in `tests/round_dynamics_props.rs` pin down.
+    ///
+    /// The fallback threshold is compared against the batch's *tight-row*
+    /// count (rows where some deleted edge lay on a shortest path): with
+    /// several deletions in flight the per-edge alternate-parent filter no
+    /// longer proves a row unchanged on its own, so the count is a
+    /// slightly coarser upper bound than the single-swap path's.
+    pub fn apply_batch(&mut self, csr: &Csr, batch: &[SwapApplied]) {
+        let mut deleted: Vec<(V, V)> = Vec::with_capacity(batch.len());
+        let mut inserted: Vec<(V, V)> = Vec::with_capacity(batch.len());
+        for rec in batch {
+            match *rec {
+                SwapApplied::Noop => {}
+                SwapApplied::Deleted { v, w } => deleted.push((v, w)),
+                SwapApplied::Swapped { v, w, w2 } => {
+                    deleted.push((v, w));
+                    inserted.push((v, w2));
+                }
+            }
+        }
+        self.stats.batches += 1;
+        self.stats.last_batch_swaps = deleted.len().max(inserted.len());
+        if deleted.is_empty() {
+            debug_assert!(inserted.is_empty(), "insertions always pair with deletions");
+            self.stats.last_repair_candidates = 0;
+            self.stats.last_rows_repaired = 0;
+            self.stats.last_rows_blended = 0;
+            self.stats.last_was_rebuild = false;
+            // An empty (or all-noop) batch is trivially serviced in place,
+            // preserving `updates == incremental + full_rebuilds`.
+            self.stats.incremental += 1;
+            self.stats.updates += 1;
+            return;
+        }
+        let blend_all = if deleted.len() == 1 {
+            // A one-swap round is exactly a single update; reuse the
+            // finer-filtered single-edge path (including its stats).
+            let (u, w) = deleted[0];
+            self.update_deletion(csr, u, w, &inserted)
+        } else {
+            self.update_deletions_batch(csr, &deleted, &inserted)
+        };
+        if blend_all {
+            match inserted.len() {
+                0 => {}
+                1 => self.update_insertion(inserted[0].0, inserted[0].1),
+                _ => self.update_insertions_batch(&inserted),
             }
         }
         self.stats.updates += 1;
@@ -211,7 +330,7 @@ impl DynamicApsp {
     /// Applies a single edge deletion. `csr` must already lack edge `uw`;
     /// the matrix must be the exact APSP of `csr + uw`.
     pub fn apply_deletion(&mut self, csr: &Csr, u: V, w: V) {
-        self.update_deletion(csr, u, w, None);
+        self.update_deletion(csr, u, w, &[]);
         self.stats.updates += 1;
     }
 
@@ -231,26 +350,77 @@ impl DynamicApsp {
     /// Deletion repair driver. Returns `false` when it fell back to a full
     /// rebuild of `csr` (in which case the caller must not blend — the
     /// rebuild already reflects `csr` exactly, mask included).
-    fn update_deletion(&mut self, csr: &Csr, u: V, w: V, mask: Option<(V, V)>) -> bool {
+    fn update_deletion(&mut self, csr: &Csr, u: V, w: V, mask: &[(V, V)]) -> bool {
         let n = self.n;
         debug_assert_eq!(csr.n(), n);
         self.stats.last_rows_blended = 0;
+        fill_mask_touch(&mut self.mask_touch, n, mask);
 
         // Stage A: find the rows that can change at all. Tightness reads
         // the contiguous rows of u and w (d(s,u) = d(u,s) by symmetry);
         // the alternate-parent filter then touches only tight rows.
+        let candidates =
+            collect_repair_roots(csr, mask, &self.mask_touch, &self.dm, u, w, &mut self.roots);
+        self.stats.last_repair_candidates = candidates;
+
+        if candidates == 0 {
+            self.stats.last_rows_repaired = 0;
+            self.stats.last_was_rebuild = false;
+            self.stats.incremental += 1;
+            return true;
+        }
+        if candidates > self.max_repair_rows {
+            self.dm.rebuild(csr);
+            self.stats.last_rows_repaired = 0;
+            self.stats.last_was_rebuild = true;
+            self.stats.full_rebuilds += 1;
+            return false;
+        }
+
+        // Stage B: truncated per-row repair, parallel when wide enough.
+        repair_marked_rows(
+            csr,
+            mask,
+            &self.mask_touch,
+            &self.roots,
+            self.dm.data_mut(),
+            n,
+            candidates,
+        );
+        self.stats.last_rows_repaired = candidates;
+        self.stats.rows_repaired += candidates as u64;
+        self.stats.last_was_rebuild = false;
+        self.stats.incremental += 1;
+        true
+    }
+
+    /// Multi-deletion repair driver for [`apply_batch`](Self::apply_batch):
+    /// repairs every source row the batch's deletions can touch in one
+    /// pass. Same return contract as the single-edge driver: `false` means
+    /// it fell back to a full rebuild and the caller must not blend.
+    fn update_deletions_batch(&mut self, csr: &Csr, deleted: &[(V, V)], mask: &[(V, V)]) -> bool {
+        let n = self.n;
+        debug_assert_eq!(csr.n(), n);
+        self.stats.last_rows_blended = 0;
+        fill_mask_touch(&mut self.mask_touch, n, mask);
+
+        // Stage A (coarse): a row can change only if some deleted edge was
+        // tight from it. With several deletions the alternate-parent
+        // filter is no longer sound per edge (the alternate parent may
+        // itself be affected by another deletion), so candidacy stops at
+        // tightness and the per-row phase 1 renders the exact verdict.
         let candidates = {
             let dm = &self.dm;
             let roots = &mut self.roots;
             roots.clear();
             roots.resize(n, V::MAX);
-            let ru = dm.row(u);
-            let rw = dm.row(w);
             let mut count = 0usize;
-            for s in 0..n {
-                if ru[s] != rw[s] {
-                    if let Some(far) = repair_root(csr, mask, dm.row(s as V), u, w) {
-                        roots[s] = far;
+            for &(u, w) in deleted {
+                let ru = dm.row(u);
+                let rw = dm.row(w);
+                for s in 0..n {
+                    if ru[s] != rw[s] && roots[s] == V::MAX {
+                        roots[s] = 0; // marks candidacy; the batch repair reseeds per row
                         count += 1;
                     }
                 }
@@ -273,28 +443,47 @@ impl DynamicApsp {
             return false;
         }
 
-        // Stage B: truncated per-row repair, parallel when wide enough.
+        // Stage B: per-row batch repair, parallel when wide enough. The
+        // repaired-row count is the number of rows whose phase 1 found a
+        // non-empty affected set (the exact measure, unlike candidates).
         let roots = &self.roots;
+        let touch = &self.mask_touch;
         let d = self.dm.data_mut();
-        if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
+        let repaired = if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
             with_repair_scratch(n, |scratch| {
+                let mut repaired = 0usize;
                 for s in 0..n {
-                    let far = roots[s];
-                    if far != V::MAX {
-                        repair_row(scratch, csr, mask, &mut d[s * n..(s + 1) * n], far);
+                    if roots[s] != V::MAX
+                        && repair_row_batch(
+                            scratch,
+                            csr,
+                            mask,
+                            touch,
+                            deleted,
+                            &mut d[s * n..(s + 1) * n],
+                        )
+                    {
+                        repaired += 1;
+                    }
+                }
+                repaired
+            })
+        } else {
+            let repaired = AtomicUsize::new(0);
+            d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
+                if roots[s] != V::MAX {
+                    let changed = with_repair_scratch(n, |scratch| {
+                        repair_row_batch(scratch, csr, mask, touch, deleted, row)
+                    });
+                    if changed {
+                        repaired.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             });
-        } else {
-            d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
-                let far = roots[s];
-                if far != V::MAX {
-                    with_repair_scratch(n, |scratch| repair_row(scratch, csr, mask, row, far));
-                }
-            });
-        }
-        self.stats.last_rows_repaired = candidates;
-        self.stats.rows_repaired += candidates as u64;
+            repaired.into_inner()
+        };
+        self.stats.last_rows_repaired = repaired;
+        self.stats.rows_repaired += repaired as u64;
         self.stats.last_was_rebuild = false;
         self.stats.incremental += 1;
         true
@@ -327,26 +516,216 @@ impl DynamicApsp {
         self.stats.last_rows_blended = blended;
         self.stats.rows_blended += blended as u64;
     }
+
+    /// Batched insertion blend: the exact composition of the per-edge
+    /// blends applied in order, fused into **one pass per row**.
+    ///
+    /// Blend `j` of a generic row needs the rows of `x_j`/`y_j` *as they
+    /// stood after blends `0..j`* — so the endpoint rows are first evolved
+    /// sequentially through the batch (tiny: `O(k² · n)` for `2k` rows),
+    /// snapshotting each insertion's pair at its pre-blend state; every
+    /// row of the matrix then replays the `k` blends against those
+    /// snapshots while staying cache-resident. Byte-identical to `k`
+    /// sequential [`update_insertion`](Self::update_insertion) passes, but
+    /// touches the `n²` matrix once instead of `k` times — on large `n`
+    /// the blend is memory-bound, and this is where the round barrier's
+    /// batching actually pays.
+    fn update_insertions_batch(&mut self, inserted: &[(V, V)]) {
+        let n = self.n;
+        let k = inserted.len();
+        debug_assert!(k >= 2);
+
+        // Evolve working copies of every endpoint row through the batch,
+        // snapshotting each insertion's (x, y) pair at its own step.
+        let mut endpoints: Vec<V> = inserted.iter().flat_map(|&(x, y)| [x, y]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        let mut working: Vec<Vec<u32>> =
+            endpoints.iter().map(|&v| self.dm.row(v).to_vec()).collect();
+        let row_of = |endpoints: &[V], v: V| endpoints.binary_search(&v).expect("endpoint row");
+        let mut snaps: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(k);
+        for &(x, y) in inserted {
+            let sx = working[row_of(&endpoints, x)].clone();
+            let sy = working[row_of(&endpoints, y)].clone();
+            for row in &mut working {
+                blend_row(row, x as usize, y as usize, &sx, &sy);
+            }
+            snaps.push((sx, sy));
+        }
+        drop(working);
+
+        // One pass per row: replay the k blends in order against the
+        // snapshots (each skip test reads the row's then-current state).
+        let replay = |row: &mut [u32]| -> usize {
+            let mut changed = 0usize;
+            for (j, &(x, y)) in inserted.iter().enumerate() {
+                let (sx, sy) = &snaps[j];
+                changed += usize::from(blend_row(row, x as usize, y as usize, sx, sy));
+            }
+            changed
+        };
+        let d = self.dm.data_mut();
+        let blended: usize = if n < PAR_REPAIR_MIN_N {
+            d.chunks_mut(n.max(1)).map(replay).sum()
+        } else {
+            d.par_chunks_mut(n)
+                .map(replay)
+                .collect::<Vec<usize>>()
+                .into_iter()
+                .sum()
+        };
+        self.stats.last_rows_blended = blended;
+        self.stats.rows_blended += blended as u64;
+    }
 }
 
-/// Neighbors of `v` in `csr` with one optional extra edge masked out (the
-/// not-yet-blended inserted edge during the deletion phase of a swap).
+/// All-pairs shortest paths of `G − edge` derived from the maintained (or
+/// any exact) base matrix of `G` by **copy plus repair**: clone the base
+/// into a pooled buffer (parallel row copy), then run the same stage-A
+/// filters and truncated per-row deletion repairs [`DynamicApsp`] uses —
+/// with `edge` masked out of every CSR scan, since `csr` (the snapshot of
+/// `G` itself, *with* the edge) is scanned directly.
+///
+/// This replaces the `n` fresh masked BFS runs of
+/// [`DistanceMatrix::build_masked`] in the swap evaluator's hot loop: rows
+/// the deleted edge cannot touch are a straight memcpy, and on the graphs
+/// the dynamics visit the affected set is typically a small fraction of
+/// `n`. The result is byte-identical to `build_masked` (distances are
+/// unique; pinned by `tests/round_dynamics_props.rs`).
+///
+/// # Panics
+/// Debug-panics when `edge` is not an edge of `csr` or the matrix shape
+/// does not match.
+pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> DistanceMatrix {
+    let n = csr.n();
+    debug_assert_eq!(base.n(), n);
+    debug_assert!(
+        csr.neighbors(edge.0).contains(&edge.1),
+        "masked_apsp_from_base requires an existing edge"
+    );
+    let mut dm = base.clone_pooled();
+    let (u, w) = edge;
+    let mask = [edge];
+    let mut touch_buf = Vec::new();
+    fill_mask_touch(&mut touch_buf, n, &mask);
+    let touch = &touch_buf;
+
+    // The exact stage-A filters + stage-B dispatch of the maintained
+    // matrix's deletion update, shared so the scan path can never diverge.
+    let mut roots: Vec<V> = Vec::new();
+    let candidates = collect_repair_roots(csr, &mask, touch, base, u, w, &mut roots);
+    if candidates == 0 {
+        return dm;
+    }
+    repair_marked_rows(csr, &mask, touch, &roots, dm.data_mut(), n, candidates);
+    dm
+}
+
+/// Stage A shared by [`DynamicApsp::update_deletion`] and
+/// [`masked_apsp_from_base`]: fills `roots` with each source row's repair
+/// root for deleting edge `uw` (`V::MAX` = row provably unchanged by the
+/// tight/alternate-parent filters) and returns the candidate count. `dm`
+/// is the pre-deletion matrix the rows are read from.
+#[allow(clippy::too_many_arguments)]
+fn collect_repair_roots(
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    dm: &DistanceMatrix,
+    u: V,
+    w: V,
+    roots: &mut Vec<V>,
+) -> usize {
+    let n = dm.n();
+    roots.clear();
+    roots.resize(n, V::MAX);
+    let ru = dm.row(u);
+    let rw = dm.row(w);
+    let mut count = 0usize;
+    for s in 0..n {
+        if ru[s] != rw[s] {
+            if let Some(far) = repair_root(csr, mask, touch, dm.row(s as V), u, w) {
+                roots[s] = far;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Stage B shared by [`DynamicApsp::update_deletion`] and
+/// [`masked_apsp_from_base`]: truncated per-row repair of every
+/// root-marked row of `d`, fanning out over the worker pool when both the
+/// problem and the candidate set are wide enough.
+#[allow(clippy::too_many_arguments)]
+fn repair_marked_rows(
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    roots: &[V],
+    d: &mut [u32],
+    n: usize,
+    candidates: usize,
+) {
+    if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
+        with_repair_scratch(n, |scratch| {
+            for s in 0..n {
+                let far = roots[s];
+                if far != V::MAX {
+                    repair_row(scratch, csr, mask, touch, &mut d[s * n..(s + 1) * n], far);
+                }
+            }
+        });
+    } else {
+        d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
+            let far = roots[s];
+            if far != V::MAX {
+                with_repair_scratch(n, |scratch| repair_row(scratch, csr, mask, touch, row, far));
+            }
+        });
+    }
+}
+
+/// Neighbors of `v` in `csr` with a (typically tiny) set of edges masked
+/// out: the not-yet-blended inserted edges during the deletion phase of a
+/// swap or swap batch, or the deleted edge itself when repairing off a
+/// base matrix whose CSR still contains it.
 #[inline]
-fn masked_neighbors<'a>(csr: &'a Csr, v: V, mask: Option<(V, V)>) -> impl Iterator<Item = V> + 'a {
-    csr.neighbors(v)
-        .iter()
-        .copied()
-        .filter(move |&t| match mask {
-            Some((a, b)) => !((v == a && t == b) || (v == b && t == a)),
-            None => true,
-        })
+fn masked_neighbors<'a>(
+    csr: &'a Csr,
+    v: V,
+    mask: &'a [(V, V)],
+    touch: &'a [bool],
+) -> impl Iterator<Item = V> + 'a {
+    // `touch[v]` answers "is v an endpoint of any masked edge?" in O(1):
+    // almost every scanned vertex is not, and its neighbors then stream
+    // through unfiltered — without this a k-swap batch would pay k
+    // comparisons per neighbor on every scan of every repaired row.
+    let relevant = touch[v as usize];
+    csr.neighbors(v).iter().copied().filter(move |&t| {
+        !relevant
+            || !mask
+                .iter()
+                .any(|&(a, b)| (v == a && t == b) || (v == b && t == a))
+    })
+}
+
+/// Fills `touch` (resized to `n`) with the endpoint-incidence table of
+/// `mask` — the O(1) lookup behind [`masked_neighbors`].
+fn fill_mask_touch(touch: &mut Vec<bool>, n: usize, mask: &[(V, V)]) {
+    touch.clear();
+    touch.resize(n, false);
+    for &(a, b) in mask {
+        touch[a as usize] = true;
+        touch[b as usize] = true;
+    }
 }
 
 /// Stage-A filter for one source row: `None` when the row is provably
 /// unchanged by deleting `uw`, otherwise the endpoint the repair must start
 /// from. `row` holds the pre-deletion distances from the source; `csr` is
 /// the post-deletion snapshot.
-fn repair_root(csr: &Csr, mask: Option<(V, V)>, row: &[u32], u: V, w: V) -> Option<V> {
+fn repair_root(csr: &Csr, mask: &[(V, V)], touch: &[bool], row: &[u32], u: V, w: V) -> Option<V> {
     let du = row[u as usize];
     let dw = row[w as usize];
     if du == dw {
@@ -357,7 +736,7 @@ fn repair_root(csr: &Csr, mask: Option<(V, V)>, row: &[u32], u: V, w: V) -> Opti
     debug_assert_eq!(du.abs_diff(dw), 1, "pre-deletion levels must be adjacent");
     let far = if dw > du { w } else { u };
     let parent_level = du.min(dw);
-    if masked_neighbors(csr, far, mask).any(|z| row[z as usize] == parent_level) {
+    if masked_neighbors(csr, far, mask, touch).any(|z| row[z as usize] == parent_level) {
         // An alternate parent keeps every shortest-path tree intact.
         return None;
     }
@@ -376,7 +755,8 @@ fn repair_root(csr: &Csr, mask: Option<(V, V)>, row: &[u32], u: V, w: V) -> Opti
 fn repair_row(
     scratch: &mut RepairScratch,
     csr: &Csr,
-    mask: Option<(V, V)>,
+    mask: &[(V, V)],
+    touch: &[bool],
     row: &mut [u32],
     far: V,
 ) {
@@ -393,9 +773,9 @@ fn repair_row(
         let a = scratch.queue[head];
         head += 1;
         let da = row[a as usize];
-        for t in masked_neighbors(csr, a, mask) {
+        for t in masked_neighbors(csr, a, mask, touch) {
             if row[t as usize] == da + 1 && !scratch.is_affected(t) {
-                let has_intact_parent = masked_neighbors(csr, t, mask)
+                let has_intact_parent = masked_neighbors(csr, t, mask, touch)
                     .any(|z| row[z as usize] == da && !scratch.is_affected(z));
                 if !has_intact_parent {
                     scratch.mark_affected(t);
@@ -405,13 +785,103 @@ fn repair_row(
         }
     }
 
-    // Phase 2: seed each affected vertex from its unaffected boundary
-    // (whose distances are final), then settle buckets in distance order.
+    settle_affected(scratch, csr, mask, touch, row);
+}
+
+/// Multi-deletion phase 1 + repair of one source row: every edge in
+/// `deleted` leaves the graph at once. Far endpoints of tight deleted
+/// edges seed a *level-bucketed* candidate queue (a FIFO no longer
+/// suffices — seeds sit at arbitrary levels), and candidates are
+/// verdict-checked strictly in non-decreasing level order, so every
+/// level-`L−1` affected mark is final before any level-`L` candidate is
+/// examined; this is exactly the invariant the single-edge FIFO walk
+/// provides for free. Returns whether the row changed at all.
+///
+/// `csr` must already lack every edge in `deleted`; `mask` hides the
+/// batch's not-yet-blended insertions from the scans.
+fn repair_row_batch(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    deleted: &[(V, V)],
+    row: &mut [u32],
+) -> bool {
+    scratch.begin();
+    scratch.queue.clear();
+
+    // Seed: the far endpoint of every deleted edge that was tight from
+    // this source is a candidate at its own BFS level.
+    let mut lvl = usize::MAX;
+    let mut max_lvl = 0usize;
+    for &(u, w) in deleted {
+        let du = row[u as usize];
+        let dw = row[w as usize];
+        if du == dw {
+            continue; // not tight (or both endpoints unreachable)
+        }
+        debug_assert_eq!(du.abs_diff(dw), 1, "pre-deletion levels must be adjacent");
+        let (far, far_lvl) = if dw > du { (w, dw) } else { (u, du) };
+        scratch.buckets[far_lvl as usize].push(far);
+        lvl = lvl.min(far_lvl as usize);
+        max_lvl = max_lvl.max(far_lvl as usize);
+    }
+    if lvl == usize::MAX {
+        return false;
+    }
+
+    // Phase 1: pop candidates level by level. A candidate is affected iff
+    // it has no *unaffected* parent on the level below — and unlike the
+    // single-edge case that parent may itself have lost all its paths to
+    // another deleted edge, which is why seeds cannot be verdict-checked
+    // statically up front.
+    while lvl <= max_lvl {
+        while let Some(t) = scratch.buckets[lvl].pop() {
+            if scratch.is_affected(t) {
+                continue;
+            }
+            debug_assert_eq!(row[t as usize] as usize, lvl);
+            let parent_level = (lvl - 1) as u32;
+            if masked_neighbors(csr, t, mask, touch)
+                .any(|z| row[z as usize] == parent_level && !scratch.is_affected(z))
+            {
+                continue;
+            }
+            scratch.mark_affected(t);
+            scratch.queue.push(t);
+            let child_level = lvl as u32 + 1;
+            for nb in masked_neighbors(csr, t, mask, touch) {
+                if row[nb as usize] == child_level && !scratch.is_affected(nb) {
+                    scratch.buckets[child_level as usize].push(nb);
+                    max_lvl = max_lvl.max(child_level as usize);
+                }
+            }
+        }
+        lvl += 1;
+    }
+    if scratch.queue.is_empty() {
+        return false;
+    }
+    settle_affected(scratch, csr, mask, touch, row);
+    true
+}
+
+/// Phase 2 shared by the single-edge and batch repairs: seed each affected
+/// vertex (in `scratch.queue`) from its unaffected boundary — whose
+/// distances are final — then settle buckets in distance order; members
+/// never settled are unreachable in the new graph.
+fn settle_affected(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    row: &mut [u32],
+) {
     let mut max_bucket = 0usize;
     for i in 0..scratch.queue.len() {
         let a = scratch.queue[i];
         let mut best = UNREACHABLE;
-        for z in masked_neighbors(csr, a, mask) {
+        for z in masked_neighbors(csr, a, mask, touch) {
             if !scratch.is_affected(z) {
                 best = best.min(row[z as usize].saturating_add(1));
             }
@@ -432,7 +902,7 @@ fn repair_row(
             scratch.mark_settled(t);
             row[t as usize] = dist as u32;
             let nd = dist as u32 + 1;
-            for nb in masked_neighbors(csr, t, mask) {
+            for nb in masked_neighbors(csr, t, mask, touch) {
                 if scratch.is_affected(nb)
                     && !scratch.is_settled(nb)
                     && nd < scratch.cand[nb as usize]
@@ -583,6 +1053,26 @@ mod tests {
         assert!(matches!(rec, SwapApplied::Deleted { .. }));
         dh.apply_swap(&h.to_csr(), &rec);
         assert_exact(&dh, &h);
+    }
+
+    #[test]
+    fn empty_batch_counts_as_incremental_update() {
+        let g = classic::cycle(8);
+        let csr = g.to_csr();
+        let mut da = DynamicApsp::build(&csr);
+        let before = da.matrix().clone();
+        da.apply_batch(&csr, &[]);
+        da.apply_batch(&csr, &[SwapApplied::Noop, SwapApplied::Noop]);
+        assert_eq!(da.matrix(), &before);
+        let stats = da.stats();
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(
+            stats.incremental + stats.full_rebuilds,
+            stats.updates,
+            "every update must be classified"
+        );
+        assert_eq!(stats.full_rebuilds, 0);
     }
 
     #[test]

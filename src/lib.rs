@@ -48,5 +48,6 @@ pub mod prelude {
     pub use bncg_core::equilibrium::{MaxGame, SumGame};
     pub use bncg_core::stability::{is_deletion_critical, is_insertion_stable};
     pub use bncg_dynamics::engine::{DynamicsConfig, Schedule, SwapDynamics};
+    pub use bncg_dynamics::rounds::{RoundConfig, RoundDynamics};
     pub use bncg_graph::{generators::classic, DistanceMatrix, Graph, V};
 }

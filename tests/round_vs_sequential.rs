@@ -1,0 +1,141 @@
+//! Convergence comparison: round-based (frozen-snapshot) vs sequential
+//! dynamics on the paper's small instances.
+//!
+//! The round model genuinely changes the dynamics: simultaneous
+//! best-response play can **oscillate** where sequential play converges —
+//! the phenomenon studied by Kawald & Lenzner (*On Dynamics in Selfish
+//! Network Creation*). These tests pin the observed behavior of both
+//! engines on paths, cycles, and stars:
+//!
+//! * sequential results are unchanged from the seed (paths and cycles
+//!   converge; tree starts end at stars under the sum objective);
+//! * round mode is deterministic, and its per-family outcome —
+//!   converged / oscillated (with period) / different equilibrium — is
+//!   recorded explicitly below.
+
+use bncg::dynamics::engine::{DynamicsConfig, Outcome, SwapDynamics};
+use bncg::dynamics::rounds::{RoundConfig, RoundDynamics};
+use bncg::game::equilibrium::{MaxGame, SumGame};
+use bncg::game::objective::{MaxObjective, SumObjective};
+use bncg::graph::generators::classic;
+use bncg::graph::properties::is_star;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(7)
+}
+
+// --- Sequential baselines: unchanged from the seed ----------------------
+
+#[test]
+fn sequential_sum_dynamics_still_take_paths_to_stars() {
+    let engine = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+    for n in [5usize, 9, 10] {
+        let result = engine.run(&classic::path(n), &mut rng());
+        assert_eq!(result.outcome, Outcome::Converged, "path({n})");
+        assert!(is_star(&result.graph), "path({n}) must end at a star");
+        assert_eq!(result.cycle_period, None);
+    }
+}
+
+#[test]
+fn sequential_dynamics_still_converge_on_cycles_and_stars() {
+    let sum = SwapDynamics::<SumObjective>::new(DynamicsConfig::default());
+    let max = SwapDynamics::<MaxObjective>::new(DynamicsConfig::default());
+    for g in [classic::cycle(6), classic::cycle(8), classic::cycle(9)] {
+        assert_eq!(sum.run(&g, &mut rng()).outcome, Outcome::Converged);
+        assert_eq!(max.run(&g, &mut rng()).outcome, Outcome::Converged);
+    }
+    for g in [classic::star(8), classic::star(12)] {
+        let r = sum.run(&g, &mut rng());
+        assert_eq!(r.outcome, Outcome::Converged);
+        assert_eq!(r.moves, 0, "stars are already sum equilibria");
+    }
+}
+
+// --- Round mode: recorded behavior per family ---------------------------
+
+#[test]
+fn round_mode_on_stars_converges_immediately_like_sequential() {
+    for n in [8usize, 12] {
+        let r = RoundDynamics::<SumObjective>::new(RoundConfig::default()).run(&classic::star(n));
+        assert_eq!(r.outcome, Outcome::Converged);
+        assert_eq!(r.rounds, 1);
+        assert_eq!(r.moves_applied, 0);
+    }
+}
+
+#[test]
+fn round_mode_on_short_paths_reaches_the_same_star_equilibria() {
+    // path(5) and path(9): round mode converges, and to the same
+    // isomorphism class (a star) the sequential engine reaches.
+    for n in [5usize, 9] {
+        let r = RoundDynamics::<SumObjective>::new(RoundConfig::default()).run(&classic::path(n));
+        assert_eq!(r.outcome, Outcome::Converged, "path({n})");
+        assert!(is_star(&r.graph), "path({n}) round endpoint must be a star");
+        assert!(SumGame::is_equilibrium(&r.graph));
+    }
+}
+
+#[test]
+fn round_mode_on_path_ten_oscillates_where_sequential_converges() {
+    // The headline divergence: simultaneous play on path(10) under the
+    // sum objective enters a period-2 orbit (two agents keep answering
+    // each other's frozen-snapshot move), while the sequential engine
+    // converges to a star from the same start. Deterministic, so pinned
+    // exactly.
+    let round = RoundDynamics::<SumObjective>::new(RoundConfig::default()).run(&classic::path(10));
+    assert_eq!(round.outcome, Outcome::Cycled, "round mode must oscillate");
+    assert_eq!(round.cycle_period, Some(2), "the classic 2-oscillation");
+
+    let seq = SwapDynamics::<SumObjective>::new(DynamicsConfig::default())
+        .run(&classic::path(10), &mut rng());
+    assert_eq!(seq.outcome, Outcome::Converged);
+    assert!(is_star(&seq.graph));
+}
+
+#[test]
+fn round_mode_on_cycle_nine_oscillates_under_sum_converges_under_max() {
+    let sum = RoundDynamics::<SumObjective>::new(RoundConfig::default()).run(&classic::cycle(9));
+    assert_eq!(sum.outcome, Outcome::Cycled);
+    assert_eq!(sum.cycle_period, Some(2));
+
+    let max = RoundDynamics::<MaxObjective>::new(RoundConfig::default()).run(&classic::cycle(9));
+    assert_eq!(max.outcome, Outcome::Converged);
+    assert!(MaxGame::find_improving_swap(&max.graph).is_none());
+}
+
+#[test]
+fn round_mode_converged_endpoints_are_true_equilibria_but_may_differ() {
+    // cycle(6)/cycle(8): both semantics converge under sum, but the round
+    // endpoint need not be the sequential endpoint — only equilibrium
+    // membership and edge count are invariant.
+    for n in [6usize, 8] {
+        let g = classic::cycle(n);
+        let round = RoundDynamics::<SumObjective>::new(RoundConfig::default()).run(&g);
+        assert_eq!(round.outcome, Outcome::Converged, "cycle({n})");
+        assert!(SumGame::is_equilibrium(&round.graph));
+        assert_eq!(round.graph.m(), g.m());
+        let seq = SwapDynamics::<SumObjective>::new(DynamicsConfig::default()).run(&g, &mut rng());
+        assert_eq!(seq.outcome, Outcome::Converged);
+        assert!(SumGame::is_equilibrium(&seq.graph));
+    }
+}
+
+#[test]
+fn round_mode_max_objective_converges_on_all_small_families() {
+    let engine = RoundDynamics::<MaxObjective>::new(RoundConfig::default());
+    for g in [
+        classic::path(5),
+        classic::path(9),
+        classic::path(10),
+        classic::cycle(6),
+        classic::cycle(8),
+        classic::star(8),
+    ] {
+        let r = engine.run(&g);
+        assert_eq!(r.outcome, Outcome::Converged);
+        assert!(MaxGame::find_improving_swap(&r.graph).is_none());
+    }
+}
