@@ -40,7 +40,7 @@ pub fn middle_interval(dm: &DistanceMatrix, a: V, beta: f64) -> Option<MiddleInt
         .iter()
         .enumerate()
         .filter(|&(x, _)| x != a as usize)
-        .map(|(_, &d)| d)
+        .map(|(_, &d)| u32::from(d))
         .collect();
     dists.sort_unstable();
     let trim = ((beta * n as f64).floor() as usize).min((dists.len() - 1) / 2);

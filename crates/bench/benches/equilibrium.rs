@@ -150,7 +150,7 @@ fn bench_evalcontext_n2048(c: &mut Criterion) {
                 let csr = g.to_csr();
                 let mut scratch = BfsScratch::new(n);
                 scratch.run(&csr, v);
-                acc = acc.wrapping_add(SumObjective::cost_of_row(&scratch.dist));
+                acc = acc.wrapping_add(SumObjective::cost_of_wide_row(&scratch.dist));
             }
             black_box(acc)
         });

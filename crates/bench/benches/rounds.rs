@@ -38,6 +38,11 @@ fn bench_round_replay(c: &mut Criterion) {
                 "tree",
                 bncg_graph::generators::random::random_tree(&mut rng, n),
             ),
+            // Very sparse non-tree density (extra = n/64): the regime the
+            // ROADMAP flagged as roughly neutral before the fused batch
+            // blend — blend work dominates both arms there, so this family
+            // is where the k-term fusion has to show up end to end.
+            ("er_sparse", random_connected(&mut rng, n, n / 64)),
         ] {
             let stream = synth_round_stream(&mut rng, &g0, 4, 16);
             assert!(stream.iter().all(|r| r.len() == 16));

@@ -195,16 +195,18 @@ impl EvalContext {
 
     /// Usage cost of agent `v` under `O` in the current snapshot.
     ///
-    /// Uses the cached base matrix when present, otherwise one pooled BFS
-    /// (it does *not* force the full APSP — the dynamics engine calls this
-    /// per activated agent).
+    /// When a base matrix is cached this is an **`O(1)` lookup** into the
+    /// dynamic subsystem's maintained per-vertex aggregates (row sums and
+    /// eccentricities, refreshed only for the rows each repair touches);
+    /// otherwise one pooled BFS (it does *not* force the full APSP — the
+    /// dynamics engine calls this per activated agent).
     pub fn agent_cost<O: Objective>(&self, v: V) -> u64 {
         if let Some(dyn_apsp) = self.base.get() {
-            return O::cost_of_row(dyn_apsp.matrix().row(v));
+            return O::maintained_cost(dyn_apsp, v);
         }
         with_scratch(self.n(), |scratch| {
             scratch.run(&self.csr, v);
-            O::cost_of_row(&scratch.dist)
+            O::cost_of_wide_row(&scratch.dist)
         })
     }
 
@@ -324,20 +326,27 @@ impl EvalContext {
         out
     }
 
-    /// Smallest and largest agent cost under `O`, computed in parallel
-    /// over agents from the base matrix. `(0, 0)` for the empty graph.
+    /// Smallest and largest agent cost under `O`. `(0, 0)` for the empty
+    /// graph.
+    ///
+    /// Reads the dynamic subsystem's maintained per-vertex aggregates —
+    /// `O(n)` lookups over costs that were updated alongside the repairs,
+    /// instead of the `O(n²)` full-matrix rescan this used to be. (The
+    /// first call on a fresh snapshot still pays the lazy base build.)
     pub fn cost_range<O: Objective>(&self) -> (u64, u64) {
         let n = self.n();
         if n == 0 {
             return (0, 0);
         }
-        let base = self.base();
-        let costs: Vec<u64> = (0..n as V)
-            .into_par_iter()
-            .map(|v| O::cost_of_row(base.row(v)))
-            .collect();
-        let lo = *costs.iter().min().expect("n > 0");
-        let hi = *costs.iter().max().expect("n > 0");
+        self.base(); // force the maintained matrix + aggregates
+        let dyn_apsp = self.base.get().expect("base() just initialized it");
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for v in 0..n as V {
+            let c = O::maintained_cost(dyn_apsp, v);
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
         (lo, hi)
     }
 

@@ -207,7 +207,7 @@ pub fn agent_cost<O: Objective>(g: &Graph, v: V) -> u64 {
     let csr = g.to_csr();
     bncg_graph::with_scratch(g.n(), |scratch| {
         scratch.run(&csr, v);
-        O::cost_of_row(&scratch.dist)
+        O::cost_of_wide_row(&scratch.dist)
     })
 }
 

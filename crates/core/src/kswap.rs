@@ -89,7 +89,7 @@ pub fn k_swap_audit(g: &Graph, v: V, k: usize) -> KSwapAudit {
             let row_t = dm.row(t);
             let mut mask: u128 = 0;
             for (i, &x) in far.iter().enumerate() {
-                if row_t[x as usize].saturating_add(2) <= ecc {
+                if u32::from(row_t[x as usize].saturating_add(2)) <= ecc {
                     mask |= 1 << i;
                 }
             }

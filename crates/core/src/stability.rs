@@ -173,7 +173,7 @@ pub fn min_insertions_to_shrink_ecc(dm: &DistanceMatrix, v: V, limit: usize) -> 
         let row_t = dm.row(t);
         let mut mask: u128 = 0;
         for (i, &x) in far.iter().enumerate() {
-            if row_t[x as usize] + 2 <= ecc {
+            if u32::from(row_t[x as usize].saturating_add(2)) <= ecc {
                 mask |= 1 << i;
             }
         }

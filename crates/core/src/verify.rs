@@ -16,7 +16,7 @@ pub fn reference_cost<O: Objective>(g: &Graph, v: V) -> u64 {
     let csr = g.to_csr();
     let mut scratch = bncg_graph::BfsScratch::new(g.n());
     scratch.run(&csr, v);
-    O::cost_of_row(&scratch.dist)
+    O::cost_of_wide_row(&scratch.dist)
 }
 
 /// Reference swap-stability: tries every `(agent, incident edge, target)`

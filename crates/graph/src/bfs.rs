@@ -162,6 +162,20 @@ impl BfsScratch {
         }
     }
 
+    /// Narrows the most recent run's wide (`u32`) distances into a compact
+    /// [`Dist`](crate::kernels::Dist) row — the checked seam between the
+    /// BFS layer and the compact matrix storage.
+    ///
+    /// # Panics
+    /// Panics when a finite distance exceeds
+    /// [`MAX_FINITE_DIST`](crate::kernels::MAX_FINITE_DIST) (wrapping
+    /// silently would corrupt every downstream blend), or when `out` has a
+    /// different length than the scratch.
+    #[inline]
+    pub fn write_narrowed(&self, out: &mut [crate::kernels::Dist]) {
+        crate::kernels::narrow_checked(&self.dist, out);
+    }
+
     /// Sum of all finite distances from the most recent run, or `None` if
     /// some vertex was unreached (the game treats disconnection as infinite
     /// cost).

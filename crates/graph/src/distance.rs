@@ -16,16 +16,31 @@
 //! These identities are what make the Corollary 11 audit, the insertion
 //! stability check of Theorem 12, and the skew-triple machinery of
 //! Theorem 13 run at `O(n²)` instead of `O(n² · m)`.
+//!
+//! Storage is **compact**: every entry is a [`Dist`] (`u16`, sentinel
+//! [`UNREACHABLE_D`]) — BFS distances in any graph this system handles fit
+//! in 16 bits, and halving the matrix footprint doubles the effective
+//! memory bandwidth of every row scan (see [`crate::kernels`]). The wide
+//! `u32` convention (sentinel [`UNREACHABLE`]) survives at the BFS-scratch
+//! boundary and in the scalar accessors below, which widen on read so
+//! metric consumers keep their `u32` arithmetic.
 
 use std::cell::RefCell;
 
 use rayon::prelude::*;
 
 use crate::bfs::BfsScratch;
+use crate::kernels::{self, Dist, MAX_FINITE_DIST, UNREACHABLE_D};
 use crate::{Csr, V};
 
-/// Sentinel distance for unreachable pairs.
+/// Sentinel distance for unreachable pairs in the wide (`u32`) convention
+/// used by the BFS layer and the widening scalar accessors.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Largest vertex count a dense compact matrix supports: every finite
+/// distance must stay `≤` [`MAX_FINITE_DIST`], and a connected graph on
+/// `n` vertices can realize distance `n − 1`.
+pub const MAX_MATRIX_N: usize = MAX_FINITE_DIST as usize + 1;
 
 thread_local! {
     /// Per-thread free list of matrix backing buffers. An `n × n` distance
@@ -33,29 +48,54 @@ thread_local! {
     /// loop (one masked APSP per scanned edge); recycling the backing
     /// `Vec` through [`DistanceMatrix::recycle`] makes steady-state scans
     /// allocation-free.
-    static MATRIX_POOL: RefCell<Vec<Vec<u32>>> = const { RefCell::new(Vec::new()) };
+    static MATRIX_POOL: RefCell<Vec<Vec<Dist>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Largest number of matrix buffers kept per thread. Buffers can be large
-/// (16 MiB at n = 2048), so the cap is deliberately small.
-const MATRIX_POOL_CAP: usize = 4;
+/// Per-thread cap on pooled matrix buffers, adapted to the buffer size: a
+/// compact `n × n` matrix is `2n²` bytes (8 MiB at n = 2048 — half the
+/// old `u32` footprint), so big-`n` buffers are capped tightly while
+/// small-`n` sweeps (tree census, enumeration audits, the per-edge scans
+/// of tiny graphs) may pool far more without memory pressure.
+fn matrix_pool_cap(bytes: usize) -> usize {
+    if bytes >= 1 << 22 {
+        // ≥ 4 MiB per buffer (n ≳ 1448): a handful is plenty.
+        4
+    } else if bytes >= 1 << 16 {
+        // 64 KiB ..= 4 MiB (n ≳ 181): mid-size working sets.
+        16
+    } else {
+        // Small-n sweeps recycle aggressively; 64 buffers ≤ 4 MiB total.
+        64
+    }
+}
+
+/// Rejects vertex counts whose distances cannot fit the compact domain —
+/// checked **before** the `n²` buffer is allocated, so oversized requests
+/// fail fast instead of first committing gigabytes.
+fn assert_matrix_n(n: usize) {
+    assert!(
+        n <= MAX_MATRIX_N,
+        "DistanceMatrix supports at most {MAX_MATRIX_N} vertices (got {n}): \
+         finite distances must fit the compact u16 domain"
+    );
+}
 
 /// A backing buffer of length `len`, recycled when possible. Contents are
 /// arbitrary; every builder below overwrites all `n × n` entries.
-fn take_matrix_buf(len: usize) -> Vec<u32> {
+fn take_matrix_buf(len: usize) -> Vec<Dist> {
     MATRIX_POOL
         .with(|pool| pool.borrow_mut().pop())
         .map(|mut buf| {
-            buf.resize(len, UNREACHABLE);
+            buf.resize(len, UNREACHABLE_D);
             buf
         })
-        .unwrap_or_else(|| vec![UNREACHABLE; len])
+        .unwrap_or_else(|| vec![UNREACHABLE_D; len])
 }
 
-fn give_matrix_buf(buf: Vec<u32>) {
+fn give_matrix_buf(buf: Vec<Dist>) {
     MATRIX_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
-        if pool.len() < MATRIX_POOL_CAP {
+        if pool.len() < matrix_pool_cap(buf.capacity() * size_of::<Dist>()) {
             pool.push(buf);
         }
     });
@@ -70,8 +110,11 @@ fn give_matrix_buf(buf: Vec<u32>) {
 const PAR_APSP_MIN_N: usize = 256;
 
 /// Fills the `n` rows of `d`, choosing sequential (pooled scratch) or
-/// parallel (per-worker scratch) execution by problem size.
-fn fill_rows(d: &mut [u32], n: usize, f: impl Fn(&mut BfsScratch, V, &mut [u32]) + Sync) {
+/// parallel (per-worker scratch) execution by problem size. Each BFS runs
+/// on wide (`u32`) scratch and is narrowed into its compact row through
+/// the checked seam ([`BfsScratch::write_narrowed`]), which panics —
+/// rather than wraps — on a finite distance beyond [`MAX_FINITE_DIST`].
+fn fill_rows(d: &mut [Dist], n: usize, f: impl Fn(&mut BfsScratch, V, &mut [Dist]) + Sync) {
     if n < PAR_APSP_MIN_N {
         crate::bfs::with_scratch(n, |scratch| {
             for (src, row) in d.chunks_mut(n.max(1)).enumerate() {
@@ -86,21 +129,23 @@ fn fill_rows(d: &mut [u32], n: usize, f: impl Fn(&mut BfsScratch, V, &mut [u32])
     }
 }
 
-/// Dense all-pairs shortest-path matrix (row-major, `n × n`, `u32`).
+/// Dense all-pairs shortest-path matrix (row-major, `n × n`, compact
+/// [`Dist`] entries).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistanceMatrix {
     n: usize,
-    d: Vec<u32>,
+    d: Vec<Dist>,
 }
 
 impl DistanceMatrix {
     /// Computes all-pairs shortest paths by parallel per-source BFS.
     pub fn build(csr: &Csr) -> Self {
         let n = csr.n();
+        assert_matrix_n(n);
         let mut d = take_matrix_buf(n * n);
         fill_rows(&mut d, n, |scratch, src, row| {
             scratch.run(csr, src);
-            row.copy_from_slice(&scratch.dist);
+            scratch.write_narrowed(row);
         });
         DistanceMatrix { n, d }
     }
@@ -110,10 +155,11 @@ impl DistanceMatrix {
     /// step of the swap evaluator.
     pub fn build_masked(csr: &Csr, mask: (V, V)) -> Self {
         let n = csr.n();
+        assert_matrix_n(n);
         let mut d = take_matrix_buf(n * n);
         fill_rows(&mut d, n, |scratch, src, row| {
             scratch.run_masked(csr, src, mask);
-            row.copy_from_slice(&scratch.dist);
+            scratch.write_narrowed(row);
         });
         DistanceMatrix { n, d }
     }
@@ -122,10 +168,11 @@ impl DistanceMatrix {
     /// (the `k`-swap generalization of [`DistanceMatrix::build_masked`]).
     pub fn build_masked_many(csr: &Csr, masks: &[(V, V)]) -> Self {
         let n = csr.n();
+        assert_matrix_n(n);
         let mut d = take_matrix_buf(n * n);
         fill_rows(&mut d, n, |scratch, src, row| {
             scratch.run_masked_many(csr, src, masks);
-            row.copy_from_slice(&scratch.dist);
+            scratch.write_narrowed(row);
         });
         DistanceMatrix { n, d }
     }
@@ -136,17 +183,18 @@ impl DistanceMatrix {
     /// ([`crate::dynamic`]).
     pub fn rebuild(&mut self, csr: &Csr) {
         let n = csr.n();
+        assert_matrix_n(n);
         self.n = n;
-        self.d.resize(n * n, UNREACHABLE);
+        self.d.resize(n * n, UNREACHABLE_D);
         fill_rows(&mut self.d, n, |scratch, src, row| {
             scratch.run(csr, src);
-            row.copy_from_slice(&scratch.dist);
+            scratch.write_narrowed(row);
         });
     }
 
     /// Raw mutable access to the row-major backing storage, for the
     /// in-place row repairs of [`crate::dynamic::DynamicApsp`].
-    pub(crate) fn data_mut(&mut self) -> &mut [u32] {
+    pub(crate) fn data_mut(&mut self) -> &mut [Dist] {
         &mut self.d
     }
 
@@ -184,47 +232,43 @@ impl DistanceMatrix {
         self.n
     }
 
-    /// Distance between `u` and `v` (`UNREACHABLE` if disconnected).
+    /// Distance between `u` and `v`, widened to the `u32` convention
+    /// (`UNREACHABLE` if disconnected).
     #[inline]
     pub fn get(&self, u: V, v: V) -> u32 {
+        kernels::widen(self.d[u as usize * self.n + v as usize])
+    }
+
+    /// Compact distance between `u` and `v` (`UNREACHABLE_D` if
+    /// disconnected) — the unwidened storage entry.
+    #[inline]
+    pub fn get_compact(&self, u: V, v: V) -> Dist {
         self.d[u as usize * self.n + v as usize]
     }
 
-    /// Row of distances from `u`.
+    /// Row of compact distances from `u`.
     #[inline]
-    pub fn row(&self, u: V) -> &[u32] {
+    pub fn row(&self, u: V) -> &[Dist] {
         &self.d[u as usize * self.n..(u as usize + 1) * self.n]
     }
 
     /// Whether every pair is connected.
     pub fn is_connected(&self) -> bool {
-        self.n == 0 || !self.d.contains(&UNREACHABLE)
+        self.n == 0 || !self.d.contains(&UNREACHABLE_D)
     }
 
     /// Sum of distances from `u` (the paper's *sum usage cost*), `None` when
-    /// some vertex is unreachable.
+    /// some vertex is unreachable. One vectorized row pass.
     pub fn sum_from(&self, u: V) -> Option<u64> {
-        let mut sum = 0u64;
-        for &x in self.row(u) {
-            if x == UNREACHABLE {
-                return None;
-            }
-            sum += u64::from(x);
-        }
-        Some(sum)
+        let c = kernels::row_cost(self.row(u));
+        (c.sum != kernels::INF_SUM).then_some(c.sum)
     }
 
     /// Eccentricity of `u` (the paper's *local diameter*), `None` when some
-    /// vertex is unreachable.
+    /// vertex is unreachable. One vectorized row pass.
     pub fn ecc(&self, u: V) -> Option<u32> {
-        let mut m = 0;
-        for &x in self.row(u) {
-            if x == UNREACHABLE {
-                return None;
-            }
-            m = m.max(x);
-        }
-        Some(m)
+        let c = kernels::row_cost(self.row(u));
+        (c.ecc != UNREACHABLE_D).then_some(u32::from(c.ecc))
     }
 
     /// All eccentricities, `None` if the graph is disconnected.
@@ -267,36 +311,18 @@ impl DistanceMatrix {
 
     /// Sum of distances from `u` in `G + uv` via the insertion identity
     /// (`G` must be connected for a meaningful result; unreachable entries
-    /// propagate as `None`).
+    /// propagate as `None`). One vectorized blend-and-reduce pass
+    /// ([`kernels::blend_cost_sum`]).
     pub fn sum_from_with_insertion(&self, u: V, v: V) -> Option<u64> {
-        let ru = self.row(u);
-        let rv = self.row(v);
-        let mut sum = 0u64;
-        for (&du, &dv) in ru.iter().zip(rv) {
-            let via = dv.checked_add(1).unwrap_or(UNREACHABLE);
-            let d = du.min(via);
-            if d == UNREACHABLE {
-                return None;
-            }
-            sum += u64::from(d);
-        }
-        Some(sum)
+        let s = kernels::blend_cost_sum(self.row(u), self.row(v));
+        (s != kernels::INF_SUM).then_some(s)
     }
 
-    /// Eccentricity of `u` in `G + uv` via the insertion identity.
+    /// Eccentricity of `u` in `G + uv` via the insertion identity. One
+    /// vectorized blend-and-reduce pass ([`kernels::blend_cost_ecc`]).
     pub fn ecc_with_insertion(&self, u: V, v: V) -> Option<u32> {
-        let ru = self.row(u);
-        let rv = self.row(v);
-        let mut m = 0;
-        for (&du, &dv) in ru.iter().zip(rv) {
-            let via = dv.saturating_add(1);
-            let d = du.min(via);
-            if d == UNREACHABLE {
-                return None;
-            }
-            m = m.max(d);
-        }
-        Some(m)
+        let e = kernels::blend_cost_ecc(self.row(u), self.row(v));
+        (e != kernels::INF_SUM).then_some(e as u32)
     }
 
     /// Histogram of distances from `u`: `hist[k]` = number of vertices at
@@ -305,7 +331,7 @@ impl DistanceMatrix {
     pub fn sphere_sizes(&self, u: V) -> Vec<usize> {
         let mut hist = Vec::new();
         for &x in self.row(u) {
-            if x == UNREACHABLE {
+            if x == UNREACHABLE_D {
                 continue;
             }
             let x = x as usize;

@@ -27,9 +27,22 @@
 //! * **Batch** ([`DynamicApsp::apply_batch`]) — a whole activation round's
 //!   edge-disjoint swaps repaired at once: one multi-edge deletion pass
 //!   (far endpoints of *all* tight deleted edges seed a level-bucketed
-//!   phase 1, with every inserted edge masked) followed by the insertion
-//!   blends in order. Rows touched by several deletions are repaired once
+//!   phase 1, with every inserted edge masked) followed by the round's
+//!   insertions applied as a **fused k-term blend** — one vectorized pass
+//!   per row over `2k` saturating min terms
+//!   ([`kernels::fused_blend_cost`]) instead of `k` separate passes over
+//!   the matrix. Rows touched by several deletions are repaired once
 //!   instead of once per deletion.
+//!
+//! Alongside the matrix, the subsystem maintains **per-vertex cost
+//! aggregates** (each row's sum and eccentricity, [`RowCost`]): deletion
+//! repairs re-reduce exactly the candidate rows, insertion blends emit
+//! the new aggregate from the same pass that rewrites the row, and
+//! unchanged rows keep their entry. Readers
+//! ([`cost_sum`](DynamicApsp::cost_sum) /
+//! [`cost_ecc`](DynamicApsp::cost_ecc) — and through them
+//! `EvalContext::agent_cost` / `cost_range` in `bncg_core`) pay `O(1)`
+//! per agent instead of an `O(n)` row scan.
 //!
 //! The same copy-plus-repair machinery also serves *reads*:
 //! [`masked_apsp_from_base`] derives the full APSP of `G − e` from the
@@ -60,7 +73,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use rayon::prelude::*;
 
 use crate::adjacency::SwapApplied;
-use crate::{Csr, DistanceMatrix, UNREACHABLE, V};
+use crate::kernels::{self, BlendTerm, Dist, RowCost, UNREACHABLE_D};
+use crate::{Csr, DistanceMatrix, V};
 
 /// Below this vertex count (or repair-candidate count) the per-row repairs
 /// run sequentially on pooled scratch; matches the APSP builders' cutoff.
@@ -156,7 +170,9 @@ impl RepairStats {
 }
 
 /// An all-pairs distance matrix maintained incrementally across single-edge
-/// mutations. See the [module docs](self) for the algorithm.
+/// mutations, together with **per-vertex cost aggregates** (row sums and
+/// eccentricities) refreshed only for the rows each update actually
+/// rewrites. See the [module docs](self) for the algorithm.
 #[derive(Debug, Clone)]
 pub struct DynamicApsp {
     dm: DistanceMatrix,
@@ -166,11 +182,19 @@ pub struct DynamicApsp {
     /// Per-source repair root from stage A (`V::MAX` = row unchanged).
     roots: Vec<V>,
     /// Saved pre-insertion rows of the inserted edge's endpoints.
-    row_x: Vec<u32>,
-    row_y: Vec<u32>,
+    row_x: Vec<Dist>,
+    row_y: Vec<Dist>,
     /// Endpoint-incidence table of the current update's mask (reused
     /// buffer; see [`fill_mask_touch`]).
     mask_touch: Vec<bool>,
+    /// Maintained per-source row aggregates (sum + eccentricity), exact
+    /// for the matrix at all times: deletion repairs re-reduce exactly the
+    /// candidate rows, insertion blends compute the new aggregate **in the
+    /// same pass** that rewrites the row ([`kernels::fused_blend_cost`]),
+    /// and unchanged rows keep their entry untouched. `agent_cost` /
+    /// `cost_range`-style reads become `O(1)` / `O(n)` lookups instead of
+    /// `O(n)` / `O(n²)` rescans.
+    costs: Vec<RowCost>,
 }
 
 impl DynamicApsp {
@@ -185,10 +209,11 @@ impl DynamicApsp {
     }
 
     /// Wraps an existing matrix (which must be the exact APSP of the graph
-    /// the subsequent updates start from).
+    /// the subsequent updates start from). Computes the initial per-vertex
+    /// aggregates in one parallel pass over the rows.
     pub fn from_matrix(dm: DistanceMatrix) -> Self {
         let n = dm.n();
-        DynamicApsp {
+        let mut this = DynamicApsp {
             dm,
             n,
             max_repair_rows: n.max(1),
@@ -197,7 +222,10 @@ impl DynamicApsp {
             row_x: Vec::new(),
             row_y: Vec::new(),
             mask_touch: Vec::new(),
-        }
+            costs: vec![RowCost::default(); n],
+        };
+        this.refresh_costs_all();
+        this
     }
 
     /// The maintained distance matrix (always exact for the last graph
@@ -222,6 +250,70 @@ impl DynamicApsp {
     #[inline]
     pub fn stats(&self) -> &RepairStats {
         &self.stats
+    }
+
+    /// Maintained sum of distances from `v` (the sum objective's usage
+    /// cost), `u64::MAX` when some vertex is unreachable from `v`. `O(1)`.
+    #[inline]
+    pub fn cost_sum(&self, v: V) -> u64 {
+        self.costs[v as usize].sum
+    }
+
+    /// Maintained eccentricity of `v` as a game cost (the max objective's
+    /// usage cost), `u64::MAX` when disconnected. `O(1)`.
+    #[inline]
+    pub fn cost_ecc(&self, v: V) -> u64 {
+        self.costs[v as usize].ecc_cost()
+    }
+
+    /// The maintained per-source aggregates (one [`RowCost`] per vertex,
+    /// always exact for [`matrix`](Self::matrix)).
+    #[inline]
+    pub fn row_costs(&self) -> &[RowCost] {
+        &self.costs
+    }
+
+    /// Recomputes every row aggregate from the matrix (build, rebuild
+    /// fallback).
+    fn refresh_costs_all(&mut self) {
+        let n = self.n;
+        self.costs.resize(n, RowCost::default());
+        let dm = &self.dm;
+        if n < PAR_REPAIR_MIN_N {
+            for (s, slot) in self.costs.iter_mut().enumerate() {
+                *slot = kernels::row_cost(dm.row(s as V));
+            }
+        } else {
+            self.costs
+                .par_chunks_mut(1)
+                .enumerate()
+                .for_each(|(s, slot)| slot[0] = kernels::row_cost(dm.row(s as V)));
+        }
+    }
+
+    /// Re-reduces the aggregates of exactly the rows stage A marked as
+    /// repair candidates (`roots[s] != V::MAX`) — the `O(repaired rows)`
+    /// post-pass of a deletion update.
+    fn refresh_costs_marked(&mut self, candidates: usize) {
+        let n = self.n;
+        let dm = &self.dm;
+        let roots = &self.roots;
+        if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
+            for (s, slot) in self.costs.iter_mut().enumerate() {
+                if roots[s] != V::MAX {
+                    *slot = kernels::row_cost(dm.row(s as V));
+                }
+            }
+        } else {
+            self.costs
+                .par_chunks_mut(1)
+                .enumerate()
+                .for_each(|(s, slot)| {
+                    if roots[s] != V::MAX {
+                        slot[0] = kernels::row_cost(dm.row(s as V));
+                    }
+                });
+        }
     }
 
     /// Current fallback threshold: a deletion needing repairs on more than
@@ -371,13 +463,15 @@ impl DynamicApsp {
         }
         if candidates > self.max_repair_rows {
             self.dm.rebuild(csr);
+            self.refresh_costs_all();
             self.stats.last_rows_repaired = 0;
             self.stats.last_was_rebuild = true;
             self.stats.full_rebuilds += 1;
             return false;
         }
 
-        // Stage B: truncated per-row repair, parallel when wide enough.
+        // Stage B: truncated per-row repair, parallel when wide enough,
+        // then an aggregate re-reduce over exactly the repaired rows.
         repair_marked_rows(
             csr,
             mask,
@@ -387,6 +481,7 @@ impl DynamicApsp {
             n,
             candidates,
         );
+        self.refresh_costs_marked(candidates);
         self.stats.last_rows_repaired = candidates;
         self.stats.rows_repaired += candidates as u64;
         self.stats.last_was_rebuild = false;
@@ -437,6 +532,7 @@ impl DynamicApsp {
         }
         if candidates > self.max_repair_rows {
             self.dm.rebuild(csr);
+            self.refresh_costs_all();
             self.stats.last_rows_repaired = 0;
             self.stats.last_was_rebuild = true;
             self.stats.full_rebuilds += 1;
@@ -482,6 +578,7 @@ impl DynamicApsp {
             });
             repaired.into_inner()
         };
+        self.refresh_costs_marked(candidates);
         self.stats.last_rows_repaired = repaired;
         self.stats.rows_repaired += repaired as u64;
         self.stats.last_was_rebuild = false;
@@ -490,7 +587,8 @@ impl DynamicApsp {
     }
 
     /// Insertion blend driver: exact `O(n)` rewrite of every row the new
-    /// edge `xy` can shorten.
+    /// edge `xy` can shorten, with the row's cost aggregate computed in
+    /// the same vectorized pass.
     fn update_insertion(&mut self, x: V, y: V) {
         let n = self.n;
         self.row_x.clear();
@@ -501,35 +599,46 @@ impl DynamicApsp {
         let ry = &self.row_y;
         let xi = x as usize;
         let yi = y as usize;
+        let blend = |row: &mut [Dist]| blend_row_cost(row, xi, yi, rx, ry);
         let d = self.dm.data_mut();
-        let blended: usize = if n < PAR_REPAIR_MIN_N {
-            d.chunks_mut(n.max(1))
-                .map(|row| usize::from(blend_row(row, xi, yi, rx, ry)))
-                .sum()
+        let new_costs: Vec<Option<RowCost>> = if n < PAR_REPAIR_MIN_N {
+            d.chunks_mut(n.max(1)).map(blend).collect()
         } else {
-            d.par_chunks_mut(n)
-                .map(|row| usize::from(blend_row(row, xi, yi, rx, ry)))
-                .collect::<Vec<usize>>()
-                .into_iter()
-                .sum()
+            d.par_chunks_mut(n).map(blend).collect()
         };
+        self.scatter_blend_costs(&new_costs);
+    }
+
+    /// Applies the blended rows' freshly computed aggregates (`None` =
+    /// row proven unchanged, aggregate kept) and updates the blend stats.
+    fn scatter_blend_costs(&mut self, new_costs: &[Option<RowCost>]) {
+        let mut blended = 0usize;
+        for (slot, c) in self.costs.iter_mut().zip(new_costs) {
+            if let Some(c) = c {
+                *slot = *c;
+                blended += 1;
+            }
+        }
         self.stats.last_rows_blended = blended;
         self.stats.rows_blended += blended as u64;
     }
 
     /// Batched insertion blend: the exact composition of the per-edge
-    /// blends applied in order, fused into **one pass per row**.
+    /// blends applied in order, **fused into one vectorized pass per row**
+    /// ([`kernels::fused_blend_cost`]).
     ///
-    /// Blend `j` of a generic row needs the rows of `x_j`/`y_j` *as they
-    /// stood after blends `0..j`* — so the endpoint rows are first evolved
-    /// sequentially through the batch (tiny: `O(k² · n)` for `2k` rows),
-    /// snapshotting each insertion's pair at its pre-blend state; every
-    /// row of the matrix then replays the `k` blends against those
-    /// snapshots while staying cache-resident. Byte-identical to `k`
+    /// Blend `j` of a generic row needs two things: the rows of `x_j`/`y_j`
+    /// *as they stood after blends `0..j`* (the snapshots, evolved once
+    /// globally — tiny: `O(k² · n)` for `2k` rows) and the row's own
+    /// entries at the endpoint positions after blends `0..j` (the blend
+    /// constants, evolved per row over just the `≤ 2k` tracked positions).
+    /// With both in hand the `k` blends commute into a single `min` over
+    /// `2k` terms per element, applied in one cache-resident sweep that
+    /// also yields the row's new cost aggregate. Byte-identical to `k`
     /// sequential [`update_insertion`](Self::update_insertion) passes, but
-    /// touches the `n²` matrix once instead of `k` times — on large `n`
-    /// the blend is memory-bound, and this is where the round barrier's
-    /// batching actually pays.
+    /// touches the `n²` matrix **once** instead of `k` times — on large
+    /// `n` the blend is memory-bound, and this is exactly where the round
+    /// barrier's batching pays.
     fn update_insertions_batch(&mut self, inserted: &[(V, V)]) {
         let n = self.n;
         let k = inserted.len();
@@ -540,42 +649,62 @@ impl DynamicApsp {
         let mut endpoints: Vec<V> = inserted.iter().flat_map(|&(x, y)| [x, y]).collect();
         endpoints.sort_unstable();
         endpoints.dedup();
-        let mut working: Vec<Vec<u32>> =
+        let mut working: Vec<Vec<Dist>> =
             endpoints.iter().map(|&v| self.dm.row(v).to_vec()).collect();
         let row_of = |endpoints: &[V], v: V| endpoints.binary_search(&v).expect("endpoint row");
-        let mut snaps: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(k);
+        let mut snaps: Vec<(Vec<Dist>, Vec<Dist>)> = Vec::with_capacity(k);
         for &(x, y) in inserted {
             let sx = working[row_of(&endpoints, x)].clone();
             let sy = working[row_of(&endpoints, y)].clone();
             for row in &mut working {
-                blend_row(row, x as usize, y as usize, &sx, &sy);
+                blend_row_cost(row, x as usize, y as usize, &sx, &sy);
             }
             snaps.push((sx, sy));
         }
         drop(working);
 
-        // One pass per row: replay the k blends in order against the
-        // snapshots (each skip test reads the row's then-current state).
-        let replay = |row: &mut [u32]| -> usize {
-            let mut changed = 0usize;
+        // Fused replay: recover each blend's constants by evolving the
+        // row's endpoint entries, drop terms the adjacent-levels test
+        // proves inert, then apply every surviving term in one pass.
+        let endpoints = &endpoints;
+        let snaps = &snaps;
+        let replay = |row: &mut [Dist]| -> Option<RowCost> {
+            let mut ep_vals: Vec<Dist> = endpoints.iter().map(|&v| row[v as usize]).collect();
+            let mut terms: Vec<BlendTerm<'_>> = Vec::with_capacity(k);
             for (j, &(x, y)) in inserted.iter().enumerate() {
+                let dsx = ep_vals[row_of(endpoints, x)];
+                let dsy = ep_vals[row_of(endpoints, y)];
+                if dsx.abs_diff(dsy) <= 1 {
+                    continue; // provably inert for this row
+                }
                 let (sx, sy) = &snaps[j];
-                changed += usize::from(blend_row(row, x as usize, y as usize, sx, sy));
+                let add_a = dsx.saturating_add(1);
+                let add_b = dsy.saturating_add(1);
+                for (val, &p) in ep_vals.iter_mut().zip(endpoints.iter()) {
+                    let pos = p as usize;
+                    *val = (*val)
+                        .min(add_a.saturating_add(sy[pos]))
+                        .min(add_b.saturating_add(sx[pos]));
+                }
+                terms.push(BlendTerm {
+                    add_a,
+                    row_a: sy,
+                    add_b,
+                    row_b: sx,
+                });
             }
-            changed
+            if terms.is_empty() {
+                return None;
+            }
+            Some(kernels::fused_blend_cost(row, &terms))
         };
         let d = self.dm.data_mut();
-        let blended: usize = if n < PAR_REPAIR_MIN_N {
-            d.chunks_mut(n.max(1)).map(replay).sum()
+        let new_costs: Vec<Option<RowCost>> = if n < PAR_REPAIR_MIN_N {
+            d.chunks_mut(n.max(1)).map(replay).collect()
         } else {
-            d.par_chunks_mut(n)
-                .map(replay)
-                .collect::<Vec<usize>>()
-                .into_iter()
-                .sum()
+            d.par_chunks_mut(n).map(replay).collect()
         };
-        self.stats.last_rows_blended = blended;
-        self.stats.rows_blended += blended as u64;
+        self.scatter_blend_costs(&new_costs);
     }
 }
 
@@ -663,7 +792,7 @@ fn repair_marked_rows(
     mask: &[(V, V)],
     touch: &[bool],
     roots: &[V],
-    d: &mut [u32],
+    d: &mut [Dist],
     n: usize,
     candidates: usize,
 ) {
@@ -725,7 +854,7 @@ fn fill_mask_touch(touch: &mut Vec<bool>, n: usize, mask: &[(V, V)]) {
 /// unchanged by deleting `uw`, otherwise the endpoint the repair must start
 /// from. `row` holds the pre-deletion distances from the source; `csr` is
 /// the post-deletion snapshot.
-fn repair_root(csr: &Csr, mask: &[(V, V)], touch: &[bool], row: &[u32], u: V, w: V) -> Option<V> {
+fn repair_root(csr: &Csr, mask: &[(V, V)], touch: &[bool], row: &[Dist], u: V, w: V) -> Option<V> {
     let du = row[u as usize];
     let dw = row[w as usize];
     if du == dw {
@@ -757,7 +886,7 @@ fn repair_row(
     csr: &Csr,
     mask: &[(V, V)],
     touch: &[bool],
-    row: &mut [u32],
+    row: &mut [Dist],
     far: V,
 ) {
     scratch.begin();
@@ -805,7 +934,7 @@ fn repair_row_batch(
     mask: &[(V, V)],
     touch: &[bool],
     deleted: &[(V, V)],
-    row: &mut [u32],
+    row: &mut [Dist],
 ) -> bool {
     scratch.begin();
     scratch.queue.clear();
@@ -841,7 +970,7 @@ fn repair_row_batch(
                 continue;
             }
             debug_assert_eq!(row[t as usize] as usize, lvl);
-            let parent_level = (lvl - 1) as u32;
+            let parent_level = (lvl - 1) as Dist;
             if masked_neighbors(csr, t, mask, touch)
                 .any(|z| row[z as usize] == parent_level && !scratch.is_affected(z))
             {
@@ -849,7 +978,7 @@ fn repair_row_batch(
             }
             scratch.mark_affected(t);
             scratch.queue.push(t);
-            let child_level = lvl as u32 + 1;
+            let child_level = lvl as Dist + 1;
             for nb in masked_neighbors(csr, t, mask, touch) {
                 if row[nb as usize] == child_level && !scratch.is_affected(nb) {
                     scratch.buckets[child_level as usize].push(nb);
@@ -875,19 +1004,19 @@ fn settle_affected(
     csr: &Csr,
     mask: &[(V, V)],
     touch: &[bool],
-    row: &mut [u32],
+    row: &mut [Dist],
 ) {
     let mut max_bucket = 0usize;
     for i in 0..scratch.queue.len() {
         let a = scratch.queue[i];
-        let mut best = UNREACHABLE;
+        let mut best = UNREACHABLE_D;
         for z in masked_neighbors(csr, a, mask, touch) {
             if !scratch.is_affected(z) {
                 best = best.min(row[z as usize].saturating_add(1));
             }
         }
         scratch.cand[a as usize] = best;
-        if best != UNREACHABLE {
+        if best != UNREACHABLE_D {
             let b = best as usize;
             scratch.buckets[b].push(a);
             max_bucket = max_bucket.max(b);
@@ -896,12 +1025,12 @@ fn settle_affected(
     let mut dist = 0usize;
     while dist <= max_bucket {
         while let Some(t) = scratch.buckets[dist].pop() {
-            if scratch.is_settled(t) || scratch.cand[t as usize] != dist as u32 {
+            if scratch.is_settled(t) || scratch.cand[t as usize] != dist as Dist {
                 continue; // stale entry superseded by a shorter candidate
             }
             scratch.mark_settled(t);
-            row[t as usize] = dist as u32;
-            let nd = dist as u32 + 1;
+            row[t as usize] = dist as Dist;
+            let nd = dist as Dist + 1;
             for nb in masked_neighbors(csr, t, mask, touch) {
                 if scratch.is_affected(nb)
                     && !scratch.is_settled(nb)
@@ -917,26 +1046,34 @@ fn settle_affected(
     }
     for &a in &scratch.queue {
         if !scratch.is_settled(a) {
-            row[a as usize] = UNREACHABLE;
+            row[a as usize] = UNREACHABLE_D;
         }
     }
 }
 
-/// Exact insertion blend of one row; returns whether the row changed class
-/// (rows with adjacent endpoint levels are provably unchanged).
+/// Exact insertion blend of one row through the fused kernel; returns the
+/// blended row's cost aggregate, or `None` when the adjacent-levels test
+/// proves the row unchanged.
 #[inline]
-fn blend_row(row: &mut [u32], x: usize, y: usize, rx: &[u32], ry: &[u32]) -> bool {
+fn blend_row_cost(
+    row: &mut [Dist],
+    x: usize,
+    y: usize,
+    rx: &[Dist],
+    ry: &[Dist],
+) -> Option<RowCost> {
     let dsx = row[x];
     let dsy = row[y];
     if dsx.abs_diff(dsy) <= 1 {
-        return false;
+        return None;
     }
-    for (t, slot) in row.iter_mut().enumerate() {
-        let via_y = dsx.saturating_add(1).saturating_add(ry[t]);
-        let via_x = dsy.saturating_add(1).saturating_add(rx[t]);
-        *slot = (*slot).min(via_y).min(via_x);
-    }
-    true
+    let term = BlendTerm {
+        add_a: dsx.saturating_add(1),
+        row_a: ry,
+        add_b: dsy.saturating_add(1),
+        row_b: rx,
+    };
+    Some(kernels::fused_blend_cost(row, &[term]))
 }
 
 /// Reusable buffers for one row repair: epoch-stamped affected/settled
@@ -948,7 +1085,7 @@ struct RepairScratch {
     settled: Vec<u32>,
     epoch: u32,
     queue: Vec<V>,
-    cand: Vec<u32>,
+    cand: Vec<Dist>,
     buckets: Vec<Vec<V>>,
 }
 
@@ -1098,7 +1235,7 @@ mod tests {
         da.apply_deletion(&g.to_csr(), 4, 5);
         assert!(da.stats().last_was_rebuild);
         assert_exact(&da, &g);
-        assert_eq!(da.matrix().get(0, 8), UNREACHABLE);
+        assert_eq!(da.matrix().get(0, 8), crate::UNREACHABLE);
         // Reconnect somewhere else; the blend must restore exactness.
         g.add_edge(0, 8);
         da.apply_insertion(&g.to_csr(), 0, 8);

@@ -1,0 +1,1134 @@
+//! Compact-distance row kernels: the vectorized primitives under every
+//! hot scan in the workspace.
+//!
+//! BFS distances in any graph this system handles fit comfortably in 16
+//! bits (the builders enforce `n ≤ 65 534`, so every finite distance is
+//! `≤ 65 533`), which halves the footprint of a dense distance row versus
+//! the old `u32` layout and doubles the effective memory bandwidth of the
+//! three scans everything reduces to:
+//!
+//! * the **min-plus blend** `d' = min(base, 1 + via)` of the insertion
+//!   identity (swap scoring, candidate scans);
+//! * the **sum reduction** `Σ_x d(v, x)` (the paper's sum usage cost);
+//! * the **eccentricity reduction** `max_x d(v, x)` (the max usage cost).
+//!
+//! Each primitive exists in three strata:
+//!
+//! 1. a plain **scalar reference** (`*_scalar`) — the executable spec the
+//!    property tests in `tests/kernel_props.rs` pin the fast paths to;
+//! 2. a portable **SWAR** path packing 4 × `u16` lanes per `u64` word
+//!    (even/odd lane split so per-lane carries can never cross a lane
+//!    boundary) — the vectorized fallback on architectures without an
+//!    explicit SIMD path;
+//! 3. `#[cfg]`-gated **`core::arch`** paths: SSE2 on `x86_64` (baseline,
+//!    no runtime detection needed) and NEON on `aarch64`, 8 lanes per
+//!    128-bit vector.
+//!
+//! The saturating-add trick makes the sentinel free: [`UNREACHABLE_D`] is
+//! `u16::MAX`, so `via + 1` saturating at `u16::MAX` *is* the correct
+//! "unreachable stays unreachable" arithmetic, with no branch per lane
+//! (`_mm_adds_epu16` / `vqaddq_u16` / the SWAR overflow clamp).
+//!
+//! The **fused k-term batch blend** ([`fused_blend_cost`]) applies a whole
+//! activation round's insertions to one row element in a single pass: the
+//! round barrier's `k` blends become `2k` min terms against one
+//! cache-resident load/store of the row, instead of `k` full passes over
+//! the matrix. Aggregate variants (`*_cost`) compute the row's sum and
+//! eccentricity in the same pass, which is what lets
+//! [`DynamicApsp`](crate::dynamic::DynamicApsp) maintain per-vertex cost
+//! aggregates for free on exactly the rows it already rewrites.
+//!
+//! # Overflow discipline
+//!
+//! A finite distance must stay `≤` [`MAX_FINITE_DIST`] (`u16::MAX − 2`):
+//! this keeps `d + 1` representable without colliding with the sentinel,
+//! so level comparisons in the repair walkers stay exact. The checked
+//! narrowing seam from the `u32` BFS layer ([`narrow_checked`]) panics —
+//! rather than wraps — on any finite distance that does not fit, and the
+//! matrix builders reject `n > MAX_FINITE_DIST + 1` outright.
+
+/// Compact distance entry: 16 bits, [`UNREACHABLE_D`] sentinel.
+pub type Dist = u16;
+
+/// Sentinel distance for unreachable pairs in compact rows. Chosen as
+/// `u16::MAX` so lane-saturating adds implement "unreachable + 1 =
+/// unreachable" branch-free.
+pub const UNREACHABLE_D: Dist = Dist::MAX;
+
+/// Largest finite distance a compact row may hold. One below the sentinel
+/// would make `d + 1` collide with [`UNREACHABLE_D`] in the repair
+/// walkers' level arithmetic, so two slots are reserved.
+pub const MAX_FINITE_DIST: Dist = Dist::MAX - 2;
+
+/// Infinite row sum: the aggregate of a row with an unreachable entry.
+/// Equals `bncg_core`'s `INFINITE_COST` by construction.
+pub const INF_SUM: u64 = u64::MAX;
+
+/// Sum and eccentricity of one compact distance row, computed in a single
+/// pass. `sum == INF_SUM` and `ecc == UNREACHABLE_D` iff some entry is
+/// unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowCost {
+    /// `Σ_x d(v, x)`, or [`INF_SUM`] when disconnected.
+    pub sum: u64,
+    /// `max_x d(v, x)`, or [`UNREACHABLE_D`] when disconnected.
+    pub ecc: Dist,
+}
+
+impl RowCost {
+    /// The eccentricity as a game cost (`u64::MAX` when disconnected) —
+    /// the max objective's value of this row.
+    #[inline]
+    pub fn ecc_cost(&self) -> u64 {
+        if self.ecc == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            u64::from(self.ecc)
+        }
+    }
+}
+
+/// One insertion's contribution to a fused batch blend of a row `s`:
+/// two min terms `add_a + row_a[t]` and `add_b + row_b[t]` (lane-saturating
+/// adds), where `add_a = d(s, x) + 1` pairs with `row_b`-side snapshot
+/// distances from `y` and vice versa. Callers pre-evolve the constants per
+/// row (see `DynamicApsp::update_insertions_batch`) and drop terms the
+/// adjacent-levels skip test proves inert.
+#[derive(Debug, Clone, Copy)]
+pub struct BlendTerm<'a> {
+    /// Constant side A: `d(s, x) saturating+ 1`.
+    pub add_a: Dist,
+    /// Snapshot row paired with side A (distances from `y`).
+    pub row_a: &'a [Dist],
+    /// Constant side B: `d(s, y) saturating+ 1`.
+    pub add_b: Dist,
+    /// Snapshot row paired with side B (distances from `x`).
+    pub row_b: &'a [Dist],
+}
+
+/// Widens one compact entry to the legacy `u32` convention
+/// (`UNREACHABLE_D` ↦ `u32::MAX`).
+#[inline]
+pub fn widen(d: Dist) -> u32 {
+    if d == UNREACHABLE_D {
+        u32::MAX
+    } else {
+        u32::from(d)
+    }
+}
+
+/// Checked narrowing from a `u32` BFS row into a compact row:
+/// `u32::MAX` (the wide unreachable sentinel) maps to [`UNREACHABLE_D`];
+/// any other value above [`MAX_FINITE_DIST`] is a real distance that does
+/// not fit and **panics** — wrapping silently would corrupt every
+/// downstream blend.
+///
+/// # Panics
+/// Panics when a finite entry exceeds [`MAX_FINITE_DIST`], or when the
+/// slice lengths differ.
+pub fn narrow_checked(src: &[u32], dst: &mut [Dist]) {
+    assert_eq!(src.len(), dst.len(), "row length mismatch");
+    // Branchless main pass (autovectorizes: select + accumulate, no early
+    // exit): oversized entries clamp to the sentinel while a flag records
+    // whether any of them was a *finite* overflow rather than the wide
+    // sentinel. The cold rescan below recovers the offending value only
+    // when the pass is about to panic anyway.
+    let mut bad = false;
+    for (&s, d) in src.iter().zip(dst.iter_mut()) {
+        let over = s > u32::from(MAX_FINITE_DIST);
+        bad |= over & (s != u32::MAX);
+        *d = if over { UNREACHABLE_D } else { s as Dist };
+    }
+    if bad {
+        let s = src
+            .iter()
+            .find(|&&s| s > u32::from(MAX_FINITE_DIST) && s != u32::MAX)
+            .expect("flag only set by such an entry");
+        panic!(
+            "finite distance {s} overflows the u16 distance domain \
+             (max {MAX_FINITE_DIST}); graphs this large are unsupported"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar references — the executable spec.
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`min_blend`]: `base[t] = min(base[t],
+/// 1 saturating+ via[t])` per element.
+pub fn min_blend_scalar(base: &mut [Dist], via: &[Dist]) {
+    debug_assert_eq!(base.len(), via.len());
+    for (b, &v) in base.iter_mut().zip(via) {
+        *b = (*b).min(v.saturating_add(1));
+    }
+}
+
+/// Scalar reference for [`blend_cost_sum`]: sum of the blended row
+/// `min(base, 1 + via)` without materializing it, [`INF_SUM`] when some
+/// blended entry is unreachable.
+pub fn blend_cost_sum_scalar(base: &[Dist], via: &[Dist]) -> u64 {
+    debug_assert_eq!(base.len(), via.len());
+    let mut sum = 0u64;
+    let mut mx: Dist = 0;
+    for (&b, &v) in base.iter().zip(via) {
+        let d = b.min(v.saturating_add(1));
+        mx = mx.max(d);
+        sum += u64::from(d);
+    }
+    if mx == UNREACHABLE_D {
+        INF_SUM
+    } else {
+        sum
+    }
+}
+
+/// Scalar reference for [`blend_cost_ecc`]: max of the blended row,
+/// [`INF_SUM`] when some blended entry is unreachable, else the
+/// eccentricity as `u64`.
+pub fn blend_cost_ecc_scalar(base: &[Dist], via: &[Dist]) -> u64 {
+    debug_assert_eq!(base.len(), via.len());
+    let mut mx: Dist = 0;
+    for (&b, &v) in base.iter().zip(via) {
+        mx = mx.max(b.min(v.saturating_add(1)));
+    }
+    if mx == UNREACHABLE_D {
+        INF_SUM
+    } else {
+        u64::from(mx)
+    }
+}
+
+/// Scalar reference for [`row_cost`]: one-pass sum + eccentricity.
+pub fn row_cost_scalar(row: &[Dist]) -> RowCost {
+    let mut sum = 0u64;
+    let mut mx: Dist = 0;
+    for &d in row {
+        mx = mx.max(d);
+        sum += u64::from(d);
+    }
+    if mx == UNREACHABLE_D {
+        RowCost {
+            sum: INF_SUM,
+            ecc: UNREACHABLE_D,
+        }
+    } else {
+        RowCost { sum, ecc: mx }
+    }
+}
+
+/// Scalar reference for [`fused_blend_cost`]: applies every term's two min
+/// sides to each element in one pass and returns the resulting row
+/// aggregates.
+pub fn fused_blend_cost_scalar(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
+    let mut sum = 0u64;
+    let mut mx: Dist = 0;
+    for (t, slot) in row.iter_mut().enumerate() {
+        let mut m = *slot;
+        for term in terms {
+            m = m
+                .min(term.add_a.saturating_add(term.row_a[t]))
+                .min(term.add_b.saturating_add(term.row_b[t]));
+        }
+        *slot = m;
+        mx = mx.max(m);
+        sum += u64::from(m);
+    }
+    if mx == UNREACHABLE_D {
+        RowCost {
+            sum: INF_SUM,
+            ecc: UNREACHABLE_D,
+        }
+    } else {
+        RowCost { sum, ecc: mx }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SWAR — 4 × u16 lanes per u64 word, portable fallback.
+// ---------------------------------------------------------------------------
+
+/// Portable SWAR implementations. Lanes are processed in two interleaved
+/// phases (even lanes 0/2 and odd lanes 1/3 of each `u64` word), each lane
+/// isolated in a 32-bit field so per-lane carries and borrows can never
+/// cross into a neighbor. Exercised on every architecture by the property
+/// tests (the dispatchers only *route* to SIMD; the SWAR module is always
+/// compiled).
+pub mod swar {
+    use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+
+    /// Mask selecting lanes 0 and 2 of a `u64` word.
+    const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
+    /// `+1` in each even lane.
+    const ONE_E: u64 = 0x0000_0001_0000_0001;
+    /// Guard bit at the top of each 32-bit field (for borrow-free compare).
+    const GUARD: u64 = 0x8000_0000_8000_0000;
+
+    /// Per-field saturating `x + 1` for two u16 values isolated in 32-bit
+    /// fields (values `≤ 0xFFFF`; a field that overflows clamps back to
+    /// `0xFFFF`, which is exactly the [`UNREACHABLE_D`] sentinel).
+    #[inline]
+    fn sat_inc_fields(x: u64) -> u64 {
+        let y = x + ONE_E;
+        y - ((y >> 16) & ONE_E)
+    }
+
+    /// Per-field saturating `x + y` (both fields `≤ 0xFFFF`, so each sum
+    /// fits in 17 bits and cannot spill past its 32-bit field).
+    #[inline]
+    fn sat_add_fields(x: u64, y: u64) -> u64 {
+        let s = x + y;
+        // A field that overflowed 16 bits has bit 16 of its field set;
+        // clear that bit (bringing the field back below 0x10000) and fill
+        // the field's low 16 bits to clamp it at 0xFFFF.
+        let of = (s >> 16) & ONE_E;
+        (s - (of << 16)) | (of * 0xFFFF)
+    }
+
+    /// Per-field unsigned min of two fields (values `≤ 0x1FFFF`).
+    #[inline]
+    fn min_fields(x: u64, y: u64) -> u64 {
+        // Guard bit survives the subtraction iff x >= y in that field.
+        let ge = (((x | GUARD) - y) >> 31) & ONE_E;
+        let m = ge * 0xFFFF_FFFF; // full-field mask where x >= y
+        (y & m) | (x & !m)
+    }
+
+    /// Per-field unsigned max.
+    #[inline]
+    fn max_fields(x: u64, y: u64) -> u64 {
+        let ge = (((x | GUARD) - y) >> 31) & ONE_E;
+        let m = ge * 0xFFFF_FFFF;
+        (x & m) | (y & !m)
+    }
+
+    /// Splits a `u64` of four u16 lanes into (even, odd) field words.
+    #[inline]
+    fn split(w: u64) -> (u64, u64) {
+        (w & EVEN, (w >> 16) & EVEN)
+    }
+
+    /// Recombines (even, odd) field words into four u16 lanes.
+    #[inline]
+    fn join(e: u64, o: u64) -> u64 {
+        e | (o << 16)
+    }
+
+    /// Reads 4 lanes from a `&[Dist]` at element offset `i` (must have 4).
+    #[inline]
+    fn load(s: &[Dist], i: usize) -> u64 {
+        u64::from(s[i])
+            | (u64::from(s[i + 1]) << 16)
+            | (u64::from(s[i + 2]) << 32)
+            | (u64::from(s[i + 3]) << 48)
+    }
+
+    /// Writes 4 lanes back.
+    #[inline]
+    fn store(s: &mut [Dist], i: usize, w: u64) {
+        s[i] = w as Dist;
+        s[i + 1] = (w >> 16) as Dist;
+        s[i + 2] = (w >> 32) as Dist;
+        s[i + 3] = (w >> 48) as Dist;
+    }
+
+    /// Sums the two u16-valued fields of an even/odd field word.
+    #[inline]
+    fn field_sum(w: u64) -> u64 {
+        (w & 0xFFFF_FFFF) + (w >> 32)
+    }
+
+    /// SWAR [`super::min_blend`].
+    pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
+        debug_assert_eq!(base.len(), via.len());
+        let n4 = base.len() & !3;
+        let mut i = 0;
+        while i < n4 {
+            let (be, bo) = split(load(base, i));
+            let (ve, vo) = split(load(via, i));
+            let e = min_fields(be, sat_inc_fields(ve));
+            let o = min_fields(bo, sat_inc_fields(vo));
+            store(base, i, join(e, o));
+            i += 4;
+        }
+        for t in n4..base.len() {
+            base[t] = base[t].min(via[t].saturating_add(1));
+        }
+    }
+
+    /// SWAR [`super::blend_cost_sum`].
+    pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let n4 = base.len() & !3;
+        let mut sum = 0u64;
+        let mut mxe = 0u64;
+        let mut mxo = 0u64;
+        let mut i = 0;
+        while i < n4 {
+            let (be, bo) = split(load(base, i));
+            let (ve, vo) = split(load(via, i));
+            let e = min_fields(be, sat_inc_fields(ve));
+            let o = min_fields(bo, sat_inc_fields(vo));
+            mxe = max_fields(mxe, e);
+            mxo = max_fields(mxo, o);
+            sum += field_sum(e) + field_sum(o);
+            i += 4;
+        }
+        let mut mx = max_fields(mxe, mxo);
+        mx = max_fields(mx, mx >> 32) & 0xFFFF_FFFF;
+        let mut mx = mx as Dist;
+        for t in n4..base.len() {
+            let d = base[t].min(via[t].saturating_add(1));
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            sum
+        }
+    }
+
+    /// SWAR [`super::blend_cost_ecc`].
+    pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let n4 = base.len() & !3;
+        let mut mxe = 0u64;
+        let mut mxo = 0u64;
+        let mut i = 0;
+        while i < n4 {
+            let (be, bo) = split(load(base, i));
+            let (ve, vo) = split(load(via, i));
+            mxe = max_fields(mxe, min_fields(be, sat_inc_fields(ve)));
+            mxo = max_fields(mxo, min_fields(bo, sat_inc_fields(vo)));
+            i += 4;
+        }
+        let mut mx = max_fields(mxe, mxo);
+        mx = max_fields(mx, mx >> 32) & 0xFFFF_FFFF;
+        let mut mx = mx as Dist;
+        for t in n4..base.len() {
+            mx = mx.max(base[t].min(via[t].saturating_add(1)));
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            u64::from(mx)
+        }
+    }
+
+    /// SWAR [`super::row_cost`].
+    pub fn row_cost(row: &[Dist]) -> RowCost {
+        let n4 = row.len() & !3;
+        let mut sum = 0u64;
+        let mut mxe = 0u64;
+        let mut mxo = 0u64;
+        let mut i = 0;
+        while i < n4 {
+            let (e, o) = split(load(row, i));
+            mxe = max_fields(mxe, e);
+            mxo = max_fields(mxo, o);
+            sum += field_sum(e) + field_sum(o);
+            i += 4;
+        }
+        let mut mx = max_fields(mxe, mxo);
+        mx = max_fields(mx, mx >> 32) & 0xFFFF_FFFF;
+        let mut mx = mx as Dist;
+        for &d in &row[n4..] {
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+
+    /// SWAR [`super::fused_blend_cost`].
+    pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
+        let n4 = row.len() & !3;
+        let mut sum = 0u64;
+        let mut mxe = 0u64;
+        let mut mxo = 0u64;
+        let mut i = 0;
+        while i < n4 {
+            let (mut e, mut o) = split(load(row, i));
+            for term in terms {
+                let ca = u64::from(term.add_a) * ONE_E;
+                let cb = u64::from(term.add_b) * ONE_E;
+                let (ae, ao) = split(load(term.row_a, i));
+                let (be, bo) = split(load(term.row_b, i));
+                e = min_fields(e, sat_add_fields(ae, ca));
+                e = min_fields(e, sat_add_fields(be, cb));
+                o = min_fields(o, sat_add_fields(ao, ca));
+                o = min_fields(o, sat_add_fields(bo, cb));
+            }
+            mxe = max_fields(mxe, e);
+            mxo = max_fields(mxo, o);
+            sum += field_sum(e) + field_sum(o);
+            store(row, i, join(e, o));
+            i += 4;
+        }
+        let mut mx = max_fields(mxe, mxo);
+        mx = max_fields(mx, mx >> 32) & 0xFFFF_FFFF;
+        let mut mx = mx as Dist;
+        for t in n4..row.len() {
+            let mut m = row[t];
+            for term in terms {
+                m = m
+                    .min(term.add_a.saturating_add(term.row_a[t]))
+                    .min(term.add_b.saturating_add(term.row_b[t]));
+            }
+            row[t] = m;
+            mx = mx.max(m);
+            sum += u64::from(m);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 — x86_64 baseline, 8 × u16 lanes per 128-bit vector.
+// ---------------------------------------------------------------------------
+
+/// SSE2 implementations (baseline on every `x86_64` target — no runtime
+/// feature detection needed). Unsigned 16-bit min/max are synthesized from
+/// saturating subtraction (`pminuw` is SSE4.1): `min(a,b) = a − (a ⊖ b)`,
+/// `max(a,b) = b + (a ⊖ b)` with `⊖` the saturating subtract.
+///
+/// Safety: the only unsafe operations are unaligned 128-bit loads/stores
+/// (`_mm_loadu_si128` / `_mm_storeu_si128`) on in-bounds slice regions —
+/// every pointer is derived from a live `&[Dist]`/`&mut [Dist]` and offset
+/// strictly inside it; the scalar tail handles the remainder.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod sse2 {
+    use core::arch::x86_64::*;
+
+    use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+
+    /// Lanes per vector.
+    const L: usize = 8;
+
+    #[inline]
+    unsafe fn loadu(s: &[Dist], i: usize) -> __m128i {
+        debug_assert!(i + L <= s.len());
+        _mm_loadu_si128(s.as_ptr().add(i) as *const __m128i)
+    }
+
+    #[inline]
+    unsafe fn storeu(s: &mut [Dist], i: usize, v: __m128i) {
+        debug_assert!(i + L <= s.len());
+        _mm_storeu_si128(s.as_mut_ptr().add(i) as *mut __m128i, v)
+    }
+
+    /// Per-lane unsigned u16 min via saturating subtract.
+    #[inline]
+    unsafe fn umin(a: __m128i, b: __m128i) -> __m128i {
+        _mm_sub_epi16(a, _mm_subs_epu16(a, b))
+    }
+
+    /// Per-lane unsigned u16 max via saturating subtract.
+    #[inline]
+    unsafe fn umax(a: __m128i, b: __m128i) -> __m128i {
+        _mm_add_epi16(b, _mm_subs_epu16(a, b))
+    }
+
+    /// Horizontal max of 8 u16 lanes.
+    #[inline]
+    unsafe fn hmax(v: __m128i) -> Dist {
+        let v = umax(v, _mm_srli_si128(v, 8));
+        let v = umax(v, _mm_srli_si128(v, 4));
+        let v = umax(v, _mm_srli_si128(v, 2));
+        _mm_cvtsi128_si32(v) as u16
+    }
+
+    /// Horizontal sum of 4 u32 lanes.
+    #[inline]
+    unsafe fn hsum32(v: __m128i) -> u64 {
+        let hi = _mm_srli_si128(v, 8);
+        let s = _mm_add_epi32(v, hi);
+        let s2 = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+        _mm_cvtsi128_si32(s2) as u32 as u64
+    }
+
+    pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let ones = _mm_set1_epi16(1);
+            let mut i = 0;
+            while i < nl {
+                let b = loadu(base, i);
+                let v = loadu(via, i);
+                storeu(base, i, umin(b, _mm_adds_epu16(v, ones)));
+                i += L;
+            }
+        }
+        for t in nl..base.len() {
+            base[t] = base[t].min(via[t].saturating_add(1));
+        }
+    }
+
+    pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        let mut sum;
+        let mut mx;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        // u32 accumulator lanes hold at most (len/8) · 0xFFFF, safe for
+        // every supported n (n ≤ 65 534 ⇒ < 2³⁰ per lane).
+        unsafe {
+            let ones = _mm_set1_epi16(1);
+            let zero = _mm_setzero_si128();
+            let mut acc = zero;
+            let mut vmx = zero;
+            let mut i = 0;
+            while i < nl {
+                let d = umin(loadu(base, i), _mm_adds_epu16(loadu(via, i), ones));
+                vmx = umax(vmx, d);
+                acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(d, zero));
+                acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(d, zero));
+                i += L;
+            }
+            sum = hsum32(acc);
+            mx = hmax(vmx);
+        }
+        for t in nl..base.len() {
+            let d = base[t].min(via[t].saturating_add(1));
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            sum
+        }
+    }
+
+    pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        let mut mx;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let ones = _mm_set1_epi16(1);
+            let mut vmx = _mm_setzero_si128();
+            let mut i = 0;
+            while i < nl {
+                vmx = umax(
+                    vmx,
+                    umin(loadu(base, i), _mm_adds_epu16(loadu(via, i), ones)),
+                );
+                i += L;
+            }
+            mx = hmax(vmx);
+        }
+        for t in nl..base.len() {
+            mx = mx.max(base[t].min(via[t].saturating_add(1)));
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            u64::from(mx)
+        }
+    }
+
+    pub fn row_cost(row: &[Dist]) -> RowCost {
+        let nl = row.len() & !(L - 1);
+        let mut sum;
+        let mut mx;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            let mut acc = zero;
+            let mut vmx = zero;
+            let mut i = 0;
+            while i < nl {
+                let d = loadu(row, i);
+                vmx = umax(vmx, d);
+                acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(d, zero));
+                acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(d, zero));
+                i += L;
+            }
+            sum = hsum32(acc);
+            mx = hmax(vmx);
+        }
+        for &d in &row[nl..] {
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+
+    pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
+        let nl = row.len() & !(L - 1);
+        let mut sum;
+        let mut mx;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len;
+        // every term's snapshot rows have the same length as `row`
+        // (debug-asserted), so the same bound covers them.
+        unsafe {
+            let zero = _mm_setzero_si128();
+            let mut acc = zero;
+            let mut vmx = zero;
+            let mut i = 0;
+            while i < nl {
+                let mut m = loadu(row, i);
+                for term in terms {
+                    debug_assert_eq!(term.row_a.len(), row.len());
+                    debug_assert_eq!(term.row_b.len(), row.len());
+                    let ca = _mm_set1_epi16(term.add_a as i16);
+                    let cb = _mm_set1_epi16(term.add_b as i16);
+                    m = umin(m, _mm_adds_epu16(loadu(term.row_a, i), ca));
+                    m = umin(m, _mm_adds_epu16(loadu(term.row_b, i), cb));
+                }
+                storeu(row, i, m);
+                vmx = umax(vmx, m);
+                acc = _mm_add_epi32(acc, _mm_unpacklo_epi16(m, zero));
+                acc = _mm_add_epi32(acc, _mm_unpackhi_epi16(m, zero));
+                i += L;
+            }
+            sum = hsum32(acc);
+            mx = hmax(vmx);
+        }
+        for t in nl..row.len() {
+            let mut m = row[t];
+            for term in terms {
+                m = m
+                    .min(term.add_a.saturating_add(term.row_a[t]))
+                    .min(term.add_b.saturating_add(term.row_b[t]));
+            }
+            row[t] = m;
+            mx = mx.max(m);
+            sum += u64::from(m);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON — aarch64, 8 × u16 lanes per 128-bit vector.
+// ---------------------------------------------------------------------------
+
+/// NEON implementations (`aarch64` mandates NEON, so no runtime
+/// detection). Unsigned u16 min/max and saturating add are native
+/// (`vminq_u16` / `vmaxq_u16` / `vqaddq_u16`); horizontal reductions use
+/// the across-vector forms (`vaddlvq_u16`, `vmaxvq_u16`).
+///
+/// Safety: as in the SSE2 module, the only unsafe operations are
+/// unaligned vector loads/stores on in-bounds slice regions.
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use core::arch::aarch64::*;
+
+    use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+
+    const L: usize = 8;
+
+    pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let ones = vdupq_n_u16(1);
+            let mut i = 0;
+            while i < nl {
+                let b = vld1q_u16(base.as_ptr().add(i));
+                let v = vld1q_u16(via.as_ptr().add(i));
+                vst1q_u16(base.as_mut_ptr().add(i), vminq_u16(b, vqaddq_u16(v, ones)));
+                i += L;
+            }
+        }
+        for t in nl..base.len() {
+            base[t] = base[t].min(via[t].saturating_add(1));
+        }
+    }
+
+    pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        let mut sum = 0u64;
+        let mut mx: Dist = 0;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let ones = vdupq_n_u16(1);
+            let mut vmx = vdupq_n_u16(0);
+            let mut i = 0;
+            while i < nl {
+                let d = vminq_u16(
+                    vld1q_u16(base.as_ptr().add(i)),
+                    vqaddq_u16(vld1q_u16(via.as_ptr().add(i)), ones),
+                );
+                vmx = vmaxq_u16(vmx, d);
+                sum += u64::from(vaddlvq_u16(d));
+                i += L;
+            }
+            mx = mx.max(vmaxvq_u16(vmx));
+        }
+        for t in nl..base.len() {
+            let d = base[t].min(via[t].saturating_add(1));
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            sum
+        }
+    }
+
+    pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
+        debug_assert_eq!(base.len(), via.len());
+        let nl = base.len() & !(L - 1);
+        let mut mx: Dist = 0;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let ones = vdupq_n_u16(1);
+            let mut vmx = vdupq_n_u16(0);
+            let mut i = 0;
+            while i < nl {
+                let d = vminq_u16(
+                    vld1q_u16(base.as_ptr().add(i)),
+                    vqaddq_u16(vld1q_u16(via.as_ptr().add(i)), ones),
+                );
+                vmx = vmaxq_u16(vmx, d);
+                i += L;
+            }
+            mx = mx.max(vmaxvq_u16(vmx));
+        }
+        for t in nl..base.len() {
+            mx = mx.max(base[t].min(via[t].saturating_add(1)));
+        }
+        if mx == UNREACHABLE_D {
+            INF_SUM
+        } else {
+            u64::from(mx)
+        }
+    }
+
+    pub fn row_cost(row: &[Dist]) -> RowCost {
+        let nl = row.len() & !(L - 1);
+        let mut sum = 0u64;
+        let mut mx: Dist = 0;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len.
+        unsafe {
+            let mut vmx = vdupq_n_u16(0);
+            let mut i = 0;
+            while i < nl {
+                let d = vld1q_u16(row.as_ptr().add(i));
+                vmx = vmaxq_u16(vmx, d);
+                sum += u64::from(vaddlvq_u16(d));
+                i += L;
+            }
+            mx = mx.max(vmaxvq_u16(vmx));
+        }
+        for &d in &row[nl..] {
+            mx = mx.max(d);
+            sum += u64::from(d);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+
+    pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
+        let nl = row.len() & !(L - 1);
+        let mut sum = 0u64;
+        let mut mx: Dist = 0;
+        // SAFETY: all vector accesses are at offsets i with i + 8 <= len;
+        // term snapshot rows share `row`'s length (debug-asserted).
+        unsafe {
+            let mut vmx = vdupq_n_u16(0);
+            let mut i = 0;
+            while i < nl {
+                let mut m = vld1q_u16(row.as_ptr().add(i));
+                for term in terms {
+                    debug_assert_eq!(term.row_a.len(), row.len());
+                    debug_assert_eq!(term.row_b.len(), row.len());
+                    let ca = vdupq_n_u16(term.add_a);
+                    let cb = vdupq_n_u16(term.add_b);
+                    m = vminq_u16(m, vqaddq_u16(vld1q_u16(term.row_a.as_ptr().add(i)), ca));
+                    m = vminq_u16(m, vqaddq_u16(vld1q_u16(term.row_b.as_ptr().add(i)), cb));
+                }
+                vst1q_u16(row.as_mut_ptr().add(i), m);
+                vmx = vmaxq_u16(vmx, m);
+                sum += u64::from(vaddlvq_u16(m));
+                i += L;
+            }
+            mx = mx.max(vmaxvq_u16(vmx));
+        }
+        for t in nl..row.len() {
+            let mut m = row[t];
+            for term in terms {
+                m = m
+                    .min(term.add_a.saturating_add(term.row_a[t]))
+                    .min(term.add_b.saturating_add(term.row_b[t]));
+            }
+            row[t] = m;
+            mx = mx.max(m);
+            sum += u64::from(m);
+        }
+        if mx == UNREACHABLE_D {
+            RowCost {
+                sum: INF_SUM,
+                ecc: UNREACHABLE_D,
+            }
+        } else {
+            RowCost { sum, ecc: mx }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch — compile-time routing to the best available path.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($($args:expr),*; $name:ident) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            sse2::$name($($args),*)
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            neon::$name($($args),*)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            swar::$name($($args),*)
+        }
+    }};
+}
+
+/// In-place min-plus blend of the insertion identity:
+/// `base[t] = min(base[t], 1 saturating+ via[t])`.
+#[inline]
+pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
+    dispatch!(base, via; min_blend)
+}
+
+/// Sum of the blended row `min(base, 1 + via)` without materializing it —
+/// the sum objective's `cost_with_insertion`. [`INF_SUM`] when some
+/// blended entry is unreachable.
+///
+/// Rows must respect the matrix bound (`len ≤ MAX_FINITE_DIST + 1`,
+/// debug-asserted): the SIMD paths accumulate in `u32` lanes, which is
+/// exact for every supported row length but would wrap far beyond it.
+#[inline]
+pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
+    debug_assert!(base.len() <= MAX_FINITE_DIST as usize + 1);
+    dispatch!(base, via; blend_cost_sum)
+}
+
+/// Eccentricity of the blended row `min(base, 1 + via)` as a game cost —
+/// the max objective's `cost_with_insertion`. [`INF_SUM`] when some
+/// blended entry is unreachable.
+#[inline]
+pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
+    dispatch!(base, via; blend_cost_ecc)
+}
+
+/// One-pass sum + eccentricity of a compact row — the primitive behind
+/// both objectives' `cost_of_row` and the maintained per-vertex
+/// aggregates. Same row-length bound as [`blend_cost_sum`]
+/// (debug-asserted).
+#[inline]
+pub fn row_cost(row: &[Dist]) -> RowCost {
+    debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
+    dispatch!(row; row_cost)
+}
+
+/// Fused k-term batch blend of one row: applies every term's two min
+/// sides (`add_a + row_a[t]`, `add_b + row_b[t]`, lane-saturating) to each
+/// element in one pass over the row, returning the blended row's
+/// aggregates. With `k` insertions at a round barrier this touches the
+/// row once instead of `k` times — the memory-bound regime where batching
+/// actually pays.
+/// Same row-length bound as [`blend_cost_sum`] (debug-asserted).
+#[inline]
+pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
+    debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
+    dispatch!(row, terms; fused_blend_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(n: usize, seed: u64) -> (Vec<Dist>, Vec<Dist>) {
+        // Deterministic pseudo-random rows with sentinels sprinkled in.
+        let mut x = seed | 1;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let gen_row = |next: &mut dyn FnMut() -> u64| {
+            (0..n)
+                .map(|_| {
+                    let r = next();
+                    if r.is_multiple_of(11) {
+                        UNREACHABLE_D
+                    } else {
+                        (r % 700) as Dist
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = gen_row(&mut next);
+        let b = gen_row(&mut next);
+        (a, b)
+    }
+
+    #[test]
+    fn dispatch_matches_scalar_reference() {
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 33, 257] {
+            for seed in 1..6u64 {
+                let (base, via) = sample_rows(n, seed * 77);
+                assert_eq!(
+                    blend_cost_sum(&base, &via),
+                    blend_cost_sum_scalar(&base, &via),
+                    "sum n={n} seed={seed}"
+                );
+                assert_eq!(
+                    blend_cost_ecc(&base, &via),
+                    blend_cost_ecc_scalar(&base, &via),
+                    "ecc n={n} seed={seed}"
+                );
+                assert_eq!(row_cost(&base), row_cost_scalar(&base), "row n={n}");
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                min_blend(&mut fast, &via);
+                min_blend_scalar(&mut slow, &via);
+                assert_eq!(fast, slow, "min_blend n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn swar_matches_scalar_reference() {
+        for n in [0usize, 1, 4, 5, 12, 31, 100] {
+            for seed in 1..6u64 {
+                let (base, via) = sample_rows(n, seed * 31 + 7);
+                assert_eq!(
+                    swar::blend_cost_sum(&base, &via),
+                    blend_cost_sum_scalar(&base, &via),
+                    "swar sum n={n} seed={seed}"
+                );
+                assert_eq!(
+                    swar::blend_cost_ecc(&base, &via),
+                    blend_cost_ecc_scalar(&base, &via),
+                    "swar ecc n={n} seed={seed}"
+                );
+                assert_eq!(swar::row_cost(&base), row_cost_scalar(&base));
+                let mut fast = base.clone();
+                let mut slow = base.clone();
+                swar::min_blend(&mut fast, &via);
+                min_blend_scalar(&mut slow, &via);
+                assert_eq!(fast, slow, "swar min_blend n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_scalar_on_all_paths() {
+        for n in [0usize, 1, 7, 8, 9, 40, 129] {
+            let (row0, s1) = sample_rows(n, 0xF00D);
+            let (s2, s3) = sample_rows(n, 0xBEEF);
+            let (s4, _) = sample_rows(n, 0xCAFE);
+            let terms = [
+                BlendTerm {
+                    add_a: 3,
+                    row_a: &s1,
+                    add_b: 5,
+                    row_b: &s2,
+                },
+                BlendTerm {
+                    add_a: UNREACHABLE_D,
+                    row_a: &s3,
+                    add_b: 1,
+                    row_b: &s4,
+                },
+            ];
+            let mut a = row0.clone();
+            let mut b = row0.clone();
+            let mut c = row0.clone();
+            let ra = fused_blend_cost(&mut a, &terms);
+            let rb = fused_blend_cost_scalar(&mut b, &terms);
+            let rc = swar::fused_blend_cost(&mut c, &terms);
+            assert_eq!(a, b, "fused row n={n}");
+            assert_eq!(ra, rb, "fused cost n={n}");
+            assert_eq!(c, b, "swar fused row n={n}");
+            assert_eq!(rc, rb, "swar fused cost n={n}");
+        }
+    }
+
+    #[test]
+    fn saturating_sentinel_semantics() {
+        // UNREACHABLE + 1 must stay UNREACHABLE through every path.
+        let base = vec![UNREACHABLE_D; 16];
+        let via = vec![UNREACHABLE_D; 16];
+        assert_eq!(blend_cost_sum(&base, &via), INF_SUM);
+        assert_eq!(blend_cost_ecc(&base, &via), INF_SUM);
+        let mut b = base.clone();
+        min_blend(&mut b, &via);
+        assert_eq!(b, base);
+        // A reachable via-row rescues the blend.
+        let via2 = vec![0 as Dist; 16];
+        assert_eq!(blend_cost_sum(&base, &via2), 16);
+        assert_eq!(blend_cost_ecc(&base, &via2), 1);
+    }
+
+    #[test]
+    fn narrow_checked_maps_sentinel_and_values() {
+        let src = [0u32, 1, 700, u32::MAX];
+        let mut dst = [0 as Dist; 4];
+        narrow_checked(&src, &mut dst);
+        assert_eq!(dst, [0, 1, 700, UNREACHABLE_D]);
+        assert_eq!(widen(dst[3]), u32::MAX);
+        assert_eq!(widen(dst[2]), 700);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the u16 distance domain")]
+    fn narrow_checked_panics_on_overflow() {
+        // A finite distance at u16::MAX − 1 no longer fits (the slot is
+        // reserved so `d + 1` cannot collide with the sentinel).
+        let src = [0u32, u32::from(MAX_FINITE_DIST) + 1];
+        let mut dst = [0 as Dist; 2];
+        narrow_checked(&src, &mut dst);
+    }
+}

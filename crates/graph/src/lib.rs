@@ -20,7 +20,11 @@
 //! * [`DynamicApsp`] — the dynamic-distance subsystem: the same matrix
 //!   maintained incrementally across single-edge swaps (truncated
 //!   Ramalingam–Reps row repairs with a full-rebuild fallback; see
-//!   [`dynamic`]).
+//!   [`dynamic`]), together with per-vertex cost aggregates (row sums and
+//!   eccentricities) updated only for the rows each repair touches.
+//! * [`kernels`] — the compact-distance kernel layer: `u16` rows,
+//!   SWAR/SIMD min-plus blends, fused batch blends, and one-pass row
+//!   aggregates; every hot scan above routes through it.
 //! * [`generators`] — classic families, random models, Prüfer codecs, and
 //!   exhaustive rooted/free tree enumeration (Beyer–Hedetniemi + AHU).
 //! * [`canon`] — AHU tree canonicalization and brute-force canonical forms
@@ -40,7 +44,9 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is denied workspace-wide; the single exception is the
+// `#[allow]`-scoped SIMD module in `kernels` (unaligned vector loads and
+// stores on in-bounds slice regions, invariants documented there).
 
 pub mod adjacency;
 pub mod articulation;
@@ -54,6 +60,7 @@ pub mod generators;
 pub mod girth;
 pub mod graph6;
 pub mod io;
+pub mod kernels;
 pub mod ops;
 pub mod properties;
 
@@ -62,6 +69,7 @@ pub use bfs::{bfs_distances, with_scratch, BfsScratch};
 pub use csr::Csr;
 pub use distance::{DistanceMatrix, UNREACHABLE};
 pub use dynamic::{DynamicApsp, RepairStats};
+pub use kernels::{Dist, MAX_FINITE_DIST, UNREACHABLE_D};
 
 /// Vertex identifier. Graphs in this workspace are small enough (≤ ~10⁵
 /// vertices) that `u32` indices keep every structure compact and cache

@@ -7,7 +7,7 @@
 //! into an (almost-)distance-uniform one. The remaining operators support
 //! tests and constructions.
 
-use crate::{DistanceMatrix, Graph, UNREACHABLE, V};
+use crate::{DistanceMatrix, Graph, V};
 
 /// The `x`-th power `G^x`: `u ~ v` iff `1 ≤ d_G(u, v) ≤ x`.
 ///
@@ -32,7 +32,7 @@ pub fn power_from_matrix(dm: &DistanceMatrix, x: u32) -> Graph {
         let row = dm.row(u);
         for v in (u + 1)..n as V {
             let d = row[v as usize];
-            if d != UNREACHABLE && d <= x {
+            if d != crate::UNREACHABLE_D && u32::from(d) <= x {
                 g.add_edge(u, v);
             }
         }

@@ -45,7 +45,7 @@ fn naive_best_response<O: Objective>(g: &Graph, v: V) -> Option<bncg::game::Scor
     let old = {
         let mut scratch = BfsScratch::new(g.n());
         scratch.run(&csr, v);
-        O::cost_of_row(&scratch.dist)
+        O::cost_of_wide_row(&scratch.dist)
     };
     let mut best: Option<bncg::game::ScoredSwap> = None;
     for &w in g.neighbors(v) {
