@@ -11,7 +11,8 @@
 //!
 //! This crate measures all of those quantities on arbitrary graphs:
 //!
-//! * [`uniformity`] — best `(r, ε)` for both uniformity notions;
+//! * [`uniformity`](mod@uniformity) — best `(r, ε)` for both
+//!   uniformity notions;
 //! * [`skew`] — the skew-triple counts driving Theorem 13's proof;
 //! * [`theorem13`] — the power-graph uniformization pipeline itself;
 //! * [`growth`] — sphere/ball growth profiles (Theorem 9's `B_k` data);

@@ -27,7 +27,7 @@
 use std::sync::OnceLock;
 
 use bncg_graph::adjacency::SwapApplied;
-use bncg_graph::dynamic::{DynamicApsp, RepairStats};
+use bncg_graph::dynamic::{DynamicApsp, RepairStats, RepairStrategy};
 use bncg_graph::{with_scratch, Csr, DistanceMatrix, Graph, V};
 use rayon::prelude::*;
 
@@ -54,6 +54,7 @@ pub struct EvalContext {
     csr: Csr,
     base: OnceLock<DynamicApsp>,
     max_repair_rows: Option<usize>,
+    repair_strategy: Option<RepairStrategy>,
 }
 
 impl EvalContext {
@@ -68,6 +69,7 @@ impl EvalContext {
             csr,
             base: OnceLock::new(),
             max_repair_rows: None,
+            repair_strategy: None,
         }
     }
 
@@ -107,6 +109,25 @@ impl EvalContext {
     /// and the cumulative counters (updates, incremental vs full rebuilds,
     /// rows repaired/blended) cover every call in between — not just the
     /// most recent one.
+    ///
+    /// # Examples
+    /// ```
+    /// use bncg_core::context::EvalContext;
+    /// use bncg_core::objective::SumObjective;
+    /// use bncg_graph::generators::classic;
+    ///
+    /// let mut g = classic::path(7);
+    /// let mut ctx = EvalContext::new(&g);
+    /// ctx.base(); // force the matrix so the move exercises the repair
+    /// let s = ctx.best_response::<SumObjective>(0).expect("endpoint improves");
+    /// let rec = s.mv.apply(&mut g);
+    /// ctx.refresh_after(&g, &rec);
+    /// // The context now scores the *post-move* graph …
+    /// assert_eq!(ctx.agent_cost::<SumObjective>(0), s.new_cost);
+    /// // … and the move was serviced by row repair, not a rebuild.
+    /// let stats = ctx.dynamic_stats_snapshot();
+    /// assert_eq!((stats.incremental, stats.full_rebuilds), (1, 0));
+    /// ```
     pub fn refresh_after(&mut self, g: &Graph, applied: &SwapApplied) {
         g.refresh_csr(&mut self.csr);
         if let Some(mut dyn_apsp) = self.base.take() {
@@ -141,6 +162,19 @@ impl EvalContext {
         self.max_repair_rows = Some(rows);
         if let Some(dyn_apsp) = self.base.get_mut() {
             dyn_apsp.set_max_repair_rows(rows);
+        }
+    }
+
+    /// Selects the deletion-repair implementation of the dynamic-distance
+    /// subsystem ([`RepairStrategy::Kernel`] — the level-bucketed batched
+    /// walkers — by default); applies to the current cached matrix and any
+    /// built later. Both strategies are byte-identical, so this is purely
+    /// a performance lever (and the benchmark switch the repair gates
+    /// flip).
+    pub fn set_repair_strategy(&mut self, strategy: RepairStrategy) {
+        self.repair_strategy = Some(strategy);
+        if let Some(dyn_apsp) = self.base.get_mut() {
+            dyn_apsp.set_repair_strategy(strategy);
         }
     }
 
@@ -187,6 +221,9 @@ impl EvalContext {
                 let mut dyn_apsp = DynamicApsp::build(&self.csr);
                 if let Some(rows) = self.max_repair_rows {
                     dyn_apsp.set_max_repair_rows(rows);
+                }
+                if let Some(strategy) = self.repair_strategy {
+                    dyn_apsp.set_repair_strategy(strategy);
                 }
                 dyn_apsp
             })
@@ -291,7 +328,7 @@ impl EvalContext {
 
     /// Parallel version of [`find_improving_swap`](Self::find_improving_swap)
     /// with **identical** output: edges are scanned in worker-sized blocks
-    /// (see [`par_edge_block`]), each block fans out over rayon workers,
+    /// (one edge per worker thread), each block fans out over rayon workers,
     /// and the lowest-indexed hit wins — exactly the sequential answer,
     /// with the sequential early exit preserved at block granularity.
     pub fn find_improving_swap_par<O: Objective>(&self) -> Option<ScoredSwap> {

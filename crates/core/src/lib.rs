@@ -34,6 +34,20 @@
 //! * [`lemmas`] — executable forms of Lemma 2, Lemma 3, Lemma 10,
 //!   Corollary 11 and the Theorem 9 ball-growth inequality.
 //!
+//! # Conventions inherited from `bncg_graph`
+//!
+//! Costs are `u64` with [`INFINITE_COST`] (`u64::MAX`) for disconnected
+//! agents — by construction equal to what the compact-row kernels report
+//! when a row holds the `u16` sentinel, so objective code never branches
+//! on reachability. The pool-reuse contract also carries through:
+//! [`EvalContext`] keeps one CSR snapshot refreshed **in place**, builds
+//! its base APSP lazily inside a `DynamicApsp` (repaired across moves,
+//! never rebuilt per move), and every per-edge scan draws its masked
+//! matrix from the thread-local pools — call `EdgeSwapScan::recycle` when
+//! done to keep the loop allocation-free. See `ARCHITECTURE.md` at the
+//! repository root for how this crate sits between the graph substrate
+//! and the dynamics engines.
+//!
 //! # Example: Theorem 1 in one assertion
 //!
 //! ```

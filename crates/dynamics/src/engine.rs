@@ -11,7 +11,7 @@
 
 use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
-use bncg_graph::{Graph, V};
+use bncg_graph::{Graph, RepairStrategy, V};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -95,6 +95,7 @@ pub struct DynamicsResult {
 /// The dynamics engine, generic over the usage-cost objective.
 pub struct SwapDynamics<O: Objective> {
     config: DynamicsConfig,
+    repair_strategy: RepairStrategy,
     _marker: std::marker::PhantomData<O>,
 }
 
@@ -103,8 +104,20 @@ impl<O: Objective> SwapDynamics<O> {
     pub fn new(config: DynamicsConfig) -> Self {
         SwapDynamics {
             config,
+            repair_strategy: RepairStrategy::default(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Selects the deletion-repair implementation the run's [`EvalContext`]
+    /// maintains its base matrix with (byte-identical results either way;
+    /// [`RepairStrategy::Kernel`] by default). Lives on the engine rather
+    /// than [`DynamicsConfig`] because it never changes outcomes — only
+    /// how fast the repairs run.
+    #[must_use]
+    pub fn with_repair_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.repair_strategy = strategy;
+        self
     }
 
     /// Runs the dynamics from `start` using `rng` for stochastic
@@ -121,6 +134,7 @@ impl<O: Objective> SwapDynamics<O> {
         let mut g = start.clone();
         let n = g.n();
         let mut ctx = EvalContext::new(&g);
+        ctx.set_repair_strategy(self.repair_strategy);
         let mut log = StateLog::new();
         if self.config.detect_cycles {
             log.record(&g);

@@ -23,6 +23,22 @@
 //!   E1/E2 (Theorems 1 and 4);
 //! * [`batch`] — seeded multi-run experiments with summary statistics
 //!   (Experiments E4 and E13).
+//!
+//! # How the engines consume the lower layers
+//!
+//! Both engines keep **one** `EvalContext` (hence one maintained
+//! `DynamicApsp` base matrix) alive for a whole run: the sequential
+//! engine patches it per move through `refresh_after`, the round engine
+//! once per round through `refresh_after_batch` at the barrier. The
+//! deletion-repair implementation behind those patches is selectable via
+//! [`engine::SwapDynamics::with_repair_strategy`] /
+//! [`rounds::RoundDynamics::with_repair_strategy`]
+//! (`bncg_graph::RepairStrategy`; the kernelized walkers by default,
+//! byte-identical to the scalar reference either way — which is why the
+//! knob lives on the engines, not in the serialized configs). Pool reuse
+//! is inherited: a run allocates its working set once and recycles it
+//! across every round. See `ARCHITECTURE.md` at the repository root for
+//! the full layer stack.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

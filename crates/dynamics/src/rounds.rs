@@ -32,7 +32,7 @@ use bncg_core::objective::Objective;
 use bncg_core::swap::ScoredSwap;
 use bncg_graph::adjacency::{Edge, SwapApplied};
 use bncg_graph::dynamic::RepairStats;
-use bncg_graph::Graph;
+use bncg_graph::{Graph, RepairStrategy};
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::StateLog;
@@ -142,6 +142,7 @@ pub fn step_round<O: Objective>(
 /// activated every round against the same frozen snapshot.
 pub struct RoundDynamics<O: Objective> {
     config: RoundConfig,
+    repair_strategy: RepairStrategy,
     _marker: std::marker::PhantomData<O>,
 }
 
@@ -150,8 +151,20 @@ impl<O: Objective> RoundDynamics<O> {
     pub fn new(config: RoundConfig) -> Self {
         RoundDynamics {
             config,
+            repair_strategy: RepairStrategy::default(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Selects the deletion-repair implementation backing the shared base
+    /// matrix's round-barrier batch repairs (byte-identical results either
+    /// way; [`RepairStrategy::Kernel`] by default). Lives on the engine
+    /// rather than [`RoundConfig`] because it never changes outcomes —
+    /// only how fast the barrier repair runs.
+    #[must_use]
+    pub fn with_repair_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.repair_strategy = strategy;
+        self
     }
 
     /// Runs the round dynamics from `start`.
@@ -163,6 +176,7 @@ impl<O: Objective> RoundDynamics<O> {
     pub fn run(&self, start: &Graph) -> RoundResult {
         let mut g = start.clone();
         let mut ctx = EvalContext::new(&g);
+        ctx.set_repair_strategy(self.repair_strategy);
         ctx.base(); // force the matrix: every round repairs, none rebuilds
         let stats_before = ctx.dynamic_stats_snapshot();
         let mut log = StateLog::new();

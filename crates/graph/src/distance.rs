@@ -201,8 +201,9 @@ impl DistanceMatrix {
     /// Copy of this matrix backed by a pooled buffer (parallel row copy
     /// for large `n`). This is the "copy" half of the copy-plus-repair
     /// masked scans in [`crate::dynamic::masked_apsp_from_base`]: cloning
-    /// `n²` words and repairing a few rows beats re-running `n` masked BFS
-    /// traversals whenever the deleted edge's affected set is small.
+    /// `n²` compact (`u16`) entries and repairing a few rows beats
+    /// re-running `n` masked BFS traversals whenever the deleted edge's
+    /// affected set is small.
     pub fn clone_pooled(&self) -> DistanceMatrix {
         let n = self.n;
         let mut d = take_matrix_buf(n * n);

@@ -50,6 +50,18 @@
 //! which is what lets `EdgeSwapScan` in `bncg_core` skip its `n` masked
 //! BFS runs per scanned edge.
 //!
+//! The deletion-repair inner loops come in **two strategies**
+//! ([`RepairStrategy`], selectable per instance): the scalar reference
+//! walkers, and the default *kernelized* walkers that gather each
+//! frontier's candidate neighborhoods into contiguous scratch buffers and
+//! route the reductions — stage A's alternate-parent test
+//! ([`kernels::gather_min_plus`]) and phase 2's boundary relaxation
+//! ([`kernels::frontier_relax`], one fused pass over every affected
+//! vertex's stored boundary segment) — through the SIMD row-kernel layer.
+//! Both strategies are byte-identical on every input; the property tests
+//! in `tests/dynamic_apsp_props.rs` sweep them against each other and
+//! against full rebuilds.
+//!
 //! A deletion needing repairs on more rows than
 //! [`DynamicApsp::max_repair_rows`] falls back to a full parallel rebuild
 //! instead; every decision is recorded in [`RepairStats`]. Measurements on
@@ -108,6 +120,35 @@ fn with_repair_scratch<R>(n: usize, f: impl FnOnce(&mut RepairScratch) -> R) -> 
         }
     });
     result
+}
+
+/// Which implementation services the deletion-repair walkers.
+///
+/// Both strategies are **byte-identical** on every input — the property
+/// tests in `tests/dynamic_apsp_props.rs` sweep them against each other
+/// and against full rebuilds — so the choice is purely a performance
+/// lever:
+///
+/// * [`Scalar`](Self::Scalar) — the reference walkers: phase 1 chases the
+///   CSR one neighbor at a time (`any`-style tight-parent probes, a
+///   separate child scan), phase 2 re-walks each affected vertex's
+///   neighborhood to seed the boundary Dijkstra. Kept as the executable
+///   spec the batched path is pinned to.
+/// * [`Kernel`](Self::Kernel) — level-bucketed frontier batching through
+///   the row kernels ([`kernels::gather_min_plus`] /
+///   [`kernels::frontier_relax`]): each frontier level's candidate
+///   neighborhoods are gathered once into contiguous scratch buffers, the
+///   phase-1 tight-parent verdicts for the whole bucket come from one
+///   fused segmented min-plus reduction, and phase 2 seeds from the
+///   *stored* gather segments (filtered by the final affected marks)
+///   instead of re-walking the CSR. The default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairStrategy {
+    /// Scalar reference walkers (the executable spec).
+    Scalar,
+    /// Level-bucketed frontier batching through the SIMD row kernels.
+    #[default]
+    Kernel,
 }
 
 /// Counters describing how [`DynamicApsp`] serviced its updates — the
@@ -178,6 +219,7 @@ pub struct DynamicApsp {
     dm: DistanceMatrix,
     n: usize,
     max_repair_rows: usize,
+    strategy: RepairStrategy,
     stats: RepairStats,
     /// Per-source repair root from stage A (`V::MAX` = row unchanged).
     roots: Vec<V>,
@@ -217,6 +259,7 @@ impl DynamicApsp {
             dm,
             n,
             max_repair_rows: n.max(1),
+            strategy: RepairStrategy::default(),
             stats: RepairStats::default(),
             roots: Vec::new(),
             row_x: Vec::new(),
@@ -329,9 +372,40 @@ impl DynamicApsp {
         self.max_repair_rows = rows;
     }
 
+    /// Which deletion-repair implementation this instance uses
+    /// ([`RepairStrategy::Kernel`] by default).
+    #[inline]
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        self.strategy
+    }
+
+    /// Selects the deletion-repair implementation. Both strategies produce
+    /// byte-identical matrices; [`RepairStrategy::Scalar`] is the
+    /// reference the batched path is property-tested against.
+    pub fn set_repair_strategy(&mut self, strategy: RepairStrategy) {
+        self.strategy = strategy;
+    }
+
     /// Applies the outcome of [`Graph::apply_swap`](crate::Graph::apply_swap)
     /// to the matrix. `csr` must be the snapshot of the graph **after** the
     /// move (the state the record was produced by).
+    ///
+    /// # Examples
+    /// ```
+    /// use bncg_graph::generators::classic;
+    /// use bncg_graph::{DistanceMatrix, DynamicApsp};
+    ///
+    /// let mut g = classic::path(8);
+    /// let mut apsp = DynamicApsp::build(&g.to_csr());
+    /// // Endpoint 0 rewires its only edge onto the center.
+    /// let rec = g.apply_swap(0, 1, 4);
+    /// apsp.apply_swap(&g.to_csr(), &rec);
+    /// // The maintained matrix is byte-identical to a fresh rebuild …
+    /// assert_eq!(apsp.matrix(), &DistanceMatrix::build(&g.to_csr()));
+    /// // … and the update was serviced incrementally, not by rebuild.
+    /// assert_eq!(apsp.stats().incremental, 1);
+    /// assert_eq!(apsp.stats().full_rebuilds, 0);
+    /// ```
     pub fn apply_swap(&mut self, csr: &Csr, applied: &SwapApplied) {
         match *applied {
             SwapApplied::Noop => {}
@@ -374,6 +448,23 @@ impl DynamicApsp {
     /// several deletions in flight the per-edge alternate-parent filter no
     /// longer proves a row unchanged on its own, so the count is a
     /// slightly coarser upper bound than the single-swap path's.
+    ///
+    /// # Examples
+    /// ```
+    /// use bncg_graph::generators::classic;
+    /// use bncg_graph::{DistanceMatrix, DynamicApsp};
+    ///
+    /// let mut g = classic::cycle(10);
+    /// let mut apsp = DynamicApsp::build(&g.to_csr());
+    /// // One activation round: agents 0 and 5 swap simultaneously, with
+    /// // pairwise edge-disjoint footprints (the round engine's contract).
+    /// let batch = vec![g.apply_swap(0, 1, 3), g.apply_swap(5, 6, 8)];
+    /// apsp.apply_batch(&g.to_csr(), &batch);
+    /// assert_eq!(apsp.matrix(), &DistanceMatrix::build(&g.to_csr()));
+    /// // The whole round counts as one batched update.
+    /// assert_eq!(apsp.stats().batches, 1);
+    /// assert_eq!(apsp.stats().last_batch_swaps, 2);
+    /// ```
     pub fn apply_batch(&mut self, csr: &Csr, batch: &[SwapApplied]) {
         let mut deleted: Vec<(V, V)> = Vec::with_capacity(batch.len());
         let mut inserted: Vec<(V, V)> = Vec::with_capacity(batch.len());
@@ -451,8 +542,16 @@ impl DynamicApsp {
         // Stage A: find the rows that can change at all. Tightness reads
         // the contiguous rows of u and w (d(s,u) = d(u,s) by symmetry);
         // the alternate-parent filter then touches only tight rows.
-        let candidates =
-            collect_repair_roots(csr, mask, &self.mask_touch, &self.dm, u, w, &mut self.roots);
+        let candidates = collect_repair_roots(
+            csr,
+            mask,
+            &self.mask_touch,
+            &self.dm,
+            u,
+            w,
+            &mut self.roots,
+            self.strategy,
+        );
         self.stats.last_repair_candidates = candidates;
 
         if candidates == 0 {
@@ -480,6 +579,7 @@ impl DynamicApsp {
             self.dm.data_mut(),
             n,
             candidates,
+            self.strategy,
         );
         self.refresh_costs_marked(candidates);
         self.stats.last_rows_repaired = candidates;
@@ -544,21 +644,19 @@ impl DynamicApsp {
         // non-empty affected set (the exact measure, unlike candidates).
         let roots = &self.roots;
         let touch = &self.mask_touch;
+        let strategy = self.strategy;
+        let repair_one = |scratch: &mut RepairScratch, row: &mut [Dist]| match strategy {
+            RepairStrategy::Scalar => repair_row_batch(scratch, csr, mask, touch, deleted, row),
+            RepairStrategy::Kernel => {
+                repair_row_kernel_batch(scratch, csr, mask, touch, deleted, row)
+            }
+        };
         let d = self.dm.data_mut();
         let repaired = if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
             with_repair_scratch(n, |scratch| {
                 let mut repaired = 0usize;
                 for s in 0..n {
-                    if roots[s] != V::MAX
-                        && repair_row_batch(
-                            scratch,
-                            csr,
-                            mask,
-                            touch,
-                            deleted,
-                            &mut d[s * n..(s + 1) * n],
-                        )
-                    {
+                    if roots[s] != V::MAX && repair_one(scratch, &mut d[s * n..(s + 1) * n]) {
                         repaired += 1;
                     }
                 }
@@ -568,9 +666,7 @@ impl DynamicApsp {
             let repaired = AtomicUsize::new(0);
             d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
                 if roots[s] != V::MAX {
-                    let changed = with_repair_scratch(n, |scratch| {
-                        repair_row_batch(scratch, csr, mask, touch, deleted, row)
-                    });
+                    let changed = with_repair_scratch(n, |scratch| repair_one(scratch, row));
                     if changed {
                         repaired.fetch_add(1, Ordering::Relaxed);
                     }
@@ -741,12 +837,24 @@ pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> 
 
     // The exact stage-A filters + stage-B dispatch of the maintained
     // matrix's deletion update, shared so the scan path can never diverge.
+    // Scans always take the default (kernel) strategy — the property tests
+    // pin it byte-identical to `build_masked` either way.
+    let strategy = RepairStrategy::default();
     let mut roots: Vec<V> = Vec::new();
-    let candidates = collect_repair_roots(csr, &mask, touch, base, u, w, &mut roots);
+    let candidates = collect_repair_roots(csr, &mask, touch, base, u, w, &mut roots, strategy);
     if candidates == 0 {
         return dm;
     }
-    repair_marked_rows(csr, &mask, touch, &roots, dm.data_mut(), n, candidates);
+    repair_marked_rows(
+        csr,
+        &mask,
+        touch,
+        &roots,
+        dm.data_mut(),
+        n,
+        candidates,
+        strategy,
+    );
     dm
 }
 
@@ -755,6 +863,13 @@ pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> 
 /// root for deleting edge `uw` (`V::MAX` = row provably unchanged by the
 /// tight/alternate-parent filters) and returns the candidate count. `dm`
 /// is the pre-deletion matrix the rows are read from.
+///
+/// Under [`RepairStrategy::Kernel`] the alternate-parent probe runs as a
+/// [`kernels::gather_min_plus`] reduction over the two endpoints'
+/// mask-filtered neighbor lists, collected **once** and reused across all
+/// `n` sources (an alternate parent exists from `s` iff the gathered
+/// minimum plus one equals the far endpoint's level). The scalar strategy
+/// keeps the original early-exit `any` probe as the reference.
 #[allow(clippy::too_many_arguments)]
 fn collect_repair_roots(
     csr: &Csr,
@@ -764,6 +879,7 @@ fn collect_repair_roots(
     u: V,
     w: V,
     roots: &mut Vec<V>,
+    strategy: RepairStrategy,
 ) -> usize {
     let n = dm.n();
     roots.clear();
@@ -771,11 +887,40 @@ fn collect_repair_roots(
     let ru = dm.row(u);
     let rw = dm.row(w);
     let mut count = 0usize;
-    for s in 0..n {
-        if ru[s] != rw[s] {
-            if let Some(far) = repair_root(csr, mask, touch, dm.row(s as V), u, w) {
-                roots[s] = far;
-                count += 1;
+    match strategy {
+        RepairStrategy::Scalar => {
+            for s in 0..n {
+                if ru[s] != rw[s] {
+                    if let Some(far) = repair_root(csr, mask, touch, dm.row(s as V), u, w) {
+                        roots[s] = far;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        RepairStrategy::Kernel => {
+            let nbrs_u: Vec<V> = masked_neighbors(csr, u, mask, touch).collect();
+            let nbrs_w: Vec<V> = masked_neighbors(csr, w, mask, touch).collect();
+            for s in 0..n {
+                let du = ru[s];
+                let dw = rw[s];
+                if du == dw {
+                    continue;
+                }
+                debug_assert_eq!(du.abs_diff(dw), 1, "pre-deletion levels must be adjacent");
+                let (far, far_nbrs, far_lvl) = if dw > du {
+                    (w, &nbrs_w, dw)
+                } else {
+                    (u, &nbrs_u, du)
+                };
+                // Every neighbor sits on level far_lvl − 1, far_lvl, or
+                // far_lvl + 1, so min + 1 == far_lvl exactly when an
+                // alternate parent survives on the level below.
+                let (min_plus, _) = kernels::gather_min_plus(dm.row(s as V), far_nbrs);
+                if min_plus != far_lvl {
+                    roots[s] = far;
+                    count += 1;
+                }
             }
         }
     }
@@ -785,7 +930,8 @@ fn collect_repair_roots(
 /// Stage B shared by [`DynamicApsp::update_deletion`] and
 /// [`masked_apsp_from_base`]: truncated per-row repair of every
 /// root-marked row of `d`, fanning out over the worker pool when both the
-/// problem and the candidate set are wide enough.
+/// problem and the candidate set are wide enough. Each row starts from the
+/// root stage A recorded for it.
 #[allow(clippy::too_many_arguments)]
 fn repair_marked_rows(
     csr: &Csr,
@@ -795,13 +941,18 @@ fn repair_marked_rows(
     d: &mut [Dist],
     n: usize,
     candidates: usize,
+    strategy: RepairStrategy,
 ) {
+    let repair_one = |scratch: &mut RepairScratch, row: &mut [Dist], far: V| match strategy {
+        RepairStrategy::Scalar => repair_row(scratch, csr, mask, touch, row, far),
+        RepairStrategy::Kernel => repair_row_kernel_single(scratch, csr, mask, touch, row, far),
+    };
     if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
         with_repair_scratch(n, |scratch| {
             for s in 0..n {
                 let far = roots[s];
                 if far != V::MAX {
-                    repair_row(scratch, csr, mask, touch, &mut d[s * n..(s + 1) * n], far);
+                    repair_one(scratch, &mut d[s * n..(s + 1) * n], far);
                 }
             }
         });
@@ -809,7 +960,7 @@ fn repair_marked_rows(
         d.par_chunks_mut(n).enumerate().for_each(|(s, row)| {
             let far = roots[s];
             if far != V::MAX {
-                with_repair_scratch(n, |scratch| repair_row(scratch, csr, mask, touch, row, far));
+                with_repair_scratch(n, |scratch| repair_one(scratch, row, far));
             }
         });
     }
@@ -995,10 +1146,10 @@ fn repair_row_batch(
     true
 }
 
-/// Phase 2 shared by the single-edge and batch repairs: seed each affected
-/// vertex (in `scratch.queue`) from its unaffected boundary — whose
-/// distances are final — then settle buckets in distance order; members
-/// never settled are unreachable in the new graph.
+/// Phase 2 of the scalar strategy: seed each affected vertex (in
+/// `scratch.queue`) from its unaffected boundary — whose distances are
+/// final — by re-walking its masked neighborhood, then settle and write
+/// back through the shared tail.
 fn settle_affected(
     scratch: &mut RepairScratch,
     csr: &Csr,
@@ -1022,6 +1173,22 @@ fn settle_affected(
             max_bucket = max_bucket.max(b);
         }
     }
+    settle_buckets(scratch, csr, mask, touch, row, max_bucket);
+    write_unsettled_unreachable(scratch, row);
+}
+
+/// Bucketed multi-source Dijkstra over the affected set, shared by both
+/// repair strategies: pops candidates in distance order, finalizes each at
+/// its current candidate value, and relaxes affected unsettled neighbors.
+fn settle_buckets(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    row: &mut [Dist],
+    max_bucket: usize,
+) {
+    let mut max_bucket = max_bucket;
     let mut dist = 0usize;
     while dist <= max_bucket {
         while let Some(t) = scratch.buckets[dist].pop() {
@@ -1044,11 +1211,314 @@ fn settle_affected(
         }
         dist += 1;
     }
+}
+
+/// Affected vertices the settle never reached are unreachable in the new
+/// graph; stamp the sentinel over exactly those.
+fn write_unsettled_unreachable(scratch: &RepairScratch, row: &mut [Dist]) {
     for &a in &scratch.queue {
         if !scratch.is_settled(a) {
             row[a as usize] = UNREACHABLE_D;
         }
     }
+}
+
+/// Kernel-strategy repair of one source row for a **single** deletion:
+/// the frontier walk batching its row reads through the kernel layer,
+/// running on the same FIFO discipline as the scalar [`repair_row`] (one
+/// seed means FIFO order *is* level order, so no bucket machinery is
+/// paid). Byte-identical to [`repair_row`] — pinned by
+/// `tests/dynamic_apsp_props.rs`.
+///
+/// Each popped candidate takes one **fused probe + gather** CSR scan: the
+/// scan renders the tight-parent verdict (early exit the moment an
+/// unaffected neighbor on the level below turns up — level marks below a
+/// candidate are final before it pops, exactly the scalar walk's
+/// invariant, so the verdicts coincide) while collecting the
+/// still-unmarked neighbors into the contiguous `idx` buffer. Affected
+/// candidates keep their segment (`queue_seg`) for
+/// [`settle_affected_kernel`]'s fused boundary relaxation and push
+/// level-below children from it instead of re-walking the CSR; `enqueued`
+/// marks dedupe frontier pushes. Unlike the scalar walk — which probes
+/// the parent level during the *parent's* child scan and then re-walks
+/// every neighborhood in phases 1 **and** 2 — each neighborhood is walked
+/// once and everything downstream reduces over the contiguous segments.
+fn repair_row_kernel_single(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    row: &mut [Dist],
+    far: V,
+) {
+    scratch.begin();
+    scratch.queue.clear();
+    scratch.queue_seg.clear();
+    scratch.idx.clear();
+    scratch.frontier.clear();
+    let epoch = scratch.epoch;
+    scratch.enqueued[far as usize] = epoch;
+    scratch.frontier.push(far);
+    let mut head = 0usize;
+    while head < scratch.frontier.len() {
+        let t = scratch.frontier[head];
+        head += 1;
+        let lt = row[t as usize];
+        let s = scratch.idx.len();
+        if probe_and_gather(
+            csr,
+            mask,
+            touch,
+            &scratch.affected,
+            epoch,
+            &mut scratch.idx,
+            row,
+            t,
+            lt - 1,
+        ) {
+            continue; // intact parent on level lt − 1
+        }
+        let e = scratch.idx.len();
+        scratch.affected[t as usize] = epoch;
+        scratch.queue.push(t);
+        scratch.queue_seg.push((s as u32, e as u32));
+        let child_level = lt + 1;
+        for p in s..e {
+            let nb = scratch.idx[p];
+            if row[nb as usize] == child_level && scratch.enqueued[nb as usize] != epoch {
+                scratch.enqueued[nb as usize] = epoch;
+                scratch.frontier.push(nb);
+            }
+        }
+    }
+    scratch.frontier.clear();
+    debug_assert!(
+        !scratch.queue.is_empty(),
+        "stage A only marks rows phase 1 will repair"
+    );
+    settle_affected_kernel(scratch, csr, mask, touch, row);
+}
+
+/// Kernel-strategy repair of one source row for a whole **batch** of
+/// deletions: the level-bucketed frontier walk batching its row reads
+/// through the kernel layer. Returns whether the row changed at all.
+/// Byte-identical to [`repair_row_batch`] — pinned by
+/// `tests/dynamic_apsp_props.rs`.
+///
+/// **Phase 1.** Far endpoints of tight deleted edges seed per-level
+/// buckets, processed in ascending level order (seeds sit at arbitrary
+/// levels, so a plain FIFO no longer suffices). With several deletions in
+/// flight the post-round graph keeps its cycles and alternate parents are
+/// common, so each candidate takes the early-exit tight-parent probe
+/// first; affected candidates then gather their still-unmarked masked
+/// neighbors once into the contiguous `idx` buffer, keep the segment
+/// (`queue_seg`) for phase 2, and push their level-below children from it
+/// instead of re-walking the CSR. `enqueued` marks dedupe bucket pushes.
+///
+/// **Phase 2.** [`settle_affected_kernel`] — the batched boundary
+/// relaxation off the stored segments (one fused
+/// [`kernels::frontier_relax`] pass), then the shared settle.
+fn repair_row_kernel_batch(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    deleted: &[(V, V)],
+    row: &mut [Dist],
+) -> bool {
+    scratch.begin();
+    scratch.queue.clear();
+    scratch.queue_seg.clear();
+    scratch.idx.clear();
+
+    // Seed: the far endpoint of every tight deleted edge, bucketed at its
+    // own BFS level (deduplicated — edges may share a far endpoint).
+    let mut lvl = usize::MAX;
+    let mut max_lvl = 0usize;
+    for &(u, w) in deleted {
+        let du = row[u as usize];
+        let dw = row[w as usize];
+        if du == dw {
+            continue; // not tight (or both endpoints unreachable)
+        }
+        debug_assert_eq!(du.abs_diff(dw), 1, "pre-deletion levels must be adjacent");
+        let (far, far_lvl) = if dw > du { (w, dw) } else { (u, du) };
+        if scratch.enqueued[far as usize] == scratch.epoch {
+            continue;
+        }
+        scratch.enqueued[far as usize] = scratch.epoch;
+        scratch.buckets[far_lvl as usize].push(far);
+        lvl = lvl.min(far_lvl as usize);
+        max_lvl = max_lvl.max(far_lvl as usize);
+    }
+    if lvl == usize::MAX {
+        return false;
+    }
+
+    // Phase 1: levels in ascending order; every level-(L−1) verdict is
+    // final before level L's candidates are examined. With several
+    // deletions in flight, alternate parents are common (the post-round
+    // graph keeps its cycles), so each candidate is first probed with the
+    // early-exit tight-parent test; only affected candidates pay the
+    // gather that feeds their child pushes and phase-2 segment.
+    let epoch = scratch.epoch;
+    while lvl <= max_lvl {
+        std::mem::swap(&mut scratch.frontier, &mut scratch.buckets[lvl]);
+        if scratch.frontier.is_empty() {
+            lvl += 1;
+            continue;
+        }
+        let cur = lvl as Dist;
+        let child_level = cur + 1;
+        let parent_level = cur - 1;
+        for fi in 0..scratch.frontier.len() {
+            let t = scratch.frontier[fi];
+            debug_assert_eq!(row[t as usize] as usize, lvl);
+            let s = scratch.idx.len();
+            if probe_and_gather(
+                csr,
+                mask,
+                touch,
+                &scratch.affected,
+                epoch,
+                &mut scratch.idx,
+                row,
+                t,
+                parent_level,
+            ) {
+                continue; // intact parent on level cur − 1
+            }
+            let e = scratch.idx.len();
+            scratch.affected[t as usize] = epoch;
+            scratch.queue.push(t);
+            scratch.queue_seg.push((s as u32, e as u32));
+            for p in s..e {
+                let nb = scratch.idx[p];
+                if row[nb as usize] == child_level && scratch.enqueued[nb as usize] != epoch {
+                    scratch.enqueued[nb as usize] = epoch;
+                    scratch.buckets[child_level as usize].push(nb);
+                    max_lvl = max_lvl.max(child_level as usize);
+                }
+            }
+        }
+        scratch.frontier.clear();
+        lvl += 1;
+    }
+    if scratch.queue.is_empty() {
+        return false;
+    }
+    settle_affected_kernel(scratch, csr, mask, touch, row);
+    true
+}
+
+/// Fused probe + gather of one phase-1 candidate, shared by both kernel
+/// walkers: one CSR scan both renders the tight-parent verdict (early
+/// exit the moment an unaffected neighbor on `parent_level` turns up —
+/// the common case on cyclic graphs) and collects the candidate's
+/// still-unmarked masked neighbors into `idx`. Returns `true` — with the
+/// partial gather rolled back — when an intact parent survives, i.e. the
+/// candidate is *not* affected. `affected` and `epoch` are the scratch's
+/// mark state, passed as fields so the caller keeps its other borrows.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn probe_and_gather(
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    affected: &[u32],
+    epoch: u32,
+    idx: &mut Vec<V>,
+    row: &[Dist],
+    t: V,
+    parent_level: Dist,
+) -> bool {
+    let s = idx.len();
+    let mut intact = false;
+    if touch[t as usize] {
+        for z in masked_neighbors(csr, t, mask, touch) {
+            if affected[z as usize] != epoch {
+                if row[z as usize] == parent_level {
+                    intact = true;
+                    break;
+                }
+                idx.push(z);
+            }
+        }
+    } else {
+        // Fast path: `t` touches no masked edge, so its neighbor list
+        // streams through without the mask filter.
+        for &z in csr.neighbors(t) {
+            if affected[z as usize] != epoch {
+                if row[z as usize] == parent_level {
+                    intact = true;
+                    break;
+                }
+                idx.push(z);
+            }
+        }
+    }
+    if intact {
+        idx.truncate(s); // discard the partial segment
+    }
+    intact
+}
+
+/// Phase 2 of the kernel strategy, shared by the single-edge and batch
+/// walkers: the batched boundary relaxation. Each affected vertex's
+/// **stored** phase-1 segment is re-filtered by the final affected marks
+/// into one contiguous boundary buffer (the stored set contains every
+/// neighbor that was unmarked when the vertex was examined — a superset
+/// of the finally-unaffected boundary — and `row` is not written until
+/// settling, so the gathered values are exact), then a single
+/// [`kernels::frontier_relax`] call reduces **every** vertex's boundary
+/// segment in one fused pass — replacing the scalar path's per-vertex
+/// masked re-walk of the CSR. When no vertex finds a boundary at all the
+/// whole set is provably disconnected and the settle is skipped outright.
+fn settle_affected_kernel(
+    scratch: &mut RepairScratch,
+    csr: &Csr,
+    mask: &[(V, V)],
+    touch: &[bool],
+    row: &mut [Dist],
+) {
+    let epoch = scratch.epoch;
+    // Re-filter every stored segment into `members`, with fresh offsets
+    // in `seg` (both free after phase 1).
+    scratch.members.clear();
+    scratch.seg.clear();
+    scratch.seg.push(0);
+    for &(s, e) in &scratch.queue_seg {
+        for &z in &scratch.idx[s as usize..e as usize] {
+            if scratch.affected[z as usize] != epoch {
+                scratch.members.push(z);
+            }
+        }
+        scratch.seg.push(scratch.members.len() as u32);
+    }
+    if scratch.members.is_empty() {
+        // No unaffected boundary at all: the whole set is disconnected.
+        for i in 0..scratch.queue.len() {
+            row[scratch.queue[i] as usize] = UNREACHABLE_D;
+        }
+        return;
+    }
+    // One fused reduction seeds the whole affected set.
+    scratch.mins.clear();
+    scratch.mins.resize(scratch.queue.len(), UNREACHABLE_D);
+    kernels::frontier_relax(row, &scratch.members, &scratch.seg, &mut scratch.mins);
+    let mut max_bucket = 0usize;
+    for k in 0..scratch.queue.len() {
+        let a = scratch.queue[k];
+        let best = scratch.mins[k];
+        scratch.cand[a as usize] = best;
+        if best != UNREACHABLE_D {
+            let b = best as usize;
+            scratch.buckets[b].push(a);
+            max_bucket = max_bucket.max(b);
+        }
+    }
+    settle_buckets(scratch, csr, mask, touch, row, max_bucket);
+    write_unsettled_unreachable(scratch, row);
 }
 
 /// Exact insertion blend of one row through the fused kernel; returns the
@@ -1076,17 +1546,36 @@ fn blend_row_cost(
     Some(kernels::fused_blend_cost(row, &[term]))
 }
 
-/// Reusable buffers for one row repair: epoch-stamped affected/settled
-/// marks, the affected queue, candidate distances, and the bucket queue of
-/// the phase-2 Dijkstra.
+/// Reusable buffers for one row repair: epoch-stamped
+/// affected/settled/enqueued marks, the affected queue, candidate
+/// distances, the bucket queue shared by the phase-1 level walk and the
+/// phase-2 Dijkstra, and the kernel strategy's contiguous gather buffers
+/// (`idx`/`vals` with `seg` offsets, plus per-affected-vertex segment
+/// spans in `queue_seg` and the filtered phase-2 copies `vals2`/`seg2`).
 #[derive(Debug)]
 struct RepairScratch {
     affected: Vec<u32>,
     settled: Vec<u32>,
+    /// Bucket-membership marks for the kernel strategy's level walk.
+    enqueued: Vec<u32>,
     epoch: u32,
     queue: Vec<V>,
     cand: Vec<Dist>,
     buckets: Vec<Vec<V>>,
+    /// Current frontier being examined (kernel strategy): the FIFO of the
+    /// single-edge walk, or one level bucket of the batch walk.
+    frontier: Vec<V>,
+    /// Phase-2 boundary buffer: every affected vertex's still-unaffected
+    /// boundary ids, concatenated (offsets in `seg`).
+    members: Vec<V>,
+    /// Gathered neighbor ids, concatenated across the phase-1 walk.
+    idx: Vec<V>,
+    /// Segment offsets into `members` for the phase-2 fused relaxation.
+    seg: Vec<u32>,
+    /// Per-segment reduction results ([`kernels::frontier_relax`] output).
+    mins: Vec<Dist>,
+    /// Each affected vertex's stored `[start, end)` span in `idx`/`vals`.
+    queue_seg: Vec<(u32, u32)>,
 }
 
 impl RepairScratch {
@@ -1094,10 +1583,17 @@ impl RepairScratch {
         RepairScratch {
             affected: vec![0; n],
             settled: vec![0; n],
+            enqueued: vec![0; n],
             epoch: 0,
             queue: Vec::new(),
             cand: vec![0; n],
             buckets: (0..n + 2).map(|_| Vec::new()).collect(),
+            frontier: Vec::new(),
+            members: Vec::new(),
+            idx: Vec::new(),
+            seg: Vec::new(),
+            mins: Vec::new(),
+            queue_seg: Vec::new(),
         }
     }
 
@@ -1105,6 +1601,7 @@ impl RepairScratch {
         if self.affected.len() < n {
             self.affected.resize(n, 0);
             self.settled.resize(n, 0);
+            self.enqueued.resize(n, 0);
             self.cand.resize(n, 0);
         }
         if self.buckets.len() < n + 2 {
@@ -1117,6 +1614,7 @@ impl RepairScratch {
         if self.epoch == 0 {
             self.affected.fill(0);
             self.settled.fill(0);
+            self.enqueued.fill(0);
             self.epoch = 1;
         }
     }

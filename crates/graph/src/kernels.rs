@@ -38,6 +38,16 @@
 //! [`DynamicApsp`](crate::dynamic::DynamicApsp) maintain per-vertex cost
 //! aggregates for free on exactly the rows it already rewrites.
 //!
+//! The **frontier kernels** ([`gather_min_plus`], [`frontier_relax`])
+//! serve the *deletion* side of the repair cycle: the Ramalingam–Reps
+//! walkers in [`crate::dynamic`] gather each frontier level's candidate
+//! neighborhoods into contiguous scratch buffers and render the phase-1
+//! tight-parent verdicts and phase-2 boundary seeds as batched min-plus
+//! reductions over those buffers, instead of chasing the CSR one neighbor
+//! at a time. The gathers themselves stay scalar (no portable `u16`
+//! gather exists below AVX-512/SVE), but every reduction over the
+//! gathered lanes runs through the same three strata as the blends.
+//!
 //! # Overflow discipline
 //!
 //! A finite distance must stay `≤` [`MAX_FINITE_DIST`] (`u16::MAX − 2`):
@@ -46,6 +56,8 @@
 //! narrowing seam from the `u32` BFS layer ([`narrow_checked`]) panics —
 //! rather than wraps — on any finite distance that does not fit, and the
 //! matrix builders reject `n > MAX_FINITE_DIST + 1` outright.
+
+use crate::V;
 
 /// Compact distance entry: 16 bits, [`UNREACHABLE_D`] sentinel.
 pub type Dist = u16;
@@ -244,6 +256,43 @@ pub fn fused_blend_cost_scalar(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> Row
     }
 }
 
+/// Scalar reference for [`gather_min_plus`]: gathers `row[i]` for each
+/// vertex `i` in `idx` and returns the minimum **plus one**
+/// (lane-saturating, so an all-unreachable gather stays unreachable)
+/// together with the position *in `idx`* of the first entry attaining the
+/// raw minimum. An empty `idx` yields `(UNREACHABLE_D, u32::MAX)`.
+pub fn gather_min_plus_scalar(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+    let mut min = UNREACHABLE_D;
+    let mut pos = u32::MAX;
+    for (p, &v) in idx.iter().enumerate() {
+        let d = row[v as usize];
+        if pos == u32::MAX || d < min {
+            min = d;
+            pos = p as u32;
+        }
+    }
+    if pos == u32::MAX {
+        (UNREACHABLE_D, u32::MAX)
+    } else {
+        (min.saturating_add(1), pos)
+    }
+}
+
+/// Scalar reference for [`frontier_relax`]: for each segment `j`
+/// (`idx[seg[j]..seg[j + 1]]`, one frontier vertex's gathered boundary
+/// ids) lowers `out[j]` to `min(out[j], min(row over the segment)
+/// saturating+ 1)`. An empty segment leaves its slot unchanged.
+pub fn frontier_relax_scalar(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+    debug_assert_eq!(seg.len(), out.len() + 1, "seg must bound every slot");
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut min = UNREACHABLE_D;
+        for &v in &idx[seg[j] as usize..seg[j + 1] as usize] {
+            min = min.min(row[v as usize]);
+        }
+        *slot = (*slot).min(min.saturating_add(1));
+    }
+}
+
 // ---------------------------------------------------------------------------
 // SWAR — 4 × u16 lanes per u64 word, portable fallback.
 // ---------------------------------------------------------------------------
@@ -256,6 +305,7 @@ pub fn fused_blend_cost_scalar(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> Row
 /// compiled).
 pub mod swar {
     use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+    use crate::V;
 
     /// Mask selecting lanes 0 and 2 of a `u64` word.
     const EVEN: u64 = 0x0000_FFFF_0000_FFFF;
@@ -447,6 +497,87 @@ pub mod swar {
         }
     }
 
+    /// Folds an even/odd field word of per-field minima down to one lane.
+    #[inline]
+    fn fold_min(mne: u64, mno: u64) -> Dist {
+        let mut mn = min_fields(mne, mno);
+        mn = min_fields(mn, mn >> 32) & 0xFFFF_FFFF;
+        mn as Dist
+    }
+
+    /// SWAR [`super::gather_min_plus`]: the gather itself is scalar (no
+    /// portable u16 gather exists), but four gathered lanes at a time are
+    /// reduced through the field-isolated min. Frontiers shorter than one
+    /// word skip straight to the scalar reduction — the word setup and
+    /// fold would cost more than they save.
+    pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+        if idx.len() < 4 {
+            return super::gather_min_plus_scalar(row, idx);
+        }
+        let n4 = idx.len() & !3;
+        let mut mne = EVEN; // every field starts at 0xFFFF = UNREACHABLE_D
+        let mut mno = EVEN;
+        let mut i = 0;
+        while i < n4 {
+            let w = u64::from(row[idx[i] as usize])
+                | (u64::from(row[idx[i + 1] as usize]) << 16)
+                | (u64::from(row[idx[i + 2] as usize]) << 32)
+                | (u64::from(row[idx[i + 3] as usize]) << 48);
+            let (e, o) = split(w);
+            mne = min_fields(mne, e);
+            mno = min_fields(mno, o);
+            i += 4;
+        }
+        let mut mn = fold_min(mne, mno);
+        for &v in &idx[n4..] {
+            mn = mn.min(row[v as usize]);
+        }
+        let pos = idx
+            .iter()
+            .position(|&v| row[v as usize] == mn)
+            .expect("some gathered entry attains the minimum") as u32;
+        (mn.saturating_add(1), pos)
+    }
+
+    /// SWAR [`super::frontier_relax`]: each segment is gathered from the
+    /// row and reduced four lanes at a time; segments shorter than one
+    /// word take a plain scalar min (the common case on low-degree
+    /// frontiers, where the word fold would be pure overhead).
+    pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+        debug_assert_eq!(seg.len(), out.len() + 1, "seg must bound every slot");
+        for (j, slot) in out.iter_mut().enumerate() {
+            let s = seg[j] as usize;
+            let e = seg[j + 1] as usize;
+            let len = e - s;
+            let mut mn = UNREACHABLE_D;
+            if len < 4 {
+                for &v in &idx[s..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            } else {
+                let n4 = len & !3;
+                let mut mne = EVEN;
+                let mut mno = EVEN;
+                let mut i = s;
+                while i < s + n4 {
+                    let w = u64::from(row[idx[i] as usize])
+                        | (u64::from(row[idx[i + 1] as usize]) << 16)
+                        | (u64::from(row[idx[i + 2] as usize]) << 32)
+                        | (u64::from(row[idx[i + 3] as usize]) << 48);
+                    let (ve, vo) = split(w);
+                    mne = min_fields(mne, ve);
+                    mno = min_fields(mno, vo);
+                    i += 4;
+                }
+                mn = fold_min(mne, mno);
+                for &v in &idx[s + n4..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            }
+            *slot = (*slot).min(mn.saturating_add(1));
+        }
+    }
+
     /// SWAR [`super::fused_blend_cost`].
     pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
         let n4 = row.len() & !3;
@@ -516,6 +647,7 @@ mod sse2 {
     use core::arch::x86_64::*;
 
     use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+    use crate::V;
 
     /// Lanes per vector.
     const L: usize = 8;
@@ -550,6 +682,15 @@ mod sse2 {
         let v = umax(v, _mm_srli_si128(v, 8));
         let v = umax(v, _mm_srli_si128(v, 4));
         let v = umax(v, _mm_srli_si128(v, 2));
+        _mm_cvtsi128_si32(v) as u16
+    }
+
+    /// Horizontal min of 8 u16 lanes.
+    #[inline]
+    unsafe fn hmin(v: __m128i) -> Dist {
+        let v = umin(v, _mm_srli_si128(v, 8));
+        let v = umin(v, _mm_srli_si128(v, 4));
+        let v = umin(v, _mm_srli_si128(v, 2));
         _mm_cvtsi128_si32(v) as u16
     }
 
@@ -679,6 +820,78 @@ mod sse2 {
         }
     }
 
+    /// Frontiers shorter than one vector skip straight to the scalar
+    /// reduction — the lane setup and horizontal fold would cost more
+    /// than they save on low-degree frontiers.
+    pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+        if idx.len() < L {
+            return super::gather_min_plus_scalar(row, idx);
+        }
+        let nl = idx.len() & !(L - 1);
+        // SAFETY: the only vector ops load a local stack buffer filled by
+        // bounds-checked slice indexing.
+        let mut mn = unsafe {
+            let mut vmn = _mm_set1_epi16(-1); // all lanes UNREACHABLE_D
+            let mut buf = [UNREACHABLE_D; L];
+            let mut i = 0;
+            while i < nl {
+                for (slot, &v) in buf.iter_mut().zip(&idx[i..i + L]) {
+                    *slot = row[v as usize];
+                }
+                vmn = umin(vmn, _mm_loadu_si128(buf.as_ptr() as *const __m128i));
+                i += L;
+            }
+            hmin(vmn)
+        };
+        for &v in &idx[nl..] {
+            mn = mn.min(row[v as usize]);
+        }
+        let pos = idx
+            .iter()
+            .position(|&v| row[v as usize] == mn)
+            .expect("some gathered entry attains the minimum") as u32;
+        (mn.saturating_add(1), pos)
+    }
+
+    /// Sub-vector-width segments (the common case on low-degree
+    /// frontiers) take a plain scalar gather-min instead of paying the
+    /// lane setup and horizontal fold.
+    pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+        debug_assert_eq!(seg.len(), out.len() + 1, "seg must bound every slot");
+        for (j, slot) in out.iter_mut().enumerate() {
+            let s = seg[j] as usize;
+            let e = seg[j + 1] as usize;
+            let len = e - s;
+            let mut mn = UNREACHABLE_D;
+            if len < L {
+                for &v in &idx[s..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            } else {
+                let nl = len & !(L - 1);
+                // SAFETY: the only vector ops load a local stack buffer
+                // filled by bounds-checked slice indexing.
+                mn = unsafe {
+                    let mut vmn = _mm_set1_epi16(-1);
+                    let mut buf = [UNREACHABLE_D; L];
+                    let mut i = s;
+                    while i < s + nl {
+                        for (slot, &v) in buf.iter_mut().zip(&idx[i..i + L]) {
+                            *slot = row[v as usize];
+                        }
+                        vmn = umin(vmn, _mm_loadu_si128(buf.as_ptr() as *const __m128i));
+                        i += L;
+                    }
+                    hmin(vmn)
+                };
+                for &v in &idx[s + nl..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            }
+            *slot = (*slot).min(mn.saturating_add(1));
+        }
+    }
+
     pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
         let nl = row.len() & !(L - 1);
         let mut sum;
@@ -749,6 +962,7 @@ mod neon {
     use core::arch::aarch64::*;
 
     use super::{BlendTerm, Dist, RowCost, INF_SUM, UNREACHABLE_D};
+    use crate::V;
 
     const L: usize = 8;
 
@@ -863,6 +1077,78 @@ mod neon {
         }
     }
 
+    /// Frontiers shorter than one vector skip straight to the scalar
+    /// reduction — the lane setup and horizontal fold would cost more
+    /// than they save on low-degree frontiers.
+    pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+        if idx.len() < L {
+            return super::gather_min_plus_scalar(row, idx);
+        }
+        let nl = idx.len() & !(L - 1);
+        // SAFETY: the only vector ops load a local stack buffer filled by
+        // bounds-checked slice indexing.
+        let mut mn = unsafe {
+            let mut vmn = vdupq_n_u16(UNREACHABLE_D);
+            let mut buf = [UNREACHABLE_D; L];
+            let mut i = 0;
+            while i < nl {
+                for (slot, &v) in buf.iter_mut().zip(&idx[i..i + L]) {
+                    *slot = row[v as usize];
+                }
+                vmn = vminq_u16(vmn, vld1q_u16(buf.as_ptr()));
+                i += L;
+            }
+            vminvq_u16(vmn)
+        };
+        for &v in &idx[nl..] {
+            mn = mn.min(row[v as usize]);
+        }
+        let pos = idx
+            .iter()
+            .position(|&v| row[v as usize] == mn)
+            .expect("some gathered entry attains the minimum") as u32;
+        (mn.saturating_add(1), pos)
+    }
+
+    /// Sub-vector-width segments (the common case on low-degree
+    /// frontiers) take a plain scalar gather-min instead of paying the
+    /// lane setup and horizontal fold.
+    pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+        debug_assert_eq!(seg.len(), out.len() + 1, "seg must bound every slot");
+        for (j, slot) in out.iter_mut().enumerate() {
+            let s = seg[j] as usize;
+            let e = seg[j + 1] as usize;
+            let len = e - s;
+            let mut mn = UNREACHABLE_D;
+            if len < L {
+                for &v in &idx[s..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            } else {
+                let nl = len & !(L - 1);
+                // SAFETY: the only vector ops load a local stack buffer
+                // filled by bounds-checked slice indexing.
+                mn = unsafe {
+                    let mut vmn = vdupq_n_u16(UNREACHABLE_D);
+                    let mut buf = [UNREACHABLE_D; L];
+                    let mut i = s;
+                    while i < s + nl {
+                        for (slot, &v) in buf.iter_mut().zip(&idx[i..i + L]) {
+                            *slot = row[v as usize];
+                        }
+                        vmn = vminq_u16(vmn, vld1q_u16(buf.as_ptr()));
+                        i += L;
+                    }
+                    vminvq_u16(vmn)
+                };
+                for &v in &idx[s + nl..e] {
+                    mn = mn.min(row[v as usize]);
+                }
+            }
+            *slot = (*slot).min(mn.saturating_add(1));
+        }
+    }
+
     pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
         let nl = row.len() & !(L - 1);
         let mut sum = 0u64;
@@ -934,6 +1220,17 @@ macro_rules! dispatch {
 
 /// In-place min-plus blend of the insertion identity:
 /// `base[t] = min(base[t], 1 saturating+ via[t])`.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{min_blend, UNREACHABLE_D};
+///
+/// let mut base = [0u16, 4, UNREACHABLE_D, 2];
+/// let via = [9u16, 1, 1, UNREACHABLE_D];
+/// min_blend(&mut base, &via);
+/// // Unreachable entries saturate: UNREACHABLE + 1 stays UNREACHABLE.
+/// assert_eq!(base, [0, 2, 2, 2]);
+/// ```
 #[inline]
 pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
     dispatch!(base, via; min_blend)
@@ -946,6 +1243,19 @@ pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
 /// Rows must respect the matrix bound (`len ≤ MAX_FINITE_DIST + 1`,
 /// debug-asserted): the SIMD paths accumulate in `u32` lanes, which is
 /// exact for every supported row length but would wrap far beyond it.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{blend_cost_sum, INF_SUM, UNREACHABLE_D};
+///
+/// // Blended row is [0, 2, 2]: sum 4.
+/// assert_eq!(blend_cost_sum(&[0, 4, UNREACHABLE_D], &[9, 1, 1]), 4);
+/// // A blended entry stuck at the sentinel poisons the whole sum.
+/// assert_eq!(
+///     blend_cost_sum(&[UNREACHABLE_D], &[UNREACHABLE_D]),
+///     INF_SUM
+/// );
+/// ```
 #[inline]
 pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
     debug_assert!(base.len() <= MAX_FINITE_DIST as usize + 1);
@@ -955,6 +1265,14 @@ pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
 /// Eccentricity of the blended row `min(base, 1 + via)` as a game cost —
 /// the max objective's `cost_with_insertion`. [`INF_SUM`] when some
 /// blended entry is unreachable.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{blend_cost_ecc, UNREACHABLE_D};
+///
+/// // Blended row is [0, 2, 3]: eccentricity 3.
+/// assert_eq!(blend_cost_ecc(&[0, 4, UNREACHABLE_D], &[9, 1, 2]), 3);
+/// ```
 #[inline]
 pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
     dispatch!(base, via; blend_cost_ecc)
@@ -964,6 +1282,15 @@ pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
 /// both objectives' `cost_of_row` and the maintained per-vertex
 /// aggregates. Same row-length bound as [`blend_cost_sum`]
 /// (debug-asserted).
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::row_cost;
+///
+/// let c = row_cost(&[0u16, 1, 2, 2]);
+/// assert_eq!((c.sum, c.ecc), (5, 2));
+/// assert_eq!(c.ecc_cost(), 2);
+/// ```
 #[inline]
 pub fn row_cost(row: &[Dist]) -> RowCost {
     debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
@@ -977,15 +1304,96 @@ pub fn row_cost(row: &[Dist]) -> RowCost {
 /// row once instead of `k` times — the memory-bound regime where batching
 /// actually pays.
 /// Same row-length bound as [`blend_cost_sum`] (debug-asserted).
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{fused_blend_cost, BlendTerm};
+///
+/// let mut row = [5u16, 5, 5];
+/// let snap_a = [0u16, 9, 9];
+/// let snap_b = [9u16, 0, 9];
+/// let term = BlendTerm { add_a: 2, row_a: &snap_a, add_b: 3, row_b: &snap_b };
+/// let c = fused_blend_cost(&mut row, &[term]);
+/// // Each element took min(base, 2 + snap_a, 3 + snap_b).
+/// assert_eq!(row, [2, 3, 5]);
+/// assert_eq!((c.sum, c.ecc), (10, 5));
+/// ```
 #[inline]
 pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
     debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
     dispatch!(row, terms; fused_blend_cost)
 }
 
+/// Masked gather min-plus: gathers `row[i]` for each vertex `i` in `idx`
+/// (the caller's mask — dropped edges, already-affected marks — is applied
+/// while *building* `idx`, which is what makes the gather "masked") and
+/// returns `min(row[i]) saturating+ 1` together with the position in `idx`
+/// of the **first** entry attaining the raw minimum. An empty frontier
+/// yields `(UNREACHABLE_D, u32::MAX)`.
+///
+/// This is the primitive under the deletion-repair walkers' tight-parent
+/// test (`min + 1 == level(far)` ⟺ an alternate parent survives) and
+/// per-vertex boundary seeding; see [`crate::dynamic`].
+///
+/// # Panics
+/// Panics (via slice indexing) when some `idx` entry is out of bounds for
+/// `row`.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{gather_min_plus, UNREACHABLE_D};
+///
+/// let row = [3u16, 9, 1, 1, UNREACHABLE_D];
+/// // min over {9, 1, 1} is 1 (first attained by vertex 2, position 1).
+/// assert_eq!(gather_min_plus(&row, &[1, 2, 3]), (2, 1));
+/// // Unreachable entries saturate instead of wrapping.
+/// assert_eq!(gather_min_plus(&row, &[4]), (UNREACHABLE_D, 0));
+/// assert_eq!(gather_min_plus(&row, &[]), (UNREACHABLE_D, u32::MAX));
+/// ```
+#[inline]
+pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+    dispatch!(row, idx; gather_min_plus)
+}
+
+/// Fused multi-row min across a level bucket: `idx` concatenates the
+/// gathered boundary ids of a whole frontier level (one segment per
+/// frontier vertex, bounded by the `seg` offsets, with `seg.len() ==
+/// out.len() + 1`), and each `out[j]` is lowered to `min(out[j],
+/// min(row over segment j) saturating+ 1)` in one pass over the
+/// contiguous index buffer. Empty segments leave their slot unchanged, so
+/// initializing `out` to [`UNREACHABLE_D`] turns the call into a plain
+/// segmented gather-min-plus reduction.
+///
+/// Fusing the bucket's many tiny per-vertex reductions into one
+/// contiguous sweep is what lets the deletion-repair frontiers batch
+/// their row reads through this layer instead of chasing the CSR
+/// neighbor-by-neighbor; see [`crate::dynamic`].
+///
+/// # Panics
+/// Panics (via slice indexing) when `seg` does not hold `out.len() + 1`
+/// non-decreasing offsets into `idx`, or when some `idx` entry is out of
+/// bounds for `row`.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{frontier_relax, UNREACHABLE_D};
+///
+/// let row = [4u16, 2, 7, UNREACHABLE_D];
+/// let idx = [0u32, 1, 2, 3];
+/// let seg = [0u32, 2, 2, 4]; // segments {row[0], row[1]}, {}, {row[2], row[3]}
+/// let mut out = [UNREACHABLE_D; 3];
+/// frontier_relax(&row, &idx, &seg, &mut out);
+/// assert_eq!(out, [3, UNREACHABLE_D, 8]);
+/// ```
+#[inline]
+pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+    dispatch!(row, idx, seg, out; frontier_relax)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::V;
 
     fn sample_rows(n: usize, seed: u64) -> (Vec<Dist>, Vec<Dist>) {
         // Deterministic pseudo-random rows with sentinels sprinkled in.
@@ -1094,6 +1502,64 @@ mod tests {
             assert_eq!(c, b, "swar fused row n={n}");
             assert_eq!(rc, rb, "swar fused cost n={n}");
         }
+    }
+
+    #[test]
+    fn gather_min_plus_matches_scalar_on_all_paths() {
+        for n in [1usize, 2, 7, 8, 9, 31, 64, 200] {
+            for seed in 1..6u64 {
+                let (row, _) = sample_rows(n.max(16), seed * 131);
+                let mut x = seed | 1;
+                let mut next = || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                let idx: Vec<V> = (0..n).map(|_| (next() % row.len() as u64) as V).collect();
+                let expect = gather_min_plus_scalar(&row, &idx);
+                assert_eq!(gather_min_plus(&row, &idx), expect, "dispatch n={n}");
+                assert_eq!(swar::gather_min_plus(&row, &idx), expect, "swar n={n}");
+            }
+        }
+        let row = [5u16, UNREACHABLE_D];
+        assert_eq!(gather_min_plus(&row, &[]), (UNREACHABLE_D, u32::MAX));
+        assert_eq!(gather_min_plus(&row, &[1]), (UNREACHABLE_D, 0));
+        assert_eq!(gather_min_plus(&row, &[0]), (6, 0));
+    }
+
+    #[test]
+    fn frontier_relax_matches_scalar_on_all_paths() {
+        for seed in 1..8u64 {
+            let (row, _) = sample_rows(300, seed * 977);
+            let mut x = seed | 1;
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let idx: Vec<V> = (0..257).map(|_| (next() % row.len() as u64) as V).collect();
+            // Segment offsets sweeping empty, tiny, and vector-width runs.
+            let mut seg: Vec<u32> = vec![0, 0, 1, 3, 3, 11, 19, 64, 200, 257];
+            seg.dedup(); // keep non-decreasing; dups are legal but dedup varies shape
+            let slots = seg.len() - 1;
+            let mut a = vec![UNREACHABLE_D; slots];
+            a[0] = 2; // a pre-lowered slot must only ever decrease
+            let mut b = a.clone();
+            let mut c = a.clone();
+            frontier_relax(&row, &idx, &seg, &mut a);
+            frontier_relax_scalar(&row, &idx, &seg, &mut b);
+            swar::frontier_relax(&row, &idx, &seg, &mut c);
+            assert_eq!(a, b, "dispatch seed={seed}");
+            assert_eq!(c, b, "swar seed={seed}");
+        }
+        // Degenerate shapes: no segments, all-empty segments.
+        let mut out: [Dist; 0] = [];
+        frontier_relax(&[], &[], &[0], &mut out);
+        let mut out = [7 as Dist, 9];
+        frontier_relax(&[], &[], &[0, 0, 0], &mut out);
+        assert_eq!(out, [7, 9]);
     }
 
     #[test]

@@ -32,6 +32,36 @@
 //! * [`ops`] — graph operators (powers, complements, unions, …); the power
 //!   graph is the uniformization device of the paper's Theorem 13.
 //!
+//! # Distance conventions
+//!
+//! Two distance encodings coexist, with a checked seam between them:
+//!
+//! * **Compact** ([`Dist`] = `u16`): what every matrix row stores and
+//!   every kernel operates on. Unreachable pairs hold the sentinel
+//!   [`UNREACHABLE_D`] (`u16::MAX`), chosen so lane-saturating adds
+//!   implement "unreachable + 1 = unreachable" branch-free; finite
+//!   distances stay `≤` [`MAX_FINITE_DIST`] (`u16::MAX − 2`, so `d + 1`
+//!   can never collide with the sentinel in the repair walkers' level
+//!   arithmetic). Builders reject `n > 65 534` up front.
+//! * **Wide** (`u32`, sentinel [`UNREACHABLE`]): the BFS scratch layer and
+//!   the widening scalar accessors ([`DistanceMatrix::get`] and friends),
+//!   so metric consumers keep plain `u32` arithmetic. The
+//!   [`kernels::narrow_checked`] seam panics — never wraps — on a finite
+//!   distance that does not fit the compact domain.
+//!
+//! # Pool-reuse contract
+//!
+//! The hot paths are allocation-free at steady state because every big
+//! buffer cycles through a **thread-local pool**: BFS scratch
+//! ([`with_scratch`]), matrix backing buffers
+//! ([`DistanceMatrix::recycle`] / `clone_pooled`), and the repair scratch
+//! inside [`dynamic`]. The contract is uniform: *dropping* a pooled value
+//! is always correct (pools are a performance lever, never a correctness
+//! requirement), pools are per-thread so rayon workers compose without
+//! locking, and each pool is capacity-capped so pathological sweeps
+//! cannot hoard memory. Callers that finish with a matrix should
+//! `recycle()` it so the next build on that thread reuses the buffer.
+//!
 //! # Quick example
 //!
 //! ```
@@ -68,7 +98,7 @@ pub use adjacency::{Edge, Graph};
 pub use bfs::{bfs_distances, with_scratch, BfsScratch};
 pub use csr::Csr;
 pub use distance::{DistanceMatrix, UNREACHABLE};
-pub use dynamic::{DynamicApsp, RepairStats};
+pub use dynamic::{DynamicApsp, RepairStats, RepairStrategy};
 pub use kernels::{Dist, MAX_FINITE_DIST, UNREACHABLE_D};
 
 /// Vertex identifier. Graphs in this workspace are small enough (≤ ~10⁵

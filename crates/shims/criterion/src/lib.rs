@@ -6,7 +6,7 @@
 //! engine this harness times each benchmark with `std::time::Instant`:
 //! one untimed warm-up iteration, then up to `sample_size` timed samples
 //! (capped by a wall-clock budget so `cargo bench` stays usable, but never
-//! fewer than [`MIN_SAMPLES`] — slow benchmarks still get enough samples
+//! fewer than `MIN_SAMPLES` — slow benchmarks still get enough samples
 //! for a meaningful median), and reports the median ns/iteration.
 //!
 //! Environment knobs:
@@ -174,7 +174,7 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, recording one sample per call after an untimed warm-up.
     /// Stops at `sample_size` samples or the wall-clock budget — but never
-    /// below [`MIN_SAMPLES`], so slow benchmarks keep a usable median.
+    /// below `MIN_SAMPLES`, so slow benchmarks keep a usable median.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         if !self.warmed {
             std::hint::black_box(f());

@@ -228,7 +228,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         len: usize,

@@ -5,7 +5,7 @@
 //! data-parallelism layer with rayon's *call shapes* (`par_iter`,
 //! `into_par_iter`, `par_chunks_mut`, `map`, `map_init`, `for_each_init`,
 //! `enumerate`, `collect`) backed by a **persistent worker pool** (see
-//! [`pool`]) and a shared work queue. Worker threads are spawned once, on
+//! `pool`) and a shared work queue. Worker threads are spawned once, on
 //! the first parallel sweep, and reused for every sweep after that — the
 //! previous incarnation spawned scoped OS threads per sweep, which showed
 //! up as constant-factor overhead on the dynamics engine's thousands of

@@ -14,7 +14,8 @@
 
 use bncg::game::context::EvalContext;
 use bncg::game::objective::{MaxObjective, Objective, SumObjective};
-use bncg::graph::dynamic::DynamicApsp;
+use bncg::graph::adjacency::Edge;
+use bncg::graph::dynamic::{DynamicApsp, RepairStrategy};
 use bncg::graph::generators::random::{gnp, random_tree};
 use bncg::graph::{DistanceMatrix, Graph, V};
 use proptest::prelude::*;
@@ -119,6 +120,160 @@ fn assert_context_paths_agree<O: Objective>(ctx: &EvalContext, g: &Graph) {
     );
 }
 
+/// Replays `steps` random swaps on `g` through **two** maintained
+/// matrices — one per repair strategy — asserting after every step that
+/// the batched (kernel) walkers, the scalar walkers, and a full rebuild
+/// agree byte for byte. Returns the number of steps actually applied.
+fn replay_and_check_strategies(
+    mut g: Graph,
+    seed: u64,
+    steps: usize,
+    max_repair_rows: usize,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let csr0 = g.to_csr();
+    let mut scalar = DynamicApsp::build(&csr0);
+    scalar.set_repair_strategy(RepairStrategy::Scalar);
+    scalar.set_max_repair_rows(max_repair_rows);
+    let mut kernel = DynamicApsp::build(&csr0);
+    kernel.set_repair_strategy(RepairStrategy::Kernel);
+    kernel.set_max_repair_rows(max_repair_rows);
+    let mut applied = 0;
+    for step in 0..steps {
+        let Some((v, w, w2)) = random_swap(&mut rng, &g) else {
+            break;
+        };
+        let rec = g.apply_swap(v, w, w2);
+        let csr = g.to_csr();
+        scalar.apply_swap(&csr, &rec);
+        kernel.apply_swap(&csr, &rec);
+        applied += 1;
+        assert_eq!(
+            kernel.matrix(),
+            scalar.matrix(),
+            "kernel and scalar strategies diverged (step {step}, threshold {max_repair_rows})"
+        );
+        assert_eq!(
+            kernel.stats().last_repair_candidates,
+            scalar.stats().last_repair_candidates,
+            "stage A candidate counts diverged (step {step})"
+        );
+        assert_byte_identical(&kernel, &g, &format!("kernel strategy, step {step}"));
+    }
+    applied
+}
+
+/// Synthesizes one batch of up to `k` proper swaps with pairwise-disjoint
+/// edge footprints, each valid against the current state of `g` — the
+/// well-formedness `DynamicApsp::apply_batch` requires (mirrors the round
+/// engine's conflict resolution without paying best-response sweeps).
+fn synth_batch<R: Rng>(rng: &mut R, g: &Graph, k: usize) -> Vec<(V, V, V)> {
+    let edges = g.edge_vec();
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let n = g.n() as V;
+    let mut touched: Vec<Edge> = Vec::new();
+    let mut batch = Vec::new();
+    for _ in 0..16 * k {
+        if batch.len() == k {
+            break;
+        }
+        let e = edges[rng.gen_range(0..edges.len())];
+        let (v, w) = if rng.gen_bool(0.5) {
+            (e.u, e.v)
+        } else {
+            (e.v, e.u)
+        };
+        let w2 = rng.gen_range(0..n);
+        if w2 == v || w2 == w || g.has_edge(v, w2) {
+            continue;
+        }
+        let fp = [Edge::new(v, w), Edge::new(v, w2)];
+        if fp.iter().any(|edge| touched.contains(edge)) {
+            continue;
+        }
+        touched.extend_from_slice(&fp);
+        batch.push((v, w, w2));
+    }
+    batch
+}
+
+/// Replays `rounds` synthesized swap batches through `apply_batch` under
+/// both strategies, checking byte identity to each other and to a full
+/// rebuild after every round barrier. Returns total swaps applied.
+fn replay_batches_and_check_strategies(
+    mut g: Graph,
+    seed: u64,
+    rounds: usize,
+    k: usize,
+    max_repair_rows: usize,
+) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let csr0 = g.to_csr();
+    let mut scalar = DynamicApsp::build(&csr0);
+    scalar.set_repair_strategy(RepairStrategy::Scalar);
+    scalar.set_max_repair_rows(max_repair_rows);
+    let mut kernel = DynamicApsp::build(&csr0);
+    kernel.set_repair_strategy(RepairStrategy::Kernel);
+    kernel.set_max_repair_rows(max_repair_rows);
+    let mut applied = 0;
+    for round in 0..rounds {
+        let moves = synth_batch(&mut rng, &g, k);
+        let batch: Vec<_> = moves
+            .iter()
+            .map(|&(v, w, w2)| g.apply_swap(v, w, w2))
+            .collect();
+        let csr = g.to_csr();
+        scalar.apply_batch(&csr, &batch);
+        kernel.apply_batch(&csr, &batch);
+        applied += moves.len();
+        assert_eq!(
+            kernel.matrix(),
+            scalar.matrix(),
+            "batch strategies diverged (round {round}, threshold {max_repair_rows})"
+        );
+        assert_byte_identical(&kernel, &g, &format!("kernel batch, round {round}"));
+    }
+    applied
+}
+
+#[test]
+fn five_hundred_plus_swaps_agree_across_repair_strategies() {
+    // Deterministic volume floor for the strategy equivalence: ≥ 500
+    // verified swaps across ER graphs and trees, at both fallback
+    // extremes (never rebuild / always rebuild).
+    let mut rng = StdRng::seed_from_u64(0x57AA7);
+    let mut total = 0usize;
+    for round in 0..2 {
+        let er = gnp(&mut rng, 26, 0.13);
+        total += replay_and_check_strategies(er.clone(), 0xA0 + round, 90, er.n());
+        total += replay_and_check_strategies(er, 0xB0 + round, 40, 0);
+        let t = random_tree(&mut rng, 21);
+        total += replay_and_check_strategies(t.clone(), 0xC0 + round, 90, t.n());
+        total += replay_and_check_strategies(t, 0xD0 + round, 40, 0);
+    }
+    assert!(
+        total >= 500,
+        "volume floor not met: only {total} steps verified"
+    );
+}
+
+#[test]
+fn batch_repairs_agree_across_repair_strategies() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let mut total = 0usize;
+    for round in 0..2 {
+        let er = gnp(&mut rng, 30, 0.12);
+        total += replay_batches_and_check_strategies(er.clone(), 0x10 + round, 8, 5, er.n());
+        total += replay_batches_and_check_strategies(er, 0x20 + round, 4, 5, 0);
+        let t = random_tree(&mut rng, 24);
+        total += replay_batches_and_check_strategies(t.clone(), 0x30 + round, 8, 4, t.n());
+        total += replay_batches_and_check_strategies(t, 0x40 + round, 4, 4, 0);
+    }
+    assert!(total >= 150, "batch volume floor not met: {total} swaps");
+}
+
 #[test]
 fn thousand_plus_random_swap_steps_stay_byte_identical() {
     // Deterministic volume floor: ≥ 1000 verified steps across ER graphs
@@ -158,6 +313,24 @@ proptest! {
     ) {
         replay_and_check(t.clone(), seed, 12, t.n());
         replay_and_check(t, seed, 12, 0);
+    }
+
+    #[test]
+    fn er_repair_strategies_agree_at_both_threshold_extremes(
+        g in er_graph(36),
+        seed in any::<u64>(),
+    ) {
+        replay_and_check_strategies(g.clone(), seed, 10, g.n());
+        replay_and_check_strategies(g, seed, 10, 0);
+    }
+
+    #[test]
+    fn tree_repair_strategies_agree_at_both_threshold_extremes(
+        t in tree(30),
+        seed in any::<u64>(),
+    ) {
+        replay_and_check_strategies(t.clone(), seed, 10, t.n());
+        replay_and_check_strategies(t, seed, 10, 0);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //! on distance overflow instead of wrapping.
 
 use bncg::graph::kernels::{
-    self, blend_cost_ecc_scalar, blend_cost_sum_scalar, fused_blend_cost_scalar, min_blend_scalar,
-    narrow_checked, row_cost_scalar, swar, BlendTerm, Dist, RowCost, INF_SUM, MAX_FINITE_DIST,
-    UNREACHABLE_D,
+    self, blend_cost_ecc_scalar, blend_cost_sum_scalar, frontier_relax_scalar,
+    fused_blend_cost_scalar, gather_min_plus_scalar, min_blend_scalar, narrow_checked,
+    row_cost_scalar, swar, BlendTerm, Dist, RowCost, INF_SUM, MAX_FINITE_DIST, UNREACHABLE_D,
 };
+use bncg::graph::V;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -240,7 +241,126 @@ fn check_fused_batch(row0: &[Dist], seed: u64, k: usize) {
     assert_eq!(wc, fc);
 }
 
+/// Independent u32 reference for the masked gather min-plus: widen, gather,
+/// reduce with first-attaining argmin, saturate back into the compact
+/// domain.
+fn u32_gather_reference(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+    let wide = widen_row(row);
+    let mut min = u32::MAX;
+    let mut pos = u32::MAX;
+    for (p, &v) in idx.iter().enumerate() {
+        let d = wide[v as usize];
+        if pos == u32::MAX || d < min {
+            min = d;
+            pos = p as u32;
+        }
+    }
+    if pos == u32::MAX {
+        return (UNREACHABLE_D, u32::MAX);
+    }
+    let plus = min.saturating_add(1).min(u32::from(UNREACHABLE_D)) as Dist;
+    (plus, pos)
+}
+
+/// Independent u32 reference for the segmented frontier relaxation.
+fn u32_frontier_reference(row: &[Dist], idx: &[V], seg: &[u32], out: &[Dist]) -> Vec<Dist> {
+    let wide = widen_row(row);
+    out.iter()
+        .enumerate()
+        .map(|(j, &slot)| {
+            let mut min = u32::MAX;
+            for &v in &idx[seg[j] as usize..seg[j + 1] as usize] {
+                min = min.min(wide[v as usize]);
+            }
+            let plus = min.saturating_add(1).min(u32::from(UNREACHABLE_D)) as Dist;
+            slot.min(plus)
+        })
+        .collect()
+}
+
+/// Random frontier over a random compact row: index list into the row plus
+/// segment offsets carving it into empty, single-element, and longer runs.
+fn frontier_case(
+    max_row: usize,
+    max_idx: usize,
+) -> impl Strategy<Value = (Vec<Dist>, Vec<V>, Vec<u32>)> {
+    (compact_row(max_row), 0usize..=max_idx, any::<u64>()).prop_map(|(row, len, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D_CAFE);
+        let row = if row.is_empty() { vec![0] } else { row };
+        let idx: Vec<V> = (0..len).map(|_| rng.gen_range(0..row.len()) as V).collect();
+        let mut seg: Vec<u32> = vec![0];
+        let mut at = 0usize;
+        while at < len {
+            // Bias toward tiny segments so empty and single-element
+            // frontiers appear constantly alongside vector-width ones.
+            let step = match rng.gen_range(0..4u32) {
+                0 => 0,
+                1 => 1,
+                2 => rng.gen_range(0..=4usize),
+                _ => rng.gen_range(0..=16usize),
+            };
+            at = (at + step).min(len);
+            seg.push(at as u32);
+        }
+        if *seg.last().unwrap() as usize != len {
+            seg.push(len as u32);
+        }
+        (row, idx, seg)
+    })
+}
+
+/// Body of `gather_min_plus_matches_u32_reference`: all three strata agree
+/// with the widened reference, argmin included.
+fn check_gather_min_plus(row: &[Dist], idx: &[V]) {
+    let expect = u32_gather_reference(row, idx);
+    assert_eq!(kernels::gather_min_plus(row, idx), expect, "dispatch");
+    assert_eq!(swar::gather_min_plus(row, idx), expect, "swar");
+    assert_eq!(gather_min_plus_scalar(row, idx), expect, "scalar");
+}
+
+/// Body of `frontier_relax_matches_u32_reference`: the segmented
+/// gather-min-plus matches the widened reference on every stratum,
+/// including pre-lowered output slots.
+fn check_frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], seed: u64) {
+    let slots = seg.len() - 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let init: Vec<Dist> = (0..slots)
+        .map(|_| {
+            if rng.gen_range(0..3u32) == 0 {
+                rng.gen_range(0..50u16) // pre-lowered slot: only decreases
+            } else {
+                UNREACHABLE_D
+            }
+        })
+        .collect();
+    let expect = u32_frontier_reference(row, idx, seg, &init);
+    let mut a = init.clone();
+    kernels::frontier_relax(row, idx, seg, &mut a);
+    assert_eq!(a, expect, "dispatch");
+    let mut b = init.clone();
+    swar::frontier_relax(row, idx, seg, &mut b);
+    assert_eq!(b, expect, "swar");
+    let mut c = init;
+    frontier_relax_scalar(row, idx, seg, &mut c);
+    assert_eq!(c, expect, "scalar");
+}
+
 proptest! {
+    #[test]
+    fn gather_min_plus_matches_u32_reference(case in frontier_case(120, 80)) {
+        let (row, idx, _) = case;
+        check_gather_min_plus(&row, &idx);
+    }
+
+    #[test]
+    fn frontier_relax_matches_u32_reference(
+        case in frontier_case(120, 200),
+        seed in any::<u64>(),
+    ) {
+        let (row, idx, seg) = case;
+        check_frontier_relax(&row, &idx, &seg, seed);
+    }
+
     #[test]
     fn blend_costs_match_u32_reference(pair in row_pair(200)) {
         let (base, via) = pair;
@@ -267,6 +387,30 @@ proptest! {
         let (row0, _) = pair;
         check_fused_batch(&row0, seed, k);
     }
+}
+
+#[test]
+fn frontier_kernels_handle_degenerate_frontiers() {
+    // Empty frontier: nothing gathered, argmin is the sentinel position.
+    let row = [7 as Dist, UNREACHABLE_D, 0];
+    assert_eq!(
+        kernels::gather_min_plus(&row, &[]),
+        (UNREACHABLE_D, u32::MAX)
+    );
+    assert_eq!(swar::gather_min_plus(&row, &[]), (UNREACHABLE_D, u32::MAX));
+    assert_eq!(gather_min_plus_scalar(&row, &[]), (UNREACHABLE_D, u32::MAX));
+    // Single-element frontiers, finite and sentinel.
+    check_gather_min_plus(&row, &[0]);
+    check_gather_min_plus(&row, &[1]);
+    check_gather_min_plus(&row, &[2]);
+    // No segments at all, and all-empty segments.
+    let mut out: [Dist; 0] = [];
+    kernels::frontier_relax(&[], &[], &[0], &mut out);
+    check_frontier_relax(&row, &[], &[0, 0, 0, 0], 42);
+    // One single-element segment holding the sentinel must stay put.
+    let mut out = [UNREACHABLE_D];
+    kernels::frontier_relax(&[UNREACHABLE_D], &[0], &[0, 1], &mut out);
+    assert_eq!(out, [UNREACHABLE_D]);
 }
 
 #[test]
