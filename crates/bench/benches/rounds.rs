@@ -148,5 +148,51 @@ fn bench_round_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_replay, bench_round_engine);
+/// Per-phase repair-timing percentiles, published as derived records.
+///
+/// One batched ER replay at n = 2048 (the canonical `round_replay_batched_er`
+/// workload) runs between two telemetry snapshots; the per-phase histograms
+/// of the delta — stage-A marking, phase-1 walks, phase-2 settles, cost
+/// blends, full rebuilds — yield p50/p99 nanoseconds per repaired row,
+/// reported via [`Criterion::report_scalar`] so they land in
+/// `BENCH_rounds.json` next to the timed medians. The ids live under
+/// `rounds/phase/…`, disjoint from every timed id, so existing consumers
+/// (the `recorded_median` CI gate) are unaffected. Skipped entirely when
+/// the `telemetry` feature is compiled out.
+fn bench_round_phases(c: &mut Criterion) {
+    use bncg_telemetry as telemetry;
+    if !telemetry::enabled() {
+        eprintln!("rounds/phase/*: telemetry feature is off; skipping phase percentiles");
+        return;
+    }
+    let n = 2048usize;
+    let mut rng = StdRng::seed_from_u64(0x0520 + n as u64);
+    let g0 = random_connected(&mut rng, n, n / 4);
+    let stream = synth_round_stream(&mut rng, &g0, 4, 16);
+    black_box(replay_round_stream(&g0, &stream, true)); // warm pools
+    let before = telemetry::snapshot();
+    black_box(replay_round_stream(&g0, &stream, true));
+    let delta = telemetry::snapshot().delta_since(&before);
+    for phase in ["stage_a", "phase1", "phase2", "blend", "rebuild"] {
+        let hist = delta
+            .histogram(&format!("apsp.{phase}_ns"))
+            .cloned()
+            .unwrap_or_else(telemetry::HistogramSnapshot::empty);
+        c.report_scalar(
+            format!("rounds/phase/{phase}/p50_ns"),
+            hist.quantile(0.5) as f64,
+        );
+        c.report_scalar(
+            format!("rounds/phase/{phase}/p99_ns"),
+            hist.quantile(0.99) as f64,
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_round_replay,
+    bench_round_engine,
+    bench_round_phases
+);
 criterion_main!(benches);

@@ -549,6 +549,75 @@ mod perf_gate {
         );
     }
 
+    /// Telemetry overhead gate: the instrumented build must replay the
+    /// canonical batched round workload (ER, n = 2048) within 1.05× of
+    /// the instrumentation-free build. Two-step protocol, driven by the
+    /// `BNCG_TELEMETRY_BASELINE` env var (a scratch file path):
+    ///
+    /// 1. `cargo test -p bncg_bench --release --no-default-features --
+    ///    --ignored telemetry_overhead` — the telemetry-off build measures
+    ///    the workload (best of 7) and **writes** the baseline ns to the
+    ///    file;
+    /// 2. the same command without `--no-default-features` — the
+    ///    instrumented build measures the same workload and **asserts**
+    ///    against the recorded baseline.
+    ///
+    /// The role switch is `cfg!(feature = "telemetry")`, so a single test
+    /// serves both steps and the two builds cannot drift apart on the
+    /// workload. With the env var unset (the plain `--ignored` sweep) the
+    /// gate skips; set-but-missing-file in the assert step is a hard
+    /// failure, so a mis-sequenced CI pipeline cannot silently pass.
+    /// Both arms are best-of-7: the 5% budget is far tighter than this
+    /// host's run-to-run spread, and minima are the only statistic stable
+    /// enough to compare across two processes.
+    #[test]
+    #[ignore = "perf gate — run by the CI bench-smoke job (release only)"]
+    fn telemetry_overhead_within_five_percent() {
+        let Some(path) = std::env::var_os("BNCG_TELEMETRY_BASELINE") else {
+            eprintln!("BNCG_TELEMETRY_BASELINE unset; skipping the telemetry overhead gate");
+            return;
+        };
+        let path = std::path::PathBuf::from(path);
+        let n = 2048usize;
+        let mut rng = StdRng::seed_from_u64(0x0520 + n as u64);
+        let g0 = random_connected(&mut rng, n, n / 4);
+        let stream = synth_round_stream(&mut rng, &g0, 4, 16);
+        assert!(stream.iter().all(|r| r.len() == 16));
+        black_box(replay_round_stream(&g0, &stream, true)); // warm pools
+        let measured = best_of(7, || replay_round_stream(&g0, &stream, true));
+        if cfg!(feature = "telemetry") {
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "BNCG_TELEMETRY_BASELINE is set but {} is unreadable ({e}); \
+                     run this gate under --no-default-features first to record it",
+                    path.display()
+                )
+            });
+            let baseline_ns: u64 = text
+                .trim()
+                .parse()
+                .expect("baseline file must hold one integer (best-of-7 ns)");
+            let budget = Duration::from_nanos(baseline_ns + baseline_ns / 20);
+            assert!(
+                measured <= budget,
+                "telemetry overhead exceeds 5%: instrumented {measured:?} vs \
+                 disabled-build baseline {:?} (budget {budget:?})",
+                Duration::from_nanos(baseline_ns)
+            );
+            eprintln!(
+                "telemetry overhead OK: instrumented {measured:?} vs baseline {:?}",
+                Duration::from_nanos(baseline_ns)
+            );
+        } else {
+            std::fs::write(&path, format!("{}\n", measured.as_nanos()))
+                .expect("write the telemetry-off baseline file");
+            eprintln!(
+                "recorded telemetry-off baseline {measured:?} to {}",
+                path.display()
+            );
+        }
+    }
+
     /// Median ns recorded for `id` in the repo's `BENCH_rounds.json`
     /// (hand-rolled parse — the record format is the criterion shim's own
     /// fixed output, one `{"id": …, "median_ns": …}` object per line).

@@ -12,7 +12,8 @@ use bncg_graph::properties::is_star;
 use crate::md::{ok, Table};
 
 /// Runs E1 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let max_n = if quick { 9 } else { 12 };
     let mut out = String::from("## E1 — Theorem 1: sum-equilibrium trees are stars\n\n");
     out.push_str("Exhaustive census over all free (unlabeled) trees:\n\n");

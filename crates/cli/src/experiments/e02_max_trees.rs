@@ -10,7 +10,8 @@ use bncg_graph::generators::classic::double_star;
 use crate::md::{ok, Table};
 
 /// Runs E2 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let max_n = if quick { 9 } else { 12 };
     let mut out = String::from("## E2 — Theorem 4: max-equilibrium trees have diameter ≤ 3\n\n");
     let mut t = Table::new(vec![

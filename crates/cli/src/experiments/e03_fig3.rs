@@ -29,7 +29,7 @@ fn audit(name: &str, g: &Graph, t: &mut Table) {
 }
 
 /// Runs E3 and renders the report.
-pub fn run(_quick: bool) -> String {
+pub fn run(_opts: &super::RunOpts) -> String {
     let mut out = String::from(
         "## E3 — Theorem 5 / Figure 3: a diameter-3 sum equilibrium (erratum + repair)\n\n",
     );

@@ -19,7 +19,8 @@ use rand::SeedableRng;
 use crate::md::{f3, ok, Table};
 
 /// Runs E4 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let sizes: &[usize] = if quick {
         &[16, 32, 64]
     } else {

@@ -45,7 +45,8 @@ fn audit_row(name: &str, g: &Graph, is_eq: bool, t: &mut Table) {
 }
 
 /// Runs E5 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out = String::from(
         "## E5 — Corollary 11 / Lemma 10: single-insertion gains in sum equilibria\n\n",
     );

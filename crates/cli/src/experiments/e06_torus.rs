@@ -20,7 +20,8 @@ use bncg_graph::{DistanceMatrix, V};
 use crate::md::{f3, ok, Table};
 
 /// Runs E6 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let full_ks: &[usize] = if quick { &[2, 3] } else { &[2, 3, 4, 5] };
     let reduced_ks: &[usize] = if quick { &[6, 8] } else { &[6, 8, 10, 12, 16] };
     let mut out = String::from(

@@ -14,7 +14,8 @@ use bncg_graph::{DistanceMatrix, V};
 use crate::md::{f3, ok, Table};
 
 /// Runs E7 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let cases: &[(usize, usize)] = if quick {
         &[(2, 3), (2, 4), (3, 2), (3, 3)]
     } else {

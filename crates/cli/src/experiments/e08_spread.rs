@@ -27,7 +27,8 @@ fn row(name: &str, g: &Graph, t: &mut Table) {
 }
 
 /// Runs E8 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out = String::from(
         "## E8 — Lemma 2 (spread ≤ 1) and Lemma 3 (cut vertices) in max equilibria\n\n",
     );

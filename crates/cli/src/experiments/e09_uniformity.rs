@@ -21,7 +21,8 @@ use bncg_graph::DistanceMatrix;
 use crate::md::{f3, ok, Table};
 
 /// Runs E9 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out = String::from("## E9 — Theorem 13: uniformization by powers (+ safe primes)\n\n");
 
     // Skew-triple claim 1 on genuine sum equilibria.

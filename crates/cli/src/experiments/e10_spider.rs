@@ -13,7 +13,8 @@ use bncg_graph::DistanceMatrix;
 use crate::md::{f3, Table};
 
 /// Runs E10 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out = String::from(
         "## E10 — the spider: pairwise-uniform, high-diameter, not vertex-uniform\n\n",
     );

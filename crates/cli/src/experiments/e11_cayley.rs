@@ -17,7 +17,8 @@ use bncg_graph::{DistanceMatrix, Graph};
 use crate::md::{f3, ok, Table};
 
 /// Runs E11 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out =
         String::from("## E11 — Theorem 15: uniform Abelian Cayley graphs have small diameter\n\n");
     // Subjects with genuinely small ε (Theorem 15's hypothesis needs

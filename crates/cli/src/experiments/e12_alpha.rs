@@ -20,7 +20,8 @@ use bncg_graph::Graph;
 use crate::md::{f3, ok, Table};
 
 /// Runs E12 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let mut out = String::from(
         "## E12 — α-game baseline: PoA data for every α from parameter-free equilibria\n\n",
     );

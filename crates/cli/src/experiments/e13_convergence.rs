@@ -24,8 +24,24 @@ use rand::SeedableRng;
 
 use crate::md::{f3, Table};
 
+/// Renders a sparse histogram (`index×count` pairs) or `—` when empty.
+fn hist_cell(hist: &[usize]) -> String {
+    let cells: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c > 0)
+        .map(|(p, c)| format!("{p}\u{00d7}{c}"))
+        .collect();
+    if cells.is_empty() {
+        "—".into()
+    } else {
+        cells.join(" ")
+    }
+}
+
 /// Runs E13 and renders the report.
-pub fn run(quick: bool) -> String {
+pub fn run(opts: &super::RunOpts) -> String {
+    let quick = opts.quick;
     let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
     let runs = if quick { 8 } else { 16 };
     let mut out = String::from("## E13 — dynamics converge to small-world equilibria\n\n");
@@ -37,6 +53,7 @@ pub fn run(quick: bool) -> String {
         "mean rounds",
         "mean moves",
         "mean final diameter",
+        "audit cache hit/miss",
     ]);
     for &n in sizes {
         for (obj_name, is_sum) in [("sum", true), ("max", false)] {
@@ -64,6 +81,10 @@ pub fn run(quick: bool) -> String {
                     f3(summary.mean_rounds),
                     f3(summary.mean_moves),
                     f3(summary.mean_final_diameter),
+                    format!(
+                        "{}/{}",
+                        summary.audit_cache_hits, summary.audit_cache_misses
+                    ),
                 ]);
             }
         }
@@ -82,6 +103,7 @@ pub fn run(quick: bool) -> String {
         "objective",
         "round converged",
         "oscillated",
+        "cycle periods",
         "mean rounds",
         "mean applied moves",
         "mean final diameter",
@@ -105,6 +127,7 @@ pub fn run(quick: bool) -> String {
                 obj_name.to_string(),
                 format!("{}/{}", summary.converged, runs),
                 summary.cycled.to_string(),
+                hist_cell(&summary.cycle_period_hist),
                 f3(summary.mean_rounds),
                 f3(summary.mean_moves),
                 f3(summary.mean_final_diameter),
@@ -158,6 +181,46 @@ pub fn run(quick: bool) -> String {
         ]);
     }
     out.push_str(&wc.render());
+
+    // Streaming round-stats pipeline: one traced round-based run per
+    // largest size, every round emitted as a structured record. The
+    // summary table digests the stream; `--metrics <path>` additionally
+    // persists it as JSON Lines.
+    let n = *sizes.last().expect("sizes is non-empty");
+    let mut rng = StdRng::seed_from_u64(0x713 + n as u64);
+    let start = bncg_graph::generators::random::random_connected(&mut rng, n, n / 4);
+    let mut sink = bncg_dynamics::MemorySink::new();
+    let _ = bncg_dynamics::run_traced_rounds_with_sink::<SumObjective>(
+        &start,
+        bncg_dynamics::Response::Best,
+        RoundConfig::default().max_rounds,
+        &mut sink,
+    );
+    out.push_str(&format!(
+        "\nStreaming round records (one traced round-based run, n = {n}):\n\n"
+    ));
+    out.push_str(&crate::md::round_summary(&sink.records));
+    if let Some(path) = &opts.metrics {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                let mut jsonl = bncg_dynamics::JsonlSink::new(std::io::BufWriter::new(file));
+                for record in &sink.records {
+                    bncg_dynamics::MetricsSink::record_round(&mut jsonl, record);
+                }
+                bncg_dynamics::MetricsSink::finish(&mut jsonl);
+                match jsonl.error() {
+                    None => out.push_str(&format!(
+                        "\n{} round records written to `{}`.\n",
+                        sink.records.len(),
+                        path.display()
+                    )),
+                    Some(e) => eprintln!("--metrics write to {} failed: {e}", path.display()),
+                }
+            }
+            Err(e) => eprintln!("--metrics cannot create {}: {e}", path.display()),
+        }
+    }
+
     out.push_str(
         "\nShape check: every run converges (no cycles observed), in a \
          handful of rounds; endpoints are diameter-2/3 small worlds \

@@ -1,5 +1,16 @@
 //! The thirteen experiments of the reproduction (see DESIGN.md §3).
 
+/// Options handed to every experiment runner.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Reduced-scale run (`bncg quick` / `--quick`).
+    pub quick: bool,
+    /// When set, experiments with a streaming round-record pipeline (E13)
+    /// write one JSON Lines [`bncg_dynamics::RoundRecord`] per dynamics
+    /// round to this path (`--metrics <path>`); the others ignore it.
+    pub metrics: Option<std::path::PathBuf>,
+}
+
 pub mod e01_tree_census;
 pub mod e02_max_trees;
 pub mod e03_fig3;

@@ -5,10 +5,11 @@
 //! (E1–E13), printing a markdown report whose tables back `EXPERIMENTS.md`.
 //!
 //! ```text
-//! bncg list          # show all experiments
-//! bncg e6            # run one experiment
-//! bncg all           # run everything (the EXPERIMENTS.md refresh)
-//! bncg quick         # run everything at reduced scale
+//! bncg list                     # show all experiments
+//! bncg e6                       # run one experiment
+//! bncg all                      # run everything (the EXPERIMENTS.md refresh)
+//! bncg quick                    # run everything at reduced scale
+//! bncg e13 --metrics rounds.jsonl   # also stream per-round records (JSONL)
 //! ```
 
 mod experiments;
@@ -16,11 +17,24 @@ mod md;
 
 use std::time::Instant;
 
+use experiments::RunOpts;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("list");
     let quick = args.iter().any(|a| a == "--quick") || command == "quick";
-    type Runner = fn(bool) -> String;
+    let metrics = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| match args.get(i + 1) {
+            Some(path) if !path.starts_with("--") => std::path::PathBuf::from(path),
+            _ => {
+                eprintln!("--metrics requires a file path argument");
+                std::process::exit(2);
+            }
+        });
+    let opts = RunOpts { quick, metrics };
+    type Runner = fn(&RunOpts) -> String;
     let all: Vec<(&str, Runner)> = vec![
         ("e1", experiments::e01_tree_census::run),
         ("e2", experiments::e02_max_trees::run),
@@ -44,6 +58,7 @@ fn main() {
             }
             println!("  all | quick — run every experiment (quick = reduced scale)");
             println!("  dump [dir]  — export the construction catalog as edge lists + graph6");
+            println!("  --metrics <path> — stream per-round JSONL records (consumed by e13)");
         }
         "dump" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());
@@ -63,13 +78,13 @@ fn main() {
         "all" | "quick" => {
             for (name, f) in &all {
                 let t = Instant::now();
-                let report = f(quick);
+                let report = f(&opts);
                 println!("{report}");
                 eprintln!("[{name} finished in {:.2?}]", t.elapsed());
             }
         }
         name => match all.iter().find(|(n, _)| *n == name) {
-            Some((_, f)) => println!("{}", f(quick)),
+            Some((_, f)) => println!("{}", f(&opts)),
             None => {
                 eprintln!("unknown experiment '{name}'; try `bncg list`");
                 std::process::exit(2);

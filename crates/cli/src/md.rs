@@ -55,3 +55,38 @@ pub fn ok(b: bool) -> String {
         "**NO**".into()
     }
 }
+
+/// Renders a one-row summary table over a run's round-record stream
+/// (the footer the `--metrics` pipeline prints): totals of the proposal
+/// funnel plus the run's repair work and per-phase wall clock. Phase
+/// columns read `0` when the `telemetry` feature is compiled out.
+pub fn round_summary(records: &[bncg_dynamics::RoundRecord]) -> String {
+    let mut t = Table::new(vec![
+        "rounds",
+        "proposed",
+        "applied",
+        "conflicted",
+        "rows repaired",
+        "rows blended",
+        "stage-A µs",
+        "phase-1 µs",
+        "phase-2 µs",
+        "blend µs",
+    ]);
+    let sum =
+        |f: &dyn Fn(&bncg_dynamics::RoundRecord) -> u64| -> u64 { records.iter().map(f).sum() };
+    let us = |ns: u64| (ns / 1_000).to_string();
+    t.row(vec![
+        records.len().to_string(),
+        sum(&|r| r.proposed as u64).to_string(),
+        sum(&|r| r.applied as u64).to_string(),
+        sum(&|r| r.conflicted as u64).to_string(),
+        sum(&|r| r.repair.rows_repaired).to_string(),
+        sum(&|r| r.repair.rows_blended).to_string(),
+        us(sum(&|r| r.phases.stage_a_ns)),
+        us(sum(&|r| r.phases.phase1_ns)),
+        us(sum(&|r| r.phases.phase2_ns)),
+        us(sum(&|r| r.phases.blend_ns)),
+    ]);
+    t.render()
+}

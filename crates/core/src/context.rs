@@ -363,6 +363,24 @@ impl EvalContext {
         out
     }
 
+    /// Sum of all *ordered* pairwise distances of the snapshot (the
+    /// paper's social usage cost), read off the dynamic subsystem's
+    /// maintained per-row aggregates — `O(n)` once the lazy base matrix
+    /// exists. `None` while the graph is disconnected.
+    pub fn social_cost(&self) -> Option<u64> {
+        self.base(); // force the maintained matrix + aggregates
+        let dyn_apsp = self.base.get().expect("base() just initialized it");
+        let mut total = 0u64;
+        for v in 0..self.n() as V {
+            let s = dyn_apsp.cost_sum(v);
+            if s == u64::MAX {
+                return None;
+            }
+            total += s;
+        }
+        Some(total)
+    }
+
     /// Smallest and largest agent cost under `O`. `(0, 0)` for the empty
     /// graph.
     ///

@@ -20,6 +20,7 @@
 //! candidate after one `O(n·m)` preprocessing step.
 
 use bncg_graph::{Csr, DistanceMatrix, Graph, V};
+use bncg_telemetry as telemetry;
 use rayon::prelude::*;
 
 use crate::objective::Objective;
@@ -113,6 +114,7 @@ impl EdgeSwapScan {
     /// ascending chunk order under the same `(new_cost, w2)` ordering, so
     /// the result is **byte-identical** to the sequential scan.
     pub fn best_improving<O: Objective>(&self, agent: V, old_cost: u64) -> Option<ScoredSwap> {
+        telemetry::counter!("swap_scan.sweeps").incr();
         let other = self.other_endpoint(agent);
         let n = self.masked.n() as V;
         if (n as usize) < PAR_CANDIDATE_MIN_N {
@@ -142,23 +144,31 @@ impl EdgeSwapScan {
         hi: V,
     ) -> Option<ScoredSwap> {
         let mut best: Option<ScoredSwap> = None;
+        let mut scored = 0u64;
+        let mut improving = 0u64;
         for w2 in lo..hi {
             if w2 == agent || w2 == other {
                 continue; // w2 == other re-creates the original graph
             }
             let new_cost = self.swap_cost::<O>(agent, w2);
-            if new_cost < old_cost && best.as_ref().is_none_or(|b| new_cost < b.new_cost) {
-                best = Some(ScoredSwap {
-                    mv: SwapMove {
-                        v: agent,
-                        w: other,
-                        w2,
-                    },
-                    old_cost,
-                    new_cost,
-                });
+            scored += 1;
+            if new_cost < old_cost {
+                improving += 1;
+                if best.as_ref().is_none_or(|b| new_cost < b.new_cost) {
+                    best = Some(ScoredSwap {
+                        mv: SwapMove {
+                            v: agent,
+                            w: other,
+                            w2,
+                        },
+                        old_cost,
+                        new_cost,
+                    });
+                }
             }
         }
+        telemetry::counter!("swap_scan.candidates").add(scored);
+        telemetry::counter!("swap_scan.improving").add(improving);
         best
     }
 

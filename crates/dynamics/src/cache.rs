@@ -32,6 +32,7 @@ use bncg_core::context::EvalContext;
 use bncg_core::equilibrium::{EquilibriumReport, MaxGame, SumGame};
 use bncg_core::objective::{MaxObjective, Objective};
 use bncg_graph::{canon, graph6, properties, Graph};
+use bncg_telemetry as telemetry;
 
 /// A concurrent, objective-aware memo of equilibrium audits. Cheap to
 /// share by reference across rayon workers (interior mutability via a
@@ -97,6 +98,7 @@ impl EquilibriumCache {
         };
         let cached = usize::from(sum_hit.is_some()) + usize::from(max_hit.is_some());
         self.hits.fetch_add(cached, Ordering::Relaxed);
+        telemetry::counter!("equilibrium_cache.hits").add(cached as u64);
         if let (Some(sum), Some(max)) = (&sum_hit, &max_hit) {
             return (Arc::clone(sum), Arc::clone(max));
         }
@@ -142,6 +144,7 @@ impl EquilibriumCache {
             let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(report) = map.get(&(objective, key.clone())) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter!("equilibrium_cache.hits").incr();
                 return Arc::clone(report);
             }
         }
@@ -160,6 +163,7 @@ impl EquilibriumCache {
     ) -> Arc<EquilibriumReport> {
         let report = Arc::new(report);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter!("equilibrium_cache.misses").incr();
         self.map
             .lock()
             .unwrap_or_else(|e| e.into_inner())

@@ -11,12 +11,14 @@
 
 use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
+use bncg_graph::dynamic::repair_phase_totals;
 use bncg_graph::{Graph, RepairStrategy, V};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::StateLog;
+use crate::sink::{MetricsSink, NullSink, RoundRecord};
 
 /// Agent activation order within a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,6 +133,21 @@ impl<O: Objective> SwapDynamics<O> {
     /// rather than rebuilt per move. The greedy-global schedule scans all
     /// agents in parallel.
     pub fn run<R: Rng>(&self, start: &Graph, rng: &mut R) -> DynamicsResult {
+        self.run_with_sink(start, rng, &mut NullSink)
+    }
+
+    /// [`run`](Self::run), additionally pushing one [`RoundRecord`] per
+    /// executed round into `sink` (see [`crate::sink`]). Sequential play
+    /// has no conflict resolution, so each record reports `proposed ==
+    /// applied` and `conflicted == 0`. An active sink forces the base
+    /// matrix (for the social-cost reading), which the plain `run` leaves
+    /// lazy — use [`NullSink`] to keep the untraced behavior.
+    pub fn run_with_sink<R: Rng>(
+        &self,
+        start: &Graph,
+        rng: &mut R,
+        sink: &mut dyn MetricsSink,
+    ) -> DynamicsResult {
         let mut g = start.clone();
         let n = g.n();
         let mut ctx = EvalContext::new(&g);
@@ -141,8 +158,16 @@ impl<O: Objective> SwapDynamics<O> {
         }
         let mut moves = 0usize;
         let mut order: Vec<V> = (0..n as V).collect();
+        let mut prev_cost = if sink.active() {
+            ctx.social_cost()
+        } else {
+            None
+        };
+        let mut round_stats = ctx.dynamic_stats_snapshot();
+        let mut round_phases = repair_phase_totals();
         for round in 0..self.config.max_rounds {
-            let mut any_move = false;
+            let mut round_moves = 0usize;
+            let mut cycled: Option<usize> = None;
             match self.config.schedule {
                 Schedule::RoundRobin | Schedule::RandomPermutation => {
                     if self.config.schedule == Schedule::RandomPermutation {
@@ -160,16 +185,11 @@ impl<O: Objective> SwapDynamics<O> {
                             let rec = s.mv.apply(&mut g);
                             ctx.refresh_after(&g, &rec);
                             moves += 1;
-                            any_move = true;
+                            round_moves += 1;
                             if self.config.detect_cycles {
                                 if let Some(period) = log.record_period(&g) {
-                                    return DynamicsResult {
-                                        graph: g,
-                                        outcome: Outcome::Cycled,
-                                        rounds: round + 1,
-                                        moves,
-                                        cycle_period: Some(period),
-                                    };
+                                    cycled = Some(period);
+                                    break;
                                 }
                             }
                         }
@@ -185,22 +205,51 @@ impl<O: Objective> SwapDynamics<O> {
                         let rec = s.mv.apply(&mut g);
                         ctx.refresh_after(&g, &rec);
                         moves += 1;
-                        any_move = true;
+                        round_moves += 1;
                         if self.config.detect_cycles {
                             if let Some(period) = log.record_period(&g) {
-                                return DynamicsResult {
-                                    graph: g,
-                                    outcome: Outcome::Cycled,
-                                    rounds: round + 1,
-                                    moves,
-                                    cycle_period: Some(period),
-                                };
+                                cycled = Some(period);
                             }
                         }
                     }
                 }
             }
-            if !any_move {
+            let converged = round_moves == 0 && cycled.is_none();
+            if sink.active() {
+                let stats_now = ctx.dynamic_stats_snapshot();
+                let phases_now = repair_phase_totals();
+                let cost = ctx.social_cost();
+                sink.record_round(&RoundRecord {
+                    round: round + 1,
+                    proposed: round_moves,
+                    applied: round_moves,
+                    conflicted: 0,
+                    social_cost: cost,
+                    cost_delta: match (prev_cost, cost) {
+                        (Some(a), Some(b)) => Some(b as i64 - a as i64),
+                        _ => None,
+                    },
+                    cycle_period: cycled,
+                    converged,
+                    repair: stats_now.delta_since(&round_stats),
+                    phases: phases_now.delta_since(&round_phases),
+                });
+                round_stats = stats_now;
+                round_phases = phases_now;
+                prev_cost = cost;
+            }
+            if let Some(period) = cycled {
+                sink.finish();
+                return DynamicsResult {
+                    graph: g,
+                    outcome: Outcome::Cycled,
+                    rounds: round + 1,
+                    moves,
+                    cycle_period: Some(period),
+                };
+            }
+            if converged {
+                sink.finish();
                 return DynamicsResult {
                     graph: g,
                     outcome: Outcome::Converged,
@@ -210,6 +259,7 @@ impl<O: Objective> SwapDynamics<O> {
                 };
             }
         }
+        sink.finish();
         DynamicsResult {
             graph: g,
             outcome: Outcome::Capped,

@@ -49,10 +49,14 @@ pub mod census;
 pub mod convergence;
 pub mod engine;
 pub mod rounds;
+pub mod sink;
 pub mod trajectory;
 
 pub use cache::EquilibriumCache;
 pub use census::{tree_census, tree_census_with_cache, TreeCensus};
 pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Response, Schedule, SwapDynamics};
 pub use rounds::{RoundConfig, RoundDynamics, RoundResult};
-pub use trajectory::{run_traced, run_traced_rounds, Trajectory, TrajectoryPoint};
+pub use sink::{JsonlSink, MemorySink, MetricsSink, NullSink, RoundRecord};
+pub use trajectory::{
+    run_traced, run_traced_rounds, run_traced_rounds_with_sink, Trajectory, TrajectoryPoint,
+};

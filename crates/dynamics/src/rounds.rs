@@ -31,12 +31,13 @@ use bncg_core::context::EvalContext;
 use bncg_core::objective::Objective;
 use bncg_core::swap::ScoredSwap;
 use bncg_graph::adjacency::{Edge, SwapApplied};
-use bncg_graph::dynamic::RepairStats;
+use bncg_graph::dynamic::{repair_phase_totals, RepairStats};
 use bncg_graph::{Graph, RepairStrategy};
 use serde::{Deserialize, Serialize};
 
 use crate::convergence::StateLog;
 use crate::engine::{Outcome, Response};
+use crate::sink::{MetricsSink, NullSink, RoundRecord};
 
 /// Configuration of a round-based dynamics run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -174,6 +175,15 @@ impl<O: Objective> RoundDynamics<O> {
     /// batch repair, so the per-round refresh work is bounded by the
     /// round's touched rows, not by `n` BFS trees per applied move.
     pub fn run(&self, start: &Graph) -> RoundResult {
+        self.run_with_sink(start, &mut NullSink)
+    }
+
+    /// [`run`](Self::run), additionally pushing one [`RoundRecord`] per
+    /// executed round into `sink` (see [`crate::sink`] for the schema and
+    /// the phase-delta caveat). With [`NullSink`] the record construction
+    /// is skipped entirely, so `run` pays one branch per round for this
+    /// seam.
+    pub fn run_with_sink(&self, start: &Graph, sink: &mut dyn MetricsSink) -> RoundResult {
         let mut g = start.clone();
         let mut ctx = EvalContext::new(&g);
         ctx.set_repair_strategy(self.repair_strategy);
@@ -185,37 +195,62 @@ impl<O: Objective> RoundDynamics<O> {
         }
         let mut moves_proposed = 0usize;
         let mut moves_applied = 0usize;
+        let mut prev_cost = if sink.active() {
+            ctx.social_cost()
+        } else {
+            None
+        };
+        let mut round_stats = stats_before;
+        let mut round_phases = repair_phase_totals();
         for round in 0..self.config.max_rounds {
             let step = step_round::<O>(&mut ctx, &mut g, self.config.response);
             moves_proposed += step.proposed;
             moves_applied += step.applied;
-            if step.proposed == 0 {
+            let ended: Option<(Outcome, Option<usize>)> = if step.proposed == 0 {
+                Some((Outcome::Converged, None))
+            } else if self.config.detect_cycles {
+                log.record_period(&g).map(|p| (Outcome::Cycled, Some(p)))
+            } else {
+                None
+            };
+            if sink.active() {
+                let stats_now = ctx.dynamic_stats_snapshot();
+                let phases_now = repair_phase_totals();
+                let cost = ctx.social_cost();
+                sink.record_round(&RoundRecord {
+                    round: round + 1,
+                    proposed: step.proposed,
+                    applied: step.applied,
+                    conflicted: step.proposed - step.applied,
+                    social_cost: cost,
+                    cost_delta: match (prev_cost, cost) {
+                        (Some(a), Some(b)) => Some(b as i64 - a as i64),
+                        _ => None,
+                    },
+                    cycle_period: ended.and_then(|(_, period)| period),
+                    converged: matches!(ended, Some((Outcome::Converged, _))),
+                    repair: stats_now.delta_since(&round_stats),
+                    phases: phases_now.delta_since(&round_phases),
+                });
+                round_stats = stats_now;
+                round_phases = phases_now;
+                prev_cost = cost;
+            }
+            if let Some((outcome, cycle_period)) = ended {
+                sink.finish();
                 return self.finish(
                     g,
-                    Outcome::Converged,
+                    outcome,
                     round + 1,
                     moves_proposed,
                     moves_applied,
-                    None,
+                    cycle_period,
                     &ctx,
                     &stats_before,
                 );
             }
-            if self.config.detect_cycles {
-                if let Some(period) = log.record_period(&g) {
-                    return self.finish(
-                        g,
-                        Outcome::Cycled,
-                        round + 1,
-                        moves_proposed,
-                        moves_applied,
-                        Some(period),
-                        &ctx,
-                        &stats_before,
-                    );
-                }
-            }
         }
+        sink.finish();
         let rounds = self.config.max_rounds;
         self.finish(
             g,
@@ -349,6 +384,42 @@ mod tests {
                 result.repair.incremental, result.repair.updates,
                 "default threshold must service every round incrementally"
             );
+        }
+    }
+
+    #[test]
+    fn sink_records_reconcile_with_the_run_result() {
+        // path(10) oscillates (cycled), path(9) converges — both final
+        // statuses must show up on the last record.
+        for start in [classic::path(10), classic::path(9)] {
+            let engine = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+            let mut sink = crate::sink::MemorySink::new();
+            let result = engine.run_with_sink(&start, &mut sink);
+            assert_eq!(sink.records.len(), result.rounds);
+            let applied: usize = sink.records.iter().map(|r| r.applied).sum();
+            assert_eq!(applied, result.moves_applied);
+            let proposed: usize = sink.records.iter().map(|r| r.proposed).sum();
+            assert_eq!(proposed, result.moves_proposed);
+            let updates: u64 = sink.records.iter().map(|r| r.repair.updates).sum();
+            assert_eq!(updates, result.repair.updates, "round deltas tile the run");
+            let last = sink.records.last().expect("at least one round");
+            assert_eq!(last.converged, result.outcome == Outcome::Converged);
+            assert_eq!(last.cycle_period, result.cycle_period);
+            // Simultaneous rounds may transiently disconnect the network,
+            // so `social_cost` is only required on the final record (both
+            // endpoints here are connected states).
+            assert!(last.social_cost.is_some());
+            for r in &sink.records {
+                assert_eq!(r.conflicted, r.proposed - r.applied);
+            }
+            if bncg_telemetry::enabled() {
+                for r in sink.records.iter().filter(|r| r.repair.rows_repaired > 0) {
+                    assert!(
+                        r.phases.phase1_ns > 0,
+                        "repairing rounds must carry phase-1 time"
+                    );
+                }
+            }
         }
     }
 

@@ -121,15 +121,42 @@ pub fn run_traced_rounds<O: Objective>(
     response: crate::engine::Response,
     max_rounds: usize,
 ) -> Trajectory {
+    run_traced_rounds_with_sink::<O>(start, response, max_rounds, &mut crate::sink::NullSink)
+}
+
+/// [`run_traced_rounds`], additionally pushing one
+/// [`RoundRecord`](crate::sink::RoundRecord) per executed round into
+/// `sink` — the streaming pipeline behind the CLI experiments'
+/// `--metrics` flag and the dynamics-lab JSONL example. Each record
+/// carries the round's proposal/acceptance counts, the social cost and
+/// its delta (read off the maintained base matrix the trace consults
+/// anyway), convergence/cycle status, and the round's repair-stats and
+/// repair-phase deltas (see [`crate::sink`] for the schema and the
+/// phase-delta caveat).
+pub fn run_traced_rounds_with_sink<O: Objective>(
+    start: &Graph,
+    response: crate::engine::Response,
+    max_rounds: usize,
+    sink: &mut dyn crate::sink::MetricsSink,
+) -> Trajectory {
     let mut g = start.clone();
     let mut ctx = EvalContext::new(&g);
     let mut log = crate::convergence::StateLog::new();
     log.record_period(&g);
     let mut points = Vec::new();
     let mut converged = false;
+    let mut prev_cost = if sink.active() {
+        ctx.social_cost()
+    } else {
+        None
+    };
+    let mut round_stats = ctx.dynamic_stats_snapshot();
+    let mut round_phases = bncg_graph::dynamic::repair_phase_totals();
     for round in 1..=max_rounds {
         let step = crate::rounds::step_round::<O>(&mut ctx, &mut g, response);
         let point = {
+            // The context caches this APSP; a converged final round reuses
+            // it for free, and moves in later rounds repair it in place.
             let dm = ctx.base();
             TrajectoryPoint {
                 round,
@@ -142,14 +169,44 @@ pub fn run_traced_rounds<O: Objective>(
             }
         };
         points.push(point);
-        if step.proposed == 0 {
+        let round_converged = step.proposed == 0;
+        let cycle_period = if round_converged {
+            None
+        } else {
+            log.record_period(&g)
+        };
+        if sink.active() {
+            let stats_now = ctx.dynamic_stats_snapshot();
+            let phases_now = bncg_graph::dynamic::repair_phase_totals();
+            let cost = point.total_distance;
+            sink.record_round(&crate::sink::RoundRecord {
+                round,
+                proposed: step.proposed,
+                applied: step.applied,
+                conflicted: step.proposed - step.applied,
+                social_cost: cost,
+                cost_delta: match (prev_cost, cost) {
+                    (Some(a), Some(b)) => Some(b as i64 - a as i64),
+                    _ => None,
+                },
+                cycle_period,
+                converged: round_converged,
+                repair: stats_now.delta_since(&round_stats),
+                phases: phases_now.delta_since(&round_phases),
+            });
+            round_stats = stats_now;
+            round_phases = phases_now;
+            prev_cost = cost;
+        }
+        if round_converged {
             converged = true;
             break;
         }
-        if log.record_period(&g).is_some() {
+        if cycle_period.is_some() {
             break; // oscillation: the orbit will replay forever
         }
     }
+    sink.finish();
     Trajectory {
         points,
         graph: g,

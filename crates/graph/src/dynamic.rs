@@ -81,7 +81,9 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
+use bncg_telemetry as telemetry;
 use rayon::prelude::*;
 
 use crate::adjacency::SwapApplied;
@@ -196,17 +198,109 @@ impl RepairStats {
     /// snapshot the stats before, diff after, then assert on
     /// repair-vs-rebuild ratios (`incremental` vs `full_rebuilds`) or on
     /// total repair volume.
+    /// The subtractions saturate: a baseline *newer* than `self` (e.g.
+    /// taken from a fresh instance after an engine reset, then diffed
+    /// against a stale copy) yields zeros instead of wrapping.
     #[must_use]
     pub fn delta_since(&self, baseline: &RepairStats) -> RepairStats {
         RepairStats {
-            updates: self.updates - baseline.updates,
-            incremental: self.incremental - baseline.incremental,
-            full_rebuilds: self.full_rebuilds - baseline.full_rebuilds,
-            rows_repaired: self.rows_repaired - baseline.rows_repaired,
-            rows_blended: self.rows_blended - baseline.rows_blended,
-            batches: self.batches - baseline.batches,
+            updates: self.updates.saturating_sub(baseline.updates),
+            incremental: self.incremental.saturating_sub(baseline.incremental),
+            full_rebuilds: self.full_rebuilds.saturating_sub(baseline.full_rebuilds),
+            rows_repaired: self.rows_repaired.saturating_sub(baseline.rows_repaired),
+            rows_blended: self.rows_blended.saturating_sub(baseline.rows_blended),
+            batches: self.batches.saturating_sub(baseline.batches),
             ..*self
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry handles (all no-ops when the `telemetry` feature is off).
+//
+// Metric names, as documented in ARCHITECTURE.md §Observability:
+//   apsp.stage_a_ns / apsp.phase1_ns / apsp.phase2_ns / apsp.blend_ns /
+//   apsp.rebuild_ns    — duration histograms of the maintained matrix's
+//                        repair phases (stage A per update, phases 1/2
+//                        per repaired row, blend per update).
+//   apsp.rows_repaired / apsp.rows_blended / apsp.rebuilds — counters.
+//   scan.copy_ns / scan.stage_a_ns / scan.phase1_ns / scan.phase2_ns /
+//   scan.rows_repaired — the same breakdown for `masked_apsp_from_base`
+//                        (the evaluator's per-candidate-edge scans), kept
+//                        separate so round-level repair deltas are not
+//                        polluted by proposal-sweep scans.
+// ---------------------------------------------------------------------------
+
+/// Per-row phase histograms for one repair family (maintained matrix vs
+/// evaluator scan).
+struct PhaseHists {
+    phase1: &'static telemetry::Histogram,
+    phase2: &'static telemetry::Histogram,
+}
+
+fn apsp_phase_hists() -> &'static PhaseHists {
+    static S: OnceLock<PhaseHists> = OnceLock::new();
+    S.get_or_init(|| PhaseHists {
+        phase1: telemetry::histogram("apsp.phase1_ns"),
+        phase2: telemetry::histogram("apsp.phase2_ns"),
+    })
+}
+
+fn scan_phase_hists() -> &'static PhaseHists {
+    static S: OnceLock<PhaseHists> = OnceLock::new();
+    S.get_or_init(|| PhaseHists {
+        phase1: telemetry::histogram("scan.phase1_ns"),
+        phase2: telemetry::histogram("scan.phase2_ns"),
+    })
+}
+
+/// Nanosecond totals of the maintained matrix's repair phases, read from
+/// the telemetry histograms (all zero when the `telemetry` feature is
+/// off). The sink layer in `bncg_dynamics` diffs two of these around
+/// each round to attach a per-round repair-phase breakdown to its
+/// stream; totals are process-global, so per-round deltas are only
+/// meaningful for single-run drivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairPhases {
+    /// Stage-A filter time (tight/alternate-parent candidate scan).
+    pub stage_a_ns: u64,
+    /// Phase-1 affected-set walks, summed over repaired rows.
+    pub phase1_ns: u64,
+    /// Phase-2 boundary settles, summed over repaired rows.
+    pub phase2_ns: u64,
+    /// Insertion blend passes.
+    pub blend_ns: u64,
+    /// Full rebuild fallbacks.
+    pub rebuild_ns: u64,
+}
+
+impl RepairPhases {
+    /// Saturating per-field difference against an earlier reading.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &RepairPhases) -> RepairPhases {
+        RepairPhases {
+            stage_a_ns: self.stage_a_ns.saturating_sub(baseline.stage_a_ns),
+            phase1_ns: self.phase1_ns.saturating_sub(baseline.phase1_ns),
+            phase2_ns: self.phase2_ns.saturating_sub(baseline.phase2_ns),
+            blend_ns: self.blend_ns.saturating_sub(baseline.blend_ns),
+            rebuild_ns: self.rebuild_ns.saturating_sub(baseline.rebuild_ns),
+        }
+    }
+
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.stage_a_ns + self.phase1_ns + self.phase2_ns + self.blend_ns + self.rebuild_ns
+    }
+}
+
+/// Current cumulative phase totals of the maintained-matrix repair path.
+pub fn repair_phase_totals() -> RepairPhases {
+    RepairPhases {
+        stage_a_ns: telemetry::histogram!("apsp.stage_a_ns").sum(),
+        phase1_ns: apsp_phase_hists().phase1.sum(),
+        phase2_ns: apsp_phase_hists().phase2.sum(),
+        blend_ns: telemetry::histogram!("apsp.blend_ns").sum(),
+        rebuild_ns: telemetry::histogram!("apsp.rebuild_ns").sum(),
     }
 }
 
@@ -542,6 +636,7 @@ impl DynamicApsp {
         // Stage A: find the rows that can change at all. Tightness reads
         // the contiguous rows of u and w (d(s,u) = d(u,s) by symmetry);
         // the alternate-parent filter then touches only tight rows.
+        let t0 = telemetry::stamp();
         let candidates = collect_repair_roots(
             csr,
             mask,
@@ -552,6 +647,7 @@ impl DynamicApsp {
             &mut self.roots,
             self.strategy,
         );
+        telemetry::histogram!("apsp.stage_a_ns").record_span(t0, telemetry::stamp());
         self.stats.last_repair_candidates = candidates;
 
         if candidates == 0 {
@@ -561,11 +657,13 @@ impl DynamicApsp {
             return true;
         }
         if candidates > self.max_repair_rows {
+            let _t = telemetry::histogram!("apsp.rebuild_ns").start();
             self.dm.rebuild(csr);
             self.refresh_costs_all();
             self.stats.last_rows_repaired = 0;
             self.stats.last_was_rebuild = true;
             self.stats.full_rebuilds += 1;
+            telemetry::counter!("apsp.rebuilds").incr();
             return false;
         }
 
@@ -580,10 +678,12 @@ impl DynamicApsp {
             n,
             candidates,
             self.strategy,
+            apsp_phase_hists(),
         );
         self.refresh_costs_marked(candidates);
         self.stats.last_rows_repaired = candidates;
         self.stats.rows_repaired += candidates as u64;
+        telemetry::counter!("apsp.rows_repaired").add(candidates as u64);
         self.stats.last_was_rebuild = false;
         self.stats.incremental += 1;
         true
@@ -604,6 +704,7 @@ impl DynamicApsp {
         // filter is no longer sound per edge (the alternate parent may
         // itself be affected by another deletion), so candidacy stops at
         // tightness and the per-row phase 1 renders the exact verdict.
+        let t0 = telemetry::stamp();
         let candidates = {
             let dm = &self.dm;
             let roots = &mut self.roots;
@@ -622,6 +723,7 @@ impl DynamicApsp {
             }
             count
         };
+        telemetry::histogram!("apsp.stage_a_ns").record_span(t0, telemetry::stamp());
         self.stats.last_repair_candidates = candidates;
 
         if candidates == 0 {
@@ -631,11 +733,13 @@ impl DynamicApsp {
             return true;
         }
         if candidates > self.max_repair_rows {
+            let _t = telemetry::histogram!("apsp.rebuild_ns").start();
             self.dm.rebuild(csr);
             self.refresh_costs_all();
             self.stats.last_rows_repaired = 0;
             self.stats.last_was_rebuild = true;
             self.stats.full_rebuilds += 1;
+            telemetry::counter!("apsp.rebuilds").incr();
             return false;
         }
 
@@ -645,10 +749,11 @@ impl DynamicApsp {
         let roots = &self.roots;
         let touch = &self.mask_touch;
         let strategy = self.strategy;
+        let ph = apsp_phase_hists();
         let repair_one = |scratch: &mut RepairScratch, row: &mut [Dist]| match strategy {
-            RepairStrategy::Scalar => repair_row_batch(scratch, csr, mask, touch, deleted, row),
+            RepairStrategy::Scalar => repair_row_batch(scratch, csr, mask, touch, deleted, row, ph),
             RepairStrategy::Kernel => {
-                repair_row_kernel_batch(scratch, csr, mask, touch, deleted, row)
+                repair_row_kernel_batch(scratch, csr, mask, touch, deleted, row, ph)
             }
         };
         let d = self.dm.data_mut();
@@ -677,6 +782,7 @@ impl DynamicApsp {
         self.refresh_costs_marked(candidates);
         self.stats.last_rows_repaired = repaired;
         self.stats.rows_repaired += repaired as u64;
+        telemetry::counter!("apsp.rows_repaired").add(repaired as u64);
         self.stats.last_was_rebuild = false;
         self.stats.incremental += 1;
         true
@@ -686,6 +792,7 @@ impl DynamicApsp {
     /// edge `xy` can shorten, with the row's cost aggregate computed in
     /// the same vectorized pass.
     fn update_insertion(&mut self, x: V, y: V) {
+        let _t = telemetry::histogram!("apsp.blend_ns").start();
         let n = self.n;
         self.row_x.clear();
         self.row_x.extend_from_slice(self.dm.row(x));
@@ -717,6 +824,7 @@ impl DynamicApsp {
         }
         self.stats.last_rows_blended = blended;
         self.stats.rows_blended += blended as u64;
+        telemetry::counter!("apsp.rows_blended").add(blended as u64);
     }
 
     /// Batched insertion blend: the exact composition of the per-edge
@@ -736,6 +844,7 @@ impl DynamicApsp {
     /// `n` the blend is memory-bound, and this is exactly where the round
     /// barrier's batching pays.
     fn update_insertions_batch(&mut self, inserted: &[(V, V)]) {
+        let _t = telemetry::histogram!("apsp.blend_ns").start();
         let n = self.n;
         let k = inserted.len();
         debug_assert!(k >= 2);
@@ -828,7 +937,10 @@ pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> 
         csr.neighbors(edge.0).contains(&edge.1),
         "masked_apsp_from_base requires an existing edge"
     );
+    let t0 = telemetry::stamp();
     let mut dm = base.clone_pooled();
+    let t1 = telemetry::stamp();
+    telemetry::histogram!("scan.copy_ns").record_span(t0, t1);
     let (u, w) = edge;
     let mask = [edge];
     let mut touch_buf = Vec::new();
@@ -842,9 +954,11 @@ pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> 
     let strategy = RepairStrategy::default();
     let mut roots: Vec<V> = Vec::new();
     let candidates = collect_repair_roots(csr, &mask, touch, base, u, w, &mut roots, strategy);
+    telemetry::histogram!("scan.stage_a_ns").record_span(t1, telemetry::stamp());
     if candidates == 0 {
         return dm;
     }
+    telemetry::counter!("scan.rows_repaired").add(candidates as u64);
     repair_marked_rows(
         csr,
         &mask,
@@ -854,6 +968,7 @@ pub fn masked_apsp_from_base(csr: &Csr, base: &DistanceMatrix, edge: (V, V)) -> 
         n,
         candidates,
         strategy,
+        scan_phase_hists(),
     );
     dm
 }
@@ -942,10 +1057,11 @@ fn repair_marked_rows(
     n: usize,
     candidates: usize,
     strategy: RepairStrategy,
+    ph: &'static PhaseHists,
 ) {
     let repair_one = |scratch: &mut RepairScratch, row: &mut [Dist], far: V| match strategy {
-        RepairStrategy::Scalar => repair_row(scratch, csr, mask, touch, row, far),
-        RepairStrategy::Kernel => repair_row_kernel_single(scratch, csr, mask, touch, row, far),
+        RepairStrategy::Scalar => repair_row(scratch, csr, mask, touch, row, far, ph),
+        RepairStrategy::Kernel => repair_row_kernel_single(scratch, csr, mask, touch, row, far, ph),
     };
     if n < PAR_REPAIR_MIN_N || candidates < PAR_REPAIR_MIN_ROWS {
         with_repair_scratch(n, |scratch| {
@@ -1039,7 +1155,9 @@ fn repair_row(
     touch: &[bool],
     row: &mut [Dist],
     far: V,
+    ph: &PhaseHists,
 ) {
+    let t0 = telemetry::stamp();
     scratch.begin();
 
     // Phase 1: affected set, discovered in non-decreasing level order (the
@@ -1065,7 +1183,10 @@ fn repair_row(
         }
     }
 
+    let t1 = telemetry::stamp();
+    ph.phase1.record_span(t0, t1);
     settle_affected(scratch, csr, mask, touch, row);
+    ph.phase2.record_span(t1, telemetry::stamp());
 }
 
 /// Multi-deletion phase 1 + repair of one source row: every edge in
@@ -1086,7 +1207,9 @@ fn repair_row_batch(
     touch: &[bool],
     deleted: &[(V, V)],
     row: &mut [Dist],
+    ph: &PhaseHists,
 ) -> bool {
+    let t0 = telemetry::stamp();
     scratch.begin();
     scratch.queue.clear();
 
@@ -1107,6 +1230,7 @@ fn repair_row_batch(
         max_lvl = max_lvl.max(far_lvl as usize);
     }
     if lvl == usize::MAX {
+        ph.phase1.record_span(t0, telemetry::stamp());
         return false;
     }
 
@@ -1139,10 +1263,13 @@ fn repair_row_batch(
         }
         lvl += 1;
     }
+    let t1 = telemetry::stamp();
+    ph.phase1.record_span(t0, t1);
     if scratch.queue.is_empty() {
         return false;
     }
     settle_affected(scratch, csr, mask, touch, row);
+    ph.phase2.record_span(t1, telemetry::stamp());
     true
 }
 
@@ -1250,7 +1377,9 @@ fn repair_row_kernel_single(
     touch: &[bool],
     row: &mut [Dist],
     far: V,
+    ph: &PhaseHists,
 ) {
+    let t0 = telemetry::stamp();
     scratch.begin();
     scratch.queue.clear();
     scratch.queue_seg.clear();
@@ -1296,7 +1425,10 @@ fn repair_row_kernel_single(
         !scratch.queue.is_empty(),
         "stage A only marks rows phase 1 will repair"
     );
+    let t1 = telemetry::stamp();
+    ph.phase1.record_span(t0, t1);
     settle_affected_kernel(scratch, csr, mask, touch, row);
+    ph.phase2.record_span(t1, telemetry::stamp());
 }
 
 /// Kernel-strategy repair of one source row for a whole **batch** of
@@ -1325,7 +1457,9 @@ fn repair_row_kernel_batch(
     touch: &[bool],
     deleted: &[(V, V)],
     row: &mut [Dist],
+    ph: &PhaseHists,
 ) -> bool {
+    let t0 = telemetry::stamp();
     scratch.begin();
     scratch.queue.clear();
     scratch.queue_seg.clear();
@@ -1352,6 +1486,7 @@ fn repair_row_kernel_batch(
         max_lvl = max_lvl.max(far_lvl as usize);
     }
     if lvl == usize::MAX {
+        ph.phase1.record_span(t0, telemetry::stamp());
         return false;
     }
 
@@ -1404,10 +1539,13 @@ fn repair_row_kernel_batch(
         scratch.frontier.clear();
         lvl += 1;
     }
+    let t1 = telemetry::stamp();
+    ph.phase1.record_span(t0, t1);
     if scratch.queue.is_empty() {
         return false;
     }
     settle_affected_kernel(scratch, csr, mask, touch, row);
+    ph.phase2.record_span(t1, telemetry::stamp());
     true
 }
 
@@ -1768,6 +1906,74 @@ mod tests {
         assert!(below.stats().last_was_rebuild);
         assert_eq!(below.matrix(), probe.matrix());
         assert_exact(&below, &h);
+    }
+
+    #[test]
+    fn repair_stats_delta_saturates_instead_of_wrapping() {
+        // A baseline *newer* than the reading — the engine-reset scenario
+        // delta_since documents — must clamp to zero, not wrap to ~u64::MAX.
+        let older = RepairStats {
+            updates: 3,
+            incremental: 2,
+            full_rebuilds: 1,
+            rows_repaired: 40,
+            rows_blended: 7,
+            batches: 1,
+            last_rows_repaired: 5,
+            ..RepairStats::default()
+        };
+        let newer = RepairStats {
+            updates: 10,
+            incremental: 8,
+            full_rebuilds: 2,
+            rows_repaired: 100,
+            rows_blended: 30,
+            batches: 4,
+            last_rows_repaired: 9,
+            ..RepairStats::default()
+        };
+        let forward = newer.delta_since(&older);
+        assert_eq!(forward.updates, 7);
+        assert_eq!(forward.incremental, 6);
+        assert_eq!(forward.full_rebuilds, 1);
+        assert_eq!(forward.rows_repaired, 60);
+        assert_eq!(forward.rows_blended, 23);
+        assert_eq!(forward.batches, 3);
+        // `last_*` fields carry over from the newer reading, undiffed.
+        assert_eq!(forward.last_rows_repaired, 9);
+
+        let inverted = older.delta_since(&newer);
+        assert_eq!(
+            (
+                inverted.updates,
+                inverted.incremental,
+                inverted.full_rebuilds,
+                inverted.rows_repaired,
+                inverted.rows_blended,
+                inverted.batches,
+            ),
+            (0, 0, 0, 0, 0, 0),
+            "stale-baseline diffs saturate to zero"
+        );
+        assert_eq!(inverted.last_rows_repaired, 5);
+
+        // Same contract for the phase-timing deltas.
+        let p_old = RepairPhases {
+            stage_a_ns: 10,
+            phase1_ns: 20,
+            phase2_ns: 30,
+            blend_ns: 40,
+            rebuild_ns: 0,
+        };
+        let p_new = RepairPhases {
+            stage_a_ns: 15,
+            phase1_ns: 50,
+            phase2_ns: 30,
+            blend_ns: 41,
+            rebuild_ns: 0,
+        };
+        assert_eq!(p_new.delta_since(&p_old).total_ns(), 5 + 30 + 1);
+        assert_eq!(p_old.delta_since(&p_new).total_ns(), 0);
     }
 
     #[test]

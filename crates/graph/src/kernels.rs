@@ -58,6 +58,7 @@
 //! matrix builders reject `n > MAX_FINITE_DIST + 1` outright.
 
 use crate::V;
+use bncg_telemetry as telemetry;
 
 /// Compact distance entry: 16 bits, [`UNREACHABLE_D`] sentinel.
 pub type Dist = u16;
@@ -1218,6 +1219,35 @@ macro_rules! dispatch {
     }};
 }
 
+/// The compile-time stratum the [`dispatch!`] macro routes to, as a
+/// telemetry counter name.
+#[cfg(target_arch = "x86_64")]
+const DISPATCH_STRATUM: &str = "kernels.dispatch.sse2";
+#[cfg(target_arch = "aarch64")]
+const DISPATCH_STRATUM: &str = "kernels.dispatch.neon";
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+const DISPATCH_STRATUM: &str = "kernels.dispatch.swar";
+
+/// Lanes per vector word of the selected stratum: 8 × `u16` per 128-bit
+/// SSE2/NEON vector, 4 × `u16` per SWAR `u64` word.
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+const DISPATCH_LANES: usize = 8;
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+const DISPATCH_LANES: usize = 4;
+
+/// Count one public kernel call against its dispatch stratum. Calls whose
+/// driving slice is shorter than one vector word never enter the
+/// vectorized main loop — only the stratum's scalar tail — so they are
+/// counted as `kernels.dispatch.scalar` instead.
+#[inline]
+fn count_dispatch(len: usize) {
+    if len >= DISPATCH_LANES {
+        telemetry::counter!(DISPATCH_STRATUM).incr();
+    } else {
+        telemetry::counter!("kernels.dispatch.scalar").incr();
+    }
+}
+
 /// In-place min-plus blend of the insertion identity:
 /// `base[t] = min(base[t], 1 saturating+ via[t])`.
 ///
@@ -1233,6 +1263,7 @@ macro_rules! dispatch {
 /// ```
 #[inline]
 pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
+    count_dispatch(base.len());
     dispatch!(base, via; min_blend)
 }
 
@@ -1259,6 +1290,7 @@ pub fn min_blend(base: &mut [Dist], via: &[Dist]) {
 #[inline]
 pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
     debug_assert!(base.len() <= MAX_FINITE_DIST as usize + 1);
+    count_dispatch(base.len());
     dispatch!(base, via; blend_cost_sum)
 }
 
@@ -1275,6 +1307,7 @@ pub fn blend_cost_sum(base: &[Dist], via: &[Dist]) -> u64 {
 /// ```
 #[inline]
 pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
+    count_dispatch(base.len());
     dispatch!(base, via; blend_cost_ecc)
 }
 
@@ -1294,6 +1327,7 @@ pub fn blend_cost_ecc(base: &[Dist], via: &[Dist]) -> u64 {
 #[inline]
 pub fn row_cost(row: &[Dist]) -> RowCost {
     debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
+    count_dispatch(row.len());
     dispatch!(row; row_cost)
 }
 
@@ -1321,6 +1355,7 @@ pub fn row_cost(row: &[Dist]) -> RowCost {
 #[inline]
 pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
     debug_assert!(row.len() <= MAX_FINITE_DIST as usize + 1);
+    count_dispatch(row.len());
     dispatch!(row, terms; fused_blend_cost)
 }
 
@@ -1352,6 +1387,7 @@ pub fn fused_blend_cost(row: &mut [Dist], terms: &[BlendTerm<'_>]) -> RowCost {
 /// ```
 #[inline]
 pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
+    count_dispatch(idx.len());
     dispatch!(row, idx; gather_min_plus)
 }
 
@@ -1387,6 +1423,7 @@ pub fn gather_min_plus(row: &[Dist], idx: &[V]) -> (Dist, u32) {
 /// ```
 #[inline]
 pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
+    count_dispatch(idx.len());
     dispatch!(row, idx, seg, out; frontier_relax)
 }
 

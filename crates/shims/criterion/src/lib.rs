@@ -59,6 +59,19 @@ impl Criterion {
         }
     }
 
+    /// Records a pre-measured scalar under `id` (1 "sample"). The real
+    /// criterion has no such hook; this workspace uses it to publish
+    /// derived statistics — e.g. per-phase repair-timing percentiles read
+    /// from telemetry histograms — alongside the timed records, so they
+    /// land in the same `BNCG_BENCH_JSON` artifact.
+    pub fn report_scalar(&mut self, id: impl Into<String>, value: f64) {
+        self.record(BenchRecord {
+            id: id.into(),
+            median_ns: value,
+            samples: 1,
+        });
+    }
+
     fn record(&mut self, rec: BenchRecord) {
         println!(
             "bench {:<56} {:>14.1} ns/iter  ({} samples)",

@@ -112,6 +112,7 @@ mod pool {
                         .unwrap_or_else(PoisonError::into_inner);
                 }
             };
+            bncg_telemetry::counter!("pool.jobs").incr();
             // Jobs handle their own panics; this catch only shields the
             // worker from a defect in the job wrapper itself.
             let _ = catch_unwind(AssertUnwindSafe(job));
@@ -123,6 +124,7 @@ mod pool {
         let job = lock(&shared.queue).pop_front();
         match job {
             Some(job) => {
+                bncg_telemetry::counter!("pool.steals").incr();
                 let _ = catch_unwind(AssertUnwindSafe(job));
                 true
             }

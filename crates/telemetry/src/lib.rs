@@ -1,0 +1,744 @@
+//! Offline telemetry core for the bncg workspace.
+//!
+//! Everything the engines report flows through three primitives:
+//!
+//! * [`Counter`] — a monotone event count, sharded over cache-line-padded
+//!   relaxed atomics so per-row hot paths (kernel dispatches, pool jobs)
+//!   can increment from every worker without a contended line.
+//! * [`Histogram`] — a fixed 65-bucket log2 histogram of `u64` values
+//!   (bucket `k ≥ 1` covers `[2^(k-1), 2^k − 1]`, bucket 0 is the value
+//!   0), with total `count`/`sum` maintained alongside, used for phase
+//!   durations in nanoseconds and for size distributions.
+//! * the **registry** — a process-global name → handle map. Handles are
+//!   `&'static`; the [`counter!`]/[`histogram!`] macros cache the lookup
+//!   in a per-call-site `OnceLock` so steady-state cost is one atomic
+//!   load plus the increment itself.
+//!
+//! Reads go through [`snapshot`], which returns an immutable
+//! [`MetricsSnapshot`]; windowed readings use
+//! [`MetricsSnapshot::delta_since`] (saturating, mirroring
+//! `RepairStats::delta_since` in `bncg_graph`).
+//!
+//! # The `telemetry` feature
+//!
+//! The whole crate sits behind the `telemetry` feature (on by default,
+//! forwarded by every instrumented workspace crate). Disabled, the same
+//! API compiles to no-ops: [`Counter::add`] is an empty inline function,
+//! [`stamp`] never touches the clock, and [`snapshot`] returns an empty
+//! snapshot — so a `--no-default-features` build carries zero
+//! instrumentation cost and zero API breakage.
+//!
+//! # Examples
+//!
+//! ```
+//! use bncg_telemetry as tel;
+//!
+//! let jobs = tel::counter!("doc.jobs");
+//! jobs.add(3);
+//! let lat = tel::histogram!("doc.latency_ns");
+//! lat.record(1500);
+//!
+//! let snap = tel::snapshot();
+//! # #[cfg(feature = "telemetry")] {
+//! assert!(snap.counter("doc.jobs").unwrap_or(0) >= 3);
+//! let h = snap.histogram("doc.latency_ns").unwrap();
+//! assert!(h.count >= 1);
+//! # }
+//! ```
+
+pub mod json;
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+#[cfg(feature = "telemetry")]
+use std::sync::{Mutex, OnceLock};
+#[cfg(feature = "telemetry")]
+use std::time::Instant;
+
+/// Counter shard fan-out. Eight padded slots is enough to keep the
+/// shim pool's workers off each other's cache lines while keeping
+/// snapshot reads trivial.
+#[cfg(feature = "telemetry")]
+const SHARDS: usize = 8;
+
+/// Histogram shard fan-out (each shard is a full bucket array, so this
+/// is kept smaller than [`SHARDS`]).
+#[cfg(feature = "telemetry")]
+const HSHARDS: usize = 4;
+
+/// Number of log2 buckets: bucket 0 for the value 0, buckets 1..=64 for
+/// the bit-widths of nonzero `u64` values.
+pub const BUCKETS: usize = 65;
+
+#[cfg(feature = "telemetry")]
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(feature = "telemetry")]
+thread_local! {
+    /// Stable per-thread shard index (assigned round-robin at first use).
+    static THREAD_SHARD: usize = NEXT_THREAD.fetch_add(1, Relaxed);
+}
+
+#[cfg(feature = "telemetry")]
+#[inline]
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// Log2 bucket index of a value: 0 for 0, else the value's bit width.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `k` (the quantile estimate reported
+/// for samples landing in that bucket). Bucket 64 saturates at
+/// `u64::MAX`.
+#[inline]
+pub fn bucket_upper_bound(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// One cache line of counter state; padding keeps shards from false
+/// sharing.
+#[cfg(feature = "telemetry")]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+#[cfg(feature = "telemetry")]
+impl PaddedU64 {
+    const fn new() -> Self {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotone event counter. Increments are relaxed atomic adds into a
+/// per-thread shard; [`Counter::get`] sums the shards.
+pub struct Counter {
+    #[cfg(feature = "telemetry")]
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    #[cfg(feature = "telemetry")]
+    const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            shards: [
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+            ],
+        }
+    }
+
+    /// Adds `v` to the counter.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        #[cfg(feature = "telemetry")]
+        self.shards[thread_shard() % SHARDS].0.fetch_add(v, Relaxed);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total (sum over shards; 0 with telemetry disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.shards.iter().map(|s| s.0.load(Relaxed)).sum()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Registered name ("" with telemetry disabled).
+    pub fn name(&self) -> &'static str {
+        #[cfg(feature = "telemetry")]
+        {
+            self.name
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            ""
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "telemetry")]
+#[repr(align(64))]
+struct HistShard {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+#[cfg(feature = "telemetry")]
+impl HistShard {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const Z: AtomicU64 = AtomicU64::new(0);
+        HistShard {
+            count: Z,
+            sum: Z,
+            buckets: [Z; BUCKETS],
+        }
+    }
+}
+
+/// A fixed log2-bucket histogram of `u64` values (typically durations in
+/// nanoseconds). Records are three relaxed adds into a per-thread shard;
+/// reads merge shards into a [`HistogramSnapshot`].
+pub struct Histogram {
+    #[cfg(feature = "telemetry")]
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    shards: [HistShard; HSHARDS],
+}
+
+impl Histogram {
+    #[cfg(feature = "telemetry")]
+    const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            shards: [
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+                HistShard::new(),
+            ],
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            let s = &self.shards[thread_shard() % HSHARDS];
+            s.count.fetch_add(1, Relaxed);
+            s.sum.fetch_add(v, Relaxed);
+            s.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Starts a scoped timer that records the elapsed nanoseconds into
+    /// this histogram when dropped.
+    #[inline]
+    pub fn start(&'static self) -> PhaseTimer {
+        PhaseTimer {
+            #[cfg(feature = "telemetry")]
+            hist: self,
+            #[cfg(feature = "telemetry")]
+            t0: Instant::now(),
+        }
+    }
+
+    /// Records the span between two [`stamp`] readings (saturating; a
+    /// reversed pair records 0).
+    #[inline]
+    pub fn record_span(&self, from: Stamp, to: Stamp) {
+        #[cfg(feature = "telemetry")]
+        self.record(to.0.saturating_duration_since(from.0).as_nanos() as u64);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (from, to);
+    }
+
+    /// Total of all recorded samples (0 with telemetry disabled).
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.shards.iter().map(|s| s.sum.load(Relaxed)).sum()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Number of recorded samples (0 with telemetry disabled).
+    #[inline]
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "telemetry")]
+        {
+            self.shards.iter().map(|s| s.count.load(Relaxed)).sum()
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+
+    /// Merged, immutable view of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "telemetry")]
+        {
+            let mut out = HistogramSnapshot::empty();
+            for s in &self.shards {
+                out.count += s.count.load(Relaxed);
+                out.sum += s.sum.load(Relaxed);
+                for (b, src) in out.buckets.iter_mut().zip(s.buckets.iter()) {
+                    *b += src.load(Relaxed);
+                }
+            }
+            out
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            HistogramSnapshot::empty()
+        }
+    }
+
+    /// Registered name ("" with telemetry disabled).
+    pub fn name(&self) -> &'static str {
+        #[cfg(feature = "telemetry")]
+        {
+            self.name
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            ""
+        }
+    }
+}
+
+/// Scoped timer returned by [`Histogram::start`]; records elapsed
+/// nanoseconds on drop. A ZST that never reads the clock when telemetry
+/// is disabled.
+pub struct PhaseTimer {
+    #[cfg(feature = "telemetry")]
+    hist: &'static Histogram,
+    #[cfg(feature = "telemetry")]
+    t0: Instant,
+}
+
+#[cfg(feature = "telemetry")]
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// An opaque monotonic clock reading (a ZST with telemetry disabled).
+/// Pair with [`Histogram::record_span`] when one instant ends one phase
+/// and starts the next, halving the clock reads of nested timers.
+#[derive(Copy, Clone)]
+pub struct Stamp(#[cfg(feature = "telemetry")] Instant);
+
+/// Reads the monotonic clock (no-op with telemetry disabled).
+#[cfg(feature = "telemetry")]
+#[inline]
+pub fn stamp() -> Stamp {
+    Stamp(Instant::now())
+}
+
+/// Reads the monotonic clock (no-op with telemetry disabled).
+#[cfg(not(feature = "telemetry"))]
+#[inline]
+pub fn stamp() -> Stamp {
+    Stamp()
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "telemetry")]
+#[derive(Default)]
+struct Registry {
+    counters: std::collections::BTreeMap<&'static str, &'static Counter>,
+    histograms: std::collections::BTreeMap<&'static str, &'static Histogram>,
+}
+
+#[cfg(feature = "telemetry")]
+fn registry() -> &'static Mutex<Registry> {
+    static R: OnceLock<Mutex<Registry>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+#[cfg(not(feature = "telemetry"))]
+static NOOP_COUNTER: Counter = Counter {};
+
+#[cfg(not(feature = "telemetry"))]
+static NOOP_HISTOGRAM: Histogram = Histogram {};
+
+/// Returns the registered counter for `name`, creating it on first use.
+/// Handles are `'static` and never deregistered; prefer the [`counter!`]
+/// macro at call sites, which caches the lookup.
+pub fn counter(name: &'static str) -> &'static Counter {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.counters
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Counter::new(name))))
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = name;
+        &NOOP_COUNTER
+    }
+}
+
+/// Returns the registered histogram for `name`, creating it on first
+/// use. Prefer the [`histogram!`] macro at call sites.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    #[cfg(feature = "telemetry")]
+    {
+        let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        reg.histograms
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::new(Histogram::new(name))))
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = name;
+        &NOOP_HISTOGRAM
+    }
+}
+
+/// Registered counter handle with the registry lookup cached in a
+/// per-call-site `OnceLock` (one relaxed-ish atomic load at steady
+/// state).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __BNCG_COUNTER: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *__BNCG_COUNTER.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// Registered histogram handle with the registry lookup cached in a
+/// per-call-site `OnceLock`.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __BNCG_HISTOGRAM: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__BNCG_HISTOGRAM.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Merged, immutable reading of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The all-zero snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`): the
+    /// inclusive upper edge of the log2 bucket holding the ranked
+    /// sample, i.e. an estimate never below the true quantile by more
+    /// than the bucket's width. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(k);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Bucket-wise saturating difference `self − baseline` (also
+    /// saturating on `count`/`sum`, so a stale baseline can never
+    /// underflow).
+    pub fn delta_since(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            sum: self.sum.saturating_sub(baseline.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(baseline.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable point-in-time reading of every registered metric, sorted by
+/// name. Produced by [`snapshot`]; windowed readings via
+/// [`MetricsSnapshot::delta_since`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, merged reading)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Reading of the named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Saturating difference against an earlier snapshot, aligned by
+    /// name. Metrics absent from the baseline keep their full value;
+    /// metrics only in the baseline are dropped.
+    pub fn delta_since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| {
+                    (
+                        n.clone(),
+                        v.saturating_sub(baseline.counter(n).unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let d = match baseline.histogram(n) {
+                        Some(b) => h.delta_since(b),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Reads every registered metric into an immutable [`MetricsSnapshot`]
+/// (empty with telemetry disabled). Counter/histogram reads are relaxed,
+/// so concurrent writers may or may not be included — fine for the
+/// windowed-delta pattern this feeds.
+pub fn snapshot() -> MetricsSnapshot {
+    #[cfg(feature = "telemetry")]
+    {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: reg
+                .counters
+                .iter()
+                .map(|(n, c)| (n.to_string(), c.get()))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        MetricsSnapshot::default()
+    }
+}
+
+/// Whether this build carries live instrumentation (`telemetry` feature
+/// resolved on anywhere in the dependency graph).
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries_are_exact() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        // Every power of two opens a new bucket; its predecessor closes
+        // the previous one.
+        for k in 1..64u32 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k as usize, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(hi), k as usize, "upper edge of bucket {k}");
+            assert_eq!(
+                bucket_index(hi + 1),
+                k as usize + 1,
+                "first of bucket {}",
+                k + 1
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for k in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper_bound(k)), k);
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn histogram_records_land_in_their_buckets() {
+        let h = histogram("test.buckets");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 9);
+        assert_eq!(s.sum, 2072);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 2); // 4, 7
+        assert_eq!(s.buckets[4], 1); // 8
+        assert_eq!(s.buckets[10], 1); // 1023
+        assert_eq!(s.buckets[11], 1); // 1024
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn concurrent_increments_sum_exactly() {
+        // Raw OS threads (the shim pool layers on top of these) hammer
+        // one counter and one histogram; totals must be exact.
+        let c = counter("test.concurrent");
+        let h = histogram("test.concurrent_hist");
+        let before_c = c.get();
+        let before_h = h.snapshot();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for i in 0..per_thread {
+                        c.incr();
+                        h.record(i % 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before_c, threads * per_thread);
+        let after = h.snapshot().delta_since(&before_h);
+        assert_eq!(after.count, threads * per_thread);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn snapshot_delta_identity_and_saturation() {
+        let c = counter("test.delta");
+        c.add(5);
+        let a = snapshot();
+        // Delta against itself is all-zero on every metric.
+        let zero = a.delta_since(&a);
+        for (_, v) in &zero.counters {
+            assert_eq!(*v, 0);
+        }
+        for (_, h) in &zero.histograms {
+            assert_eq!(h.count, 0);
+            assert_eq!(h.sum, 0);
+            assert!(h.buckets.iter().all(|&b| b == 0));
+        }
+        c.add(3);
+        let b = snapshot();
+        assert_eq!(b.delta_since(&a).counter("test.delta"), Some(3));
+        // A baseline *newer* than self saturates to zero, never wraps.
+        assert_eq!(a.delta_since(&b).counter("test.delta"), Some(0));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn quantile_upper_bound_estimates() {
+        let h = histogram("test.quantiles");
+        for _ in 0..99 {
+            h.record(100); // bucket 7 (64..127)
+        }
+        h.record(5_000); // bucket 13 (4096..8191)
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 127);
+        assert_eq!(s.quantile(1.0), 8191);
+        // p99 over 100 samples ranks 99 → still the small bucket.
+        assert_eq!(s.quantile(0.99), 127);
+    }
+
+    #[test]
+    fn timers_and_macros_compile_in_both_modes() {
+        let h = histogram!("test.timer");
+        {
+            let _t = h.start();
+        }
+        let s0 = stamp();
+        let s1 = stamp();
+        h.record_span(s0, s1);
+        let c = counter!("test.macro");
+        c.incr();
+        if enabled() {
+            assert!(h.count() >= 2);
+            assert!(c.get() >= 1);
+        } else {
+            assert_eq!(h.count(), 0);
+            assert_eq!(c.get(), 0);
+        }
+    }
+}

@@ -1,12 +1,16 @@
 //! Dynamics lab: watch selfish agents sculpt a network.
 //!
 //! ```text
-//! cargo run --release --example dynamics_lab [n] [extra_edges] [seed]
+//! cargo run --release --example dynamics_lab [n] [extra_edges] [seed] [--metrics FILE]
 //! ```
 //!
 //! Runs sum- and max-swap dynamics from the same random connected graph,
 //! tracing the diameter and social quantities round by round, then
-//! reports the equilibrium structure both objectives settle into.
+//! reports the equilibrium structure both objectives settle into. With
+//! `--metrics FILE`, additionally replays the start under the
+//! round-based engine and streams one JSON Lines `RoundRecord` per round
+//! (proposal funnel, social-cost delta, per-phase repair timings — see
+//! ARCHITECTURE.md § Observability for the schema).
 
 use bncg::dynamics::engine::{DynamicsConfig, Response, Schedule};
 use bncg::game::context::EvalContext;
@@ -105,4 +109,31 @@ fn main() {
         "\nengine (random schedule, first-improving): outcome {:?} after {} moves",
         result.outcome, result.moves
     );
+
+    // Streaming pipeline: `--metrics FILE` re-runs the start under the
+    // round-based engine with a JSONL sink attached.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+    {
+        let file = std::fs::File::create(path).expect("create metrics file");
+        let mut sink = bncg::dynamics::JsonlSink::new(std::io::BufWriter::new(file));
+        let t = bncg::dynamics::run_traced_rounds_with_sink::<SumObjective>(
+            &start,
+            Response::Best,
+            100,
+            &mut sink,
+        );
+        if let Some(e) = sink.error() {
+            eprintln!("metrics write to {path} failed: {e}");
+        } else {
+            println!(
+                "\nround metrics: {} JSONL records written to {path} (converged = {})",
+                t.points.len(),
+                t.converged
+            );
+        }
+    }
 }

@@ -16,6 +16,8 @@
 //! * [`constructions`] — Figures 2–4 and friends, programmatically
 //! * [`analysis`] — distance uniformity, ball growth, skew triples
 //! * [`dynamics`] — better/best-response simulation engine and tree census
+//! * [`telemetry`] — counters, histograms, phase timers, snapshots (no-ops
+//!   unless the `telemetry` feature is on — the default)
 //!
 //! ## Quickstart
 //!
@@ -41,6 +43,7 @@ pub use bncg_constructions as constructions;
 pub use bncg_core as game;
 pub use bncg_dynamics as dynamics;
 pub use bncg_graph as graph;
+pub use bncg_telemetry as telemetry;
 
 /// Convenience re-exports covering the most common workflow: build a graph,
 /// analyze its equilibrium status, run dynamics.

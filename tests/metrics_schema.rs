@@ -1,0 +1,60 @@
+//! Schema check for the streaming round-metrics pipeline (acceptance
+//! criterion of the telemetry PR): a traced round-based run streamed
+//! through [`JsonlSink`] must emit exactly one JSON Lines record per
+//! dynamics round, every line must parse back into a [`RoundRecord`]
+//! (and re-serialize byte-exact, pinning the documented schema), and —
+//! when the `telemetry` feature is compiled in — every round that
+//! repaired rows must carry non-zero per-phase repair timings.
+
+use bncg::dynamics::{run_traced_rounds_with_sink, JsonlSink, Response, RoundRecord};
+use bncg::game::objective::SumObjective;
+use bncg::graph::generators::random::random_connected;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn traced_rounds_emit_one_parseable_jsonl_record_per_round() {
+    let n = 24;
+    let mut rng = StdRng::seed_from_u64(0x5CE4);
+    let start = random_connected(&mut rng, n, n / 4);
+
+    let mut sink = JsonlSink::new(Vec::new());
+    let trajectory =
+        run_traced_rounds_with_sink::<SumObjective>(&start, Response::Best, 64, &mut sink);
+    assert!(sink.error().is_none(), "in-memory writes cannot fail");
+    let text = String::from_utf8(sink.into_inner()).expect("JSONL output is UTF-8");
+
+    // One record per traced round.
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "the run must emit at least one round");
+    assert_eq!(lines.len(), trajectory.points.len());
+
+    let mut total_applied = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = RoundRecord::from_jsonl(line)
+            .unwrap_or_else(|e| panic!("line {i} does not parse: {e}\n{line}"));
+        // The serializer is the schema: re-emitting the parsed record must
+        // reproduce the line byte-exact (field order, nulls and all).
+        assert_eq!(*line, parsed.to_jsonl(), "line {i} round-trips");
+        assert_eq!(parsed.round, i + 1, "rounds are 1-based and consecutive");
+        assert!(parsed.applied <= parsed.proposed);
+        assert_eq!(parsed.conflicted, parsed.proposed - parsed.applied);
+        total_applied += parsed.applied;
+        // The acceptance criterion: per-phase repair timings per round.
+        if bncg::telemetry::enabled() && parsed.repair.rows_repaired > 0 {
+            assert!(
+                parsed.phases.phase1_ns > 0,
+                "round {} repaired {} rows but reports no phase-1 time",
+                parsed.round,
+                parsed.repair.rows_repaired
+            );
+        }
+    }
+    // The stream reconciles with the trajectory it narrates.
+    assert_eq!(total_applied, trajectory.total_moves());
+    let last = RoundRecord::from_jsonl(lines.last().expect("non-empty")).expect("parses");
+    assert_eq!(last.converged, trajectory.converged);
+    if trajectory.converged {
+        assert_eq!(last.proposed, 0, "a converged final round proposed nothing");
+    }
+}
