@@ -190,14 +190,25 @@ pub fn run(opts: &super::RunOpts) -> String {
     let mut rng = StdRng::seed_from_u64(0x713 + n as u64);
     let start = bncg_graph::generators::random::random_connected(&mut rng, n, n / 4);
     let mut sink = bncg_dynamics::MemorySink::new();
-    let _ = bncg_dynamics::run_traced_rounds_with_sink::<SumObjective>(
-        &start,
-        bncg_dynamics::Response::Best,
-        RoundConfig::default().max_rounds,
-        &mut sink,
-    );
+    let engine_label = if opts.pipelined {
+        // `--pipelined`: the same stream through the overlapped round
+        // engine — byte-identical records (phase timings aside), every
+        // barrier overlapping repair with the next proposal sweep.
+        let engine =
+            bncg_dynamics::PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default());
+        let _ = engine.run_with_sink(&start, &mut sink);
+        "pipelined round engine"
+    } else {
+        let _ = bncg_dynamics::run_traced_rounds_with_sink::<SumObjective>(
+            &start,
+            bncg_dynamics::Response::Best,
+            RoundConfig::default().max_rounds,
+            &mut sink,
+        );
+        "traced round-based run"
+    };
     out.push_str(&format!(
-        "\nStreaming round records (one traced round-based run, n = {n}):\n\n"
+        "\nStreaming round records (one {engine_label}, n = {n}):\n\n"
     ));
     out.push_str(&crate::md::round_summary(&sink.records));
     if let Some(path) = &opts.metrics {
@@ -214,10 +225,16 @@ pub fn run(opts: &super::RunOpts) -> String {
                         sink.records.len(),
                         path.display()
                     )),
-                    Some(e) => eprintln!("--metrics write to {} failed: {e}", path.display()),
+                    Some(e) => {
+                        eprintln!("--metrics write to {} failed: {e}", path.display());
+                        super::note_metrics_failure();
+                    }
                 }
             }
-            Err(e) => eprintln!("--metrics cannot create {}: {e}", path.display()),
+            Err(e) => {
+                eprintln!("--metrics cannot create {}: {e}", path.display());
+                super::note_metrics_failure();
+            }
         }
     }
 

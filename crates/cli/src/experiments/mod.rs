@@ -9,7 +9,28 @@ pub struct RunOpts {
     /// write one JSON Lines [`bncg_dynamics::RoundRecord`] per dynamics
     /// round to this path (`--metrics <path>`); the others ignore it.
     pub metrics: Option<std::path::PathBuf>,
+    /// Route round-based dynamics through the pipelined engine
+    /// ([`bncg_dynamics::PipelinedRoundDynamics`], `--pipelined`):
+    /// byte-identical records and endpoints, with the next round's
+    /// proposal sweep overlapped against each barrier repair.
+    pub pipelined: bool,
 }
+
+/// Records that a `--metrics` stream was lost to an I/O error (a full
+/// disk, a bad path). Experiment runners return their report regardless —
+/// the tables are still good — but `main` checks this flag afterwards and
+/// exits nonzero, so scripted pipelines cannot mistake a silently dropped
+/// JSONL stream for a complete one.
+pub fn note_metrics_failure() {
+    METRICS_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether any runner reported a lost `--metrics` stream.
+pub fn metrics_failed() -> bool {
+    METRICS_FAILED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+static METRICS_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 pub mod e01_tree_census;
 pub mod e02_max_trees;

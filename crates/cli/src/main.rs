@@ -33,7 +33,12 @@ fn main() {
                 std::process::exit(2);
             }
         });
-    let opts = RunOpts { quick, metrics };
+    let pipelined = args.iter().any(|a| a == "--pipelined");
+    let opts = RunOpts {
+        quick,
+        metrics,
+        pipelined,
+    };
     type Runner = fn(&RunOpts) -> String;
     let all: Vec<(&str, Runner)> = vec![
         ("e1", experiments::e01_tree_census::run),
@@ -59,6 +64,7 @@ fn main() {
             println!("  all | quick — run every experiment (quick = reduced scale)");
             println!("  dump [dir]  — export the construction catalog as edge lists + graph6");
             println!("  --metrics <path> — stream per-round JSONL records (consumed by e13)");
+            println!("  --pipelined — round-based dynamics via the pipelined engine (e13)");
         }
         "dump" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());
@@ -90,5 +96,12 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+    // A lost `--metrics` stream (full disk, bad path) was already warned
+    // about by the runner; the tables above are complete, but scripted
+    // consumers of the JSONL artifact need the failure to be loud.
+    if experiments::metrics_failed() {
+        eprintln!("error: --metrics stream incomplete (see warnings above)");
+        std::process::exit(1);
     }
 }

@@ -60,6 +60,15 @@ impl StateLog {
         }
     }
 
+    /// Forgets every recorded state and resets the step counter — the
+    /// reuse hook of the long-running round service, which keeps one log
+    /// alive across sessions and clears it at each session boundary (and
+    /// after every perturbation) instead of reallocating the map.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.steps = 0;
+    }
+
     /// Number of distinct states seen.
     pub fn len(&self) -> usize {
         self.seen.len()

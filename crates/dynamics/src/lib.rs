@@ -15,6 +15,12 @@
 //!   conflicts resolved deterministically (lowest agent index), accepted
 //!   moves applied to the maintained base matrix as one batch repair at
 //!   the round barrier;
+//! * [`service`] — the **pipelined** round engine and the long-running
+//!   round service ([`service::RoundService`]): a double-buffered
+//!   snapshot context lets every round barrier overlap the live repair
+//!   and bookkeeping with the *next* round's proposal sweep on the worker
+//!   pool, byte-identical to [`rounds::RoundDynamics`]; sessions stream
+//!   thousands of rounds through one context pair with no per-run setup;
 //! * [`convergence`] — state hashing for cycle detection, with revisit
 //!   periods;
 //! * [`cache`] — equilibrium audits memoized by canonical graph strings,
@@ -49,6 +55,7 @@ pub mod census;
 pub mod convergence;
 pub mod engine;
 pub mod rounds;
+pub mod service;
 pub mod sink;
 pub mod trajectory;
 
@@ -56,6 +63,7 @@ pub use cache::EquilibriumCache;
 pub use census::{tree_census, tree_census_with_cache, TreeCensus};
 pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Response, Schedule, SwapDynamics};
 pub use rounds::{RoundConfig, RoundDynamics, RoundResult};
+pub use service::{PipelinedRoundDynamics, RoundService, ServiceConfig, SessionReport};
 pub use sink::{JsonlSink, MemorySink, MetricsSink, NullSink, RoundRecord};
 pub use trajectory::{
     run_traced, run_traced_rounds, run_traced_rounds_with_sink, Trajectory, TrajectoryPoint,

@@ -1,0 +1,964 @@
+//! Pipelined round engine and the long-running round service.
+//!
+//! # Why pipelining is legal — and what actually overlaps
+//!
+//! In the frozen-snapshot round model every proposal of round *t+1* is a
+//! pure function of the state the round-*t* barrier left behind, and the
+//! barrier's batch repair ([`DynamicApsp::apply_batch`]) is a
+//! **deterministic** function of (matrix, CSR, batch). Two maintained
+//! contexts seeded from the same state therefore stay *byte-identical
+//! forever* if they are fed the same batches — no synchronization, no
+//! copying, just lockstep determinism. The pipelined engine exploits
+//! exactly that:
+//!
+//! * at construction the live [`EvalContext`] is duplicated **once**
+//!   through the matrix pool ([`EvalContext::clone_pooled`] — the "double
+//!   buffer"; no per-round matrix copies ever happen);
+//! * at every round barrier [`rayon::join`] splits the work: the **pool
+//!   branch** repairs the snapshot context and immediately runs the *next*
+//!   round's proposal sweep against it (the sweep itself fans out over the
+//!   worker pool — [`EdgeSwapScan::best_improving`]'s sharded candidate
+//!   loop included), while the **main branch** repairs the live context
+//!   and does everything only the live side can: cycle detection, the
+//!   social-cost read, and the [`RoundRecord`] construction + sink I/O;
+//! * the join *is* the barrier: when it returns, the round is fully
+//!   booked and the next round's proposals are already resolved-ready.
+//!
+//! Both branches run the identical deterministic repair, so the engine is
+//! **byte-identical to the serial [`RoundDynamics`]** — same accepted
+//! moves, same matrices, same records (`tests/pipeline_props.rs` pins
+//! this across graph families, objectives, and both repair-threshold
+//! extremes). What the overlap buys is the *hiding* of the round's serial
+//! bookkeeping tail (repair + hash + cost + JSONL write) behind the next
+//! proposal sweep; the `service.overlap_ns` / `service.stall_ns`
+//! histograms measure precisely how much was hidden and how long the
+//! barrier still stalled waiting for the pool branch.
+//!
+//! **Caveat (phase timings):** the per-round
+//! [`RepairPhases`] deltas read
+//! process-global histograms, and under pipelining *two* repairs and a
+//! proposal sweep run inside each round window — so pipelined records
+//! attribute roughly twice the repair phase time per round. The
+//! [`RepairStats`] deltas are per-context (the live one) and stay exact.
+//! See [`crate::sink`]'s schema caveat.
+//!
+//! # The service
+//!
+//! [`RoundService`] keeps one engine alive across *sessions*: thousands
+//! of rounds stream through one context pair, one reusable [`StateLog`],
+//! and one [`MetricsSink`] without ever re-running the `O(n·m)` base
+//! APSP build that a fresh per-run [`RoundDynamics`] pays. Between
+//! sessions the caller [`perturb`](RoundService::perturb)s the network
+//! (each perturbation is an incremental repair, not a rebuild) and runs
+//! the next session; [`pause`](RoundService::pause) /
+//! [`stop`](RoundService::stop) bound a session cooperatively at round
+//! granularity. Sustained throughput — rounds serviced per second of
+//! engine time, the headline of `benches/service.rs` — is exposed as
+//! [`sustained_rounds_per_sec`](RoundService::sustained_rounds_per_sec).
+//!
+//! [`DynamicApsp::apply_batch`]: bncg_graph::dynamic::DynamicApsp::apply_batch
+//! [`EdgeSwapScan::best_improving`]: bncg_core::evaluator::EdgeSwapScan::best_improving
+//! [`RoundDynamics`]: crate::rounds::RoundDynamics
+
+use std::time::{Duration, Instant};
+
+use bncg_core::context::EvalContext;
+use bncg_core::objective::Objective;
+use bncg_core::swap::{ScoredSwap, SwapMove};
+use bncg_graph::adjacency::SwapApplied;
+use bncg_graph::dynamic::{repair_phase_totals, RepairPhases, RepairStats};
+use bncg_graph::{Graph, RepairStrategy};
+
+use crate::convergence::StateLog;
+use crate::engine::{Outcome, Response};
+use crate::rounds::{resolve_round, step_round, RoundConfig, RoundResult};
+use crate::sink::{MetricsSink, NullSink, RoundRecord};
+
+/// Configuration of a [`RoundService`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceConfig {
+    /// Per-session round configuration (response rule, per-session round
+    /// cap, cycle detection) — the same knobs as the serial engine.
+    pub rounds: RoundConfig,
+    /// Whether round barriers overlap the live repair with the next
+    /// round's proposal sweep on the snapshot context. Results are
+    /// byte-identical either way; `false` runs the plain serial
+    /// [`step_round`] loop on the one live context.
+    pub pipelined: bool,
+}
+
+/// Session-local sink bookkeeping, mirroring the serial engine's loop
+/// state field for field so records stay byte-identical.
+struct SessionBook {
+    prev_cost: Option<u64>,
+    round_stats: RepairStats,
+    round_phases: RepairPhases,
+}
+
+/// Emits one [`RoundRecord`] exactly the way the serial engine does —
+/// shared by the serial session path and the pipelined barrier's main
+/// branch, so the two paths cannot drift.
+fn emit_record(
+    sink: &mut dyn MetricsSink,
+    live: &EvalContext,
+    book: &mut SessionBook,
+    round: usize,
+    proposed: usize,
+    applied: usize,
+    ended: Option<(Outcome, Option<usize>)>,
+) {
+    if !sink.active() {
+        return;
+    }
+    let stats_now = live.dynamic_stats_snapshot();
+    let phases_now = repair_phase_totals();
+    let cost = live.social_cost();
+    sink.record_round(&RoundRecord {
+        round,
+        proposed,
+        applied,
+        conflicted: proposed - applied,
+        social_cost: cost,
+        cost_delta: match (book.prev_cost, cost) {
+            (Some(a), Some(b)) => Some(b as i64 - a as i64),
+            _ => None,
+        },
+        cycle_period: ended.and_then(|(_, period)| period),
+        converged: matches!(ended, Some((Outcome::Converged, _))),
+        repair: stats_now.delta_since(&book.round_stats),
+        phases: phases_now.delta_since(&book.round_phases),
+    });
+    book.round_stats = stats_now;
+    book.round_phases = phases_now;
+    book.prev_cost = cost;
+}
+
+/// Report of one [`RoundService::run_session`] call.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The session's outcome in the serial engine's vocabulary — for a
+    /// single session from a fresh start this is field-for-field what
+    /// [`RoundDynamics::run`](crate::rounds::RoundDynamics::run) returns.
+    pub result: RoundResult,
+    /// Whether the session ended because the service was paused or
+    /// stopped rather than because the dynamics terminated (an
+    /// interrupted session reports [`Outcome::Capped`]).
+    pub interrupted: bool,
+    /// Wall-clock spent inside the session.
+    pub wall: Duration,
+}
+
+/// A long-running, restartless round-dynamics driver: one frozen-snapshot
+/// engine kept warm across sessions. See the [module docs](self) for the
+/// pipelining scheme and its legality argument.
+pub struct RoundService<O: Objective> {
+    config: ServiceConfig,
+    g: Graph,
+    /// The authoritative context: every query, cycle check, and record
+    /// reads this one.
+    live: EvalContext,
+    /// The pipelined double buffer (`None` when `config.pipelined` is
+    /// off): repaired in lockstep with `live` on the pool branch of every
+    /// barrier, and the context the next round's proposals are swept
+    /// against.
+    snap: Option<EvalContext>,
+    /// Proposals already computed (by a barrier's pool branch) against
+    /// the *current* state of `g`, waiting to open the next round.
+    pending: Option<Vec<Option<ScoredSwap>>>,
+    /// Whether the snapshot context has fallen behind the live one.
+    /// Replay sessions never consult the snapshot, so they skip its
+    /// repairs entirely and set this instead; the next live session
+    /// resynchronizes with one pooled matrix copy, which is far cheaper
+    /// than replaying every skipped batch.
+    snap_stale: bool,
+    log: StateLog,
+    stats_origin: RepairStats,
+    rounds_total: usize,
+    proposed_total: usize,
+    applied_total: usize,
+    sessions_run: usize,
+    busy: Duration,
+    paused: bool,
+    stopped: bool,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O: Objective> RoundService<O> {
+    /// Service on a copy of `start`, paying the one full APSP build the
+    /// whole service lifetime amortizes (plus one pooled matrix clone
+    /// when pipelining is on).
+    pub fn new(start: &Graph, config: ServiceConfig) -> Self {
+        Self::with_repair_strategy(start, config, RepairStrategy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit deletion-repair strategy for
+    /// the maintained matrices (both contexts; byte-identical results
+    /// either way).
+    pub fn with_repair_strategy(
+        start: &Graph,
+        config: ServiceConfig,
+        strategy: RepairStrategy,
+    ) -> Self {
+        let g = start.clone();
+        let mut live = EvalContext::new(&g);
+        live.set_repair_strategy(strategy);
+        live.base(); // force the matrix: every barrier repairs, none rebuilds
+        let snap = config.pipelined.then(|| live.clone_pooled());
+        let stats_origin = live.dynamic_stats_snapshot();
+        RoundService {
+            config,
+            g,
+            live,
+            snap,
+            pending: None,
+            snap_stale: false,
+            log: StateLog::new(),
+            stats_origin,
+            rounds_total: 0,
+            proposed_total: 0,
+            applied_total: 0,
+            sessions_run: 0,
+            busy: Duration::ZERO,
+            paused: false,
+            stopped: false,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Overrides the maintained matrices' fallback threshold (rows
+    /// repaired per deletion before a full rebuild is cheaper) on both
+    /// contexts — the rebuild is deterministic too, so lockstep survives
+    /// either extreme.
+    pub fn set_max_repair_rows(&mut self, rows: usize) {
+        self.live.set_max_repair_rows(rows);
+        if let Some(snap) = self.snap.as_mut() {
+            snap.set_max_repair_rows(rows);
+        }
+    }
+
+    /// The current network state.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Rounds serviced since construction, across all sessions.
+    pub fn rounds_total(&self) -> usize {
+        self.rounds_total
+    }
+
+    /// Sessions completed (interrupted ones included).
+    pub fn sessions_run(&self) -> usize {
+        self.sessions_run
+    }
+
+    /// Proposals seen and moves applied since construction.
+    pub fn moves_total(&self) -> (usize, usize) {
+        (self.proposed_total, self.applied_total)
+    }
+
+    /// Dynamic-distance counters of the live context accumulated over the
+    /// whole service lifetime ([`RepairStats::delta_since`] construction).
+    pub fn repair_totals(&self) -> RepairStats {
+        self.live
+            .dynamic_stats_snapshot()
+            .delta_since(&self.stats_origin)
+    }
+
+    /// Engine time spent inside [`run_session`](Self::run_session) calls.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// The service's headline number: rounds serviced per second of
+    /// engine time, across every session so far (`None` before the first
+    /// round). Setup cost — the one APSP build — is *excluded* by
+    /// construction, which is the point: a driver streaming thousands of
+    /// rounds through one service measures here what per-run engines
+    /// re-pay at every start.
+    pub fn sustained_rounds_per_sec(&self) -> Option<f64> {
+        if self.rounds_total == 0 || self.busy.is_zero() {
+            return None;
+        }
+        Some(self.rounds_total as f64 / self.busy.as_secs_f64())
+    }
+
+    /// Requests a cooperative halt: the running/next session returns at
+    /// the next round boundary (reported as `interrupted`) and further
+    /// sessions are no-ops until [`resume`](Self::resume).
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Lifts a [`pause`](Self::pause). No-op on a stopped service.
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Permanently retires the service: every later session is a no-op.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Whether [`stop`](Self::stop) was called.
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Applies external swaps between sessions — traffic injection — each
+    /// through the incremental single-swap repair on *both* contexts (no
+    /// rebuild, lockstep preserved). No-op moves are skipped; returns the
+    /// number of swaps actually applied. Invalidates pending proposals
+    /// and clears the cycle log (the state genuinely changed).
+    pub fn perturb(&mut self, swaps: &[SwapMove]) -> usize {
+        if self.stopped {
+            return 0;
+        }
+        let mut applied = 0usize;
+        for mv in swaps {
+            let rec = mv.apply(&mut self.g);
+            if matches!(rec, SwapApplied::Noop) {
+                continue;
+            }
+            self.live.refresh_after(&self.g, &rec);
+            // A stale snapshot is behind by whole replayed batches;
+            // repairing it here would corrupt it. Leave it to the resync.
+            if !self.snap_stale {
+                if let Some(snap) = self.snap.as_mut() {
+                    snap.refresh_after(&self.g, &rec);
+                }
+            }
+            applied += 1;
+        }
+        if applied > 0 {
+            self.pending = None;
+            self.log.clear();
+        }
+        applied
+    }
+
+    /// Runs one session without records (the [`NullSink`] fast path).
+    pub fn run_session_plain(&mut self) -> SessionReport {
+        self.run_session(&mut NullSink)
+    }
+
+    /// Runs rounds from the current state until the dynamics terminate
+    /// (converged / cycled / per-session cap) or the service is paused or
+    /// stopped, streaming one [`RoundRecord`] per round into `sink`.
+    ///
+    /// A single session from a fresh start is **byte-identical** to
+    /// [`RoundDynamics::run_with_sink`](crate::rounds::RoundDynamics::run_with_sink)
+    /// — same outcome, same graph, same records — whether or not
+    /// pipelining is on (the phase-*timing* fields of the records aside;
+    /// see the [module docs](self)). Cycle detection restarts at each
+    /// session boundary.
+    pub fn run_session(&mut self, sink: &mut dyn MetricsSink) -> SessionReport {
+        let t0 = Instant::now();
+        let stats_before = self.live.dynamic_stats_snapshot();
+        if self.paused || self.stopped {
+            sink.finish();
+            return self.report(
+                Outcome::Capped,
+                0,
+                0,
+                0,
+                None,
+                &stats_before,
+                true,
+                t0.elapsed(),
+            );
+        }
+        self.resync_snapshot();
+        self.log.clear();
+        if self.config.rounds.detect_cycles {
+            self.log.record_period(&self.g);
+        }
+        let mut book = SessionBook {
+            prev_cost: if sink.active() {
+                self.live.social_cost()
+            } else {
+                None
+            },
+            round_stats: stats_before,
+            round_phases: repair_phase_totals(),
+        };
+        let mut moves_proposed = 0usize;
+        let mut moves_applied = 0usize;
+        let mut rounds = 0usize;
+        let mut session_end: Option<(Outcome, Option<usize>)> = None;
+        let mut interrupted = false;
+        for round in 0..self.config.rounds.max_rounds {
+            if self.paused || self.stopped {
+                interrupted = true;
+                break;
+            }
+            rounds = round + 1;
+            let (proposed, applied, ended) = if self.config.pipelined {
+                self.pipelined_round(sink, &mut book, rounds)
+            } else {
+                self.serial_round(sink, &mut book, rounds)
+            };
+            moves_proposed += proposed;
+            moves_applied += applied;
+            if let Some(end) = ended {
+                session_end = Some(end);
+                break;
+            }
+        }
+        sink.finish();
+        let (outcome, cycle_period) = session_end.unwrap_or((Outcome::Capped, None));
+        self.report(
+            outcome,
+            rounds,
+            moves_proposed,
+            moves_applied,
+            cycle_period,
+            &stats_before,
+            interrupted,
+            t0.elapsed(),
+        )
+    }
+
+    /// One round through the plain serial path: the exact
+    /// [`step_round`] + bookkeeping sequence of the serial engine, on the
+    /// live context only.
+    fn serial_round(
+        &mut self,
+        sink: &mut dyn MetricsSink,
+        book: &mut SessionBook,
+        round: usize,
+    ) -> (usize, usize, Option<(Outcome, Option<usize>)>) {
+        let step = step_round::<O>(&mut self.live, &mut self.g, self.config.rounds.response);
+        let ended: Option<(Outcome, Option<usize>)> = if step.proposed == 0 {
+            Some((Outcome::Converged, None))
+        } else if self.config.rounds.detect_cycles {
+            self.log
+                .record_period(&self.g)
+                .map(|p| (Outcome::Cycled, Some(p)))
+        } else {
+            None
+        };
+        emit_record(
+            sink,
+            &self.live,
+            book,
+            round,
+            step.proposed,
+            step.applied,
+            ended,
+        );
+        (step.proposed, step.applied, ended)
+    }
+
+    /// One round through the pipelined barrier: consume the proposals the
+    /// previous barrier's pool branch left behind (or sweep them now, on
+    /// the first round of a state), resolve + apply, then overlap the
+    /// live repair & bookkeeping with the snapshot repair & next sweep.
+    fn pipelined_round(
+        &mut self,
+        sink: &mut dyn MetricsSink,
+        book: &mut SessionBook,
+        round: usize,
+    ) -> (usize, usize, Option<(Outcome, Option<usize>)>) {
+        let response = self.config.rounds.response;
+        let proposals = match self.pending.take() {
+            Some(p) => p,
+            None => Self::propose(self.snap.as_ref().unwrap_or(&self.live), response),
+        };
+        let proposed = proposals.iter().flatten().count();
+        if proposed == 0 {
+            // Converged round: no batch, nothing to overlap — and the
+            // proposals stay pending (the state is not changing).
+            let ended = Some((Outcome::Converged, None));
+            emit_record(sink, &self.live, book, round, 0, 0, ended);
+            self.pending = Some(proposals);
+            return (0, 0, ended);
+        }
+        let accepted = resolve_round(&proposals);
+        let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(&mut self.g)).collect();
+        let applied = batch.len();
+        let detect = self.config.rounds.detect_cycles;
+        let batch = &batch[..];
+        let g = &self.g;
+        let live = &mut self.live;
+        let log = &mut self.log;
+        let snap = self
+            .snap
+            .as_mut()
+            .expect("pipelined service always carries the snapshot context");
+        // The barrier. Main branch (caller thread, may hold the non-Send
+        // sink): live repair, cycle check, record + I/O. Pool branch:
+        // lockstep snapshot repair, then the *next* round's proposal
+        // sweep — itself fanning out over the pool.
+        let ((ended, main_ns), (next, pool_ns)) = rayon::join(
+            move || {
+                let t = Instant::now();
+                live.refresh_after_batch(g, batch);
+                let ended: Option<(Outcome, Option<usize>)> = if detect {
+                    log.record_period(g).map(|p| (Outcome::Cycled, Some(p)))
+                } else {
+                    None
+                };
+                emit_record(sink, live, book, round, proposed, applied, ended);
+                (ended, t.elapsed().as_nanos() as u64)
+            },
+            move || {
+                let t = Instant::now();
+                snap.refresh_after_batch(g, batch);
+                let next = Self::propose(snap, response);
+                (next, t.elapsed().as_nanos() as u64)
+            },
+        );
+        bncg_telemetry::histogram!("service.overlap_ns").record(main_ns.min(pool_ns));
+        bncg_telemetry::histogram!("service.stall_ns").record(pool_ns.saturating_sub(main_ns));
+        // Valid even when the session just ended: the proposals match the
+        // current graph state, so a later session (or a converged check)
+        // consumes them for free. `perturb` is what invalidates them.
+        self.pending = Some(next);
+        (proposed, applied, ended)
+    }
+
+    /// Streams externally recorded rounds — traffic replay — through the
+    /// service's barrier machinery: each round of `stream` is applied as
+    /// one batch, booked through the same [`RoundRecord`] path as live
+    /// rounds, and repaired into the live matrix. Every round must be
+    /// pairwise footprint-disjoint and valid against the state its
+    /// predecessors left behind — exactly what [`resolve_round`]
+    /// guarantees for live rounds and what recorded round streams carry
+    /// by construction.
+    ///
+    /// Replay differs from [`run_session`](Self::run_session) in what it
+    /// *decides*: nothing. The stream is fixed, so there is no proposal
+    /// sweep, no convergence test, and no cycle termination — the session
+    /// drains the stream (reported as [`Outcome::Capped`]) unless paused
+    /// or stopped first. Because nothing sweeps, the pipelined snapshot
+    /// is not consulted either: replay skips its repairs entirely and
+    /// marks it stale, and the next live session resynchronizes it with
+    /// one pooled matrix copy — much cheaper than dual-repairing every
+    /// replayed batch. Replayed traffic changes the network, so pending
+    /// speculative proposals and the cycle log are invalidated like
+    /// [`perturb`](Self::perturb) does. This is the entry the sustained-
+    /// throughput benchmark and the CI service gate drive: it isolates
+    /// the service's barrier cost (repair + bookkeeping + streaming, no
+    /// per-session setup) from the proposal-sweep cost both engines
+    /// share.
+    pub fn replay_session(
+        &mut self,
+        stream: &[Vec<SwapMove>],
+        sink: &mut dyn MetricsSink,
+    ) -> SessionReport {
+        let t0 = Instant::now();
+        let stats_before = self.live.dynamic_stats_snapshot();
+        if self.paused || self.stopped {
+            sink.finish();
+            return self.report(
+                Outcome::Capped,
+                0,
+                0,
+                0,
+                None,
+                &stats_before,
+                true,
+                t0.elapsed(),
+            );
+        }
+        self.pending = None;
+        self.log.clear();
+        let mut book = SessionBook {
+            prev_cost: if sink.active() {
+                self.live.social_cost()
+            } else {
+                None
+            },
+            round_stats: stats_before,
+            round_phases: repair_phase_totals(),
+        };
+        let mut moves_proposed = 0usize;
+        let mut moves_applied = 0usize;
+        let mut rounds = 0usize;
+        let mut interrupted = false;
+        for round in stream {
+            if self.paused || self.stopped {
+                interrupted = true;
+                break;
+            }
+            rounds += 1;
+            moves_proposed += round.len();
+            let batch: Vec<SwapApplied> = round.iter().map(|mv| mv.apply(&mut self.g)).collect();
+            moves_applied += batch.len();
+            if batch.is_empty() {
+                emit_record(sink, &self.live, &mut book, rounds, 0, 0, None);
+                continue;
+            }
+            let applied = batch.len();
+            self.live.refresh_after_batch(&self.g, &batch);
+            if self.snap.is_some() {
+                self.snap_stale = true;
+            }
+            emit_record(sink, &self.live, &mut book, rounds, applied, applied, None);
+        }
+        sink.finish();
+        self.report(
+            Outcome::Capped,
+            rounds,
+            moves_proposed,
+            moves_applied,
+            None,
+            &stats_before,
+            interrupted,
+            t0.elapsed(),
+        )
+    }
+
+    /// Brings a snapshot left stale by replay sessions back into lockstep
+    /// with the live context — one pooled matrix copy, instead of
+    /// replaying every skipped batch.
+    fn resync_snapshot(&mut self) {
+        if self.snap_stale {
+            self.snap = Some(self.live.clone_pooled());
+            self.snap_stale = false;
+        }
+    }
+
+    /// The frozen-snapshot proposal sweep of every agent, under the
+    /// session's response rule.
+    fn propose(ctx: &EvalContext, response: Response) -> Vec<Option<ScoredSwap>> {
+        match response {
+            Response::Best => ctx.best_responses_par::<O>(),
+            Response::FirstImproving => ctx.first_improving_responses_par::<O>(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &mut self,
+        outcome: Outcome,
+        rounds: usize,
+        moves_proposed: usize,
+        moves_applied: usize,
+        cycle_period: Option<usize>,
+        stats_before: &RepairStats,
+        interrupted: bool,
+        wall: Duration,
+    ) -> SessionReport {
+        self.rounds_total += rounds;
+        self.proposed_total += moves_proposed;
+        self.applied_total += moves_applied;
+        self.sessions_run += 1;
+        self.busy += wall;
+        SessionReport {
+            result: RoundResult {
+                graph: self.g.clone(),
+                outcome,
+                rounds,
+                moves_proposed,
+                moves_applied,
+                cycle_period,
+                repair: self.live.dynamic_stats_snapshot().delta_since(stats_before),
+            },
+            interrupted,
+            wall,
+        }
+    }
+}
+
+/// The pipelined round engine with the serial engine's one-shot calling
+/// convention: construct, [`run`](Self::run), get a [`RoundResult`] —
+/// byte-identical to [`RoundDynamics`](crate::rounds::RoundDynamics) on
+/// the same start (property-pinned), with every round barrier overlapped
+/// as described in the [module docs](self). Internally a one-session
+/// [`RoundService`].
+pub struct PipelinedRoundDynamics<O: Objective> {
+    config: RoundConfig,
+    repair_strategy: RepairStrategy,
+    _marker: std::marker::PhantomData<O>,
+}
+
+impl<O: Objective> PipelinedRoundDynamics<O> {
+    /// Engine with the given configuration.
+    pub fn new(config: RoundConfig) -> Self {
+        PipelinedRoundDynamics {
+            config,
+            repair_strategy: RepairStrategy::default(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Selects the deletion-repair implementation backing both maintained
+    /// matrices (byte-identical results either way).
+    #[must_use]
+    pub fn with_repair_strategy(mut self, strategy: RepairStrategy) -> Self {
+        self.repair_strategy = strategy;
+        self
+    }
+
+    /// Runs the pipelined round dynamics from `start`.
+    pub fn run(&self, start: &Graph) -> RoundResult {
+        self.run_with_sink(start, &mut NullSink)
+    }
+
+    /// [`run`](Self::run) with a record stream, mirroring
+    /// [`RoundDynamics::run_with_sink`](crate::rounds::RoundDynamics::run_with_sink).
+    pub fn run_with_sink(&self, start: &Graph, sink: &mut dyn MetricsSink) -> RoundResult {
+        let mut service = RoundService::<O>::with_repair_strategy(
+            start,
+            ServiceConfig {
+                rounds: self.config,
+                pipelined: true,
+            },
+            self.repair_strategy,
+        );
+        service.run_session(sink).result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rounds::RoundDynamics;
+    use crate::sink::MemorySink;
+    use bncg_core::objective::{MaxObjective, SumObjective};
+    use bncg_graph::generators::classic;
+
+    fn assert_records_match_modulo_phases(a: &[RoundRecord], b: &[RoundRecord]) {
+        assert_eq!(a.len(), b.len(), "round counts diverged");
+        for (x, y) in a.iter().zip(b) {
+            let mut y = *y;
+            // Phase *timings* are wall-clock and process-global — never
+            // byte-stable, and doubled under pipelining (module docs).
+            y.phases = x.phases;
+            assert_eq!(*x, y, "record diverged at round {}", x.round);
+        }
+    }
+
+    #[test]
+    fn pipelined_engine_matches_serial_on_classics() {
+        for start in [
+            classic::path(9),
+            classic::path(10), // oscillates
+            classic::cycle(12),
+            classic::grid(3, 4),
+            classic::star(8),
+        ] {
+            let serial = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+            let mut serial_sink = MemorySink::new();
+            let expected = serial.run_with_sink(&start, &mut serial_sink);
+            let pipelined = PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default());
+            let mut pipe_sink = MemorySink::new();
+            let got = pipelined.run_with_sink(&start, &mut pipe_sink);
+            assert_eq!(got.graph, expected.graph);
+            assert_eq!(got.outcome, expected.outcome);
+            assert_eq!(got.rounds, expected.rounds);
+            assert_eq!(got.moves_proposed, expected.moves_proposed);
+            assert_eq!(got.moves_applied, expected.moves_applied);
+            assert_eq!(got.cycle_period, expected.cycle_period);
+            assert_eq!(got.repair, expected.repair);
+            assert_records_match_modulo_phases(&pipe_sink.records, &serial_sink.records);
+        }
+    }
+
+    #[test]
+    fn pipelined_runs_repair_and_never_rebuild() {
+        let engine = PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default());
+        let result = engine.run(&classic::path(10));
+        assert!(result.repair.updates > 0);
+        assert_eq!(result.repair.full_rebuilds, 0);
+    }
+
+    #[test]
+    fn service_sessions_continue_without_rebuilds() {
+        let start = classic::path(12);
+        let mut service = RoundService::<SumObjective>::new(
+            &start,
+            ServiceConfig {
+                pipelined: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let first = service.run_session_plain();
+        assert_eq!(first.result.outcome, Outcome::Converged);
+        assert!(!first.interrupted);
+        // Converged state: every further session is one empty round.
+        let again = service.run_session_plain();
+        assert_eq!(again.result.outcome, Outcome::Converged);
+        assert_eq!(again.result.rounds, 1);
+        assert_eq!(again.result.moves_applied, 0);
+        // Perturb and run a fresh session: still no rebuilds anywhere.
+        let g = service.graph().clone();
+        let e = g.edge_vec()[0];
+        let v = e.u;
+        let w = e.v;
+        let w2 = (0..g.n() as u32)
+            .find(|&x| x != v && x != w && !g.has_edge(v, x))
+            .expect("sparse graph has a non-neighbor");
+        assert_eq!(service.perturb(&[SwapMove { v, w, w2 }]), 1);
+        let third = service.run_session_plain();
+        assert!(!third.interrupted);
+        assert_eq!(service.sessions_run(), 3);
+        assert!(service.rounds_total() >= 3);
+        let totals = service.repair_totals();
+        assert!(totals.updates > 0);
+        assert_eq!(totals.full_rebuilds, 0, "service must never rebuild");
+        assert!(service.sustained_rounds_per_sec().is_some());
+    }
+
+    #[test]
+    fn service_session_after_perturb_matches_fresh_serial_run() {
+        // The restartless continuation must land exactly where a fresh
+        // serial engine run from the perturbed state lands.
+        let start = classic::path(11);
+        let mut service = RoundService::<MaxObjective>::new(
+            &start,
+            ServiceConfig {
+                pipelined: true,
+                ..ServiceConfig::default()
+            },
+        );
+        service.run_session_plain();
+        let g = service.graph().clone();
+        let e = g.edge_vec()[1];
+        let (v, w) = (e.u, e.v);
+        let w2 = (0..g.n() as u32)
+            .find(|&x| x != v && x != w && !g.has_edge(v, x))
+            .expect("non-neighbor exists");
+        service.perturb(&[SwapMove { v, w, w2 }]);
+        let perturbed = service.graph().clone();
+        let mut service_sink = MemorySink::new();
+        let continued = service.run_session(&mut service_sink);
+        let serial = RoundDynamics::<MaxObjective>::new(RoundConfig::default());
+        let mut serial_sink = MemorySink::new();
+        let fresh = serial.run_with_sink(&perturbed, &mut serial_sink);
+        assert_eq!(continued.result.graph, fresh.graph);
+        assert_eq!(continued.result.outcome, fresh.outcome);
+        assert_eq!(continued.result.rounds, fresh.rounds);
+        assert_records_match_modulo_phases(&service_sink.records, &serial_sink.records);
+    }
+
+    #[test]
+    fn pause_and_stop_bound_sessions() {
+        let start = classic::path(10); // oscillates: sessions would cycle forever
+        let mut service = RoundService::<SumObjective>::new(
+            &start,
+            ServiceConfig {
+                pipelined: true,
+                ..ServiceConfig::default()
+            },
+        );
+        service.pause();
+        let paused = service.run_session_plain();
+        assert!(paused.interrupted);
+        assert_eq!(paused.result.rounds, 0);
+        service.resume();
+        let ran = service.run_session_plain();
+        assert!(!ran.interrupted);
+        assert!(ran.result.rounds > 0);
+        service.stop();
+        assert!(service.is_stopped());
+        let stopped = service.run_session_plain();
+        assert!(stopped.interrupted);
+        assert_eq!(stopped.result.rounds, 0);
+        assert_eq!(service.perturb(&[]), 0);
+    }
+
+    #[test]
+    fn replay_session_streams_external_rounds_in_lockstep() {
+        // A palindromic traffic stream (two rounds + their inverses) on a
+        // cycle: after replay the network is back at the start, the
+        // maintained matrices of both service modes are byte-identical to
+        // a fresh build, and the two modes book identical records.
+        let start = classic::cycle(16);
+        let stream = vec![
+            vec![
+                SwapMove { v: 0, w: 1, w2: 5 },
+                SwapMove { v: 8, w: 9, w2: 12 },
+            ],
+            vec![SwapMove { v: 2, w: 3, w2: 7 }],
+            vec![SwapMove { v: 2, w: 7, w2: 3 }],
+            vec![
+                SwapMove { v: 0, w: 5, w2: 1 },
+                SwapMove { v: 8, w: 12, w2: 9 },
+            ],
+        ];
+        let mut reports = Vec::new();
+        let mut sinks = Vec::new();
+        for pipelined in [false, true] {
+            let mut service = RoundService::<SumObjective>::new(
+                &start,
+                ServiceConfig {
+                    pipelined,
+                    ..ServiceConfig::default()
+                },
+            );
+            let mut sink = MemorySink::new();
+            let report = service.replay_session(&stream, &mut sink);
+            assert_eq!(service.graph(), &start, "palindrome must restore the start");
+            assert_eq!(report.result.rounds, 4);
+            assert_eq!(report.result.moves_applied, 6);
+            assert_eq!(report.result.outcome, Outcome::Capped);
+            assert!(!report.interrupted);
+            assert_eq!(report.result.repair.full_rebuilds, 0);
+            assert_eq!(service.rounds_total(), 4);
+            assert!(service.sustained_rounds_per_sec().is_some());
+            // The live matrix lands exactly on a fresh build; in
+            // pipelined mode the snapshot is stale by design until the
+            // next live session resyncs it.
+            let fresh = EvalContext::new(&start);
+            assert_eq!(service.live.base(), fresh.base());
+            assert_eq!(service.snap_stale, pipelined);
+            // A live session after replay exercises the resync path and
+            // must still match a fresh serial engine run byte for byte.
+            let mut live_sink = MemorySink::new();
+            let continued = service.run_session(&mut live_sink);
+            assert!(!service.snap_stale);
+            let mut fresh_sink = MemorySink::new();
+            let expected = RoundDynamics::<SumObjective>::new(RoundConfig::default())
+                .run_with_sink(&start, &mut fresh_sink);
+            assert_eq!(continued.result.graph, expected.graph);
+            assert_eq!(continued.result.outcome, expected.outcome);
+            assert_eq!(continued.result.rounds, expected.rounds);
+            reports.push(report);
+            sinks.push(sink);
+        }
+        assert_records_match_modulo_phases(&sinks[1].records, &sinks[0].records);
+    }
+
+    #[test]
+    fn sink_failure_mid_service_run_is_sticky_and_survivable() {
+        use crate::sink::tests::FailingWriter;
+        use crate::sink::JsonlSink;
+        use std::io;
+
+        let start = classic::path(9);
+        // Size a two-record budget from a dry run — the mid-run full disk.
+        let probe = {
+            let mut sink = MemorySink::new();
+            PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default())
+                .run_with_sink(&start, &mut sink);
+            assert!(sink.records.len() > 2, "need a run longer than the budget");
+            sink.records[..2]
+                .iter()
+                .map(|r| r.to_jsonl().len() + 1)
+                .sum::<usize>()
+        };
+        let mut service = RoundService::<SumObjective>::new(
+            &start,
+            ServiceConfig {
+                pipelined: true,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut sink = JsonlSink::new(FailingWriter {
+            budget: probe,
+            written: Vec::new(),
+        });
+        let report = service.run_session(&mut sink);
+        // The dynamics are unaffected — only the stream is lost.
+        assert_eq!(report.result.outcome, Outcome::Converged);
+        let err = sink.error().expect("mid-run write failure must stick");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let written = String::from_utf8(sink.into_inner().written).expect("utf8");
+        assert_eq!(written.lines().count(), 2, "intact prefix only");
+        for line in written.lines() {
+            RoundRecord::from_jsonl(line).expect("prefix lines parse");
+        }
+    }
+}

@@ -19,9 +19,12 @@
 //!
 //! **Caveat (phase deltas):** [`RepairPhases`] reads process-global
 //! histograms, so two dynamics runs in flight at once attribute each
-//! other's repair time to their concurrent rounds. The per-run
-//! [`RepairStats`] delta has no such aliasing (it lives on the run's own
-//! `DynamicApsp`).
+//! other's repair time to their concurrent rounds. The pipelined engine
+//! ([`crate::service`]) aliases *by design*: every round repairs both the
+//! live and the snapshot context inside one round window, so pipelined
+//! records carry roughly twice the repair phase time per round. The
+//! per-run [`RepairStats`] delta has no such aliasing in either engine
+//! (it lives on the run's own live `DynamicApsp`).
 
 use std::io::{self, Write};
 
@@ -282,7 +285,7 @@ impl<W: Write> MetricsSink for JsonlSink<W> {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     fn sample() -> RoundRecord {
@@ -338,6 +341,52 @@ mod tests {
     fn malformed_lines_are_rejected() {
         assert!(RoundRecord::from_jsonl("{\"round\":1}").is_err());
         assert!(RoundRecord::from_jsonl("not json").is_err());
+    }
+
+    /// Writer that accepts `budget` bytes, then fails every call — the
+    /// full-disk simulation behind the sticky-error tests here and the
+    /// service's mid-run failure test.
+    pub(crate) struct FailingWriter {
+        pub budget: usize,
+        pub written: Vec<u8>,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written.len() + buf.len() > self.budget {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"));
+            }
+            self.written.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_failures_stick_and_preserve_the_prefix() {
+        let one_line = sample().to_jsonl().len() + 1;
+        let mut sink = JsonlSink::new(FailingWriter {
+            budget: one_line, // exactly one record fits
+            written: Vec::new(),
+        });
+        sink.record_round(&sample());
+        assert!(sink.error().is_none(), "first record fits the budget");
+        sink.record_round(&sample());
+        let err = sink.error().expect("second record must hit the wall");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // Sticky: later records and the flush are dropped, the first
+        // error is preserved, and the written prefix stays intact.
+        sink.record_round(&sample());
+        sink.finish();
+        assert_eq!(
+            sink.error().map(io::Error::kind),
+            Some(io::ErrorKind::WriteZero)
+        );
+        let written = String::from_utf8(sink.into_inner().written).expect("utf8");
+        assert_eq!(written.lines().count(), 1);
+        RoundRecord::from_jsonl(written.lines().next().unwrap()).expect("intact prefix");
     }
 
     #[test]

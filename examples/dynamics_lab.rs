@@ -127,7 +127,10 @@ fn main() {
             &mut sink,
         );
         if let Some(e) = sink.error() {
+            // The run itself is fine — but the JSONL artifact is not, and
+            // a silent partial file poisons downstream analysis. Be loud.
             eprintln!("metrics write to {path} failed: {e}");
+            std::process::exit(1);
         } else {
             println!(
                 "\nround metrics: {} JSONL records written to {path} (converged = {})",

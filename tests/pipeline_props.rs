@@ -1,0 +1,281 @@
+//! Property sweep pinning the pipelined round engine to the serial one,
+//! byte for byte.
+//!
+//! The pipelined engine (`bncg::dynamics::service`) overlaps each round's
+//! live repair and bookkeeping with the next round's proposal sweep on a
+//! lockstep snapshot context. Its claim is *byte identity*: same accepted
+//! moves, same final graph, same outcome, same per-round records as the
+//! serial [`RoundDynamics`] — the overlap may only move work in time,
+//! never change it. This sweep replays both engines over Erdős–Rényi
+//! graphs and uniform random trees, under both objectives, both response
+//! rules, and both fallback-threshold extremes (0 = every barrier
+//! rebuilds, n = never fall back), comparing every [`RoundRecord`] modulo
+//! the process-global phase *timings* (wall-clock, and doubled by design
+//! under pipelining — see the service module docs). A deterministic
+//! volume floor keeps the sweep at 500+ verified rounds.
+
+use bncg::dynamics::engine::{Outcome, Response};
+use bncg::dynamics::rounds::{RoundConfig, RoundDynamics};
+use bncg::dynamics::service::{PipelinedRoundDynamics, RoundService, ServiceConfig};
+use bncg::dynamics::sink::{MemorySink, RoundRecord};
+use bncg::game::objective::{MaxObjective, Objective, SumObjective};
+use bncg::graph::generators::random::{gnp, random_tree};
+use bncg::graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Asserts two record streams are identical modulo the phase timings.
+fn assert_records_match(pipelined: &[RoundRecord], serial: &[RoundRecord], context: &str) {
+    assert_eq!(
+        pipelined.len(),
+        serial.len(),
+        "round counts diverged ({context})"
+    );
+    for (p, s) in pipelined.iter().zip(serial) {
+        let mut s = *s;
+        s.phases = p.phases; // wall-clock, process-global — never byte-stable
+        assert_eq!(*p, s, "record diverged at round {} ({context})", p.round);
+    }
+}
+
+/// [`assert_records_match`], additionally normalizing the `last_*` repair
+/// gauges. Those describe the maintained matrix's *most recent* repair —
+/// a lifetime gauge, not a per-round counter — so a session continuing on
+/// a warm matrix legitimately reports the previous session's last repair
+/// where a fresh engine reports none. Every counter field stays strict.
+fn assert_records_match_across_sessions(
+    continued: &[RoundRecord],
+    fresh: &[RoundRecord],
+    context: &str,
+) {
+    assert_eq!(
+        continued.len(),
+        fresh.len(),
+        "round counts diverged ({context})"
+    );
+    for (p, s) in continued.iter().zip(fresh) {
+        let mut s = *s;
+        s.phases = p.phases;
+        s.repair.last_repair_candidates = p.repair.last_repair_candidates;
+        s.repair.last_rows_repaired = p.repair.last_rows_repaired;
+        s.repair.last_rows_blended = p.repair.last_rows_blended;
+        s.repair.last_batch_swaps = p.repair.last_batch_swaps;
+        s.repair.last_was_rebuild = p.repair.last_was_rebuild;
+        assert_eq!(*p, s, "record diverged at round {} ({context})", p.round);
+    }
+}
+
+/// Runs `start` through the serial and the pipelined engine under the
+/// same configuration (and optional fallback-threshold override) and
+/// asserts byte identity of outcome, graph, counters, and records.
+/// Returns the number of rounds both engines executed.
+fn assert_engines_agree<O: Objective>(
+    start: &Graph,
+    config: RoundConfig,
+    threshold: Option<usize>,
+    context: &str,
+) -> usize {
+    let mut serial = RoundService::<O>::new(
+        start,
+        ServiceConfig {
+            rounds: config,
+            pipelined: false,
+        },
+    );
+    let mut pipelined = RoundService::<O>::new(
+        start,
+        ServiceConfig {
+            rounds: config,
+            pipelined: true,
+        },
+    );
+    if let Some(rows) = threshold {
+        serial.set_max_repair_rows(rows);
+        pipelined.set_max_repair_rows(rows);
+    }
+    let mut serial_sink = MemorySink::new();
+    let mut pipelined_sink = MemorySink::new();
+    let expected = serial.run_session(&mut serial_sink).result;
+    let got = pipelined.run_session(&mut pipelined_sink).result;
+    assert_eq!(
+        got.graph, expected.graph,
+        "final graph diverged ({context})"
+    );
+    assert_eq!(
+        got.outcome, expected.outcome,
+        "outcome diverged ({context})"
+    );
+    assert_eq!(
+        got.rounds, expected.rounds,
+        "round count diverged ({context})"
+    );
+    assert_eq!(
+        got.moves_proposed, expected.moves_proposed,
+        "proposal count diverged ({context})"
+    );
+    assert_eq!(
+        got.moves_applied, expected.moves_applied,
+        "applied count diverged ({context})"
+    );
+    assert_eq!(
+        got.cycle_period, expected.cycle_period,
+        "cycle period diverged ({context})"
+    );
+    assert_eq!(
+        got.repair, expected.repair,
+        "repair stats diverged ({context})"
+    );
+    assert_records_match(&pipelined_sink.records, &serial_sink.records, context);
+    got.rounds
+}
+
+/// One family × objective replay at both threshold extremes plus the
+/// default, with cycle detection both on (natural termination) and off
+/// (bounded replay that keeps oscillators running for volume).
+fn replay_family<O: Objective>(start: &Graph, label: &str) -> usize {
+    let n = start.n();
+    let natural = RoundConfig::default();
+    let bounded = RoundConfig {
+        max_rounds: 24,
+        detect_cycles: false,
+        ..RoundConfig::default()
+    };
+    let first_improving = RoundConfig {
+        response: Response::FirstImproving,
+        ..RoundConfig::default()
+    };
+    let mut rounds = 0usize;
+    rounds += assert_engines_agree::<O>(start, natural, None, &format!("{label}, natural"));
+    rounds += assert_engines_agree::<O>(
+        start,
+        bounded,
+        Some(0),
+        &format!("{label}, bounded, threshold 0"),
+    );
+    rounds += assert_engines_agree::<O>(
+        start,
+        bounded,
+        Some(n),
+        &format!("{label}, bounded, threshold n"),
+    );
+    rounds += assert_engines_agree::<O>(
+        start,
+        first_improving,
+        None,
+        &format!("{label}, first-improving"),
+    );
+    rounds
+}
+
+#[test]
+fn five_hundred_plus_pipelined_rounds_stay_byte_identical() {
+    // Deterministic volume floor: ≥ 500 rounds verified across ER graphs
+    // and trees, both objectives, both threshold extremes.
+    let mut rng = StdRng::seed_from_u64(0x0E11_0E11);
+    let mut total = 0usize;
+    for i in 0..8 {
+        let er = gnp(&mut rng, 20 + 2 * i, 0.15);
+        total += replay_family::<SumObjective>(&er, "er/sum");
+        total += replay_family::<MaxObjective>(&er, "er/max");
+        let t = random_tree(&mut rng, 18 + 2 * i);
+        total += replay_family::<SumObjective>(&t, "tree/sum");
+        total += replay_family::<MaxObjective>(&t, "tree/max");
+    }
+    assert!(
+        total >= 500,
+        "volume floor not met: only {total} rounds verified"
+    );
+}
+
+#[test]
+fn one_shot_pipelined_engine_matches_the_serial_engine_exactly() {
+    // The wrapper with the serial calling convention, against the actual
+    // serial engine (not the serial service path) — same records, same
+    // result, on starts that converge, oscillate, and run long.
+    let mut rng = StdRng::seed_from_u64(0x51DE);
+    for i in 0..4u64 {
+        let start = gnp(&mut rng, 24, 0.14);
+        let serial = RoundDynamics::<SumObjective>::new(RoundConfig::default());
+        let mut serial_sink = MemorySink::new();
+        let expected = serial.run_with_sink(&start, &mut serial_sink);
+        let pipelined = PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default());
+        let mut pipelined_sink = MemorySink::new();
+        let got = pipelined.run_with_sink(&start, &mut pipelined_sink);
+        assert_eq!(got.graph, expected.graph, "seed {i}");
+        assert_eq!(got.outcome, expected.outcome, "seed {i}");
+        assert_eq!(got.rounds, expected.rounds, "seed {i}");
+        assert_eq!(got.cycle_period, expected.cycle_period, "seed {i}");
+        assert_eq!(got.repair, expected.repair, "seed {i}");
+        assert_records_match(
+            &pipelined_sink.records,
+            &serial_sink.records,
+            &format!("one-shot seed {i}"),
+        );
+    }
+}
+
+#[test]
+fn restartless_sessions_match_fresh_serial_runs_round_for_round() {
+    // The amortization claim, verified for correctness: continuing from a
+    // converged state must behave exactly like a fresh serial engine from
+    // that state (one empty converged round), with no rebuild anywhere.
+    let mut rng = StdRng::seed_from_u64(0xA11C);
+    let start = random_tree(&mut rng, 24);
+    let mut service = RoundService::<SumObjective>::new(
+        &start,
+        ServiceConfig {
+            rounds: RoundConfig::default(),
+            pipelined: true,
+        },
+    );
+    let first = service.run_session_plain();
+    for session in 0..3 {
+        let state = service.graph().clone();
+        let mut service_sink = MemorySink::new();
+        let continued = service.run_session(&mut service_sink).result;
+        let mut fresh_sink = MemorySink::new();
+        let fresh = RoundDynamics::<SumObjective>::new(RoundConfig::default())
+            .run_with_sink(&state, &mut fresh_sink);
+        assert_eq!(continued.graph, fresh.graph, "session {session}");
+        assert_eq!(continued.outcome, fresh.outcome, "session {session}");
+        assert_eq!(continued.rounds, fresh.rounds, "session {session}");
+        assert_records_match_across_sessions(
+            &service_sink.records,
+            &fresh_sink.records,
+            &format!("session {session}"),
+        );
+    }
+    // One APSP build total: the first session's repair counters already
+    // include zero rebuilds, and later sessions add none.
+    assert_eq!(first.result.repair.full_rebuilds, 0);
+    assert_eq!(service.repair_totals().full_rebuilds, 0);
+    assert!(matches!(
+        first.result.outcome,
+        Outcome::Converged | Outcome::Cycled
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn er_pipelined_matches_serial(n in 10usize..=28, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp(&mut rng, n, (3.0 / n as f64).min(0.9));
+        assert_engines_agree::<SumObjective>(
+            &g, RoundConfig::default(), None, "proptest er/sum");
+        assert_engines_agree::<MaxObjective>(
+            &g, RoundConfig::default(), Some(0), "proptest er/max, threshold 0");
+    }
+
+    #[test]
+    fn tree_pipelined_matches_serial(n in 10usize..=26, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = random_tree(&mut rng, n);
+        assert_engines_agree::<MaxObjective>(
+            &t, RoundConfig::default(), None, "proptest tree/max");
+        assert_engines_agree::<SumObjective>(
+            &t, RoundConfig::default(), Some(n), "proptest tree/sum, threshold n");
+    }
+}
