@@ -716,6 +716,83 @@ mod perf_gate {
         );
     }
 
+    /// Crash-safety tax gate: journaling every round barrier (audit off,
+    /// no checkpoints) must cost at most 10% over the unjournaled warm
+    /// service on the canonical n = 2048 palindromic batched replay. The
+    /// journal's per-barrier work is one serialized record, one `write`,
+    /// and one `fsync` — against a barrier whose batch repair already
+    /// touches thousands of matrix rows, that must stay in the noise
+    /// floor's neighborhood, and this gate keeps it there. Arms are
+    /// interleaved best-of-6 (minima — the only cross-process-stable
+    /// statistic on a shared CI host); the palindrome restores the start
+    /// state so every session replays identical work.
+    #[test]
+    #[ignore = "perf gate — run by the CI bench-smoke job (release only)"]
+    fn journaled_replay_overhead_within_ten_percent() {
+        use bncg_core::objective::SumObjective;
+        use bncg_dynamics::service::{JournalOptions, RoundService, ServiceConfig};
+        use bncg_dynamics::sink::NullSink;
+
+        let n = 2048;
+        let mut rng = StdRng::seed_from_u64(0x3A11 + n as u64);
+        let g0 = bncg_graph::generators::random::random_tree(&mut rng, n);
+        let stream = crate::workload::synth_round_palindrome(&mut rng, &g0, 8, 2);
+        assert!(
+            stream.iter().all(|r| r.len() == 2),
+            "round synthesis came up short"
+        );
+        let config = ServiceConfig::default();
+        let mut plain = RoundService::<SumObjective>::new(&g0, config);
+        let mut journaled = RoundService::<SumObjective>::new(&g0, config);
+        let wal = std::env::temp_dir().join(format!(
+            "bncg-bench-journal-gate-{}.wal",
+            std::process::id()
+        ));
+        journaled
+            .attach_journal(
+                &wal,
+                JournalOptions {
+                    checkpoint_every: 0,
+                },
+            )
+            .expect("journal in temp dir");
+        // Warm both services (pools, lazy allocations) and prove the
+        // palindrome restores the start, so every measured session
+        // replays the identical workload.
+        let report = plain.replay_session(&stream, &mut NullSink);
+        assert_eq!(report.result.rounds, stream.len());
+        assert_eq!(plain.graph(), &g0, "palindrome must restore the start");
+        let _ = journaled.replay_session(&stream, &mut NullSink);
+        assert_eq!(journaled.graph(), &g0);
+        let mut plain_best = Duration::MAX;
+        let mut journaled_best = Duration::MAX;
+        for _ in 0..6 {
+            let t = Instant::now();
+            black_box(plain.replay_session(&stream, &mut NullSink).result.rounds);
+            plain_best = plain_best.min(t.elapsed());
+            let t = Instant::now();
+            black_box(
+                journaled
+                    .replay_session(&stream, &mut NullSink)
+                    .result
+                    .rounds,
+            );
+            journaled_best = journaled_best.min(t.elapsed());
+        }
+        assert!(
+            journaled.journal_error().is_none(),
+            "the journal stream must stay healthy"
+        );
+        std::fs::remove_file(&wal).ok();
+        let budget = plain_best + plain_best / 10;
+        assert!(
+            journaled_best <= budget,
+            "journaling overhead exceeds 10%: journaled {journaled_best:?} vs \
+             plain {plain_best:?} (budget {budget:?})"
+        );
+        eprintln!("journaling overhead OK: journaled {journaled_best:?} vs plain {plain_best:?}");
+    }
+
     /// Median ns recorded for `id` in the repo's `BENCH_rounds.json`
     /// (hand-rolled parse — the record format is the criterion shim's own
     /// fixed output, one `{"id": …, "median_ns": …}` object per line).

@@ -14,6 +14,18 @@ pub struct RunOpts {
     /// byte-identical records and endpoints, with the next round's
     /// proposal sweep overlapped against each barrier repair.
     pub pipelined: bool,
+    /// When set, E13's service run journals every round barrier to this
+    /// path (`--journal <path>`), making the run crash-recoverable via
+    /// `--resume`.
+    pub journal: Option<std::path::PathBuf>,
+    /// When set, E13 resumes a crashed/killed journaled run from this
+    /// path (`--resume <path>`) instead of starting fresh, and reports
+    /// the recovery statistics.
+    pub resume: Option<std::path::PathBuf>,
+    /// When nonzero, E13's service run audits a rotating stripe of the
+    /// maintained distance matrix against fresh BFS every this many
+    /// rounds (`--audit-every <k>`), self-healing divergent rows.
+    pub audit_every: usize,
 }
 
 /// Records that a `--metrics` stream was lost to an I/O error (a full

@@ -10,6 +10,8 @@
 //! bncg all                      # run everything (the EXPERIMENTS.md refresh)
 //! bncg quick                    # run everything at reduced scale
 //! bncg e13 --metrics rounds.jsonl   # also stream per-round records (JSONL)
+//! bncg e13 --journal run.wal        # crash-safe journaled service run
+//! bncg e13 --resume run.wal         # resume a killed journaled run
 //! ```
 
 mod experiments;
@@ -23,21 +25,38 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("list");
     let quick = args.iter().any(|a| a == "--quick") || command == "quick";
-    let metrics = args
+    let path_flag = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => std::path::PathBuf::from(path),
+                _ => {
+                    eprintln!("{flag} requires a file path argument");
+                    std::process::exit(2);
+                }
+            })
+    };
+    let metrics = path_flag("--metrics");
+    let journal = path_flag("--journal");
+    let resume = path_flag("--resume");
+    let pipelined = args.iter().any(|a| a == "--pipelined");
+    let audit_every = args
         .iter()
-        .position(|a| a == "--metrics")
-        .map(|i| match args.get(i + 1) {
-            Some(path) if !path.starts_with("--") => std::path::PathBuf::from(path),
-            _ => {
-                eprintln!("--metrics requires a file path argument");
+        .position(|a| a == "--audit-every")
+        .map_or(0, |i| match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(k) => k,
+            None => {
+                eprintln!("--audit-every requires a round count argument");
                 std::process::exit(2);
             }
         });
-    let pipelined = args.iter().any(|a| a == "--pipelined");
     let opts = RunOpts {
         quick,
         metrics,
         pipelined,
+        journal,
+        resume,
+        audit_every,
     };
     type Runner = fn(&RunOpts) -> String;
     let all: Vec<(&str, Runner)> = vec![
@@ -65,6 +84,11 @@ fn main() {
             println!("  dump [dir]  — export the construction catalog as edge lists + graph6");
             println!("  --metrics <path> — stream per-round JSONL records (consumed by e13)");
             println!("  --pipelined — round-based dynamics via the pipelined engine (e13)");
+            println!("  --journal <path> — crash-safe journal for e13's service run");
+            println!("  --resume <path> — resume a killed journaled e13 service run");
+            println!(
+                "  --audit-every <k> — audit/self-heal the maintained matrix every k rounds (e13)"
+            );
         }
         "dump" => {
             let dir = args.get(1).cloned().unwrap_or_else(|| "artifacts".into());

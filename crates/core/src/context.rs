@@ -256,6 +256,64 @@ impl EvalContext {
             .matrix()
     }
 
+    /// [`base`](Self::base) with a typed error instead of the panic when a
+    /// finite distance overflows the compact `u16` domain
+    /// ([`DynamicApsp::try_build`]) — the round service constructs its
+    /// contexts through this seam so a pathological graph degrades a
+    /// session instead of aborting the process. Identical caching
+    /// behavior: on `Ok` the matrix is built at most once.
+    pub fn try_base(&self) -> Result<&DistanceMatrix, bncg_graph::DistOverflow> {
+        if self.base.get().is_none() {
+            let mut dyn_apsp = DynamicApsp::try_build(&self.csr)?;
+            if let Some(rows) = self.max_repair_rows {
+                dyn_apsp.set_max_repair_rows(rows);
+            }
+            if let Some(strategy) = self.repair_strategy {
+                dyn_apsp.set_repair_strategy(strategy);
+            }
+            // A concurrent base() may have won the race; either value is
+            // the same deterministic build, so the loser is just dropped.
+            let _ = self.base.set(dyn_apsp);
+        }
+        Ok(self.base.get().expect("just initialized").matrix())
+    }
+
+    /// Divergence audit over a sampled row stripe of the maintained base
+    /// matrix: each listed row (and its maintained per-vertex cost
+    /// aggregate) is checked against a fresh BFS, and the divergent rows
+    /// are returned ([`DynamicApsp::verify_rows`]). Returns an empty list
+    /// when no base matrix is cached — there is no maintained state to
+    /// drift.
+    pub fn audit_rows(&self, rows: &[V]) -> Vec<V> {
+        match self.base.get() {
+            Some(dyn_apsp) => dyn_apsp.verify_rows(&self.csr, rows),
+            None => Vec::new(),
+        }
+    }
+
+    /// Heals exactly the listed rows of the maintained base matrix
+    /// (fresh BFS per row, in-place overwrite, aggregate re-reduce —
+    /// [`DynamicApsp::rebuild_rows`]; no full-context rebuild). No-op
+    /// when no base matrix is cached.
+    pub fn heal_rows(&mut self, rows: &[V]) {
+        if let Some(dyn_apsp) = self.base.get_mut() {
+            dyn_apsp.rebuild_rows(&self.csr, rows);
+        }
+    }
+
+    /// Fault-injection hook: corrupts one entry of the maintained base
+    /// matrix ([`DynamicApsp::corrupt_entry`]) to exercise the audit
+    /// escalation. Forces the base build if it has not happened yet.
+    /// Compiled only into `testkit`-feature builds.
+    #[cfg(feature = "testkit")]
+    pub fn corrupt_base_entry(&mut self, u: V, v: V, d: bncg_graph::Dist) {
+        self.base();
+        self.base
+            .get_mut()
+            .expect("base just forced")
+            .corrupt_entry(u, v, d);
+    }
+
     /// Usage cost of agent `v` under `O` in the current snapshot.
     ///
     /// When a base matrix is cached this is an **`O(1)` lookup** into the

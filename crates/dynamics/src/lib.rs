@@ -54,17 +54,37 @@ pub mod cache;
 pub mod census;
 pub mod convergence;
 pub mod engine;
+pub mod recovery;
 pub mod rounds;
 pub mod service;
 pub mod sink;
 pub mod trajectory;
 
+/// Fault-injection seam: with the `testkit` feature this resolves to the
+/// deterministic fault registry's `fire` (see `bncg_testkit::faults`);
+/// without it, to a constant `false` the optimizer deletes — release
+/// builds carry no trace of the harness, mirroring how telemetry
+/// compiles out.
+#[cfg(feature = "testkit")]
+pub(crate) use bncg_testkit::faults::fire as fault_point;
+
+/// Inert stand-in for the fault seam when the `testkit` feature is off.
+#[cfg(not(feature = "testkit"))]
+#[inline(always)]
+pub(crate) fn fault_point(_point: &'static str) -> bool {
+    false
+}
+
 pub use cache::EquilibriumCache;
 pub use census::{tree_census, tree_census_with_cache, TreeCensus};
 pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Response, Schedule, SwapDynamics};
+pub use recovery::{read_journal, Journal, JournalRecord, JournalScan, RecoveryError};
 pub use rounds::{RoundConfig, RoundDynamics, RoundResult};
-pub use service::{PipelinedRoundDynamics, RoundService, ServiceConfig, SessionReport};
-pub use sink::{JsonlSink, MemorySink, MetricsSink, NullSink, RoundRecord};
+pub use service::{
+    AuditPolicy, AuditStats, JournalOptions, PipelinedRoundDynamics, ResumeReport, RoundService,
+    ServiceConfig, SessionReport,
+};
+pub use sink::{JsonlSink, MemorySink, MetricsSink, NullSink, RetryPolicy, RetrySink, RoundRecord};
 pub use trajectory::{
     run_traced, run_traced_rounds, run_traced_rounds_with_sink, Trajectory, TrajectoryPoint,
 };

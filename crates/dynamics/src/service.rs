@@ -56,10 +56,32 @@
 //! engine time, the headline of `benches/service.rs` — is exposed as
 //! [`sustained_rounds_per_sec`](RoundService::sustained_rounds_per_sec).
 //!
+//! # Crash safety and self-healing
+//!
+//! Two opt-in robustness layers ride on the same determinism argument:
+//!
+//! * **Journal** ([`attach_journal`](RoundService::attach_journal) /
+//!   [`resume`](RoundService::resume)): every round barrier commits its
+//!   accepted batch to a write-ahead journal (one fsynced line) *before*
+//!   the matrix repair, so a crash at any point loses at most the round
+//!   in flight. Resume replays the journal — graph from the seed, matrix
+//!   rebuilt at the last checkpoint and batch-repaired forward — into a
+//!   context byte-identical to the one that was lost, then continues a
+//!   mid-session run where it stopped. See [`crate::recovery`].
+//! * **Audit** ([`set_audit_policy`](RoundService::set_audit_policy)):
+//!   every *k* rounds a rotating stripe of maintained matrix rows (and
+//!   their cost aggregates) is verified against fresh BFS. A divergence —
+//!   memory fault, codec bug, anything — is healed by rebuilding only the
+//!   divergent rows, and the pipelined path is quarantined (rounds run
+//!   serially off the healed live context, the snapshot marked stale)
+//!   until a clean audit passes and one pooled copy resynchronizes it.
+//!
 //! [`DynamicApsp::apply_batch`]: bncg_graph::dynamic::DynamicApsp::apply_batch
 //! [`EdgeSwapScan::best_improving`]: bncg_core::evaluator::EdgeSwapScan::best_improving
 //! [`RoundDynamics`]: crate::rounds::RoundDynamics
 
+use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use bncg_core::context::EvalContext;
@@ -67,11 +89,12 @@ use bncg_core::objective::Objective;
 use bncg_core::swap::{ScoredSwap, SwapMove};
 use bncg_graph::adjacency::SwapApplied;
 use bncg_graph::dynamic::{repair_phase_totals, RepairPhases, RepairStats};
-use bncg_graph::{Graph, RepairStrategy};
+use bncg_graph::{graph6, Graph, RepairStrategy, V};
 
 use crate::convergence::StateLog;
 use crate::engine::{Outcome, Response};
-use crate::rounds::{resolve_round, step_round, RoundConfig, RoundResult};
+use crate::recovery::{self, Journal, JournalRecord, RecoveryError};
+use crate::rounds::{resolve_round, RoundConfig, RoundResult};
 use crate::sink::{MetricsSink, NullSink, RoundRecord};
 
 /// Configuration of a [`RoundService`].
@@ -83,7 +106,8 @@ pub struct ServiceConfig {
     /// Whether round barriers overlap the live repair with the next
     /// round's proposal sweep on the snapshot context. Results are
     /// byte-identical either way; `false` runs the plain serial
-    /// [`step_round`] loop on the one live context.
+    /// [`step_round`](crate::rounds::step_round) loop on the one live
+    /// context.
     pub pipelined: bool,
 }
 
@@ -148,6 +172,74 @@ pub struct SessionReport {
     pub wall: Duration,
 }
 
+/// Configuration of [`RoundService::attach_journal`].
+#[derive(Debug, Clone, Copy)]
+pub struct JournalOptions {
+    /// Full checkpoints (graph6 + matrix CRC) every this many journaled
+    /// rounds; `0` disables checkpoints (resume then batch-repairs all
+    /// the way from the seed).
+    pub checkpoint_every: usize,
+}
+
+impl Default for JournalOptions {
+    fn default() -> Self {
+        JournalOptions {
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// Configuration of the divergence audit
+/// ([`RoundService::set_audit_policy`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AuditPolicy {
+    /// Audit every this many executed rounds; `0` disables auditing.
+    pub every_rounds: usize,
+    /// Rows verified per audit (a rotating stripe, so successive audits
+    /// sweep the whole matrix).
+    pub stripe_rows: usize,
+}
+
+impl Default for AuditPolicy {
+    fn default() -> Self {
+        AuditPolicy {
+            every_rounds: 0,
+            stripe_rows: 16,
+        }
+    }
+}
+
+/// Lifetime audit counters of one service
+/// ([`RoundService::audit_stats`]); mirrored into the `audit.*`
+/// telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Audits run.
+    pub checks: u64,
+    /// Divergent rows found across all audits.
+    pub row_mismatches: u64,
+    /// Audits that found (and healed) at least one divergent row.
+    pub heals: u64,
+}
+
+/// What [`RoundService::resume`] reconstructed from a journal.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeReport {
+    /// Intact journal records scanned.
+    pub records: usize,
+    /// `Round` records replayed into the rebuilt state.
+    pub rounds_replayed: usize,
+    /// Whether a torn final line was truncated away.
+    pub truncated_tail: bool,
+    /// `Some(rounds already run)` when the journal ended inside a live
+    /// session — the next [`run_session`](RoundService::run_session)
+    /// continues that session instead of starting a new one.
+    pub midsession: Option<usize>,
+    /// Whether the matrix was rebuilt at a checkpoint rather than
+    /// batch-repaired from the seed.
+    pub used_checkpoint: bool,
+}
+
 /// A long-running, restartless round-dynamics driver: one frozen-snapshot
 /// engine kept warm across sessions. See the [module docs](self) for the
 /// pipelining scheme and its legality argument.
@@ -180,6 +272,30 @@ pub struct RoundService<O: Objective> {
     busy: Duration,
     paused: bool,
     stopped: bool,
+    /// Write-ahead journal, when attached. Errors are sticky inside the
+    /// journal: a failing disk degrades journaling (see
+    /// [`journal_error`](Self::journal_error)), never the dynamics.
+    journal: Option<Journal>,
+    /// Checkpoint cadence in journaled rounds (`0` = never).
+    checkpoint_every: usize,
+    rounds_journaled: u64,
+    rounds_since_ckpt: usize,
+    /// Set by [`resume`](Self::resume) when the journal ended inside a
+    /// live session: the next `run_session` continues that session
+    /// (skipping the session-start reset) from this round count.
+    resume_midsession: Option<usize>,
+    /// A simulated crash (testkit kill point) landed between the journal
+    /// commit and the matrix apply: the service is dead — resume from
+    /// the journal file.
+    killed: bool,
+    audit: AuditPolicy,
+    audit_stats: AuditStats,
+    audit_tick: u64,
+    audit_cursor: V,
+    /// A divergence was healed and no clean audit has passed since:
+    /// rounds run serially off the healed live context and the snapshot
+    /// is quarantined.
+    audit_degraded: bool,
     _marker: std::marker::PhantomData<O>,
 }
 
@@ -221,8 +337,137 @@ impl<O: Objective> RoundService<O> {
             busy: Duration::ZERO,
             paused: false,
             stopped: false,
+            journal: None,
+            checkpoint_every: 0,
+            rounds_journaled: 0,
+            rounds_since_ckpt: 0,
+            resume_midsession: None,
+            killed: false,
+            audit: AuditPolicy::default(),
+            audit_stats: AuditStats::default(),
+            audit_tick: 0,
+            audit_cursor: 0,
+            audit_degraded: false,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// [`new`](Self::new) with a typed error instead of a panic when the
+    /// start graph's finite distances overflow the compact `u16` domain —
+    /// the fallible seam long-running drivers should construct through.
+    pub fn try_new(start: &Graph, config: ServiceConfig) -> Result<Self, bncg_graph::DistOverflow> {
+        Self::try_with_repair_strategy(start, config, RepairStrategy::default())
+    }
+
+    /// [`with_repair_strategy`](Self::with_repair_strategy) with a typed
+    /// [`DistOverflow`](bncg_graph::DistOverflow) error instead of the
+    /// panic.
+    pub fn try_with_repair_strategy(
+        start: &Graph,
+        config: ServiceConfig,
+        strategy: RepairStrategy,
+    ) -> Result<Self, bncg_graph::DistOverflow> {
+        let g = start.clone();
+        let mut live = EvalContext::new(&g);
+        live.set_repair_strategy(strategy);
+        live.try_base()?;
+        let snap = config.pipelined.then(|| live.clone_pooled());
+        let stats_origin = live.dynamic_stats_snapshot();
+        Ok(RoundService {
+            config,
+            g,
+            live,
+            snap,
+            pending: None,
+            snap_stale: false,
+            log: StateLog::new(),
+            stats_origin,
+            rounds_total: 0,
+            proposed_total: 0,
+            applied_total: 0,
+            sessions_run: 0,
+            busy: Duration::ZERO,
+            paused: false,
+            stopped: false,
+            journal: None,
+            checkpoint_every: 0,
+            rounds_journaled: 0,
+            rounds_since_ckpt: 0,
+            resume_midsession: None,
+            killed: false,
+            audit: AuditPolicy::default(),
+            audit_stats: AuditStats::default(),
+            audit_tick: 0,
+            audit_cursor: 0,
+            audit_degraded: false,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Rebuilds a service from a crash-safe journal written by
+    /// [`attach_journal`](Self::attach_journal): the network is replayed
+    /// from the journaled seed, the maintained matrix is rebuilt at the
+    /// last checkpoint (verified against its recorded CRC) and
+    /// batch-repaired through every later round — **byte-identical** to
+    /// the matrix the crashed process held — and the journal is reopened
+    /// for appending. A torn final line (crash mid-write) is truncated
+    /// away; interior corruption is refused. When the journal ends
+    /// inside a live session, the next
+    /// [`run_session`](Self::run_session) continues that session from
+    /// the round it stopped at.
+    pub fn resume(path: &Path) -> Result<(Self, ResumeReport), RecoveryError> {
+        Self::resume_with_strategy(path, RepairStrategy::default())
+    }
+
+    /// [`resume`](Self::resume) with an explicit deletion-repair
+    /// strategy for the rebuilt contexts.
+    pub fn resume_with_strategy(
+        path: &Path,
+        strategy: RepairStrategy,
+    ) -> Result<(Self, ResumeReport), RecoveryError> {
+        let scan = recovery::read_journal(path)?;
+        let truncated = recovery::truncate_torn_tail(path, &scan)?;
+        let st = recovery::replay::<O>(&scan, strategy)?;
+        let journal = Journal::open_append(path)?;
+        let snap = st.config.pipelined.then(|| st.live.clone_pooled());
+        let stats_origin = st.live.dynamic_stats_snapshot();
+        let report = ResumeReport {
+            records: scan.records.len(),
+            rounds_replayed: st.rounds_replayed,
+            truncated_tail: truncated,
+            midsession: st.midsession,
+            used_checkpoint: st.used_checkpoint,
+        };
+        let service = RoundService {
+            config: st.config,
+            g: st.g,
+            live: st.live,
+            snap,
+            pending: None,
+            snap_stale: false,
+            log: st.log,
+            stats_origin,
+            rounds_total: st.rounds_replayed,
+            proposed_total: st.moves_replayed,
+            applied_total: st.moves_replayed,
+            sessions_run: st.sessions_closed,
+            busy: Duration::ZERO,
+            paused: false,
+            stopped: false,
+            journal: Some(journal),
+            checkpoint_every: st.checkpoint_every,
+            rounds_journaled: st.rounds_replayed as u64,
+            rounds_since_ckpt: 0,
+            resume_midsession: st.midsession,
+            killed: false,
+            audit: AuditPolicy::default(),
+            audit_stats: AuditStats::default(),
+            audit_tick: 0,
+            audit_cursor: 0,
+            audit_degraded: false,
+            _marker: std::marker::PhantomData,
+        };
+        Ok((service, report))
     }
 
     /// Overrides the maintained matrices' fallback threshold (rows
@@ -233,6 +478,194 @@ impl<O: Objective> RoundService<O> {
         self.live.set_max_repair_rows(rows);
         if let Some(snap) = self.snap.as_mut() {
             snap.set_max_repair_rows(rows);
+        }
+    }
+
+    /// Attaches a crash-safe write-ahead journal at `path` (truncating
+    /// any existing file) and writes its seed record — the current
+    /// configuration and network state, which is what
+    /// [`resume`](Self::resume) replays from. Attach before running
+    /// sessions; rounds run before attachment are simply not part of the
+    /// journaled history (the seed is the state at attach time).
+    ///
+    /// Only the creation and the seed write report errors here; once
+    /// attached, journal I/O errors are sticky and degrade journaling
+    /// silently (see [`journal_error`](Self::journal_error)) so a
+    /// failing disk never takes the dynamics down.
+    pub fn attach_journal(&mut self, path: &Path, opts: JournalOptions) -> io::Result<()> {
+        let mut journal = Journal::create(path)?;
+        journal.append_synced(&JournalRecord::Seed {
+            objective: O::NAME.to_string(),
+            response: self.config.rounds.response,
+            max_rounds: self.config.rounds.max_rounds,
+            detect_cycles: self.config.rounds.detect_cycles,
+            pipelined: self.config.pipelined,
+            checkpoint_every: opts.checkpoint_every,
+            graph6: graph6::encode(&self.g),
+        });
+        if let Some(e) = journal.error() {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        self.checkpoint_every = opts.checkpoint_every;
+        self.rounds_journaled = 0;
+        self.rounds_since_ckpt = 0;
+        self.journal = Some(journal);
+        Ok(())
+    }
+
+    /// The attached journal's path, if any.
+    pub fn journal_path(&self) -> Option<&Path> {
+        self.journal.as_ref().map(Journal::path)
+    }
+
+    /// The sticky journal I/O error, if journaling has degraded.
+    pub fn journal_error(&self) -> Option<&io::Error> {
+        self.journal.as_ref().and_then(Journal::error)
+    }
+
+    /// Configures the periodic divergence audit (`every_rounds == 0`
+    /// disables it). Audits verify a rotating stripe of maintained
+    /// matrix rows against fresh BFS and heal what diverged; see the
+    /// [module docs](self).
+    pub fn set_audit_policy(&mut self, policy: AuditPolicy) {
+        self.audit = policy;
+    }
+
+    /// Lifetime audit counters.
+    pub fn audit_stats(&self) -> AuditStats {
+        self.audit_stats
+    }
+
+    /// Whether a healed divergence has quarantined the pipelined path
+    /// (cleared by the next clean audit).
+    pub fn audit_degraded(&self) -> bool {
+        self.audit_degraded
+    }
+
+    /// Whether a testkit kill point fired: the service simulated a crash
+    /// after a journal commit and is permanently stopped — recover with
+    /// [`resume`](Self::resume) on the journal file.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Runs one audit immediately (ignoring the cadence): verifies the
+    /// next stripe of rows, heals divergences, and updates the
+    /// degradation state. Returns the number of divergent rows found.
+    pub fn run_audit(&mut self) -> usize {
+        let n = self.g.n();
+        if n == 0 {
+            return 0;
+        }
+        let stripe = self.audit.stripe_rows.clamp(1, n);
+        let rows: Vec<V> = (0..stripe)
+            .map(|i| (self.audit_cursor as usize + i) as V % n as V)
+            .collect();
+        self.audit_cursor = (self.audit_cursor as usize + stripe) as V % n as V;
+        bncg_telemetry::counter!("audit.checks").incr();
+        self.audit_stats.checks += 1;
+        let divergent = self.live.audit_rows(&rows);
+        if divergent.is_empty() {
+            if self.audit_degraded {
+                // Clean audit: lift the quarantine and bring the
+                // snapshot back into lockstep with the healed matrix.
+                self.audit_degraded = false;
+                self.resync_snapshot();
+            }
+            return 0;
+        }
+        bncg_telemetry::counter!("audit.row_mismatches").add(divergent.len() as u64);
+        self.audit_stats.row_mismatches += divergent.len() as u64;
+        self.live.heal_rows(&divergent);
+        bncg_telemetry::counter!("audit.heals").incr();
+        self.audit_stats.heals += 1;
+        // Quarantine: proposals swept against the (possibly corrupt)
+        // snapshot are untrusted, and so is the snapshot itself. Rounds
+        // run serially off the healed live context until an audit passes
+        // clean.
+        self.audit_degraded = true;
+        self.pending = None;
+        if self.snap.is_some() {
+            self.snap_stale = true;
+        }
+        divergent.len()
+    }
+
+    /// Overwrites one entry of the live maintained matrix — the
+    /// fault-injection hook behind the audit tests. Testkit builds only
+    /// (the hook it forwards to on [`EvalContext`] is feature-gated the
+    /// same way, so a bare `cfg(test)` build of this crate could not
+    /// link it).
+    #[cfg(feature = "testkit")]
+    pub fn corrupt_live_entry(&mut self, u: V, v: V, d: bncg_graph::Dist) {
+        self.live.corrupt_base_entry(u, v, d);
+    }
+
+    fn run_audit_if_due(&mut self) {
+        if self.audit.every_rounds == 0 {
+            return;
+        }
+        self.audit_tick += 1;
+        if self
+            .audit_tick
+            .is_multiple_of(self.audit.every_rounds as u64)
+        {
+            self.run_audit();
+        }
+    }
+
+    /// Commits one round's accepted batch to the journal (append + fsync
+    /// — the write-ahead barrier), then services the testkit kill point
+    /// that simulates a crash *between* the journal commit and the
+    /// matrix apply. `moves` is `Some` exactly when a journal is
+    /// attached (the caller skips building the vector otherwise).
+    fn journal_round_barrier(&mut self, round: usize, moves: Option<Vec<SwapMove>>) {
+        if let (Some(journal), Some(moves)) = (self.journal.as_mut(), moves) {
+            self.rounds_journaled += 1;
+            journal.append_synced(&JournalRecord::Round {
+                round,
+                moves,
+                graph_crc: recovery::graph_crc(&self.g),
+            });
+        }
+        if crate::fault_point("service.kill.after_journal") {
+            self.killed = true;
+            self.stopped = true;
+        }
+    }
+
+    fn journal_session_start(&mut self, replay: bool) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_synced(&JournalRecord::SessionStart { replay });
+        }
+    }
+
+    fn journal_session_end(&mut self, outcome: Outcome) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_synced(&JournalRecord::SessionEnd { outcome });
+        }
+    }
+
+    /// Writes a full checkpoint (graph6 + matrix CRC) every
+    /// `checkpoint_every` journaled rounds. Called after the live repair
+    /// at a round barrier, so the matrix CRC describes the post-round
+    /// matrix a resume must reproduce.
+    fn maybe_checkpoint(&mut self) {
+        if self.checkpoint_every == 0 || self.journal.is_none() {
+            return;
+        }
+        self.rounds_since_ckpt += 1;
+        if self.rounds_since_ckpt < self.checkpoint_every {
+            return;
+        }
+        self.rounds_since_ckpt = 0;
+        let rec = JournalRecord::Checkpoint {
+            rounds_logged: self.rounds_journaled,
+            graph6: graph6::encode(&self.g),
+            matrix_crc: recovery::matrix_crc(self.live.base()),
+        };
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_synced(&rec);
         }
     }
 
@@ -290,7 +723,9 @@ impl<O: Objective> RoundService<O> {
     }
 
     /// Lifts a [`pause`](Self::pause). No-op on a stopped service.
-    pub fn resume(&mut self) {
+    /// (Renamed from `resume` when [`resume`](Self::resume) became the
+    /// journal-recovery constructor.)
+    pub fn unpause(&mut self) {
         self.paused = false;
     }
 
@@ -313,7 +748,7 @@ impl<O: Objective> RoundService<O> {
         if self.stopped {
             return 0;
         }
-        let mut applied = 0usize;
+        let mut applied_moves: Vec<SwapMove> = Vec::new();
         for mv in swaps {
             let rec = mv.apply(&mut self.g);
             if matches!(rec, SwapApplied::Noop) {
@@ -327,11 +762,18 @@ impl<O: Objective> RoundService<O> {
                     snap.refresh_after(&self.g, &rec);
                 }
             }
-            applied += 1;
+            applied_moves.push(*mv);
         }
+        let applied = applied_moves.len();
         if applied > 0 {
             self.pending = None;
             self.log.clear();
+            if let Some(journal) = self.journal.as_mut() {
+                journal.append_synced(&JournalRecord::Perturb {
+                    moves: applied_moves,
+                    graph_crc: recovery::graph_crc(&self.g),
+                });
+            }
         }
         applied
     }
@@ -367,11 +809,23 @@ impl<O: Objective> RoundService<O> {
                 t0.elapsed(),
             );
         }
-        self.resync_snapshot();
-        self.log.clear();
-        if self.config.rounds.detect_cycles {
-            self.log.record_period(&self.g);
+        if !self.audit_degraded {
+            self.resync_snapshot();
         }
+        // A resumed mid-session run continues where the journal stopped:
+        // the cycle log was reconstructed by replay, the session-start
+        // record is already on disk, and round numbering picks up.
+        let start_round = match self.resume_midsession.take() {
+            Some(done) => done,
+            None => {
+                self.log.clear();
+                if self.config.rounds.detect_cycles {
+                    self.log.record_period(&self.g);
+                }
+                self.journal_session_start(false);
+                0
+            }
+        };
         let mut book = SessionBook {
             prev_cost: if sink.active() {
                 self.live.social_cost()
@@ -383,32 +837,46 @@ impl<O: Objective> RoundService<O> {
         };
         let mut moves_proposed = 0usize;
         let mut moves_applied = 0usize;
-        let mut rounds = 0usize;
+        let mut rounds = start_round;
         let mut session_end: Option<(Outcome, Option<usize>)> = None;
         let mut interrupted = false;
-        for round in 0..self.config.rounds.max_rounds {
+        for round in start_round..self.config.rounds.max_rounds {
             if self.paused || self.stopped {
                 interrupted = true;
                 break;
             }
             rounds = round + 1;
-            let (proposed, applied, ended) = if self.config.pipelined {
+            let use_pipeline = self.config.pipelined && !self.audit_degraded;
+            let (proposed, applied, ended) = if use_pipeline {
                 self.pipelined_round(sink, &mut book, rounds)
             } else {
                 self.serial_round(sink, &mut book, rounds)
             };
+            if !use_pipeline && self.snap.is_some() {
+                // Serial rounds on a pipelined service (the audit's
+                // degraded mode) leave the snapshot behind.
+                self.snap_stale = true;
+            }
             moves_proposed += proposed;
             moves_applied += applied;
+            if self.killed {
+                interrupted = true;
+                break;
+            }
             if let Some(end) = ended {
                 session_end = Some(end);
                 break;
             }
+            self.run_audit_if_due();
         }
         sink.finish();
         let (outcome, cycle_period) = session_end.unwrap_or((Outcome::Capped, None));
+        if !self.killed {
+            self.journal_session_end(outcome);
+        }
         self.report(
             outcome,
-            rounds,
+            rounds - start_round,
             moves_proposed,
             moves_applied,
             cycle_period,
@@ -419,16 +887,34 @@ impl<O: Objective> RoundService<O> {
     }
 
     /// One round through the plain serial path: the exact
-    /// [`step_round`] + bookkeeping sequence of the serial engine, on the
-    /// live context only.
+    /// [`step_round`](crate::rounds::step_round) + bookkeeping sequence
+    /// of the serial engine, on the live context only — inlined here so
+    /// the journal commit lands *between* the graph mutation and the
+    /// matrix repair (the write-ahead barrier).
     fn serial_round(
         &mut self,
         sink: &mut dyn MetricsSink,
         book: &mut SessionBook,
         round: usize,
     ) -> (usize, usize, Option<(Outcome, Option<usize>)>) {
-        let step = step_round::<O>(&mut self.live, &mut self.g, self.config.rounds.response);
-        let ended: Option<(Outcome, Option<usize>)> = if step.proposed == 0 {
+        let proposals = Self::propose(&self.live, self.config.rounds.response);
+        let proposed = proposals.iter().flatten().count();
+        let accepted = resolve_round(&proposals);
+        let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(&mut self.g)).collect();
+        let applied = batch.len();
+        if !batch.is_empty() {
+            let moves = self
+                .journal
+                .is_some()
+                .then(|| accepted.iter().map(|s| s.mv).collect());
+            self.journal_round_barrier(round, moves);
+            if self.killed {
+                return (proposed, applied, None);
+            }
+            self.live.refresh_after_batch(&self.g, &batch);
+            self.maybe_checkpoint();
+        }
+        let ended: Option<(Outcome, Option<usize>)> = if proposed == 0 {
             Some((Outcome::Converged, None))
         } else if self.config.rounds.detect_cycles {
             self.log
@@ -437,16 +923,8 @@ impl<O: Objective> RoundService<O> {
         } else {
             None
         };
-        emit_record(
-            sink,
-            &self.live,
-            book,
-            round,
-            step.proposed,
-            step.applied,
-            ended,
-        );
-        (step.proposed, step.applied, ended)
+        emit_record(sink, &self.live, book, round, proposed, applied, ended);
+        (proposed, applied, ended)
     }
 
     /// One round through the pipelined barrier: consume the proposals the
@@ -476,6 +954,16 @@ impl<O: Objective> RoundService<O> {
         let accepted = resolve_round(&proposals);
         let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(&mut self.g)).collect();
         let applied = batch.len();
+        // Write-ahead commit before either context repairs; the kill
+        // point inside simulates a crash landing exactly here.
+        let moves = self
+            .journal
+            .is_some()
+            .then(|| accepted.iter().map(|s| s.mv).collect());
+        self.journal_round_barrier(round, moves);
+        if self.killed {
+            return (proposed, applied, None);
+        }
         let detect = self.config.rounds.detect_cycles;
         let batch = &batch[..];
         let g = &self.g;
@@ -502,6 +990,9 @@ impl<O: Objective> RoundService<O> {
                 (ended, t.elapsed().as_nanos() as u64)
             },
             move || {
+                if crate::fault_point("service.pool.panic") {
+                    panic!("injected pool-job panic");
+                }
                 let t = Instant::now();
                 snap.refresh_after_batch(g, batch);
                 let next = Self::propose(snap, response);
@@ -514,6 +1005,7 @@ impl<O: Objective> RoundService<O> {
         // current graph state, so a later session (or a converged check)
         // consumes them for free. `perturb` is what invalidates them.
         self.pending = Some(next);
+        self.maybe_checkpoint();
         (proposed, applied, ended)
     }
 
@@ -563,6 +1055,7 @@ impl<O: Objective> RoundService<O> {
         }
         self.pending = None;
         self.log.clear();
+        self.journal_session_start(true);
         let mut book = SessionBook {
             prev_cost: if sink.active() {
                 self.live.social_cost()
@@ -590,13 +1083,23 @@ impl<O: Objective> RoundService<O> {
                 continue;
             }
             let applied = batch.len();
+            let moves = self.journal.is_some().then(|| round.clone());
+            self.journal_round_barrier(rounds, moves);
+            if self.killed {
+                interrupted = true;
+                break;
+            }
             self.live.refresh_after_batch(&self.g, &batch);
             if self.snap.is_some() {
                 self.snap_stale = true;
             }
+            self.maybe_checkpoint();
             emit_record(sink, &self.live, &mut book, rounds, applied, applied, None);
         }
         sink.finish();
+        if !self.killed {
+            self.journal_session_end(Outcome::Capped);
+        }
         self.report(
             Outcome::Capped,
             rounds,
@@ -847,7 +1350,7 @@ mod tests {
         let paused = service.run_session_plain();
         assert!(paused.interrupted);
         assert_eq!(paused.result.rounds, 0);
-        service.resume();
+        service.unpause();
         let ran = service.run_session_plain();
         assert!(!ran.interrupted);
         assert!(ran.result.rounds > 0);

@@ -176,6 +176,19 @@ impl BfsScratch {
         crate::kernels::narrow_checked(&self.dist, out);
     }
 
+    /// [`write_narrowed`](Self::write_narrowed) with a typed
+    /// [`DistOverflow`](crate::kernels::DistOverflow) error instead of the
+    /// panic — the fallible seam the round service's build path routes
+    /// through so an oversized graph degrades a session instead of
+    /// aborting the process.
+    #[inline]
+    pub fn try_write_narrowed(
+        &self,
+        out: &mut [crate::kernels::Dist],
+    ) -> Result<(), crate::kernels::DistOverflow> {
+        crate::kernels::try_narrow(&self.dist, out)
+    }
+
     /// Sum of all finite distances from the most recent run, or `None` if
     /// some vertex was unreached (the game treats disconnection as infinite
     /// cost).

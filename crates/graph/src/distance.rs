@@ -150,6 +150,35 @@ impl DistanceMatrix {
         DistanceMatrix { n, d }
     }
 
+    /// [`build`](Self::build) with a typed error on finite-distance
+    /// overflow instead of the panic — the service construction path.
+    /// Oversized *vertex counts* still panic up front like every builder
+    /// ([`MAX_MATRIX_N`] is a capacity contract, not a data condition);
+    /// the `Err` arm covers a finite distance beyond
+    /// [`MAX_FINITE_DIST`] discovered
+    /// while narrowing rows.
+    pub fn try_build(csr: &Csr) -> Result<Self, crate::kernels::DistOverflow> {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let n = csr.n();
+        assert_matrix_n(n);
+        let mut d = take_matrix_buf(n * n);
+        // Rows narrow in parallel, so a poison cell carries the first
+        // overflow out of the fill instead of unwinding across the pool.
+        let poison = AtomicU32::new(0);
+        fill_rows(&mut d, n, |scratch, src, row| {
+            scratch.run(csr, src);
+            if let Err(e) = scratch.try_write_narrowed(row) {
+                poison.store(e.value.max(1), Ordering::Relaxed);
+            }
+        });
+        let bad = poison.load(Ordering::Relaxed);
+        if bad != 0 {
+            give_matrix_buf(d);
+            return Err(crate::kernels::DistOverflow { value: bad });
+        }
+        Ok(DistanceMatrix { n, d })
+    }
+
     /// Computes all-pairs shortest paths of `G − xy` (one edge masked)
     /// without materializing the modified graph. This is the per-deleted-edge
     /// step of the swap evaluator.
@@ -196,6 +225,12 @@ impl DistanceMatrix {
     /// in-place row repairs of [`crate::dynamic::DynamicApsp`].
     pub(crate) fn data_mut(&mut self) -> &mut [Dist] {
         &mut self.d
+    }
+
+    /// The row-major backing storage (`n × n` compact entries). Read-only
+    /// — checkpoint CRCs and byte-identity audits hash this directly.
+    pub fn data(&self) -> &[Dist] {
+        &self.d
     }
 
     /// Copy of this matrix backed by a pooled buffer (parallel row copy

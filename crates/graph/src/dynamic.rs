@@ -344,6 +344,13 @@ impl DynamicApsp {
         Self::from_matrix(DistanceMatrix::build(csr))
     }
 
+    /// [`build`](Self::build) with a typed error on finite-distance
+    /// overflow ([`DistanceMatrix::try_build`]) — the service path's
+    /// degradable construction.
+    pub fn try_build(csr: &Csr) -> Result<Self, kernels::DistOverflow> {
+        Ok(Self::from_matrix(DistanceMatrix::try_build(csr)?))
+    }
+
     /// Wraps an existing matrix (which must be the exact APSP of the graph
     /// the subsequent updates start from). Computes the initial per-vertex
     /// aggregates in one parallel pass over the rows.
@@ -432,6 +439,61 @@ impl DynamicApsp {
     #[inline]
     pub fn row_costs(&self) -> &[RowCost] {
         &self.costs
+    }
+
+    /// Divergence audit over a row stripe: recomputes each listed row by
+    /// a fresh BFS on `csr` and returns the rows whose maintained matrix
+    /// entries *or* maintained [`RowCost`] aggregate disagree. The
+    /// maintained state is untouched — this is the read half of the
+    /// service's audit escalation ([`rebuild_rows`](Self::rebuild_rows)
+    /// is the heal half). Cost: one BFS + one row compare per listed row,
+    /// independent of `n²`.
+    ///
+    /// `csr` must snapshot the exact graph the maintained matrix tracks.
+    pub fn verify_rows(&self, csr: &Csr, rows: &[V]) -> Vec<V> {
+        debug_assert_eq!(csr.n(), self.n);
+        let mut divergent = Vec::new();
+        crate::bfs::with_scratch(self.n, |scratch| {
+            let mut fresh = vec![UNREACHABLE_D; self.n];
+            for &s in rows {
+                scratch.run(csr, s);
+                scratch.write_narrowed(&mut fresh);
+                if fresh[..] != *self.dm.row(s)
+                    || kernels::row_cost(&fresh) != self.costs[s as usize]
+                {
+                    divergent.push(s);
+                }
+            }
+        });
+        divergent
+    }
+
+    /// Heals exactly the listed rows: recomputes each by a fresh BFS on
+    /// `csr`, overwrites the maintained row in place, and re-reduces its
+    /// [`RowCost`] aggregate. `O(rows · (m + n))` — no full-context
+    /// rebuild, no effect on any other row, and no change to the update
+    /// counters (healing is an audit action, not a repair).
+    pub fn rebuild_rows(&mut self, csr: &Csr, rows: &[V]) {
+        debug_assert_eq!(csr.n(), self.n);
+        let n = self.n;
+        crate::bfs::with_scratch(n, |scratch| {
+            for &s in rows {
+                scratch.run(csr, s);
+                let row = &mut self.dm.data_mut()[s as usize * n..(s as usize + 1) * n];
+                scratch.write_narrowed(row);
+                self.costs[s as usize] = kernels::row_cost(self.dm.row(s));
+            }
+        });
+    }
+
+    /// Fault-injection hook: overwrites one maintained matrix entry (and
+    /// nothing else — the aggregates intentionally go stale with it),
+    /// simulating the silent row corruption the divergence audit exists
+    /// to catch. Compiled only into `testkit`-feature builds.
+    #[cfg(feature = "testkit")]
+    pub fn corrupt_entry(&mut self, u: V, v: V, d: Dist) {
+        let n = self.n;
+        self.dm.data_mut()[u as usize * n + v as usize] = d;
     }
 
     /// Recomputes every row aggregate from the matrix (build, rebuild

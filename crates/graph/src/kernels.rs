@@ -130,22 +130,61 @@ pub fn widen(d: Dist) -> u32 {
     }
 }
 
+/// A finite distance that does not fit the compact `u16` domain — the
+/// typed form of the overflow the narrowing seam guards against. The
+/// service path surfaces this as an error so a pathological graph
+/// degrades a session instead of aborting the process; every other
+/// caller keeps the panic ([`narrow_checked`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistOverflow {
+    /// The offending finite wide distance.
+    pub value: u32,
+}
+
+impl std::fmt::Display for DistOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "finite distance {} overflows the u16 distance domain \
+             (max {MAX_FINITE_DIST}); graphs this large are unsupported",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for DistOverflow {}
+
 /// Checked narrowing from a `u32` BFS row into a compact row:
 /// `u32::MAX` (the wide unreachable sentinel) maps to [`UNREACHABLE_D`];
 /// any other value above [`MAX_FINITE_DIST`] is a real distance that does
 /// not fit and **panics** — wrapping silently would corrupt every
-/// downstream blend.
+/// downstream blend. Fallible callers (the round service's build path)
+/// use [`try_narrow`] instead.
 ///
 /// # Panics
 /// Panics when a finite entry exceeds [`MAX_FINITE_DIST`], or when the
 /// slice lengths differ.
 pub fn narrow_checked(src: &[u32], dst: &mut [Dist]) {
+    if let Err(e) = try_narrow(src, dst) {
+        panic!("{e}");
+    }
+}
+
+/// [`narrow_checked`] with a typed error instead of the panic: a finite
+/// entry beyond [`MAX_FINITE_DIST`] returns [`DistOverflow`] (with `dst`
+/// clamped to the unreachable sentinel at the overflowing positions — the
+/// row is not usable, only inspectable).
+///
+/// # Panics
+/// Panics when the slice lengths differ (a caller bug, never a data
+/// condition).
+pub fn try_narrow(src: &[u32], dst: &mut [Dist]) -> Result<(), DistOverflow> {
     assert_eq!(src.len(), dst.len(), "row length mismatch");
     // Branchless main pass (autovectorizes: select + accumulate, no early
     // exit): oversized entries clamp to the sentinel while a flag records
     // whether any of them was a *finite* overflow rather than the wide
     // sentinel. The cold rescan below recovers the offending value only
-    // when the pass is about to panic anyway.
+    // when the pass is about to fail anyway.
     let mut bad = false;
     for (&s, d) in src.iter().zip(dst.iter_mut()) {
         let over = s > u32::from(MAX_FINITE_DIST);
@@ -153,15 +192,13 @@ pub fn narrow_checked(src: &[u32], dst: &mut [Dist]) {
         *d = if over { UNREACHABLE_D } else { s as Dist };
     }
     if bad {
-        let s = src
+        let value = *src
             .iter()
             .find(|&&s| s > u32::from(MAX_FINITE_DIST) && s != u32::MAX)
             .expect("flag only set by such an entry");
-        panic!(
-            "finite distance {s} overflows the u16 distance domain \
-             (max {MAX_FINITE_DIST}); graphs this large are unsupported"
-        );
+        return Err(DistOverflow { value });
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

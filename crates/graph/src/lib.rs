@@ -99,7 +99,7 @@ pub use bfs::{bfs_distances, with_scratch, BfsScratch};
 pub use csr::Csr;
 pub use distance::{DistanceMatrix, UNREACHABLE};
 pub use dynamic::{DynamicApsp, RepairStats, RepairStrategy};
-pub use kernels::{Dist, MAX_FINITE_DIST, UNREACHABLE_D};
+pub use kernels::{Dist, DistOverflow, MAX_FINITE_DIST, UNREACHABLE_D};
 
 /// Vertex identifier. Graphs in this workspace are small enough (≤ ~10⁵
 /// vertices) that `u32` indices keep every structure compact and cache

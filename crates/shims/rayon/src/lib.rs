@@ -664,6 +664,41 @@ mod tests {
     }
 
     #[test]
+    fn nested_join_inside_a_mirrored_body_completes() {
+        // A mirror body that itself calls `join` exercises the cooperative
+        // drain from inside a pool job: the inner pool-side closure lands
+        // back on the same queue the mirrors occupy, so any hold-and-wait
+        // in the latch discipline would deadlock right here.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let body = || {
+            let (a, b) = crate::join(|| 17u64, || (0..100u64).sum::<u64>());
+            total.fetch_add(a + b, Ordering::SeqCst);
+        };
+        assert!(!crate::pool::run_mirrored(2, &body));
+        assert_eq!(total.load(Ordering::SeqCst), 3 * (17 + 4950));
+    }
+
+    #[test]
+    fn join_survives_both_sides_panicking() {
+        // Both closures blow up: exactly one panic resumes on the caller
+        // (the pool side's payload is dropped once the caller is already
+        // unwinding) and the pool must come back healthy — no poisoned
+        // latch, no orphaned job wedging later sweeps.
+        let attempt = std::panic::catch_unwind(|| {
+            crate::join(
+                || -> usize { panic!("caller-side boom") },
+                || -> usize { panic!("pool-side boom") },
+            );
+        });
+        assert!(attempt.is_err(), "one of the two panics must surface");
+        let (a, b) = crate::join(|| 5, || (0..8u64).product::<u64>());
+        assert_eq!((a, b), (5, 0));
+        let squares: Vec<u64> = (0..32u64).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[31], 961);
+    }
+
+    #[test]
     fn pool_threads_persist_across_sweeps() {
         use std::collections::HashSet;
         if crate::pool::hardware_workers() < 2 {

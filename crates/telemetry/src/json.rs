@@ -130,6 +130,63 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Serializes a value as compact JSON (no whitespace), object members in
+/// stored order. Integral numbers representable in 64 bits are written
+/// without a fractional part, so `u64`/`i64` fields survive a
+/// parse-then-write round trip byte-for-byte — the property the crash
+/// journal's CRC tagging relies on (`bncg_dynamics::recovery`).
+pub fn write(v: &Json) -> String {
+    let mut out = String::new();
+    write_into(v, &mut out);
+    out
+}
+
+fn write_into(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(x) => {
+            if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= u64::MAX as f64 {
+                if *x < 0.0 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{}", *x as u64);
+                }
+            } else {
+                let _ = write!(out, "{x}");
+            }
+        }
+        Json::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape(k));
+                out.push_str("\":");
+                write_into(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// Parse error: a message plus the byte offset it was raised at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -385,6 +442,23 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{\"a\":1} x").is_err());
         assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn write_is_a_fixed_point_of_parse_for_integer_records() {
+        // The crash journal's CRC covers the written body, so the written
+        // form must be a fixed point: parse(write(v)) == v and
+        // write(parse(s)) == s for compact integer-valued documents.
+        let line = r#"{"t":"round","round":12,"moves":[[0,1,5],[8,9,2]],"g":4022250974,"neg":-3,"ok":true,"none":null,"tag":"a\"b"}"#;
+        let v = parse(line).unwrap();
+        assert_eq!(write(&v), line);
+        assert_eq!(parse(&write(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn write_handles_non_integer_numbers() {
+        let v = Json::Arr(vec![Json::Num(1.5), Json::Num(-0.25)]);
+        assert_eq!(parse(&write(&v)).unwrap(), v);
     }
 
     #[test]

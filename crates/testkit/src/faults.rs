@@ -1,0 +1,229 @@
+//! Named fault points with deterministic, counted fault plans.
+//!
+//! # Model
+//!
+//! A [`FaultPlan`] maps fault-point names to *hit rules*: fail the `k`-th
+//! time the point is reached ([`FaultPlan::fail_nth`]), fail every time
+//! from the `k`-th hit on ([`FaultPlan::fail_from`]), or fail every hit
+//! ([`FaultPlan::fail_always`]). Hits are counted per point from the
+//! moment the plan is installed, so a plan is a pure function of the
+//! execution it observes — rerunning the same deterministic code under
+//! the same plan injects the same faults.
+//!
+//! # Scope and concurrency
+//!
+//! The active plan is **process-global** (worker-pool threads must see
+//! it), installed for the duration of a closure by [`with_plan`]. A
+//! process-wide mutex serializes `with_plan` sections, so concurrent
+//! *fault* tests queue up rather than interleave; tests that do not
+//! install a plan see every fault point answer `false`. Keep fault tests
+//! in dedicated integration-test binaries when their fault points could
+//! be reached by unrelated concurrently-running tests of the same binary.
+
+#[cfg(feature = "faults")]
+use std::collections::HashMap;
+#[cfg(feature = "faults")]
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// When a fault point should inject a failure, in hits since plan
+/// installation (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Fail exactly the `n`-th hit.
+    Nth(u64),
+    /// Fail every hit from the `n`-th on.
+    From(u64),
+    /// Fail every hit.
+    Always,
+}
+
+impl Rule {
+    /// Whether a hit with this 0-based index should fail.
+    pub fn fires(self, hit: u64) -> bool {
+        match self {
+            Rule::Nth(n) => hit == n,
+            Rule::From(n) => hit >= n,
+            Rule::Always => true,
+        }
+    }
+}
+
+/// A deterministic fault plan: per-point hit rules.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<(&'static str, Rule)>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no point ever fires).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail exactly the `n`-th (0-based) hit of `point`.
+    #[must_use]
+    pub fn fail_nth(mut self, point: &'static str, n: u64) -> Self {
+        self.rules.push((point, Rule::Nth(n)));
+        self
+    }
+
+    /// Fail every hit of `point` from the `n`-th (0-based) on.
+    #[must_use]
+    pub fn fail_from(mut self, point: &'static str, n: u64) -> Self {
+        self.rules.push((point, Rule::From(n)));
+        self
+    }
+
+    /// Fail every hit of `point`.
+    #[must_use]
+    pub fn fail_always(mut self, point: &'static str) -> Self {
+        self.rules.push((point, Rule::Always));
+        self
+    }
+}
+
+#[cfg(feature = "faults")]
+struct ActivePlan {
+    plan: FaultPlan,
+    hits: HashMap<&'static str, u64>,
+}
+
+#[cfg(feature = "faults")]
+fn active() -> &'static Mutex<Option<ActivePlan>> {
+    static ACTIVE: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+#[cfg(feature = "faults")]
+fn section_lock() -> MutexGuard<'static, ()> {
+    static SECTION: OnceLock<Mutex<()>> = OnceLock::new();
+    SECTION
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether the active plan wants this hit of `point` to fail. Counts the
+/// hit either way. Always `false` without the `faults` feature or when no
+/// plan is installed.
+#[cfg(feature = "faults")]
+pub fn fire(point: &'static str) -> bool {
+    let mut guard = active().lock().unwrap_or_else(|e| e.into_inner());
+    let Some(active) = guard.as_mut() else {
+        return false;
+    };
+    let hit = active.hits.entry(point).or_insert(0);
+    let idx = *hit;
+    *hit += 1;
+    active
+        .plan
+        .rules
+        .iter()
+        .any(|(p, rule)| *p == point && rule.fires(idx))
+}
+
+/// Whether the active plan wants this hit of `point` to fail. Always
+/// `false` in this build: the `faults` feature is off, so the branch
+/// folds away.
+#[cfg(not(feature = "faults"))]
+#[inline(always)]
+pub fn fire(_point: &'static str) -> bool {
+    false
+}
+
+/// Number of times `point` has been hit under the currently installed
+/// plan (0 when no plan is active or the feature is off).
+#[cfg(feature = "faults")]
+pub fn hits(point: &'static str) -> u64 {
+    let guard = active().lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .as_ref()
+        .and_then(|a| a.hits.get(point).copied())
+        .unwrap_or(0)
+}
+
+/// Number of times `point` has been hit (always 0 in this build).
+#[cfg(not(feature = "faults"))]
+pub fn hits(_point: &'static str) -> u64 {
+    0
+}
+
+/// Installs `plan` for the duration of `f`, then uninstalls it — even on
+/// panic (the guard restores on unwind). Sections are serialized
+/// process-wide; hit counters start at zero at installation.
+#[cfg(feature = "faults")]
+pub fn with_plan<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    let _section = section_lock();
+    struct Uninstall;
+    impl Drop for Uninstall {
+        fn drop(&mut self) {
+            *active().lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+    *active().lock().unwrap_or_else(|e| e.into_inner()) = Some(ActivePlan {
+        plan,
+        hits: HashMap::new(),
+    });
+    let _uninstall = Uninstall;
+    f()
+}
+
+/// Runs `f` with no plan machinery at all (the `faults` feature is off;
+/// every fault point answers `false`).
+#[cfg(not(feature = "faults"))]
+pub fn with_plan<R>(_plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+#[cfg(all(test, feature = "faults"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_on_the_right_hits() {
+        assert!(Rule::Nth(2).fires(2));
+        assert!(!Rule::Nth(2).fires(3));
+        assert!(Rule::From(1).fires(5));
+        assert!(!Rule::From(1).fires(0));
+        assert!(Rule::Always.fires(0));
+    }
+
+    #[test]
+    fn plans_count_hits_per_point_and_uninstall() {
+        let fired: Vec<bool> = with_plan(FaultPlan::new().fail_nth("t.a", 1), || {
+            let fired = vec![fire("t.a"), fire("t.b"), fire("t.a"), fire("t.a")];
+            assert_eq!(hits("t.a"), 3);
+            assert_eq!(hits("t.b"), 1);
+            fired
+        });
+        assert_eq!(fired, vec![false, false, true, false]);
+        // Uninstalled: nothing fires, nothing is counted.
+        assert!(!fire("t.a"));
+        assert_eq!(hits("t.a"), 0);
+    }
+
+    #[test]
+    fn plans_uninstall_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_plan(FaultPlan::new().fail_always("t.panic"), || {
+                assert!(fire("t.panic"));
+                panic!("boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert!(!fire("t.panic"), "plan must not outlive its section");
+    }
+}
+
+#[cfg(all(test, not(feature = "faults")))]
+mod tests_off {
+    use super::*;
+
+    #[test]
+    fn everything_is_inert_without_the_feature() {
+        with_plan(FaultPlan::new().fail_always("t.off"), || {
+            assert!(!fire("t.off"));
+        });
+        assert_eq!(hits("t.off"), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Deterministic fault-injection harness for the bncg workspace.
+//!
+//! Production code declares *fault points* — named places where an
+//! injected failure is meaningful (a journal write, the window between a
+//! journal append and the matrix apply, a worker-pool job) — and asks
+//! [`faults::fire`] whether the active plan wants this particular hit to
+//! fail. Tests install a [`faults::FaultPlan`] around the code under
+//! test; everything is counted deterministically, so "fail the 3rd
+//! journal append" reproduces bit-for-bit.
+//!
+//! The whole facility is feature-gated like `telemetry`: without the
+//! `faults` feature (the default), [`faults::fire`] is a `const false`
+//! and the compiler deletes every fault branch from release builds.
+//! Downstream crates forward the switch through their own `testkit`
+//! feature (see the facade's `Cargo.toml`), so a single
+//! `--features testkit` turns the harness on across the tree.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod faults;

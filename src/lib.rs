@@ -44,6 +44,7 @@ pub use bncg_core as game;
 pub use bncg_dynamics as dynamics;
 pub use bncg_graph as graph;
 pub use bncg_telemetry as telemetry;
+pub use bncg_testkit as testkit;
 
 /// Convenience re-exports covering the most common workflow: build a graph,
 /// analyze its equilibrium status, run dynamics.

@@ -1,0 +1,350 @@
+//! Crash-recovery property sweep: kill a journaled round service at
+//! every round boundary and prove resume is byte-identical.
+//!
+//! The journal is a write-ahead log — every accepted batch is fsync'd
+//! *before* it is applied to the maintained matrix — so any prefix of
+//! whole records is a legal crash state. This suite runs a journaled
+//! session to completion, then for **every** line-prefix of the journal
+//! resumes a fresh service from the cut file and runs it to completion,
+//! asserting the final graph, the outcome, and the continuation's
+//! [`RoundRecord`] stream are identical to the uninterrupted run (modulo
+//! the wall-clock phase timings, which are never byte-stable). Torn
+//! tails (a crash mid-`write`) must be truncated, interior corruption
+//! must be refused, and resume must restart from the last checkpoint
+//! when one exists.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bncg::dynamics::engine::Response;
+use bncg::dynamics::rounds::{RoundConfig, RoundDynamics};
+use bncg::dynamics::service::{JournalOptions, RoundService, ServiceConfig};
+use bncg::dynamics::sink::{MemorySink, RoundRecord};
+use bncg::dynamics::RecoveryError;
+use bncg::game::objective::{MaxObjective, Objective, SumObjective};
+use bncg::game::swap::SwapMove;
+use bncg::graph::generators::random::{gnp, random_tree};
+use bncg::graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "bncg-recovery-{}-{tag}-{id}.wal",
+        std::process::id()
+    ))
+}
+
+/// Asserts two record streams are identical modulo the phase timings
+/// (wall-clock, process-global — never byte-stable) and the `last_*`
+/// repair gauges. The gauges describe the maintained matrix's *most
+/// recent* repair — a context rebuilt at resume (full build, or from a
+/// checkpoint) legitimately reports none where the uninterrupted run
+/// still shows its last batch. Every per-round counter stays strict.
+fn assert_records_match(continued: &[RoundRecord], reference: &[RoundRecord], context: &str) {
+    assert_eq!(
+        continued.len(),
+        reference.len(),
+        "continuation record counts diverged ({context})"
+    );
+    for (c, r) in continued.iter().zip(reference) {
+        let mut r = *r;
+        r.phases = c.phases;
+        r.repair.last_repair_candidates = c.repair.last_repair_candidates;
+        r.repair.last_rows_repaired = c.repair.last_rows_repaired;
+        r.repair.last_rows_blended = c.repair.last_rows_blended;
+        r.repair.last_batch_swaps = c.repair.last_batch_swaps;
+        r.repair.last_was_rebuild = c.repair.last_was_rebuild;
+        assert_eq!(*c, r, "record diverged at round {} ({context})", c.round);
+    }
+}
+
+/// Runs one journaled session to completion, then kills it at **every**
+/// journal line prefix and resumes: every cut must reconstruct the live
+/// state byte-identically and finish exactly like the uninterrupted run.
+/// Returns the number of distinct crash states verified.
+fn sweep_kills<O: Objective>(
+    start: &Graph,
+    config: RoundConfig,
+    ckpt_every: usize,
+    label: &str,
+) -> usize {
+    let path = temp_path("full");
+    let service_config = ServiceConfig {
+        rounds: config,
+        pipelined: false,
+    };
+    let mut service = RoundService::<O>::new(start, service_config);
+    service
+        .attach_journal(
+            &path,
+            JournalOptions {
+                checkpoint_every: ckpt_every,
+            },
+        )
+        .expect("journal in temp dir");
+    let mut sink = MemorySink::new();
+    let full = service.run_session(&mut sink).result;
+    assert!(service.journal_error().is_none(), "journal stayed healthy");
+    let rounds_total = service.rounds_total();
+    drop(service);
+
+    let text = fs::read_to_string(&path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    let mut verified = 0usize;
+    let mut checkpoint_used = false;
+    // lines[0] is the seed; the last line is the SessionEnd. Every prefix
+    // in between — seed only, seed+start, each round, each checkpoint —
+    // is a crash the WAL discipline promises to recover from.
+    for cut in 1..lines.len() {
+        let partial = temp_path("cut");
+        fs::write(&partial, lines[..cut].join("\n") + "\n").expect("write prefix");
+        let (mut resumed, report) = RoundService::<O>::resume(&partial).unwrap_or_else(|e| {
+            panic!("resume failed at cut {cut} ({label}): {e}");
+        });
+        checkpoint_used |= report.used_checkpoint;
+        // Rounds already safely on disk before the kill; the continuation
+        // must replay exactly the missing suffix.
+        let k = report.midsession.unwrap_or(0);
+        assert_eq!(report.rounds_replayed, k, "cut {cut} ({label})");
+        let mut continuation = MemorySink::new();
+        let cont = resumed.run_session(&mut continuation).result;
+        assert_eq!(cont.graph, full.graph, "final graph, cut {cut} ({label})");
+        assert_eq!(cont.outcome, full.outcome, "outcome, cut {cut} ({label})");
+        assert_eq!(
+            resumed.rounds_total(),
+            rounds_total,
+            "aggregate rounds, cut {cut} ({label})"
+        );
+        assert_records_match(
+            &continuation.records,
+            &sink.records[k..],
+            &format!("cut {cut} ({label})"),
+        );
+        fs::remove_file(&partial).ok();
+        verified += 1;
+    }
+    if ckpt_every > 0 && lines.iter().any(|l| l.contains("\"k\":\"ckpt\"")) {
+        assert!(
+            checkpoint_used,
+            "some cut must resume from the checkpoint ({label})"
+        );
+    }
+    fs::remove_file(&path).ok();
+    verified
+}
+
+#[test]
+fn kill_at_every_round_boundary_resumes_byte_identically() {
+    let mut rng = StdRng::seed_from_u64(0x0DEA_D0A1);
+    let bounded = RoundConfig {
+        max_rounds: 12,
+        detect_cycles: false,
+        ..RoundConfig::default()
+    };
+    let mut verified = 0usize;
+    for i in 0..3 {
+        let er = gnp(&mut rng, 18 + 2 * i, 0.16);
+        verified += sweep_kills::<SumObjective>(&er, RoundConfig::default(), 0, "er/sum");
+        verified += sweep_kills::<MaxObjective>(&er, bounded, 0, "er/max bounded");
+        let t = random_tree(&mut rng, 16 + 2 * i);
+        verified += sweep_kills::<SumObjective>(&t, bounded, 3, "tree/sum ckpt");
+        verified += sweep_kills::<MaxObjective>(&t, RoundConfig::default(), 2, "tree/max ckpt");
+    }
+    assert!(
+        verified >= 60,
+        "crash-state volume floor not met: only {verified} prefixes verified"
+    );
+}
+
+#[test]
+fn resume_of_a_completed_journal_behaves_like_the_original_service() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let start = gnp(&mut rng, 20, 0.15);
+    let path = temp_path("done");
+    let mut service = RoundService::<SumObjective>::new(&start, ServiceConfig::default());
+    service
+        .attach_journal(&path, JournalOptions::default())
+        .expect("journal");
+    let first = service.run_session_plain();
+    let rounds_total = service.rounds_total();
+    drop(service);
+
+    let (mut resumed, report) =
+        RoundService::<SumObjective>::resume(&path).expect("resume complete journal");
+    assert!(report.midsession.is_none(), "the session was closed");
+    assert!(!report.truncated_tail);
+    assert_eq!(resumed.graph(), &first.result.graph);
+    assert_eq!(resumed.rounds_total(), rounds_total);
+    // A fresh session from the recovered converged state must terminate
+    // immediately, exactly like the original service would have.
+    let second = resumed.run_session_plain();
+    assert_eq!(second.result.graph, first.result.graph);
+    assert_eq!(second.result.moves_applied, 0);
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn a_torn_tail_is_truncated_and_resume_succeeds() {
+    let mut rng = StdRng::seed_from_u64(0x70B1);
+    let start = random_tree(&mut rng, 18);
+    let path = temp_path("torn");
+    let mut service = RoundService::<SumObjective>::new(&start, ServiceConfig::default());
+    service
+        .attach_journal(&path, JournalOptions::default())
+        .expect("journal");
+    let full = service.run_session_plain().result;
+    drop(service);
+
+    // A crash mid-`write` leaves a partial record on the last line; the
+    // scanner must drop exactly that line and resume from the rest.
+    let clean = fs::read_to_string(&path).expect("read journal");
+    let torn = temp_path("torn-cut");
+    let lines: Vec<&str> = clean.lines().collect();
+    let keep = lines.len() - 2; // drop SessionEnd and the last round...
+    let mut text = lines[..keep].join("\n") + "\n";
+    text.push_str("{\"crc\":\"deadbeef\",\"rec\":{\"k\":\"round\",\"ro"); // ...then tear one
+    fs::write(&torn, &text).expect("write torn journal");
+
+    let (mut resumed, report) =
+        RoundService::<SumObjective>::resume(&torn).expect("resume torn journal");
+    assert!(report.truncated_tail, "the torn record must be dropped");
+    let on_disk = fs::read_to_string(&torn).expect("reread");
+    assert!(
+        on_disk.ends_with('\n') && on_disk.lines().count() == keep,
+        "the torn line must be physically truncated"
+    );
+    let cont = resumed.run_session_plain().result;
+    assert_eq!(
+        cont.graph, full.graph,
+        "recovery converges to the same state"
+    );
+    fs::remove_file(&path).ok();
+    fs::remove_file(&torn).ok();
+}
+
+#[test]
+fn interior_corruption_is_refused_not_papered_over() {
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    let start = gnp(&mut rng, 16, 0.2);
+    let path = temp_path("corrupt");
+    let mut service = RoundService::<SumObjective>::new(&start, ServiceConfig::default());
+    service
+        .attach_journal(&path, JournalOptions::default())
+        .expect("journal");
+    let _ = service.run_session_plain();
+    drop(service);
+
+    let clean = fs::read_to_string(&path).expect("read journal");
+    let mut lines: Vec<String> = clean.lines().map(str::to_owned).collect();
+    assert!(lines.len() >= 3, "need an interior record to corrupt");
+    let mid = lines.len() / 2;
+    lines[mid] = lines[mid].replace(['0', '1'], "7"); // flip digits, keep shape
+    let bad = temp_path("corrupt-cut");
+    fs::write(&bad, lines.join("\n") + "\n").expect("write corrupt journal");
+    match RoundService::<SumObjective>::resume(&bad) {
+        Err(RecoveryError::Corrupt { line, .. }) => assert_eq!(line, mid + 1),
+        Err(other) => panic!("expected Corrupt, got {other}"),
+        Ok(_) => panic!("interior corruption must be refused"),
+    }
+    fs::remove_file(&path).ok();
+    fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn perturbations_are_journaled_and_replayed() {
+    let mut rng = StdRng::seed_from_u64(0x9E27);
+    let start = random_tree(&mut rng, 20);
+    let path = temp_path("perturb");
+    let mut service = RoundService::<SumObjective>::new(&start, ServiceConfig::default());
+    service
+        .attach_journal(&path, JournalOptions::default())
+        .expect("journal");
+    let _ = service.run_session_plain();
+    // Swap one existing edge onto a currently non-adjacent endpoint, then
+    // settle again — both the perturbation and the second session land in
+    // the journal.
+    let g = service.graph().clone();
+    let edge = *g.edge_vec().first().expect("non-empty graph");
+    let (v, w) = (edge.u, edge.v);
+    let w2 = (0..g.n() as bncg::graph::V)
+        .find(|&x| x != v && x != w && !g.has_edge(v, x))
+        .expect("a non-neighbor exists");
+    assert_eq!(service.perturb(&[SwapMove { v, w, w2 }]), 1);
+    let _ = service.run_session_plain();
+    let final_graph = service.graph().clone();
+    let rounds_total = service.rounds_total();
+    let sessions_run = service.sessions_run();
+    drop(service);
+
+    let (resumed, report) =
+        RoundService::<SumObjective>::resume(&path).expect("resume perturbed journal");
+    assert!(report.midsession.is_none());
+    assert_eq!(resumed.graph(), &final_graph);
+    assert_eq!(resumed.rounds_total(), rounds_total);
+    assert_eq!(resumed.sessions_run(), sessions_run);
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resumed_midsession_records_match_a_fresh_engine_suffix() {
+    // The continuation must not only match the journaled service's own
+    // records — it must match what the *serial reference engine* emits
+    // from the recovered state, closing the loop against the engine the
+    // byte-identity suite pins the service to.
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let start = gnp(&mut rng, 22, 0.14);
+    let path = temp_path("xcheck");
+    let mut service = RoundService::<SumObjective>::new(&start, ServiceConfig::default());
+    service
+        .attach_journal(&path, JournalOptions::default())
+        .expect("journal");
+    let full = service.run_session_plain().result;
+    drop(service);
+
+    let text = fs::read_to_string(&path).expect("read journal");
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() < 4 {
+        return; // converged without enough rounds to cut mid-session
+    }
+    let cut = lines.len() / 2;
+    let partial = temp_path("xcheck-cut");
+    fs::write(&partial, lines[..cut].join("\n") + "\n").expect("write prefix");
+    let (mut resumed, _) = RoundService::<SumObjective>::resume(&partial).expect("resume");
+    let recovered = resumed.graph().clone();
+    let fresh = RoundDynamics::<SumObjective>::new(RoundConfig {
+        response: Response::Best,
+        ..RoundConfig::default()
+    })
+    .run(&recovered);
+    let cont = resumed.run_session_plain().result;
+    assert_eq!(cont.graph, fresh.graph);
+    assert_eq!(cont.graph, full.graph);
+    assert_eq!(cont.outcome, fresh.outcome);
+    fs::remove_file(&path).ok();
+    fs::remove_file(&partial).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_starts_survive_kills_at_every_boundary(
+        n in 12usize..=22,
+        seed in any::<u64>(),
+        sum in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp(&mut rng, n, 0.15);
+        let config = RoundConfig { max_rounds: 10, detect_cycles: false, ..RoundConfig::default() };
+        if sum {
+            sweep_kills::<SumObjective>(&g, config, 4, "proptest/sum");
+        } else {
+            sweep_kills::<MaxObjective>(&g, config, 0, "proptest/max");
+        }
+    }
+}
