@@ -225,6 +225,43 @@ pub mod workload {
         }
         acc
     }
+
+    /// The batched arm of [`replay_round_stream`], with every round
+    /// barrier routed through the engines' actual resolution seam,
+    /// [`resolve_round_with`](bncg_dynamics::resolve_round_with) under
+    /// the basic game's [`GameRules`](bncg_core::rules::GameRules)
+    /// implementation — footprint resolution plus the (always-true)
+    /// `legal_in_batch` hook. The stream's rounds are footprint-disjoint
+    /// by construction, so every move survives resolution and the
+    /// repaired matrices are bit-identical to the plain batched arm;
+    /// the timing difference isolates the cost of the rules indirection
+    /// at the barrier, which the CI gate pins to noise level.
+    pub fn replay_round_stream_rules(g0: &Graph, stream: &[Vec<SwapMove>]) -> u32 {
+        use bncg_core::swap::ScoredSwap;
+        let rules = SumObjective;
+        let mut g = g0.clone();
+        let mut ctx = EvalContext::new(&g);
+        let last = (g.n() - 1) as u32;
+        let mut acc = ctx.base().get(0, last);
+        for round in stream {
+            let proposals: Vec<Option<ScoredSwap>> = round
+                .iter()
+                .map(|&mv| {
+                    Some(ScoredSwap {
+                        mv,
+                        old_cost: 1,
+                        new_cost: 0,
+                    })
+                })
+                .collect();
+            let accepted = bncg_dynamics::resolve_round_with(&rules, &ctx, &proposals);
+            assert_eq!(accepted.len(), round.len(), "synth round must survive");
+            let batch: Vec<_> = accepted.iter().map(|s| s.mv.apply(&mut g)).collect();
+            ctx.refresh_after_batch(&g, &batch);
+            acc ^= ctx.base().get(0, last);
+        }
+        acc
+    }
 }
 
 pub mod baseline {
@@ -294,7 +331,8 @@ mod perf_gate {
     use rand::SeedableRng;
 
     use crate::workload::{
-        record_trajectory, replay, replay_round_stream, synth_round_stream, tree_swap_pair,
+        record_trajectory, replay, replay_round_stream, replay_round_stream_rules,
+        synth_round_stream, tree_swap_pair,
     };
 
     fn best_of(reps: usize, mut f: impl FnMut() -> u32) -> Duration {
@@ -578,6 +616,53 @@ mod perf_gate {
             "batched round replay regressed: measured {measured:?} vs recorded \
              {:?} (+50% allowance {budget:?}), and it also lost to the \
              same-process sequential arm ({sequential:?})",
+            Duration::from_nanos(recorded_ns as u64)
+        );
+    }
+
+    /// GameRules-routing gate: the canonical batched round workload (ER,
+    /// n = 2048 — the recorded `round_replay_batched_er/2048` of
+    /// `BENCH_rounds.json`, whose median predates the `GameRules`
+    /// refactor and is deliberately *not* re-recorded), replayed with
+    /// every round barrier routed through
+    /// [`resolve_round_with`](bncg_dynamics::resolve_round_with) under
+    /// the basic game, must land within 1.05× of that pre-refactor
+    /// median: the rules indirection has to be free at the barrier. The
+    /// 5% absolute budget is tight for a shared CI host, so when it is
+    /// blown the verdict falls back to a same-process ratio against the
+    /// plain (rules-free) batched arm — a real routing regression slows
+    /// only the routed arm, while a uniformly slower host slows both.
+    #[test]
+    #[ignore = "perf gate — run by the CI conformance job (release only)"]
+    fn gamerules_routed_replay_is_free_at_the_barrier() {
+        let recorded_ns = recorded_median("round_replay_batched_er/2048")
+            .expect("BENCH_rounds.json must record round_replay_batched_er/2048");
+        let n = 2048usize;
+        // Same seed and rng consumption order as the recorded workload
+        // (see batched_round_replay_does_not_regress_vs_recorded).
+        let mut rng = StdRng::seed_from_u64(0x0520 + n as u64);
+        let g0 = random_connected(&mut rng, n, n / 4);
+        let _tree = bncg_graph::generators::random::random_tree(&mut rng, n);
+        let _sparse = random_connected(&mut rng, n, n / 64);
+        let stream = synth_round_stream(&mut rng, &g0, 4, 16);
+        // The routed arm must compute the exact same matrices.
+        assert_eq!(
+            replay_round_stream_rules(&g0, &stream),
+            replay_round_stream(&g0, &stream, true)
+        );
+        black_box(replay_round_stream_rules(&g0, &stream)); // warm pools
+        let routed = best_of(5, || replay_round_stream_rules(&g0, &stream));
+        let budget = Duration::from_nanos((recorded_ns * 1.05) as u64);
+        if routed <= budget {
+            return;
+        }
+        let plain = best_of(5, || replay_round_stream(&g0, &stream, true));
+        assert!(
+            routed.as_nanos() * 100 <= plain.as_nanos() * 105,
+            "GameRules routing regressed the round barrier: routed {routed:?} vs \
+             recorded pre-refactor median {:?} (+5% budget {budget:?}), and it \
+             also exceeded the same-process rules-free batched arm ({plain:?}) \
+             by more than 5%",
             Duration::from_nanos(recorded_ns as u64)
         );
     }

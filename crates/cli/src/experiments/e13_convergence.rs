@@ -24,6 +24,152 @@ use rand::SeedableRng;
 
 use crate::md::{f3, Table};
 
+/// Streams one round-engine run under a `--game` variant rule set into
+/// the report (and `--metrics`, when set). The basic game keeps its own
+/// traced path in [`run`] so the default report stays byte-stable.
+fn variant_stream<R: bncg_core::rules::GameRules>(
+    out: &mut String,
+    opts: &super::RunOpts,
+    start: &bncg_graph::Graph,
+    n: usize,
+    rules: R,
+) {
+    let game = rules.name().to_string();
+    let mut sink = bncg_dynamics::MemorySink::new();
+    let engine_label = if opts.pipelined {
+        let engine =
+            bncg_dynamics::PipelinedRoundDynamics::with_rules(RoundConfig::default(), rules);
+        let _ = engine.run_with_sink(start, &mut sink);
+        "pipelined round engine"
+    } else {
+        let engine = bncg_dynamics::RoundDynamics::with_rules(RoundConfig::default(), rules);
+        let _ = engine.run_with_sink(start, &mut sink);
+        "round engine"
+    };
+    out.push_str(&format!(
+        "\nStreaming round records (one {engine_label}, game `{game}`, n = {n}):\n\n"
+    ));
+    out.push_str(&crate::md::round_summary(&sink.records));
+    write_metrics(out, opts, &sink.records);
+}
+
+/// Persists a record stream as JSON Lines when `--metrics` is set.
+fn write_metrics(out: &mut String, opts: &super::RunOpts, records: &[bncg_dynamics::RoundRecord]) {
+    let Some(path) = &opts.metrics else { return };
+    match std::fs::File::create(path) {
+        Ok(file) => {
+            let mut jsonl = bncg_dynamics::JsonlSink::new(std::io::BufWriter::new(file));
+            for record in records {
+                bncg_dynamics::MetricsSink::record_round(&mut jsonl, record);
+            }
+            bncg_dynamics::MetricsSink::finish(&mut jsonl);
+            match jsonl.error() {
+                None => out.push_str(&format!(
+                    "\n{} round records written to `{}`.\n",
+                    records.len(),
+                    path.display()
+                )),
+                Some(e) => {
+                    eprintln!("--metrics write to {} failed: {e}", path.display());
+                    super::note_metrics_failure();
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("--metrics cannot create {}: {e}", path.display());
+            super::note_metrics_failure();
+        }
+    }
+}
+
+/// Crash-safe service run under any rule set: `--journal` makes the
+/// round service write-ahead-log every barrier (recoverable via
+/// `--resume`, which checks the journal's game tag against `rules`),
+/// `--audit-every` adds the divergence audit with row-level healing.
+fn service_lab<R: bncg_core::rules::GameRules>(
+    out: &mut String,
+    opts: &super::RunOpts,
+    start: &bncg_graph::Graph,
+    rules: R,
+) {
+    if opts.journal.is_none() && opts.resume.is_none() && opts.audit_every == 0 {
+        return;
+    }
+    out.push_str("\nCrash-safe round service run:\n\n");
+    use bncg_dynamics::{AuditPolicy, JournalOptions, NullSink, RoundService};
+    let mut service = if let Some(path) = &opts.resume {
+        match RoundService::resume_with_rules(path, bncg_graph::RepairStrategy::default(), rules) {
+            Ok((service, report)) => {
+                out.push_str(&format!(
+                    "- resumed from `{}`: {} journal records, {} rounds replayed{}{}{}\n",
+                    path.display(),
+                    report.records,
+                    report.rounds_replayed,
+                    if report.used_checkpoint {
+                        " (from last checkpoint)"
+                    } else {
+                        ""
+                    },
+                    if report.truncated_tail {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    },
+                    match report.midsession {
+                        Some(done) => format!(", mid-session at round {done}"),
+                        None => String::new(),
+                    },
+                ));
+                service
+            }
+            Err(e) => {
+                eprintln!("--resume from {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let mut service = RoundService::with_rules(
+            start,
+            bncg_dynamics::ServiceConfig {
+                pipelined: opts.pipelined,
+                ..Default::default()
+            },
+            bncg_graph::RepairStrategy::default(),
+            rules,
+        );
+        if let Some(path) = &opts.journal {
+            if let Err(e) = service.attach_journal(path, JournalOptions::default()) {
+                eprintln!("--journal cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            out.push_str(&format!("- journaling to `{}`\n", path.display()));
+        }
+        service
+    };
+    if opts.audit_every > 0 {
+        service.set_audit_policy(AuditPolicy {
+            every_rounds: opts.audit_every,
+            ..Default::default()
+        });
+    }
+    let report = service.run_session(&mut NullSink);
+    out.push_str(&format!(
+        "- session: {:?} after {} rounds, {} moves applied\n",
+        report.result.outcome, report.result.rounds, report.result.moves_applied,
+    ));
+    if opts.audit_every > 0 {
+        let stats = service.audit_stats();
+        out.push_str(&format!(
+            "- audits: {} checks, {} row mismatches, {} rows healed\n",
+            stats.checks, stats.row_mismatches, stats.heals,
+        ));
+    }
+    if let Some(e) = service.journal_error() {
+        eprintln!("journal stream degraded: {e}");
+        super::note_metrics_failure();
+    }
+}
+
 /// Renders a sparse histogram (`index×count` pairs) or `—` when empty.
 fn hist_cell(hist: &[usize]) -> String {
     let cells: Vec<String> = hist
@@ -185,133 +331,59 @@ pub fn run(opts: &super::RunOpts) -> String {
     // Streaming round-stats pipeline: one traced round-based run per
     // largest size, every round emitted as a structured record. The
     // summary table digests the stream; `--metrics <path>` additionally
-    // persists it as JSON Lines.
+    // persists it as JSON Lines. `--game` swaps the rule set the
+    // streaming run and the crash-safe service play.
     let n = *sizes.last().expect("sizes is non-empty");
     let mut rng = StdRng::seed_from_u64(0x713 + n as u64);
     let start = bncg_graph::generators::random::random_connected(&mut rng, n, n / 4);
-    let mut sink = bncg_dynamics::MemorySink::new();
-    let engine_label = if opts.pipelined {
-        // `--pipelined`: the same stream through the overlapped round
-        // engine — byte-identical records (phase timings aside), every
-        // barrier overlapping repair with the next proposal sweep.
-        let engine =
-            bncg_dynamics::PipelinedRoundDynamics::<SumObjective>::new(RoundConfig::default());
-        let _ = engine.run_with_sink(&start, &mut sink);
-        "pipelined round engine"
-    } else {
-        let _ = bncg_dynamics::run_traced_rounds_with_sink::<SumObjective>(
-            &start,
-            bncg_dynamics::Response::Best,
-            RoundConfig::default().max_rounds,
-            &mut sink,
-        );
-        "traced round-based run"
-    };
-    out.push_str(&format!(
-        "\nStreaming round records (one {engine_label}, n = {n}):\n\n"
-    ));
-    out.push_str(&crate::md::round_summary(&sink.records));
-    if let Some(path) = &opts.metrics {
-        match std::fs::File::create(path) {
-            Ok(file) => {
-                let mut jsonl = bncg_dynamics::JsonlSink::new(std::io::BufWriter::new(file));
-                for record in &sink.records {
-                    bncg_dynamics::MetricsSink::record_round(&mut jsonl, record);
-                }
-                bncg_dynamics::MetricsSink::finish(&mut jsonl);
-                match jsonl.error() {
-                    None => out.push_str(&format!(
-                        "\n{} round records written to `{}`.\n",
-                        sink.records.len(),
-                        path.display()
-                    )),
-                    Some(e) => {
-                        eprintln!("--metrics write to {} failed: {e}", path.display());
-                        super::note_metrics_failure();
-                    }
-                }
-            }
-            Err(e) => {
-                eprintln!("--metrics cannot create {}: {e}", path.display());
-                super::note_metrics_failure();
-            }
-        }
-    }
-
-    // Crash-safe service run: `--journal` makes the round service
-    // write-ahead-log every barrier (recoverable via `--resume`),
-    // `--audit-every` adds the divergence audit with row-level healing.
-    if opts.journal.is_some() || opts.resume.is_some() || opts.audit_every > 0 {
-        out.push_str("\nCrash-safe round service run:\n\n");
-        use bncg_dynamics::{AuditPolicy, JournalOptions, NullSink, RoundService};
-        let mut service = if let Some(path) = &opts.resume {
-            match RoundService::<SumObjective>::resume(path) {
-                Ok((service, report)) => {
-                    out.push_str(&format!(
-                        "- resumed from `{}`: {} journal records, {} rounds replayed{}{}{}\n",
-                        path.display(),
-                        report.records,
-                        report.rounds_replayed,
-                        if report.used_checkpoint {
-                            " (from last checkpoint)"
-                        } else {
-                            ""
-                        },
-                        if report.truncated_tail {
-                            ", torn tail truncated"
-                        } else {
-                            ""
-                        },
-                        match report.midsession {
-                            Some(done) => format!(", mid-session at round {done}"),
-                            None => String::new(),
-                        },
-                    ));
-                    service
-                }
-                Err(e) => {
-                    eprintln!("--resume from {} failed: {e}", path.display());
-                    std::process::exit(1);
-                }
-            }
-        } else {
-            let mut service = RoundService::<SumObjective>::new(
-                &start,
-                bncg_dynamics::ServiceConfig {
-                    pipelined: opts.pipelined,
-                    ..Default::default()
-                },
-            );
-            if let Some(path) = &opts.journal {
-                if let Err(e) = service.attach_journal(path, JournalOptions::default()) {
-                    eprintln!("--journal cannot create {}: {e}", path.display());
-                    std::process::exit(1);
-                }
-                out.push_str(&format!("- journaling to `{}`\n", path.display()));
-            }
-            service
-        };
-        if opts.audit_every > 0 {
-            service.set_audit_policy(AuditPolicy {
-                every_rounds: opts.audit_every,
-                ..Default::default()
-            });
-        }
-        let report = service.run_session(&mut NullSink);
-        out.push_str(&format!(
-            "- session: {:?} after {} rounds, {} moves applied\n",
-            report.result.outcome, report.result.rounds, report.result.moves_applied,
-        ));
-        if opts.audit_every > 0 {
-            let stats = service.audit_stats();
+    match opts.game {
+        super::GameChoice::Basic => {
+            let mut sink = bncg_dynamics::MemorySink::new();
+            let engine_label = if opts.pipelined {
+                // `--pipelined`: the same stream through the overlapped round
+                // engine — byte-identical records (phase timings aside), every
+                // barrier overlapping repair with the next proposal sweep.
+                let engine = bncg_dynamics::PipelinedRoundDynamics::<SumObjective>::new(
+                    RoundConfig::default(),
+                );
+                let _ = engine.run_with_sink(&start, &mut sink);
+                "pipelined round engine"
+            } else {
+                let _ = bncg_dynamics::run_traced_rounds_with_sink::<SumObjective>(
+                    &start,
+                    bncg_dynamics::Response::Best,
+                    RoundConfig::default().max_rounds,
+                    &mut sink,
+                );
+                "traced round-based run"
+            };
             out.push_str(&format!(
-                "- audits: {} checks, {} row mismatches, {} rows healed\n",
-                stats.checks, stats.row_mismatches, stats.heals,
+                "\nStreaming round records (one {engine_label}, n = {n}):\n\n"
             ));
+            out.push_str(&crate::md::round_summary(&sink.records));
+            write_metrics(&mut out, opts, &sink.records);
+            service_lab(&mut out, opts, &start, SumObjective);
         }
-        if let Some(e) = service.journal_error() {
-            eprintln!("journal stream degraded: {e}");
-            super::note_metrics_failure();
+        super::GameChoice::Budget(cap) => {
+            let rules =
+                bncg_core::rules::BoundedBudgetGame::<SumObjective>::uniform(start.n(), cap);
+            variant_stream(&mut out, opts, &start, n, rules.clone());
+            service_lab(&mut out, opts, &start, rules);
+        }
+        super::GameChoice::Interest(k) => {
+            let rules = bncg_core::rules::InterestGame::ring(start.n(), k);
+            variant_stream(&mut out, opts, &start, n, rules.clone());
+            service_lab(&mut out, opts, &start, rules);
+        }
+        super::GameChoice::TwoNeighborhood => {
+            let rules = bncg_core::rules::TwoNeighborhoodGame;
+            variant_stream(&mut out, opts, &start, n, rules);
+            service_lab(
+                &mut out,
+                opts,
+                &start,
+                bncg_core::rules::TwoNeighborhoodGame,
+            );
         }
     }
 

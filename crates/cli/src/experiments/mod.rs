@@ -26,6 +26,52 @@ pub struct RunOpts {
     /// maintained distance matrix against fresh BFS every this many
     /// rounds (`--audit-every <k>`), self-healing divergent rows.
     pub audit_every: usize,
+    /// Which rule set E13's streaming run and crash-safe service play
+    /// (`--game <name>`). Every other experiment is pinned to the basic
+    /// game whose theorems it reproduces and ignores this.
+    pub game: GameChoice,
+}
+
+/// A `--game` selection: one of the shipped [`GameRules`] sets.
+///
+/// [`GameRules`]: bncg_core::rules::GameRules
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum GameChoice {
+    /// The basic AlonDHL10 game under the sum objective (the default).
+    #[default]
+    Basic,
+    /// Bounded-budget variant
+    /// ([`BoundedBudgetGame`](bncg_core::rules::BoundedBudgetGame)):
+    /// a uniform per-vertex edge budget of this many endpoints.
+    Budget(u32),
+    /// Communication-interest variant
+    /// ([`InterestGame`](bncg_core::rules::InterestGame)): ring interest
+    /// sets of this half-width.
+    Interest(usize),
+    /// 2-neighborhood variant
+    /// ([`TwoNeighborhoodGame`](bncg_core::rules::TwoNeighborhoodGame)):
+    /// purely local costs, no distance matrix maintained.
+    TwoNeighborhood,
+}
+
+impl GameChoice {
+    /// Parses a `--game` argument: `basic`, `budget[:cap]` (default cap
+    /// 3), `interest[:k]` (default half-width 3), or `2nb`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (head, tail) = match s.split_once(':') {
+            Some((h, t)) => (h, Some(t)),
+            None => (s, None),
+        };
+        match (head, tail) {
+            ("basic", None) => Some(GameChoice::Basic),
+            ("budget", None) => Some(GameChoice::Budget(3)),
+            ("budget", Some(t)) => t.parse().ok().map(GameChoice::Budget),
+            ("interest", None) => Some(GameChoice::Interest(3)),
+            ("interest", Some(t)) => t.parse().ok().map(GameChoice::Interest),
+            ("2nb", None) => Some(GameChoice::TwoNeighborhood),
+            _ => None,
+        }
+    }
 }
 
 /// Records that a `--metrics` stream was lost to an I/O error (a full

@@ -12,6 +12,7 @@
 //! bncg e13 --metrics rounds.jsonl   # also stream per-round records (JSONL)
 //! bncg e13 --journal run.wal        # crash-safe journaled service run
 //! bncg e13 --resume run.wal         # resume a killed journaled run
+//! bncg e13 --game budget:3          # play a variant rule set (budget/interest/2nb)
 //! ```
 
 mod experiments;
@@ -50,6 +51,21 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let game =
+        args.iter()
+            .position(|a| a == "--game")
+            .map_or(experiments::GameChoice::Basic, |i| {
+                match args
+                    .get(i + 1)
+                    .and_then(|v| experiments::GameChoice::parse(v))
+                {
+                    Some(g) => g,
+                    None => {
+                        eprintln!("--game requires one of: basic, budget[:cap], interest[:k], 2nb");
+                        std::process::exit(2);
+                    }
+                }
+            });
     let opts = RunOpts {
         quick,
         metrics,
@@ -57,6 +73,7 @@ fn main() {
         journal,
         resume,
         audit_every,
+        game,
     };
     type Runner = fn(&RunOpts) -> String;
     let all: Vec<(&str, Runner)> = vec![
@@ -88,6 +105,10 @@ fn main() {
             println!("  --resume <path> — resume a killed journaled e13 service run");
             println!(
                 "  --audit-every <k> — audit/self-heal the maintained matrix every k rounds (e13)"
+            );
+            println!(
+                "  --game <g> — rule set for e13's streaming/service runs: \
+                 basic | budget[:cap] | interest[:k] | 2nb"
             );
         }
         "dump" => {

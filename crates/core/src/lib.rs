@@ -70,6 +70,7 @@ pub mod evaluator;
 pub mod kswap;
 pub mod lemmas;
 pub mod objective;
+pub mod rules;
 pub mod stability;
 pub mod swap;
 pub mod verify;
@@ -77,4 +78,5 @@ pub mod verify;
 pub use context::EvalContext;
 pub use equilibrium::{EquilibriumReport, MaxGame, SumGame};
 pub use objective::{MaxObjective, Objective, SumObjective, INFINITE_COST};
+pub use rules::{BoundedBudgetGame, GameRules, InterestGame, TwoNeighborhoodGame};
 pub use swap::{ScoredSwap, SwapMove};

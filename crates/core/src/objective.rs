@@ -46,7 +46,7 @@ pub trait Objective: Copy + Send + Sync + 'static {
 }
 
 /// The **sum** objective: `Σ_x d(v, x)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SumObjective;
 
 impl Objective for SumObjective {
@@ -81,7 +81,7 @@ impl Objective for SumObjective {
 }
 
 /// The **max** objective: the agent's *local diameter* `max_x d(v, x)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaxObjective;
 
 impl Objective for MaxObjective {

@@ -1,0 +1,695 @@
+//! The game-rules layer: one dynamics core, many games.
+//!
+//! Every dynamics engine in this workspace — sequential, round-based,
+//! batched, pipelined, journaled — used to be hardwired to the two
+//! AlonDHL10 usage costs through the [`Objective`] type parameter. The
+//! [`GameRules`] trait lifts that seam one level: a rule set owns
+//! **objective evaluation** (`agent_cost`, `social_cost`), **move
+//! generation** (`moves`, the response sweeps), and **move legality**
+//! (`legal_move` at proposal time, `legal_in_batch` at the round
+//! barrier), and the engines consult only the trait. The basic game is
+//! recovered exactly by implementing `GameRules` for the two existing
+//! [`Objective`]s — those impls delegate verbatim to the
+//! [`EvalContext`] sweep methods, so basic-game trajectories are
+//! byte-identical to the pre-trait engines (pinned by
+//! `tests/game_conformance.rs` against committed goldens).
+//!
+//! Three variant rule sets from the related-work literature ship here:
+//!
+//! * [`BoundedBudgetGame`] — per-agent edge budgets (Ehsani et al.'s
+//!   bounded-budget NCG, adapted to swap dynamics): a swap may not raise
+//!   the target vertex's degree beyond its budget, checked both per
+//!   proposal and re-checked against the round's accepted batch (two
+//!   accepted insertions may target one vertex even when their edge
+//!   footprints are disjoint).
+//! * [`InterestGame`] — communication interests (Cord-Landwehr et al.):
+//!   each agent pays distance only to its interest set, evaluated through
+//!   the sparse masked row kernels
+//!   ([`kernels::masked_row_cost`] / [`kernels::masked_blend_cost_sum`]).
+//! * [`TwoNeighborhoodGame`] — maximize the 2-ball `|B₂(v)|`, a purely
+//!   local objective: [`GameRules::needs_apsp`] is `false` and every
+//!   evaluation walks the CSR directly, so engines must not build (or
+//!   repair) a distance matrix at all — asserted via the `apsp.*`
+//!   telemetry counters in `tests/game_variants.rs`.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use bncg_graph::{kernels, Csr, Graph, V};
+use rayon::prelude::*;
+
+use crate::context::EvalContext;
+use crate::kswap::single_swap_moves;
+use crate::objective::{MaxObjective, Objective, SumObjective, INFINITE_COST};
+use crate::swap::{ScoredSwap, SwapMove};
+
+/// A complete rule set for a swap-based network creation game.
+///
+/// Engines hold a value of the implementing type (rule sets may carry
+/// per-agent state — budgets, interest sets) and consult it for every
+/// evaluation, proposal, and legality decision. Implementations must be
+/// cheap to clone ([`Arc`] internals): the pipelined service clones its
+/// rules into the overlapped proposal closure.
+///
+/// # Determinism contract
+/// `best_response` must break ties exactly like the basic scan — minimum
+/// new cost, then smallest replacement endpoint `w2`, then earliest
+/// incident edge in CSR neighbor order — and `*_responses_par` must
+/// return slot-per-agent vectors identical to mapping the sequential
+/// method over `0..n`. The cross-engine conformance harness
+/// (`bncg::conformance`) assumes nothing else.
+pub trait GameRules: Clone + Send + Sync + 'static {
+    /// Stable, file-name-safe rule-set tag. Journals persist it in their
+    /// `Seed` record and refuse to resume under a differently-named rule
+    /// set; the CLI `--game` flag uses the same vocabulary.
+    fn name(&self) -> &'static str;
+
+    /// Whether this game's evaluation consults all-pairs distances.
+    ///
+    /// When `false`, engines skip every APSP touch-point: no eager base
+    /// build at run start, no matrix CRC in journal checkpoints, no
+    /// base rebuild on journal replay. Local objectives (the
+    /// 2-neighborhood game) turn `O(n²)`-per-round bookkeeping into
+    /// nothing.
+    fn needs_apsp(&self) -> bool {
+        true
+    }
+
+    /// Usage cost of agent `v` in the snapshot ([`INFINITE_COST`] when
+    /// the agent cannot reach someone it pays for).
+    fn agent_cost(&self, ctx: &EvalContext, v: V) -> u64;
+
+    /// The best legal improving swap available to agent `v` (minimum new
+    /// cost; ties per the determinism contract), or `None` if `v` cannot
+    /// improve.
+    fn best_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap>;
+
+    /// The first legal improving swap in scan order, or `None`.
+    fn first_improving_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap>;
+
+    /// Best responses of all agents against one frozen snapshot, one slot
+    /// per agent. The default fans the sequential method over rayon;
+    /// basic-game impls override with the pre-trait parallel sweep (same
+    /// answer, shared telemetry shape).
+    fn best_responses_par(&self, ctx: &EvalContext) -> Vec<Option<ScoredSwap>> {
+        (0..ctx.n() as V)
+            .into_par_iter()
+            .map(|v| self.best_response(ctx, v))
+            .collect()
+    }
+
+    /// First improving responses of all agents, one slot per agent.
+    fn first_improving_responses_par(&self, ctx: &EvalContext) -> Vec<Option<ScoredSwap>> {
+        (0..ctx.n() as V)
+            .into_par_iter()
+            .map(|v| self.first_improving_response(ctx, v))
+            .collect()
+    }
+
+    /// Social cost of the snapshot under this game's accounting; `None`
+    /// when undefined (disconnection, for games that pay for everyone).
+    /// Default: sum of [`agent_cost`](Self::agent_cost) over all agents.
+    fn social_cost(&self, ctx: &EvalContext) -> Option<u64> {
+        let mut total = 0u64;
+        for v in 0..ctx.n() as V {
+            let c = self.agent_cost(ctx, v);
+            if c == INFINITE_COST {
+                return None;
+            }
+            total += c;
+        }
+        Some(total)
+    }
+
+    /// The legal move set of agent `v` in the snapshot. Default: the
+    /// `k = 1` swap enumeration ([`single_swap_moves`], exactly the
+    /// evaluator's candidate order) filtered by
+    /// [`legal_move`](Self::legal_move).
+    fn moves(&self, ctx: &EvalContext, v: V) -> Vec<SwapMove> {
+        single_swap_moves(ctx.csr(), v)
+            .into_iter()
+            .filter(|mv| self.legal_move(ctx, mv))
+            .collect()
+    }
+
+    /// Proposal-time legality of a single move against the snapshot.
+    /// Default: everything is legal (the basic game).
+    fn legal_move(&self, _ctx: &EvalContext, _mv: &SwapMove) -> bool {
+        true
+    }
+
+    /// Barrier-time legality of a move given the moves already `accepted`
+    /// this round (scanned in ascending agent order). Footprint
+    /// disjointness is enforced by the resolver before this hook runs;
+    /// rule sets veto interactions footprints cannot see (e.g. two
+    /// insertions raising one vertex's degree past its budget). Default:
+    /// no veto.
+    fn legal_in_batch(&self, _ctx: &EvalContext, _mv: &SwapMove, _accepted: &[ScoredSwap]) -> bool {
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The basic game: GameRules for the two paper objectives.
+// ---------------------------------------------------------------------------
+
+macro_rules! basic_game_rules {
+    ($ty:ty) => {
+        impl GameRules for $ty {
+            fn name(&self) -> &'static str {
+                <$ty as Objective>::NAME
+            }
+
+            fn agent_cost(&self, ctx: &EvalContext, v: V) -> u64 {
+                ctx.agent_cost::<$ty>(v)
+            }
+
+            fn best_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+                ctx.best_response::<$ty>(v)
+            }
+
+            fn first_improving_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+                ctx.first_improving_response::<$ty>(v)
+            }
+
+            fn best_responses_par(&self, ctx: &EvalContext) -> Vec<Option<ScoredSwap>> {
+                ctx.best_responses_par::<$ty>()
+            }
+
+            fn first_improving_responses_par(&self, ctx: &EvalContext) -> Vec<Option<ScoredSwap>> {
+                ctx.first_improving_responses_par::<$ty>()
+            }
+
+            fn social_cost(&self, ctx: &EvalContext) -> Option<u64> {
+                // The paper's social usage cost (sum of ordered pairwise
+                // distances) for BOTH objectives — matching the pre-trait
+                // record schema byte for byte.
+                ctx.social_cost()
+            }
+        }
+    };
+}
+
+basic_game_rules!(SumObjective);
+basic_game_rules!(MaxObjective);
+
+// ---------------------------------------------------------------------------
+// Bounded-budget game.
+// ---------------------------------------------------------------------------
+
+/// Per-agent edge budgets over a basic-game objective: a swap `v: w → w2`
+/// that *inserts* a new edge is legal only while the target's degree
+/// stays within `budget[w2]`. Deletion-degenerate swaps (`w2` already
+/// adjacent) are always legal — they free capacity.
+///
+/// The acting agent's own degree is unchanged by a swap (it trades one
+/// incident edge for another), so only the target side is constrained;
+/// [`GameRules::legal_in_batch`] re-projects the target's degree through
+/// the round's already-accepted batch, which footprint disjointness alone
+/// cannot bound.
+#[derive(Debug, Clone)]
+pub struct BoundedBudgetGame<O: Objective = SumObjective> {
+    budgets: Arc<Vec<u32>>,
+    _marker: PhantomData<O>,
+}
+
+impl<O: Objective> BoundedBudgetGame<O> {
+    /// Uniform budget `b` for all `n` agents.
+    pub fn uniform(n: usize, b: u32) -> Self {
+        Self::new(vec![b; n])
+    }
+
+    /// Budgets of `deg(v) + slack` per agent — every start-graph edge is
+    /// affordable, with `slack` headroom to grow.
+    pub fn from_degrees(g: &Graph, slack: u32) -> Self {
+        Self::new(
+            (0..g.n() as V)
+                .map(|v| g.neighbors(v).len() as u32 + slack)
+                .collect(),
+        )
+    }
+
+    /// Explicit per-agent budgets (`budgets.len()` must equal the graph
+    /// order the game is played on).
+    pub fn new(budgets: Vec<u32>) -> Self {
+        BoundedBudgetGame {
+            budgets: Arc::new(budgets),
+            _marker: PhantomData,
+        }
+    }
+
+    /// The budget of agent `v`.
+    pub fn budget(&self, v: V) -> u32 {
+        self.budgets[v as usize]
+    }
+
+    /// Whether targeting `w2` with a *new* edge is within budget in the
+    /// snapshot (deletion-degenerate targets are always fine).
+    fn target_ok(&self, csr: &Csr, v: V, w2: V) -> bool {
+        if csr.neighbors(v).contains(&w2) {
+            return true; // degenerates to deletion of vw
+        }
+        (csr.neighbors(w2).len() as u32) < self.budgets[w2 as usize]
+    }
+}
+
+impl<O: Objective> GameRules for BoundedBudgetGame<O> {
+    fn name(&self) -> &'static str {
+        match O::NAME {
+            "sum" => "budget-sum",
+            _ => "budget-max",
+        }
+    }
+
+    fn agent_cost(&self, ctx: &EvalContext, v: V) -> u64 {
+        ctx.agent_cost::<O>(v)
+    }
+
+    fn best_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost(ctx, v);
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        let mut best: Option<ScoredSwap> = None;
+        for &w in csr.neighbors(v) {
+            let scan = ctx.scan(v, w);
+            for w2 in 0..n {
+                if w2 == v || w2 == w || !self.target_ok(csr, v, w2) {
+                    continue;
+                }
+                let new_cost = scan.swap_cost::<O>(v, w2);
+                if new_cost < old && best.as_ref().is_none_or(|b| new_cost < b.new_cost) {
+                    best = Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                }
+            }
+            scan.recycle();
+        }
+        best
+    }
+
+    fn first_improving_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost(ctx, v);
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        for &w in csr.neighbors(v) {
+            let scan = ctx.scan(v, w);
+            let mut found: Option<ScoredSwap> = None;
+            for w2 in 0..n {
+                if w2 == v || w2 == w || !self.target_ok(csr, v, w2) {
+                    continue;
+                }
+                let new_cost = scan.swap_cost::<O>(v, w2);
+                if new_cost < old {
+                    found = Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                    break;
+                }
+            }
+            scan.recycle();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    fn social_cost(&self, ctx: &EvalContext) -> Option<u64> {
+        ctx.social_cost()
+    }
+
+    fn legal_move(&self, ctx: &EvalContext, mv: &SwapMove) -> bool {
+        mv.w2 != mv.v && mv.w2 != mv.w && self.target_ok(ctx.csr(), mv.v, mv.w2)
+    }
+
+    fn legal_in_batch(&self, ctx: &EvalContext, mv: &SwapMove, accepted: &[ScoredSwap]) -> bool {
+        let csr = ctx.csr();
+        let adjacent = |a: V, b: V| csr.neighbors(a).contains(&b);
+        if adjacent(mv.v, mv.w2) {
+            return true; // pure deletion: frees capacity at both ends
+        }
+        let w2 = mv.w2;
+        // Project the target's degree through the accepted batch: each
+        // accepted move removes its snapshot edge and (unless deletion-
+        // degenerate) inserts a new one.
+        let mut deg = csr.neighbors(w2).len() as i64;
+        for s in accepted {
+            let m = &s.mv;
+            if m.v == w2 || m.w == w2 {
+                deg -= 1;
+            }
+            if !adjacent(m.v, m.w2) && (m.v == w2 || m.w2 == w2) {
+                deg += 1;
+            }
+        }
+        deg < i64::from(self.budgets[w2 as usize])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Communication-interest game.
+// ---------------------------------------------------------------------------
+
+/// Communication interests: agent `v` pays `Σ_{x ∈ I(v)} d(v, x)` for its
+/// interest set `I(v)` only. Sparse per-agent rows are evaluated through
+/// the masked kernels ([`kernels::masked_row_cost`] for the standing
+/// cost, [`kernels::masked_blend_cost_sum`] against a swap scan's masked
+/// matrix), so a candidate sweep touches `|I(v)|` entries per candidate
+/// instead of `n`.
+///
+/// An agent disconnected from an interest pays [`INFINITE_COST`]; agents
+/// with empty interest sets pay `0` and never move.
+#[derive(Debug, Clone)]
+pub struct InterestGame {
+    interests: Arc<Vec<Vec<V>>>,
+}
+
+impl InterestGame {
+    /// Explicit interest sets (deduplicated, self-interest dropped, kept
+    /// sorted so scan order is deterministic).
+    pub fn new(mut interests: Vec<Vec<V>>) -> Self {
+        for (v, set) in interests.iter_mut().enumerate() {
+            set.sort_unstable();
+            set.dedup();
+            set.retain(|&x| x as usize != v);
+        }
+        InterestGame {
+            interests: Arc::new(interests),
+        }
+    }
+
+    /// Deterministic synthetic instance: agent `v` is interested in the
+    /// `k` vertices `v+1, …, v+k (mod n)` — a ring of overlapping
+    /// interests that keeps every agent active without an RNG.
+    pub fn ring(n: usize, k: usize) -> Self {
+        Self::new(
+            (0..n)
+                .map(|v| {
+                    (1..=k.min(n.saturating_sub(1)))
+                        .map(|d| ((v + d) % n) as V)
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// The interest set of agent `v` (sorted ascending).
+    pub fn interests(&self, v: V) -> &[V] {
+        &self.interests[v as usize]
+    }
+}
+
+impl GameRules for InterestGame {
+    fn name(&self) -> &'static str {
+        "interest"
+    }
+
+    fn agent_cost(&self, ctx: &EvalContext, v: V) -> u64 {
+        kernels::masked_row_cost(ctx.base().row(v), self.interests(v))
+    }
+
+    fn best_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost(ctx, v);
+        let iv = self.interests(v);
+        if iv.is_empty() {
+            return None;
+        }
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        let mut best: Option<ScoredSwap> = None;
+        for &w in csr.neighbors(v) {
+            let scan = ctx.scan(v, w);
+            let row_v = scan.masked().row(v);
+            for w2 in 0..n {
+                if w2 == v || w2 == w {
+                    continue;
+                }
+                let new_cost = kernels::masked_blend_cost_sum(row_v, scan.masked().row(w2), iv);
+                if new_cost < old && best.as_ref().is_none_or(|b| new_cost < b.new_cost) {
+                    best = Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                }
+            }
+            scan.recycle();
+        }
+        best
+    }
+
+    fn first_improving_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let old = self.agent_cost(ctx, v);
+        let iv = self.interests(v);
+        if iv.is_empty() {
+            return None;
+        }
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        for &w in csr.neighbors(v) {
+            let scan = ctx.scan(v, w);
+            let row_v = scan.masked().row(v);
+            let mut found: Option<ScoredSwap> = None;
+            for w2 in 0..n {
+                if w2 == v || w2 == w {
+                    continue;
+                }
+                let new_cost = kernels::masked_blend_cost_sum(row_v, scan.masked().row(w2), iv);
+                if new_cost < old {
+                    found = Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                    break;
+                }
+            }
+            scan.recycle();
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2-neighborhood game.
+// ---------------------------------------------------------------------------
+
+/// Local 2-neighborhood maximization: agent `v` wants the largest 2-ball
+/// `B₂(v)` (itself, its neighbors, their neighbors), so its cost is
+/// `n − |B₂(v)|`. Everything is computed from the CSR alone —
+/// [`GameRules::needs_apsp`] is `false`, and the telemetry suite asserts
+/// that no engine run under these rules builds or repairs a distance
+/// matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoNeighborhoodGame;
+
+impl TwoNeighborhoodGame {
+    /// `n − |B₂(v)|` after hypothetically replacing incident edge
+    /// `v–drop` by `v–add` (`None` = no change on that side). Exact for
+    /// swaps because only edges at `v` change: the 2-ball reads each
+    /// modified neighbor's *unmodified* adjacency list, and the one list
+    /// that does change (`add` gains `v`) only re-marks `v` itself.
+    fn b2_cost(csr: &Csr, v: V, drop: Option<V>, add: Option<V>) -> u64 {
+        let n = csr.n();
+        let mut mark = vec![false; n];
+        let mut count = 0u64;
+        let visit = |u: V, mark: &mut [bool], count: &mut u64| {
+            if !mark[u as usize] {
+                mark[u as usize] = true;
+                *count += 1;
+            }
+        };
+        visit(v, &mut mark, &mut count);
+        for &u in csr.neighbors(v) {
+            if Some(u) == drop {
+                continue;
+            }
+            visit(u, &mut mark, &mut count);
+            for &x in csr.neighbors(u) {
+                visit(x, &mut mark, &mut count);
+            }
+        }
+        if let Some(a) = add {
+            visit(a, &mut mark, &mut count);
+            for &x in csr.neighbors(a) {
+                visit(x, &mut mark, &mut count);
+            }
+        }
+        n as u64 - count
+    }
+}
+
+impl GameRules for TwoNeighborhoodGame {
+    fn name(&self) -> &'static str {
+        "2nb"
+    }
+
+    fn needs_apsp(&self) -> bool {
+        false
+    }
+
+    fn agent_cost(&self, ctx: &EvalContext, v: V) -> u64 {
+        Self::b2_cost(ctx.csr(), v, None, None)
+    }
+
+    fn best_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        let old = Self::b2_cost(csr, v, None, None);
+        let mut best: Option<ScoredSwap> = None;
+        for &w in csr.neighbors(v) {
+            for w2 in 0..n {
+                if w2 == v || w2 == w {
+                    continue;
+                }
+                let new_cost = Self::b2_cost(csr, v, Some(w), Some(w2));
+                if new_cost < old && best.as_ref().is_none_or(|b| new_cost < b.new_cost) {
+                    best = Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    fn first_improving_response(&self, ctx: &EvalContext, v: V) -> Option<ScoredSwap> {
+        let csr = ctx.csr();
+        let n = ctx.n() as V;
+        let old = Self::b2_cost(csr, v, None, None);
+        for &w in csr.neighbors(v) {
+            for w2 in 0..n {
+                if w2 == v || w2 == w {
+                    continue;
+                }
+                let new_cost = Self::b2_cost(csr, v, Some(w), Some(w2));
+                if new_cost < old {
+                    return Some(ScoredSwap {
+                        mv: SwapMove { v, w, w2 },
+                        old_cost: old,
+                        new_cost,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bncg_graph::generators::classic;
+
+    fn ctx_of(g: &Graph) -> EvalContext {
+        EvalContext::new(g)
+    }
+
+    #[test]
+    fn basic_rules_delegate_to_context_paths() {
+        let g = classic::path(9);
+        let ctx = ctx_of(&g);
+        for v in 0..9 {
+            assert_eq!(
+                GameRules::best_response(&SumObjective, &ctx, v),
+                ctx.best_response::<SumObjective>(v)
+            );
+            assert_eq!(
+                GameRules::agent_cost(&MaxObjective, &ctx, v),
+                ctx.agent_cost::<MaxObjective>(v)
+            );
+        }
+        assert_eq!(
+            GameRules::social_cost(&SumObjective, &ctx),
+            ctx.social_cost()
+        );
+        assert_eq!(SumObjective.name(), "sum");
+        assert!(SumObjective.needs_apsp());
+    }
+
+    #[test]
+    fn budget_zero_slack_blocks_every_insertion() {
+        let g = classic::path(8);
+        let ctx = ctx_of(&g);
+        let rules: BoundedBudgetGame<SumObjective> = BoundedBudgetGame::from_degrees(&g, 0);
+        // With zero headroom, every non-degenerate insertion target is
+        // full; responses can only be deletion-degenerate (never improving
+        // on a path, where deleting disconnects), so nobody moves.
+        for v in 0..8 {
+            assert_eq!(rules.best_response(&ctx, v), None);
+            assert_eq!(rules.first_improving_response(&ctx, v), None);
+        }
+    }
+
+    #[test]
+    fn budget_with_slack_matches_basic_when_unconstrained() {
+        let g = classic::path(8);
+        let ctx = ctx_of(&g);
+        let rules: BoundedBudgetGame<SumObjective> = BoundedBudgetGame::uniform(8, u32::MAX);
+        for v in 0..8 {
+            assert_eq!(
+                rules.best_response(&ctx, v),
+                ctx.best_response::<SumObjective>(v)
+            );
+        }
+    }
+
+    #[test]
+    fn interest_cost_reads_masked_rows() {
+        let g = classic::path(5); // 0-1-2-3-4
+        let ctx = ctx_of(&g);
+        let rules = InterestGame::new(vec![vec![4], vec![], vec![0, 4], vec![], vec![0]]);
+        assert_eq!(rules.agent_cost(&ctx, 0), 4);
+        assert_eq!(rules.agent_cost(&ctx, 1), 0);
+        assert_eq!(rules.agent_cost(&ctx, 2), 4);
+        assert_eq!(rules.agent_cost(&ctx, 4), 4);
+        // Agent 0 can swap 0:1>4 — but that disconnects nothing it pays
+        // for? Deleting 0-1 cuts 0 from the rest unless the new edge
+        // reconnects: 0-4 gives d(0,4)=1.
+        let best = rules.best_response(&ctx, 0).expect("0 can improve");
+        assert_eq!((best.mv.v, best.mv.w, best.mv.w2), (0, 1, 4));
+        assert_eq!(best.new_cost, 1);
+    }
+
+    #[test]
+    fn two_neighborhood_counts_balls_without_apsp() {
+        let g = classic::path(7); // B2(0) = {0,1,2}
+        let ctx = ctx_of(&g);
+        let rules = TwoNeighborhoodGame;
+        assert!(!rules.needs_apsp());
+        assert_eq!(rules.agent_cost(&ctx, 0), 7 - 3);
+        assert_eq!(rules.agent_cost(&ctx, 3), 7 - 5);
+        let best = rules.best_response(&ctx, 0).expect("endpoint can improve");
+        assert!(best.new_cost < best.old_cost);
+        // Social cost is defined (finite) even though no APSP exists.
+        assert!(rules.social_cost(&ctx).is_some());
+    }
+
+    #[test]
+    fn default_moves_filter_respects_legality() {
+        let g = classic::cycle(6);
+        let ctx = ctx_of(&g);
+        let basic_moves = GameRules::moves(&SumObjective, &ctx, 0);
+        // cycle: deg 2, n=6 → 2 * (6-2) = 8 candidate moves.
+        assert_eq!(basic_moves.len(), 8);
+        let rules: BoundedBudgetGame<SumObjective> = BoundedBudgetGame::from_degrees(&g, 0);
+        let constrained = rules.moves(&ctx, 0);
+        // Zero slack: only deletion-degenerate targets stay legal; on a
+        // cycle each neighbor's other neighbor is not adjacent to 0, so
+        // every insertion is blocked except swaps onto existing neighbors.
+        assert!(constrained.len() < basic_moves.len());
+        for mv in &constrained {
+            assert!(rules.legal_move(&ctx, mv));
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! for their diameter.
 
 use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_graph::generators::random::{random_connected, random_tree};
 use bncg_graph::DistanceMatrix;
 use rand::rngs::StdRng;
@@ -75,7 +76,12 @@ pub struct BatchSummary {
 /// Runs the batch for objective `O` (parallel over seeds), with a private
 /// per-batch audit cache. See [`run_batch_with_cache`] to share the cache
 /// across batches.
-pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
+///
+/// The batch layer keeps the basic-game [`Objective`] bound (the shared
+/// [`EquilibriumCache`] audits are keyed by `O::NAME`) *and* routes the
+/// engine through the objective's [`GameRules`] impl, so the dynamics
+/// below run the same trait path as every other engine.
+pub fn run_batch<O: Objective + GameRules + Default>(config: BatchConfig) -> BatchSummary {
     run_batch_with_cache::<O>(config, &EquilibriumCache::new())
 }
 
@@ -84,7 +90,7 @@ pub fn run_batch<O: Objective>(config: BatchConfig) -> BatchSummary {
 /// sum run funnels into) are audited once per isomorphism class, repeated
 /// batches over the same cache skip those re-audits entirely, and other
 /// endpoints take one plain APSP for their diameter instead of an audit.
-pub fn run_batch_with_cache<O: Objective>(
+pub fn run_batch_with_cache<O: Objective + GameRules + Default>(
     config: BatchConfig,
     cache: &EquilibriumCache,
 ) -> BatchSummary {
@@ -208,10 +214,21 @@ pub struct RoundBatchSummary {
 /// oscillation period, final diameter.
 type RoundRunRecord = (Outcome, usize, usize, Option<usize>, Option<u32>);
 
-/// Runs a round-based batch for objective `O` (parallel over seeds) from
+/// Runs a round-based batch for rule set `R` (parallel over seeds) from
 /// the same start families as [`run_batch`], so sequential and round
 /// semantics can be compared on identical initial conditions.
-pub fn run_round_batch<O: Objective>(config: RoundBatchConfig) -> RoundBatchSummary {
+pub fn run_round_batch<R: GameRules + Default>(config: RoundBatchConfig) -> RoundBatchSummary {
+    run_round_batch_with_rules(config, R::default())
+}
+
+/// [`run_round_batch`] with an explicit rule-set value — the entry for
+/// rule sets carrying per-agent state (budgets, interest sets), which
+/// have no meaningful `Default`. Every run shares the same rules value
+/// (cheaply cloned; rule sets are `Arc`-backed).
+pub fn run_round_batch_with_rules<R: GameRules>(
+    config: RoundBatchConfig,
+    rules: R,
+) -> RoundBatchSummary {
     let results: Vec<RoundRunRecord> = (0..config.runs)
         .into_par_iter()
         .map(|i| {
@@ -220,7 +237,7 @@ pub fn run_round_batch<O: Objective>(config: RoundBatchConfig) -> RoundBatchSumm
                 StartFamily::RandomTree => random_tree(&mut rng, config.n),
                 StartFamily::RandomConnected(extra) => random_connected(&mut rng, config.n, extra),
             };
-            let engine = crate::rounds::RoundDynamics::<O>::new(config.rounds);
+            let engine = crate::rounds::RoundDynamics::with_rules(config.rounds, rules.clone());
             let result = engine.run(&start);
             let diameter = (result.outcome == Outcome::Converged)
                 .then(|| DistanceMatrix::build(&result.graph.to_csr()).diameter())

@@ -10,7 +10,7 @@
 //! applied as one batch, see [`crate::rounds`].
 
 use bncg_core::context::EvalContext;
-use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_graph::dynamic::repair_phase_totals;
 use bncg_graph::{Graph, RepairStrategy, V};
 use rand::seq::SliceRandom;
@@ -94,20 +94,32 @@ pub struct DynamicsResult {
     pub cycle_period: Option<usize>,
 }
 
-/// The dynamics engine, generic over the usage-cost objective.
-pub struct SwapDynamics<O: Objective> {
+/// The dynamics engine, generic over the game's rule set ([`GameRules`];
+/// the two basic-game objectives implement it, so
+/// `SwapDynamics<SumObjective>` keeps its pre-trait meaning).
+pub struct SwapDynamics<R: GameRules> {
     config: DynamicsConfig,
     repair_strategy: RepairStrategy,
-    _marker: std::marker::PhantomData<O>,
+    rules: R,
 }
 
-impl<O: Objective> SwapDynamics<O> {
-    /// Engine with the given configuration.
-    pub fn new(config: DynamicsConfig) -> Self {
+impl<R: GameRules> SwapDynamics<R> {
+    /// Engine with the given configuration and the rule set's default
+    /// value (the basic-game objectives and other stateless rule sets).
+    pub fn new(config: DynamicsConfig) -> Self
+    where
+        R: Default,
+    {
+        Self::with_rules(config, R::default())
+    }
+
+    /// Engine with an explicit rule-set value (rule sets carrying
+    /// per-agent state: budgets, interest sets).
+    pub fn with_rules(config: DynamicsConfig, rules: R) -> Self {
         SwapDynamics {
             config,
             repair_strategy: RepairStrategy::default(),
-            _marker: std::marker::PhantomData,
+            rules,
         }
     }
 
@@ -132,7 +144,7 @@ impl<O: Objective> SwapDynamics<O> {
     /// audit forces it) is *repaired* by the dynamic-distance subsystem
     /// rather than rebuilt per move. The greedy-global schedule scans all
     /// agents in parallel.
-    pub fn run<R: Rng>(&self, start: &Graph, rng: &mut R) -> DynamicsResult {
+    pub fn run<G: Rng>(&self, start: &Graph, rng: &mut G) -> DynamicsResult {
         self.run_with_sink(start, rng, &mut NullSink)
     }
 
@@ -142,10 +154,10 @@ impl<O: Objective> SwapDynamics<O> {
     /// applied` and `conflicted == 0`. An active sink forces the base
     /// matrix (for the social-cost reading), which the plain `run` leaves
     /// lazy — use [`NullSink`] to keep the untraced behavior.
-    pub fn run_with_sink<R: Rng>(
+    pub fn run_with_sink<G: Rng>(
         &self,
         start: &Graph,
-        rng: &mut R,
+        rng: &mut G,
         sink: &mut dyn MetricsSink,
     ) -> DynamicsResult {
         let mut g = start.clone();
@@ -159,7 +171,7 @@ impl<O: Objective> SwapDynamics<O> {
         let mut moves = 0usize;
         let mut order: Vec<V> = (0..n as V).collect();
         let mut prev_cost = if sink.active() {
-            ctx.social_cost()
+            self.rules.social_cost(&ctx)
         } else {
             None
         };
@@ -178,8 +190,10 @@ impl<O: Objective> SwapDynamics<O> {
                     for idx in 0..order.len() {
                         let v = order[idx];
                         let swap = match self.config.response {
-                            Response::Best => ctx.best_response::<O>(v),
-                            Response::FirstImproving => ctx.first_improving_response::<O>(v),
+                            Response::Best => self.rules.best_response(&ctx, v),
+                            Response::FirstImproving => {
+                                self.rules.first_improving_response(&ctx, v)
+                            }
                         };
                         if let Some(s) = swap {
                             let rec = s.mv.apply(&mut g);
@@ -196,8 +210,9 @@ impl<O: Objective> SwapDynamics<O> {
                     }
                 }
                 Schedule::GreedyGlobal => {
-                    let best = ctx
-                        .best_responses_par::<O>()
+                    let best = self
+                        .rules
+                        .best_responses_par(&ctx)
                         .into_iter()
                         .flatten()
                         .max_by_key(|s| s.improvement());
@@ -218,7 +233,7 @@ impl<O: Objective> SwapDynamics<O> {
             if sink.active() {
                 let stats_now = ctx.dynamic_stats_snapshot();
                 let phases_now = repair_phase_totals();
-                let cost = ctx.social_cost();
+                let cost = self.rules.social_cost(&ctx);
                 sink.record_round(&RoundRecord {
                     round: round + 1,
                     proposed: round_moves,

@@ -79,7 +79,7 @@ pub use cache::EquilibriumCache;
 pub use census::{tree_census, tree_census_with_cache, TreeCensus};
 pub use engine::{DynamicsConfig, DynamicsResult, Outcome, Response, Schedule, SwapDynamics};
 pub use recovery::{read_journal, Journal, JournalRecord, JournalScan, RecoveryError};
-pub use rounds::{RoundConfig, RoundDynamics, RoundResult};
+pub use rounds::{resolve_round_with, step_round, RoundConfig, RoundDynamics, RoundResult};
 pub use service::{
     AuditPolicy, AuditStats, JournalOptions, PipelinedRoundDynamics, ResumeReport, RoundService,
     ServiceConfig, SessionReport,

@@ -48,7 +48,7 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 use bncg_core::context::EvalContext;
-use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_core::swap::SwapMove;
 use bncg_graph::adjacency::SwapApplied;
 use bncg_graph::{graph6, DistanceMatrix, Graph, RepairStrategy};
@@ -134,7 +134,7 @@ pub enum JournalRecord {
     /// The journal header: service configuration plus the graph6 of the
     /// state the journal's replay starts from.
     Seed {
-        /// Objective tag ([`Objective::NAME`]) — resume refuses a journal
+        /// Game tag ([`GameRules::name`]) — resume refuses a journal
         /// written under a different objective.
         objective: String,
         /// Response rule of every session.
@@ -716,12 +716,15 @@ pub(crate) struct ReplayedState {
     pub used_checkpoint: bool,
 }
 
-/// Replays a scanned journal into a live service state. `O` must match
-/// the journal's seed objective tag; the maintained matrix is rebuilt at
-/// the last checkpoint (verified against its recorded CRC) and repaired
-/// through every later batch, so it is byte-identical to the crashed
-/// process's matrix.
-pub(crate) fn replay<O: Objective>(
+/// Replays a scanned journal into a live service state. `rules.name()`
+/// must match the journal's seed objective tag; the maintained matrix is
+/// rebuilt at the last checkpoint (verified against its recorded CRC)
+/// and repaired through every later batch, so it is byte-identical to
+/// the crashed process's matrix. Rule sets that never touch distances
+/// (`needs_apsp() == false`) keep the context lazy and skip matrix-CRC
+/// verification — their checkpoints record a zero CRC.
+pub(crate) fn replay<R: GameRules>(
+    rules: &R,
     scan: &JournalScan,
     strategy: RepairStrategy,
 ) -> Result<ReplayedState, RecoveryError> {
@@ -743,10 +746,10 @@ pub(crate) fn replay<O: Objective>(
             "journal does not begin with a seed record".into(),
         ));
     };
-    if objective != O::NAME {
+    if objective != rules.name() {
         return Err(RecoveryError::Mismatch(format!(
-            "journal was written for objective {objective:?}, resume asked for {:?}",
-            O::NAME
+            "journal was written for game {objective:?}, resume asked for {:?}",
+            rules.name()
         )));
     }
     let config = ServiceConfig {
@@ -768,10 +771,13 @@ pub(crate) fn replay<O: Objective>(
         .iter()
         .rposition(|r| matches!(r, JournalRecord::Checkpoint { .. }));
     let mut live: Option<EvalContext> = None;
-    let build_ctx = |g: &Graph| -> Result<EvalContext, RecoveryError> {
+    let needs_apsp = rules.needs_apsp();
+    let build_ctx = move |g: &Graph| -> Result<EvalContext, RecoveryError> {
         let mut ctx = EvalContext::new(g);
         ctx.set_repair_strategy(strategy);
-        ctx.try_base()?;
+        if needs_apsp {
+            ctx.try_base()?;
+        }
         Ok(ctx)
     };
     if last_ckpt.is_none() {
@@ -883,12 +889,14 @@ pub(crate) fn replay<O: Objective>(
                     )));
                 }
                 let ctx = build_ctx(&g)?;
-                let got = matrix_crc(ctx.base());
-                if got != *want {
-                    return Err(RecoveryError::Mismatch(format!(
-                        "checkpoint {} matrix crc {want:08x} != rebuilt {got:08x}",
-                        idx + 1
-                    )));
+                if needs_apsp {
+                    let got = matrix_crc(ctx.base());
+                    if got != *want {
+                        return Err(RecoveryError::Mismatch(format!(
+                            "checkpoint {} matrix crc {want:08x} != rebuilt {got:08x}",
+                            idx + 1
+                        )));
+                    }
                 }
                 live = Some(ctx);
             }

@@ -30,7 +30,7 @@
 use std::collections::HashSet;
 
 use bncg_core::context::EvalContext;
-use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_core::swap::ScoredSwap;
 use bncg_graph::adjacency::{Edge, SwapApplied};
 use bncg_graph::dynamic::{repair_phase_totals, RepairStats};
@@ -123,22 +123,52 @@ pub fn resolve_round(proposals: &[Option<ScoredSwap>]) -> Vec<ScoredSwap> {
     accepted
 }
 
-/// Executes one frozen-snapshot round: propose (in parallel) against the
-/// current state of `ctx`, resolve deterministically, apply the accepted
-/// moves to `g`, and repair the context's base matrix as **one batch** at
-/// the round barrier. Returns the resolved step (`proposed == 0` means
-/// the snapshot is already stable under `response`).
-pub fn step_round<O: Objective>(
+/// [`resolve_round`] with the rule set's barrier-time legality veto:
+/// after the footprint-disjointness test, each surviving move is also
+/// checked against [`GameRules::legal_in_batch`] with the moves already
+/// accepted this round — the hook that lets rule sets forbid interactions
+/// footprints cannot see (two disjoint insertions both raising one
+/// vertex's degree past its budget). For the basic game the hook always
+/// accepts, so this is move-for-move identical to [`resolve_round`].
+pub fn resolve_round_with<R: GameRules>(
+    rules: &R,
+    ctx: &EvalContext,
+    proposals: &[Option<ScoredSwap>],
+) -> Vec<ScoredSwap> {
+    let mut accepted: Vec<ScoredSwap> = Vec::new();
+    let mut touched: HashSet<Edge> = HashSet::with_capacity(2 * proposals.iter().flatten().count());
+    for s in proposals.iter().flatten() {
+        let fp = s.mv.footprint();
+        if fp.iter().any(|e| touched.contains(e)) {
+            continue;
+        }
+        if !rules.legal_in_batch(ctx, &s.mv, &accepted) {
+            continue;
+        }
+        touched.extend(fp);
+        accepted.push(*s);
+    }
+    accepted
+}
+
+/// Executes one frozen-snapshot round under `rules`: propose (in
+/// parallel) against the current state of `ctx`, resolve
+/// deterministically ([`resolve_round_with`]), apply the accepted moves
+/// to `g`, and repair the context's base matrix as **one batch** at the
+/// round barrier. Returns the resolved step (`proposed == 0` means the
+/// snapshot is already stable under `response`).
+pub fn step_round<R: GameRules>(
+    rules: &R,
     ctx: &mut EvalContext,
     g: &mut Graph,
     response: Response,
 ) -> RoundStep {
     let proposals = match response {
-        Response::Best => ctx.best_responses_par::<O>(),
-        Response::FirstImproving => ctx.first_improving_responses_par::<O>(),
+        Response::Best => rules.best_responses_par(ctx),
+        Response::FirstImproving => rules.first_improving_responses_par(ctx),
     };
     let proposed = proposals.iter().flatten().count();
-    let accepted = resolve_round(&proposals);
+    let accepted = resolve_round_with(rules, ctx, &proposals);
     let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(g)).collect();
     if !batch.is_empty() {
         ctx.refresh_after_batch(g, &batch);
@@ -150,22 +180,34 @@ pub fn step_round<O: Objective>(
     }
 }
 
-/// The round-based dynamics engine, generic over the usage-cost
-/// objective. Fully deterministic: no schedule, no RNG — every agent is
-/// activated every round against the same frozen snapshot.
-pub struct RoundDynamics<O: Objective> {
+/// The round-based dynamics engine, generic over the game's rule set
+/// ([`GameRules`]; the two basic-game objectives implement it, so
+/// `RoundDynamics<SumObjective>` keeps its pre-trait meaning). Fully
+/// deterministic: no schedule, no RNG — every agent is activated every
+/// round against the same frozen snapshot.
+pub struct RoundDynamics<R: GameRules> {
     config: RoundConfig,
     repair_strategy: RepairStrategy,
-    _marker: std::marker::PhantomData<O>,
+    rules: R,
 }
 
-impl<O: Objective> RoundDynamics<O> {
-    /// Engine with the given configuration.
-    pub fn new(config: RoundConfig) -> Self {
+impl<R: GameRules> RoundDynamics<R> {
+    /// Engine with the given configuration and the rule set's default
+    /// value (the basic-game objectives and other stateless rule sets).
+    pub fn new(config: RoundConfig) -> Self
+    where
+        R: Default,
+    {
+        Self::with_rules(config, R::default())
+    }
+
+    /// Engine with an explicit rule-set value (rule sets carrying
+    /// per-agent state: budgets, interest sets).
+    pub fn with_rules(config: RoundConfig, rules: R) -> Self {
         RoundDynamics {
             config,
             repair_strategy: RepairStrategy::default(),
-            _marker: std::marker::PhantomData,
+            rules,
         }
     }
 
@@ -199,7 +241,9 @@ impl<O: Objective> RoundDynamics<O> {
         let mut g = start.clone();
         let mut ctx = EvalContext::new(&g);
         ctx.set_repair_strategy(self.repair_strategy);
-        ctx.base(); // force the matrix: every round repairs, none rebuilds
+        if self.rules.needs_apsp() {
+            ctx.base(); // force the matrix: every round repairs, none rebuilds
+        }
         let stats_before = ctx.dynamic_stats_snapshot();
         let mut log = StateLog::new();
         if self.config.detect_cycles {
@@ -208,14 +252,14 @@ impl<O: Objective> RoundDynamics<O> {
         let mut moves_proposed = 0usize;
         let mut moves_applied = 0usize;
         let mut prev_cost = if sink.active() {
-            ctx.social_cost()
+            self.rules.social_cost(&ctx)
         } else {
             None
         };
         let mut round_stats = stats_before;
         let mut round_phases = repair_phase_totals();
         for round in 0..self.config.max_rounds {
-            let step = step_round::<O>(&mut ctx, &mut g, self.config.response);
+            let step = step_round(&self.rules, &mut ctx, &mut g, self.config.response);
             moves_proposed += step.proposed;
             moves_applied += step.applied;
             let ended: Option<(Outcome, Option<usize>)> = if step.proposed == 0 {
@@ -228,7 +272,7 @@ impl<O: Objective> RoundDynamics<O> {
             if sink.active() {
                 let stats_now = ctx.dynamic_stats_snapshot();
                 let phases_now = repair_phase_totals();
-                let cost = ctx.social_cost();
+                let cost = self.rules.social_cost(&ctx);
                 sink.record_round(&RoundRecord {
                     round: round + 1,
                     proposed: step.proposed,

@@ -85,7 +85,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use bncg_core::context::EvalContext;
-use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_core::swap::{ScoredSwap, SwapMove};
 use bncg_graph::adjacency::SwapApplied;
 use bncg_graph::dynamic::{repair_phase_totals, RepairPhases, RepairStats};
@@ -94,7 +94,7 @@ use bncg_graph::{graph6, Graph, RepairStrategy, V};
 use crate::convergence::StateLog;
 use crate::engine::{Outcome, Response};
 use crate::recovery::{self, Journal, JournalRecord, RecoveryError};
-use crate::rounds::{resolve_round, RoundConfig, RoundResult};
+use crate::rounds::{resolve_round_with, RoundConfig, RoundResult};
 use crate::sink::{MetricsSink, NullSink, RoundRecord};
 
 /// Configuration of a [`RoundService`].
@@ -121,9 +121,13 @@ struct SessionBook {
 
 /// Emits one [`RoundRecord`] exactly the way the serial engine does —
 /// shared by the serial session path and the pipelined barrier's main
-/// branch, so the two paths cannot drift.
-fn emit_record(
+/// branch, so the two paths cannot drift. The social-cost reading goes
+/// through the rule set (identical to the old direct context read for
+/// the basic game; variant games account their own way).
+#[allow(clippy::too_many_arguments)]
+fn emit_record<R: GameRules>(
     sink: &mut dyn MetricsSink,
+    rules: &R,
     live: &EvalContext,
     book: &mut SessionBook,
     round: usize,
@@ -136,7 +140,7 @@ fn emit_record(
     }
     let stats_now = live.dynamic_stats_snapshot();
     let phases_now = repair_phase_totals();
-    let cost = live.social_cost();
+    let cost = rules.social_cost(live);
     sink.record_round(&RoundRecord {
         round,
         proposed,
@@ -243,7 +247,7 @@ pub struct ResumeReport {
 /// A long-running, restartless round-dynamics driver: one frozen-snapshot
 /// engine kept warm across sessions. See the [module docs](self) for the
 /// pipelining scheme and its legality argument.
-pub struct RoundService<O: Objective> {
+pub struct RoundService<R: GameRules> {
     config: ServiceConfig,
     g: Graph,
     /// The authoritative context: every query, cycle check, and record
@@ -296,14 +300,19 @@ pub struct RoundService<O: Objective> {
     /// rounds run serially off the healed live context and the snapshot
     /// is quarantined.
     audit_degraded: bool,
-    _marker: std::marker::PhantomData<O>,
+    /// The game being played: objective evaluation, move generation, and
+    /// move legality all route through this rule set.
+    rules: R,
 }
 
-impl<O: Objective> RoundService<O> {
+impl<R: GameRules> RoundService<R> {
     /// Service on a copy of `start`, paying the one full APSP build the
     /// whole service lifetime amortizes (plus one pooled matrix clone
     /// when pipelining is on).
-    pub fn new(start: &Graph, config: ServiceConfig) -> Self {
+    pub fn new(start: &Graph, config: ServiceConfig) -> Self
+    where
+        R: Default,
+    {
         Self::with_repair_strategy(start, config, RepairStrategy::default())
     }
 
@@ -314,11 +323,28 @@ impl<O: Objective> RoundService<O> {
         start: &Graph,
         config: ServiceConfig,
         strategy: RepairStrategy,
+    ) -> Self
+    where
+        R: Default,
+    {
+        Self::with_rules(start, config, strategy, R::default())
+    }
+
+    /// [`with_repair_strategy`](Self::with_repair_strategy) with an
+    /// explicit (possibly stateful) rule set — the constructor for game
+    /// variants that carry per-agent data (budgets, interest sets).
+    pub fn with_rules(
+        start: &Graph,
+        config: ServiceConfig,
+        strategy: RepairStrategy,
+        rules: R,
     ) -> Self {
         let g = start.clone();
         let mut live = EvalContext::new(&g);
         live.set_repair_strategy(strategy);
-        live.base(); // force the matrix: every barrier repairs, none rebuilds
+        if rules.needs_apsp() {
+            live.base(); // force the matrix: every barrier repairs, none rebuilds
+        }
         let snap = config.pipelined.then(|| live.clone_pooled());
         let stats_origin = live.dynamic_stats_snapshot();
         RoundService {
@@ -348,14 +374,17 @@ impl<O: Objective> RoundService<O> {
             audit_tick: 0,
             audit_cursor: 0,
             audit_degraded: false,
-            _marker: std::marker::PhantomData,
+            rules,
         }
     }
 
     /// [`new`](Self::new) with a typed error instead of a panic when the
     /// start graph's finite distances overflow the compact `u16` domain —
     /// the fallible seam long-running drivers should construct through.
-    pub fn try_new(start: &Graph, config: ServiceConfig) -> Result<Self, bncg_graph::DistOverflow> {
+    pub fn try_new(start: &Graph, config: ServiceConfig) -> Result<Self, bncg_graph::DistOverflow>
+    where
+        R: Default,
+    {
         Self::try_with_repair_strategy(start, config, RepairStrategy::default())
     }
 
@@ -366,11 +395,28 @@ impl<O: Objective> RoundService<O> {
         start: &Graph,
         config: ServiceConfig,
         strategy: RepairStrategy,
+    ) -> Result<Self, bncg_graph::DistOverflow>
+    where
+        R: Default,
+    {
+        Self::try_with_rules(start, config, strategy, R::default())
+    }
+
+    /// [`with_rules`](Self::with_rules) with a typed
+    /// [`DistOverflow`](bncg_graph::DistOverflow) error instead of the
+    /// panic.
+    pub fn try_with_rules(
+        start: &Graph,
+        config: ServiceConfig,
+        strategy: RepairStrategy,
+        rules: R,
     ) -> Result<Self, bncg_graph::DistOverflow> {
         let g = start.clone();
         let mut live = EvalContext::new(&g);
         live.set_repair_strategy(strategy);
-        live.try_base()?;
+        if rules.needs_apsp() {
+            live.try_base()?;
+        }
         let snap = config.pipelined.then(|| live.clone_pooled());
         let stats_origin = live.dynamic_stats_snapshot();
         Ok(RoundService {
@@ -400,7 +446,7 @@ impl<O: Objective> RoundService<O> {
             audit_tick: 0,
             audit_cursor: 0,
             audit_degraded: false,
-            _marker: std::marker::PhantomData,
+            rules,
         })
     }
 
@@ -415,7 +461,10 @@ impl<O: Objective> RoundService<O> {
     /// inside a live session, the next
     /// [`run_session`](Self::run_session) continues that session from
     /// the round it stopped at.
-    pub fn resume(path: &Path) -> Result<(Self, ResumeReport), RecoveryError> {
+    pub fn resume(path: &Path) -> Result<(Self, ResumeReport), RecoveryError>
+    where
+        R: Default,
+    {
         Self::resume_with_strategy(path, RepairStrategy::default())
     }
 
@@ -424,10 +473,25 @@ impl<O: Objective> RoundService<O> {
     pub fn resume_with_strategy(
         path: &Path,
         strategy: RepairStrategy,
+    ) -> Result<(Self, ResumeReport), RecoveryError>
+    where
+        R: Default,
+    {
+        Self::resume_with_rules(path, strategy, R::default())
+    }
+
+    /// [`resume`](Self::resume) with an explicit rule set (and repair
+    /// strategy) — required for game variants whose rules carry state
+    /// the journal does not record. The journal's seed tag must match
+    /// `rules.name()`.
+    pub fn resume_with_rules(
+        path: &Path,
+        strategy: RepairStrategy,
+        rules: R,
     ) -> Result<(Self, ResumeReport), RecoveryError> {
         let scan = recovery::read_journal(path)?;
         let truncated = recovery::truncate_torn_tail(path, &scan)?;
-        let st = recovery::replay::<O>(&scan, strategy)?;
+        let st = recovery::replay(&rules, &scan, strategy)?;
         let journal = Journal::open_append(path)?;
         let snap = st.config.pipelined.then(|| st.live.clone_pooled());
         let stats_origin = st.live.dynamic_stats_snapshot();
@@ -465,7 +529,7 @@ impl<O: Objective> RoundService<O> {
             audit_tick: 0,
             audit_cursor: 0,
             audit_degraded: false,
-            _marker: std::marker::PhantomData,
+            rules,
         };
         Ok((service, report))
     }
@@ -495,7 +559,7 @@ impl<O: Objective> RoundService<O> {
     pub fn attach_journal(&mut self, path: &Path, opts: JournalOptions) -> io::Result<()> {
         let mut journal = Journal::create(path)?;
         journal.append_synced(&JournalRecord::Seed {
-            objective: O::NAME.to_string(),
+            objective: self.rules.name().to_string(),
             response: self.config.rounds.response,
             max_rounds: self.config.rounds.max_rounds,
             detect_cycles: self.config.rounds.detect_cycles,
@@ -659,10 +723,17 @@ impl<O: Objective> RoundService<O> {
             return;
         }
         self.rounds_since_ckpt = 0;
+        // Games that never touch distances keep the matrix lazy; the
+        // checkpoint records a zero CRC and resume skips verification.
+        let matrix_crc = if self.rules.needs_apsp() {
+            recovery::matrix_crc(self.live.base())
+        } else {
+            0
+        };
         let rec = JournalRecord::Checkpoint {
             rounds_logged: self.rounds_journaled,
             graph6: graph6::encode(&self.g),
-            matrix_crc: recovery::matrix_crc(self.live.base()),
+            matrix_crc,
         };
         if let Some(journal) = self.journal.as_mut() {
             journal.append_synced(&rec);
@@ -828,7 +899,7 @@ impl<O: Objective> RoundService<O> {
         };
         let mut book = SessionBook {
             prev_cost: if sink.active() {
-                self.live.social_cost()
+                self.rules.social_cost(&self.live)
             } else {
                 None
             },
@@ -897,9 +968,9 @@ impl<O: Objective> RoundService<O> {
         book: &mut SessionBook,
         round: usize,
     ) -> (usize, usize, Option<(Outcome, Option<usize>)>) {
-        let proposals = Self::propose(&self.live, self.config.rounds.response);
+        let proposals = Self::propose(&self.rules, &self.live, self.config.rounds.response);
         let proposed = proposals.iter().flatten().count();
-        let accepted = resolve_round(&proposals);
+        let accepted = resolve_round_with(&self.rules, &self.live, &proposals);
         let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(&mut self.g)).collect();
         let applied = batch.len();
         if !batch.is_empty() {
@@ -923,7 +994,16 @@ impl<O: Objective> RoundService<O> {
         } else {
             None
         };
-        emit_record(sink, &self.live, book, round, proposed, applied, ended);
+        emit_record(
+            sink,
+            &self.rules,
+            &self.live,
+            book,
+            round,
+            proposed,
+            applied,
+            ended,
+        );
         (proposed, applied, ended)
     }
 
@@ -940,18 +1020,22 @@ impl<O: Objective> RoundService<O> {
         let response = self.config.rounds.response;
         let proposals = match self.pending.take() {
             Some(p) => p,
-            None => Self::propose(self.snap.as_ref().unwrap_or(&self.live), response),
+            None => Self::propose(
+                &self.rules,
+                self.snap.as_ref().unwrap_or(&self.live),
+                response,
+            ),
         };
         let proposed = proposals.iter().flatten().count();
         if proposed == 0 {
             // Converged round: no batch, nothing to overlap — and the
             // proposals stay pending (the state is not changing).
             let ended = Some((Outcome::Converged, None));
-            emit_record(sink, &self.live, book, round, 0, 0, ended);
+            emit_record(sink, &self.rules, &self.live, book, round, 0, 0, ended);
             self.pending = Some(proposals);
             return (0, 0, ended);
         }
-        let accepted = resolve_round(&proposals);
+        let accepted = resolve_round_with(&self.rules, &self.live, &proposals);
         let batch: Vec<SwapApplied> = accepted.iter().map(|s| s.mv.apply(&mut self.g)).collect();
         let applied = batch.len();
         // Write-ahead commit before either context repairs; the kill
@@ -966,6 +1050,7 @@ impl<O: Objective> RoundService<O> {
         }
         let detect = self.config.rounds.detect_cycles;
         let batch = &batch[..];
+        let rules = &self.rules;
         let g = &self.g;
         let live = &mut self.live;
         let log = &mut self.log;
@@ -986,7 +1071,7 @@ impl<O: Objective> RoundService<O> {
                 } else {
                     None
                 };
-                emit_record(sink, live, book, round, proposed, applied, ended);
+                emit_record(sink, rules, live, book, round, proposed, applied, ended);
                 (ended, t.elapsed().as_nanos() as u64)
             },
             move || {
@@ -995,7 +1080,7 @@ impl<O: Objective> RoundService<O> {
                 }
                 let t = Instant::now();
                 snap.refresh_after_batch(g, batch);
-                let next = Self::propose(snap, response);
+                let next = Self::propose(rules, snap, response);
                 (next, t.elapsed().as_nanos() as u64)
             },
         );
@@ -1014,7 +1099,8 @@ impl<O: Objective> RoundService<O> {
     /// one batch, booked through the same [`RoundRecord`] path as live
     /// rounds, and repaired into the live matrix. Every round must be
     /// pairwise footprint-disjoint and valid against the state its
-    /// predecessors left behind — exactly what [`resolve_round`]
+    /// predecessors left behind — exactly what
+    /// [`resolve_round`](crate::rounds::resolve_round)
     /// guarantees for live rounds and what recorded round streams carry
     /// by construction.
     ///
@@ -1058,7 +1144,7 @@ impl<O: Objective> RoundService<O> {
         self.journal_session_start(true);
         let mut book = SessionBook {
             prev_cost: if sink.active() {
-                self.live.social_cost()
+                self.rules.social_cost(&self.live)
             } else {
                 None
             },
@@ -1079,7 +1165,7 @@ impl<O: Objective> RoundService<O> {
             let batch: Vec<SwapApplied> = round.iter().map(|mv| mv.apply(&mut self.g)).collect();
             moves_applied += batch.len();
             if batch.is_empty() {
-                emit_record(sink, &self.live, &mut book, rounds, 0, 0, None);
+                emit_record(sink, &self.rules, &self.live, &mut book, rounds, 0, 0, None);
                 continue;
             }
             let applied = batch.len();
@@ -1094,7 +1180,16 @@ impl<O: Objective> RoundService<O> {
                 self.snap_stale = true;
             }
             self.maybe_checkpoint();
-            emit_record(sink, &self.live, &mut book, rounds, applied, applied, None);
+            emit_record(
+                sink,
+                &self.rules,
+                &self.live,
+                &mut book,
+                rounds,
+                applied,
+                applied,
+                None,
+            );
         }
         sink.finish();
         if !self.killed {
@@ -1124,10 +1219,10 @@ impl<O: Objective> RoundService<O> {
 
     /// The frozen-snapshot proposal sweep of every agent, under the
     /// session's response rule.
-    fn propose(ctx: &EvalContext, response: Response) -> Vec<Option<ScoredSwap>> {
+    fn propose(rules: &R, ctx: &EvalContext, response: Response) -> Vec<Option<ScoredSwap>> {
         match response {
-            Response::Best => ctx.best_responses_par::<O>(),
-            Response::FirstImproving => ctx.first_improving_responses_par::<O>(),
+            Response::Best => rules.best_responses_par(ctx),
+            Response::FirstImproving => rules.first_improving_responses_par(ctx),
         }
     }
 
@@ -1170,19 +1265,27 @@ impl<O: Objective> RoundService<O> {
 /// the same start (property-pinned), with every round barrier overlapped
 /// as described in the [module docs](self). Internally a one-session
 /// [`RoundService`].
-pub struct PipelinedRoundDynamics<O: Objective> {
+pub struct PipelinedRoundDynamics<R: GameRules> {
     config: RoundConfig,
     repair_strategy: RepairStrategy,
-    _marker: std::marker::PhantomData<O>,
+    rules: R,
 }
 
-impl<O: Objective> PipelinedRoundDynamics<O> {
+impl<R: GameRules> PipelinedRoundDynamics<R> {
     /// Engine with the given configuration.
-    pub fn new(config: RoundConfig) -> Self {
+    pub fn new(config: RoundConfig) -> Self
+    where
+        R: Default,
+    {
+        Self::with_rules(config, R::default())
+    }
+
+    /// Engine with an explicit (possibly stateful) rule set.
+    pub fn with_rules(config: RoundConfig, rules: R) -> Self {
         PipelinedRoundDynamics {
             config,
             repair_strategy: RepairStrategy::default(),
-            _marker: std::marker::PhantomData,
+            rules,
         }
     }
 
@@ -1202,13 +1305,14 @@ impl<O: Objective> PipelinedRoundDynamics<O> {
     /// [`run`](Self::run) with a record stream, mirroring
     /// [`RoundDynamics::run_with_sink`](crate::rounds::RoundDynamics::run_with_sink).
     pub fn run_with_sink(&self, start: &Graph, sink: &mut dyn MetricsSink) -> RoundResult {
-        let mut service = RoundService::<O>::with_repair_strategy(
+        let mut service = RoundService::with_rules(
             start,
             ServiceConfig {
                 rounds: self.config,
                 pipelined: true,
             },
             self.repair_strategy,
+            self.rules.clone(),
         );
         service.run_session(sink).result
     }

@@ -7,7 +7,7 @@
 //! round.
 
 use bncg_core::context::EvalContext;
-use bncg_core::objective::Objective;
+use bncg_core::rules::GameRules;
 use bncg_graph::{Graph, V};
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +62,8 @@ impl Trajectory {
 /// for the whole run, refreshed through
 /// [`EvalContext::refresh_after`] so the per-round APSP snapshot below is
 /// *repaired* across the round's moves instead of rebuilt from scratch.
-pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory {
+pub fn run_traced<R: GameRules + Default>(start: &Graph, max_rounds: usize) -> Trajectory {
+    let rules = R::default();
     let mut g = start.clone();
     let n = g.n();
     let mut ctx = EvalContext::new(&g);
@@ -71,7 +72,7 @@ pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory 
     for round in 1..=max_rounds {
         let mut moves = 0usize;
         for v in 0..n as V {
-            if let Some(s) = ctx.best_response::<O>(v) {
+            if let Some(s) = rules.best_response(&ctx, v) {
                 let rec = s.mv.apply(&mut g);
                 ctx.refresh_after(&g, &rec);
                 moves += 1;
@@ -116,12 +117,12 @@ pub fn run_traced<O: Objective>(start: &Graph, max_rounds: usize) -> Trajectory 
 /// round. Round dynamics can oscillate where sequential play converges;
 /// tracing stops at the first revisited round-boundary state, reporting
 /// `converged = false` exactly as a capped run would.
-pub fn run_traced_rounds<O: Objective>(
+pub fn run_traced_rounds<R: GameRules + Default>(
     start: &Graph,
     response: crate::engine::Response,
     max_rounds: usize,
 ) -> Trajectory {
-    run_traced_rounds_with_sink::<O>(start, response, max_rounds, &mut crate::sink::NullSink)
+    run_traced_rounds_with_sink::<R>(start, response, max_rounds, &mut crate::sink::NullSink)
 }
 
 /// [`run_traced_rounds`], additionally pushing one
@@ -133,12 +134,13 @@ pub fn run_traced_rounds<O: Objective>(
 /// anyway), convergence/cycle status, and the round's repair-stats and
 /// repair-phase deltas (see [`crate::sink`] for the schema and the
 /// phase-delta caveat).
-pub fn run_traced_rounds_with_sink<O: Objective>(
+pub fn run_traced_rounds_with_sink<R: GameRules + Default>(
     start: &Graph,
     response: crate::engine::Response,
     max_rounds: usize,
     sink: &mut dyn crate::sink::MetricsSink,
 ) -> Trajectory {
+    let rules = R::default();
     let mut g = start.clone();
     let mut ctx = EvalContext::new(&g);
     let mut log = crate::convergence::StateLog::new();
@@ -153,7 +155,7 @@ pub fn run_traced_rounds_with_sink<O: Objective>(
     let mut round_stats = ctx.dynamic_stats_snapshot();
     let mut round_phases = bncg_graph::dynamic::repair_phase_totals();
     for round in 1..=max_rounds {
-        let step = crate::rounds::step_round::<O>(&mut ctx, &mut g, response);
+        let step = crate::rounds::step_round(&rules, &mut ctx, &mut g, response);
         let point = {
             // The context caches this APSP; a converged final round reuses
             // it for free, and moves in later rounds repair it in place.

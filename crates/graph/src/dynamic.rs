@@ -341,6 +341,7 @@ impl DynamicApsp {
     /// [`set_max_repair_rows`](Self::set_max_repair_rows) to cap repair
     /// work explicitly.
     pub fn build(csr: &Csr) -> Self {
+        telemetry::counter!("apsp.builds").incr();
         Self::from_matrix(DistanceMatrix::build(csr))
     }
 
@@ -348,6 +349,7 @@ impl DynamicApsp {
     /// overflow ([`DistanceMatrix::try_build`]) — the service path's
     /// degradable construction.
     pub fn try_build(csr: &Csr) -> Result<Self, kernels::DistOverflow> {
+        telemetry::counter!("apsp.builds").incr();
         Ok(Self::from_matrix(DistanceMatrix::try_build(csr)?))
     }
 

@@ -1464,6 +1464,85 @@ pub fn frontier_relax(row: &[Dist], idx: &[V], seg: &[u32], out: &mut [Dist]) {
     dispatch!(row, idx, seg, out; frontier_relax)
 }
 
+/// Row cost restricted to an index set: `Σ_{i ∈ idx} row[i]`, or
+/// [`INF_SUM`] when some selected entry is unreachable — the sparse-row
+/// primitive behind the communication-interest game's per-agent cost
+/// (each agent pays only for the vertices in its interest set).
+///
+/// Gather-style (indices are arbitrary), so this runs as a single scalar
+/// pass on every stratum: without hardware gathers the SWAR/SIMD lanes
+/// have nothing to batch, and interest sets are short by construction.
+/// An empty `idx` costs `0`.
+///
+/// # Panics
+/// Panics (via slice indexing) when some `idx` entry is out of bounds for
+/// `row`.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{masked_row_cost, INF_SUM, UNREACHABLE_D};
+///
+/// let row = [0u16, 3, 1, UNREACHABLE_D];
+/// assert_eq!(masked_row_cost(&row, &[1, 2]), 4);
+/// assert_eq!(masked_row_cost(&row, &[]), 0);
+/// assert_eq!(masked_row_cost(&row, &[1, 3]), INF_SUM);
+/// ```
+#[inline]
+pub fn masked_row_cost(row: &[Dist], idx: &[V]) -> u64 {
+    count_dispatch(idx.len());
+    let mut sum = 0u64;
+    let mut mx: Dist = 0;
+    for &i in idx {
+        let d = row[i as usize];
+        mx = mx.max(d);
+        sum += u64::from(d);
+    }
+    if mx == UNREACHABLE_D {
+        INF_SUM
+    } else {
+        sum
+    }
+}
+
+/// Blended row cost restricted to an index set: `Σ_{i ∈ idx}
+/// min(base[i], 1 saturating+ via[i])`, or [`INF_SUM`] when some selected
+/// blended entry is unreachable — [`masked_row_cost`] composed with the
+/// single-edge insertion identity of [`blend_cost_sum`], so the interest
+/// game can score a candidate swap without materializing the blended row.
+/// Scalar for the same reason as [`masked_row_cost`]. An empty `idx`
+/// costs `0`.
+///
+/// # Panics
+/// Panics (via slice indexing) when some `idx` entry is out of bounds for
+/// `base` or `via`.
+///
+/// # Examples
+/// ```
+/// use bncg_graph::kernels::{masked_blend_cost_sum, UNREACHABLE_D};
+///
+/// let base = [0u16, 4, UNREACHABLE_D, 2];
+/// let via = [9u16, 1, 1, UNREACHABLE_D];
+/// // Blended row is [0, 2, 2, 2]; selecting {1, 2} sums to 4.
+/// assert_eq!(masked_blend_cost_sum(&base, &via, &[1, 2]), 4);
+/// ```
+#[inline]
+pub fn masked_blend_cost_sum(base: &[Dist], via: &[Dist], idx: &[V]) -> u64 {
+    debug_assert_eq!(base.len(), via.len());
+    count_dispatch(idx.len());
+    let mut sum = 0u64;
+    let mut mx: Dist = 0;
+    for &i in idx {
+        let d = base[i as usize].min(via[i as usize].saturating_add(1));
+        mx = mx.max(d);
+        sum += u64::from(d);
+    }
+    if mx == UNREACHABLE_D {
+        INF_SUM
+    } else {
+        sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

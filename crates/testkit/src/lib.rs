@@ -1,4 +1,5 @@
-//! Deterministic fault-injection harness for the bncg workspace.
+//! Deterministic fault-injection and conformance harness for the bncg
+//! workspace.
 //!
 //! Production code declares *fault points* — named places where an
 //! injected failure is meaningful (a journal write, the window between a
@@ -18,4 +19,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+//! A second, always-on facility lives in [`conformance`]: the normalized
+//! [`EngineTrace`](conformance::EngineTrace) every dynamics engine family
+//! reduces to, and the record-level equivalence assertion the
+//! cross-engine game-conformance matrix drives (the engine drivers
+//! themselves live in the facade's `conformance` module, above this
+//! crate in the dependency order).
+
+pub mod conformance;
 pub mod faults;

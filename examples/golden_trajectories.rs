@@ -1,0 +1,30 @@
+//! Regenerates the committed golden trajectory files under `tests/data/`.
+//!
+//! ```text
+//! cargo run --release --example golden_trajectories
+//! ```
+//!
+//! The goldens pin the *basic-game* behavior of every dynamics engine
+//! byte-for-byte (see `bncg::conformance`); `tests/game_conformance.rs`
+//! re-renders the same battery and diffs. Only rerun this generator when
+//! a behavior change for the basic game is intentional — and say so in
+//! the commit message, because it rewrites the conformance baseline.
+
+use bncg::conformance::{golden_path, golden_scenarios, render_golden};
+
+fn main() {
+    let mut total_steps = 0usize;
+    for s in golden_scenarios() {
+        let golden = render_golden(&s);
+        let path = golden_path(s.name);
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/data");
+        std::fs::write(&path, &golden.text).expect("write golden");
+        total_steps += golden.steps;
+        println!("{}: {} steps -> {}", s.name, golden.steps, path.display());
+    }
+    println!("total pinned steps: {total_steps}");
+    assert!(
+        total_steps >= 500,
+        "golden battery must pin at least 500 applied moves, got {total_steps}"
+    );
+}

@@ -36,6 +36,8 @@
 //! assert_eq!(eq.diameter(), Some(3));
 //! ```
 
+pub mod conformance;
+
 pub use bncg_algebra as algebra;
 pub use bncg_alpha as alpha;
 pub use bncg_analysis as analysis;

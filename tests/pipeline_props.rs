@@ -19,6 +19,7 @@ use bncg::dynamics::rounds::{RoundConfig, RoundDynamics};
 use bncg::dynamics::service::{PipelinedRoundDynamics, RoundService, ServiceConfig};
 use bncg::dynamics::sink::{MemorySink, RoundRecord};
 use bncg::game::objective::{MaxObjective, Objective, SumObjective};
+use bncg::game::rules::GameRules;
 use bncg::graph::generators::random::{gnp, random_tree};
 use bncg::graph::Graph;
 use proptest::prelude::*;
@@ -70,7 +71,7 @@ fn assert_records_match_across_sessions(
 /// same configuration (and optional fallback-threshold override) and
 /// asserts byte identity of outcome, graph, counters, and records.
 /// Returns the number of rounds both engines executed.
-fn assert_engines_agree<O: Objective>(
+fn assert_engines_agree<O: Objective + GameRules + Default>(
     start: &Graph,
     config: RoundConfig,
     threshold: Option<usize>,
@@ -133,7 +134,7 @@ fn assert_engines_agree<O: Objective>(
 /// One family × objective replay at both threshold extremes plus the
 /// default, with cycle detection both on (natural termination) and off
 /// (bounded replay that keeps oscillators running for volume).
-fn replay_family<O: Objective>(start: &Graph, label: &str) -> usize {
+fn replay_family<O: Objective + GameRules + Default>(start: &Graph, label: &str) -> usize {
     let n = start.n();
     let natural = RoundConfig::default();
     let bounded = RoundConfig {

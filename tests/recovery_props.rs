@@ -23,6 +23,7 @@ use bncg::dynamics::service::{JournalOptions, RoundService, ServiceConfig};
 use bncg::dynamics::sink::{MemorySink, RoundRecord};
 use bncg::dynamics::RecoveryError;
 use bncg::game::objective::{MaxObjective, Objective, SumObjective};
+use bncg::game::rules::GameRules;
 use bncg::game::swap::SwapMove;
 use bncg::graph::generators::random::{gnp, random_tree};
 use bncg::graph::Graph;
@@ -67,7 +68,7 @@ fn assert_records_match(continued: &[RoundRecord], reference: &[RoundRecord], co
 /// journal line prefix and resumes: every cut must reconstruct the live
 /// state byte-identically and finish exactly like the uninterrupted run.
 /// Returns the number of distinct crash states verified.
-fn sweep_kills<O: Objective>(
+fn sweep_kills<O: Objective + GameRules + Default>(
     start: &Graph,
     config: RoundConfig,
     ckpt_every: usize,

@@ -303,7 +303,8 @@ proptest! {
         let mut ctx = EvalContext::new(&g);
         ctx.base();
         for _ in 0..6 {
-            let step = step_round::<SumObjective>(
+            let step = step_round(
+                &SumObjective,
                 &mut ctx,
                 &mut g,
                 bncg::dynamics::engine::Response::Best,
